@@ -1,0 +1,89 @@
+// Ablation of the per-family-key hardening (an extension beyond the paper):
+// with a single shared ECB codebook, an attacker holding TWO index sites of
+// different chunking families can align their streams and find identical
+// ciphertext chunks — recovering relative plaintext structure across
+// chunkings. Independent per-family codebooks reduce those cross-family
+// matches to chance.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/pipeline.h"
+#include "workload/phonebook.h"
+
+using essdds::ToBytes;
+
+namespace {
+
+struct Stats {
+  uint64_t comparisons = 0;
+  uint64_t collisions = 0;
+};
+
+Stats CrossFamilyCollisions(const essdds::core::IndexPipeline& pipe,
+                            const std::vector<essdds::workload::PhoneRecord>&
+                                corpus) {
+  Stats st;
+  for (const auto& r : corpus) {
+    auto recs = pipe.BuildIndexRecords(r.rid, r.name);
+    // k == 1: index records are per family. Compare families 0 and 1.
+    const auto& f0 = recs[0].stream;
+    const auto& f1 = recs[1].stream;
+    for (uint64_t a : f0) {
+      for (uint64_t b : f1) {
+        ++st.comparisons;
+        st.collisions += (a == b);
+      }
+    }
+  }
+  return st;
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = essdds::bench::CorpusSize(20000);
+  auto corpus = essdds::bench::LoadCorpus(n);
+
+  essdds::bench::PrintHeader(
+      "Ablation: shared vs per-family ECB codebooks (cross-site "
+      "correlation), " + std::to_string(n) + " records");
+
+  essdds::core::SchemeParams shared{.codes_per_chunk = 4};
+  essdds::core::SchemeParams per_family{.codes_per_chunk = 4,
+                                        .per_family_keys = true};
+  auto pipe_shared =
+      essdds::core::IndexPipeline::Create(shared, ToBytes("ablate"), {});
+  auto pipe_family =
+      essdds::core::IndexPipeline::Create(per_family, ToBytes("ablate"), {});
+  if (!pipe_shared.ok() || !pipe_family.ok()) return 1;
+
+  const Stats s = CrossFamilyCollisions(*pipe_shared, corpus);
+  const Stats f = CrossFamilyCollisions(*pipe_family, corpus);
+
+  auto rate = [](const Stats& st) {
+    return st.comparisons == 0
+               ? 0.0
+               : 1e6 * static_cast<double>(st.collisions) /
+                     static_cast<double>(st.comparisons);
+  };
+  std::printf("  %-22s | %-14s | %-12s | %s\n", "codebooks", "comparisons",
+              "collisions", "rate (ppm)");
+  std::printf("  %-22s | %-14llu | %-12llu | %.2f\n", "shared (paper)",
+              static_cast<unsigned long long>(s.comparisons),
+              static_cast<unsigned long long>(s.collisions), rate(s));
+  std::printf("  %-22s | %-14llu | %-12llu | %.2f\n", "per-family (hardened)",
+              static_cast<unsigned long long>(f.comparisons),
+              static_cast<unsigned long long>(f.collisions), rate(f));
+
+  // Chance level for 32-bit chunks is ~2^-32 = 0.0002 ppm.
+  std::printf(
+      "\nShape check: with a shared codebook, cross-family collisions occur\n"
+      "whenever the same 4 symbols appear chunk-aligned in two chunkings\n"
+      "(hundreds of ppm on real names); per-family keys push the rate to\n"
+      "the 2^-32 chance level. Query cost: the hardened scheme ships one\n"
+      "series set per family (see PerFamilyKeysTest.QueryWireGrowsByFamilyCount).\n");
+  return 0;
+}

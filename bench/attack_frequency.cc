@@ -1,0 +1,106 @@
+// Security evaluation by actual attack instead of the chi-squared proxy:
+// run the classic ECB frequency-analysis attack against one index site
+// under each stage configuration and report how much plaintext the
+// rank-matching adversary recovers. The attacker holds a same-distribution
+// public directory (different seed) as its reference model.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attack/frequency_attack.h"
+#include "bench/bench_util.h"
+#include "core/pipeline.h"
+#include "workload/phonebook.h"
+
+using essdds::ToBytes;
+
+namespace {
+
+struct Config {
+  std::string name;
+  essdds::core::SchemeParams params;
+};
+
+}  // namespace
+
+int main() {
+  const size_t n = essdds::bench::CorpusSize(20000);
+  // Victim and attacker corpora: same distribution, different draws.
+  essdds::workload::PhonebookGenerator victim_gen(20060401);
+  essdds::workload::PhonebookGenerator public_gen(19960101);
+  auto victim = victim_gen.Generate(n);
+  auto reference = public_gen.Generate(n);
+  std::vector<std::string> training;
+  for (const auto& r : victim) training.push_back(r.name);
+
+  essdds::bench::PrintHeader(
+      "Frequency-analysis attack on one index site, " + std::to_string(n) +
+      " records (attacker model: public directory, different draw)");
+
+  const std::vector<Config> configs = {
+      {"stage1, s=1 (1-char ECB)", {.codes_per_chunk = 1}},
+      {"stage1, s=2", {.codes_per_chunk = 2}},
+      {"stage1, s=4", {.codes_per_chunk = 4}},
+      {"stage1, s=6 (conclusion)", {.codes_per_chunk = 6}},
+      {"stage1+2, s=4, 16 codes",
+       {.num_codes = 16, .codes_per_chunk = 4}},
+      {"stage1+3, s=4, k=4 (one site's view)",
+       {.codes_per_chunk = 4, .dispersal_sites = 4}},
+      {"full: 16 codes, s=4, k=2",
+       {.num_codes = 16, .codes_per_chunk = 4, .dispersal_sites = 2}},
+  };
+
+  std::printf("  %-38s | %-10s | %-10s | %-10s | %-9s\n", "config",
+              "occur acc", "map acc", "baseline", "gain");
+  for (const Config& cfg : configs) {
+    auto pipe = essdds::core::IndexPipeline::Create(
+        cfg.params, ToBytes("attack bench"), training);
+    if (!pipe.ok()) {
+      std::fprintf(stderr, "%s: %s\n", cfg.name.c_str(),
+                   pipe.status().ToString().c_str());
+      return 1;
+    }
+    // The attacker sees family 0, site 0; ground truth is the unencrypted
+    // stream of the same family. The model comes from the PUBLIC corpus
+    // pushed through the same public pre-processing (chunking + Stage-2
+    // encoding are corpus statistics, not secrets; dispersal and ECB are).
+    std::vector<std::vector<uint64_t>> observed, truth, model;
+    for (const auto& rec : victim) {
+      auto recs = pipe->BuildIndexRecords(rec.rid, rec.name);
+      observed.push_back(recs[0].stream);
+    }
+    // Ground truth / model: a keyless pipeline view. We reuse the pipeline
+    // minus encryption by building with an all-identity configuration:
+    // chunk values before ECB are exactly what Chunker+encoder produce.
+    essdds::codec::IdentityEncoder identity;
+    const essdds::codec::SymbolEncoder& enc =
+        cfg.params.stage2_enabled() ? pipe->encoder() : identity;
+    auto chunker =
+        essdds::codec::Chunker::Create(&enc, cfg.params.codes_per_chunk);
+    for (const auto& rec : victim) {
+      truth.push_back(chunker->BuildChunks(rec.name, 0));
+    }
+    for (const auto& rec : reference) {
+      model.push_back(chunker->BuildChunks(rec.name, 0));
+    }
+    // With dispersal, the site stream is pieces, not chunks; truth streams
+    // keep chunk granularity (same positions), so accuracy measures how
+    // much chunk plaintext the single site's pieces reveal.
+    auto r = essdds::attack::RunFrequencyAttack(observed, model, truth);
+    std::printf("  %-38s | %9.1f%% | %9.1f%% | %8.1f%% | %5.1fx\n",
+                cfg.name.c_str(), 100.0 * r.occurrence_accuracy,
+                100.0 * r.mapping_accuracy, 100.0 * r.guess_baseline,
+                r.guess_baseline > 0
+                    ? r.occurrence_accuracy / r.guess_baseline
+                    : 0.0);
+  }
+
+  std::printf(
+      "\nShape check: one-character ECB falls almost completely (the §2.1\n"
+      "warning); accuracy drops steeply with chunk size; Stage-2 flattening\n"
+      "pushes the attack toward its blind-guess baseline; a single\n"
+      "dispersal site decodes essentially nothing — together, the paper's\n"
+      "defense-in-depth story, measured as recovered plaintext.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Comparison against the Song/Wagner/Perrig word-search baseline the paper
+// positions itself against: capability (words vs arbitrary substrings),
+// storage footprint, and accuracy, on the same directory sample.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baseline/swp_word_store.h"
+#include "bench/bench_util.h"
+#include "bench/fp_util.h"
+#include "core/encrypted_store.h"
+#include "workload/phonebook.h"
+
+using essdds::Bytes;
+using essdds::ToBytes;
+
+int main() {
+  const size_t n = essdds::bench::CorpusSize(3000);
+  auto corpus = essdds::bench::LoadCorpus(n);
+  std::vector<std::string> training;
+  for (const auto& r : corpus) training.push_back(r.name);
+
+  essdds::bench::PrintHeader(
+      "Baseline: SWP00 word search vs this paper's chunked substring "
+      "search, " + std::to_string(n) + " records");
+
+  // Build both stores.
+  auto swp = essdds::baseline::SwpWordStore::Create(ToBytes("compare"));
+  essdds::core::EncryptedStore::Options opts;
+  opts.params = essdds::core::SchemeParams{.codes_per_chunk = 4,
+                                           .dispersal_sites = 4};
+  opts.index_file.bucket_capacity = 512;
+  auto ours = essdds::core::EncryptedStore::Create(opts, ToBytes("compare"),
+                                                   training);
+  if (!swp.ok() || !ours.ok()) return 1;
+  for (const auto& r : corpus) {
+    if (!(*swp)->Insert(r.rid, r.name).ok()) return 1;
+    if (!(*ours)->Insert(r.rid, r.name).ok()) return 1;
+  }
+
+  // Storage.
+  auto index_bytes = [](essdds::sdds::LhSystem& sys) {
+    uint64_t bytes = 0;
+    for (uint64_t b = 0; b < sys.bucket_count(); ++b) {
+      for (const auto& [key, value] : sys.bucket(b).records()) {
+        bytes += 8 + value.size();
+      }
+    }
+    return bytes;
+  };
+  uint64_t plain = 0;
+  for (const auto& r : corpus) plain += r.name.size();
+  std::printf("storage: plaintext %llu B | SWP index %llu B (%.2fx) | "
+              "ESSDDS index %llu B (%.2fx)\n",
+              static_cast<unsigned long long>(plain),
+              static_cast<unsigned long long>(index_bytes((*swp)->file())),
+              static_cast<double>(index_bytes((*swp)->file())) / plain,
+              static_cast<unsigned long long>(
+                  index_bytes((*ours)->index_file())),
+              static_cast<double>(index_bytes((*ours)->index_file())) / plain);
+
+  // Accuracy and capability over 200 sampled surnames.
+  auto sample = essdds::workload::SampleRecords(corpus, 200, 3);
+  uint64_t swp_word_hits = 0, swp_word_misses = 0;
+  uint64_t ours_hits = 0, ours_fp = 0, ours_misses = 0;
+  uint64_t swp_prefix_found = 0, ours_prefix_found = 0;
+  size_t prefix_queries = 0;
+  for (const auto* rec : sample) {
+    const std::string surname(essdds::workload::SurnameOf(*rec));
+    // Whole-word search: both systems should find the record.
+    auto swp_rids = (*swp)->SearchWord(surname);
+    if (swp_rids.ok()) {
+      const bool hit = std::binary_search(swp_rids->begin(), swp_rids->end(),
+                                          rec->rid);
+      swp_word_hits += hit;
+      swp_word_misses += !hit;
+    }
+    if (surname.size() >= (*ours)->params().min_query_symbols()) {
+      auto rids = (*ours)->Search(surname);
+      if (rids.ok()) {
+        ours_hits +=
+            std::binary_search(rids->begin(), rids->end(), rec->rid);
+        ours_misses +=
+            !std::binary_search(rids->begin(), rids->end(), rec->rid);
+        for (uint64_t rid : *rids) {
+          auto content = (*ours)->Get(rid);
+          ours_fp += content.ok() &&
+                     essdds::bench::IsFalsePositive(*content, surname);
+        }
+      }
+    }
+    // Substring capability: search a 5-char prefix of long surnames.
+    if (surname.size() >= 7) {
+      ++prefix_queries;
+      const std::string prefix = surname.substr(0, 5);
+      auto swp_prefix = (*swp)->SearchWord(prefix);
+      if (swp_prefix.ok()) {
+        swp_prefix_found += std::binary_search(
+            swp_prefix->begin(), swp_prefix->end(), rec->rid);
+      }
+      auto our_prefix = (*ours)->Search(prefix);
+      if (our_prefix.ok()) {
+        ours_prefix_found += std::binary_search(
+            our_prefix->begin(), our_prefix->end(), rec->rid);
+      }
+    }
+  }
+
+  std::printf("\nwhole-word search (200 surnames):\n");
+  std::printf("  SWP00:  %llu found, %llu missed (exact words only, 0 FP by "
+              "construction)\n",
+              static_cast<unsigned long long>(swp_word_hits),
+              static_cast<unsigned long long>(swp_word_misses));
+  std::printf("  ESSDDS: %llu found, %llu missed, %llu false positives\n",
+              static_cast<unsigned long long>(ours_hits),
+              static_cast<unsigned long long>(ours_misses),
+              static_cast<unsigned long long>(ours_fp));
+  std::printf("\nsubstring (5-char prefix of %zu long surnames):\n",
+              prefix_queries);
+  std::printf("  SWP00:  %llu found  <- word-only search cannot see "
+              "fragments\n",
+              static_cast<unsigned long long>(swp_prefix_found));
+  std::printf("  ESSDDS: %llu found  <- chunked index searches arbitrary "
+              "patterns\n",
+              static_cast<unsigned long long>(ours_prefix_found));
+
+  std::printf(
+      "\nShape check: SWP wins on exactness and per-word storage; the\n"
+      "paper's scheme is the only one that answers substring queries —\n"
+      "its reason to exist — at the cost of s-fold index storage and a\n"
+      "false-positive tail.\n");
+  return 0;
+}

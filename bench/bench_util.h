@@ -1,0 +1,64 @@
+#ifndef ESSDDS_BENCH_BENCH_UTIL_H_
+#define ESSDDS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "workload/phonebook.h"
+
+namespace essdds::bench {
+
+/// Number of directory records a table bench runs on. Defaults to the
+/// paper's corpus size (282,965); override with ESSDDS_RECORDS=<n> to scale
+/// a run down (the tables' *shape* is stable down to ~20k records).
+inline size_t CorpusSize(size_t default_size =
+                             workload::PhonebookGenerator::kPaperCorpusSize) {
+  if (const char* env = std::getenv("ESSDDS_RECORDS")) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return default_size;
+}
+
+/// The deterministic synthetic SF-directory stand-in (see DESIGN.md §5).
+inline std::vector<workload::PhoneRecord> LoadCorpus(size_t count) {
+  workload::PhonebookGenerator gen(/*seed=*/20060401);  // ICDE 2006
+  return gen.Generate(count);
+}
+
+/// Formats a chi-squared value the way the paper prints them (thousands
+/// separators, small values with decimals).
+inline std::string FormatChi2(double v) {
+  char buf[64];
+  if (v < 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+  }
+  if (v < 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return buf;
+  }
+  // Group integer digits by thousands.
+  long long n = static_cast<long long>(v + 0.5);
+  std::string digits = std::to_string(n);
+  std::string out;
+  int c = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (c != 0 && c % 3 == 0) out.insert(out.begin(), ',');
+    out.insert(out.begin(), *it);
+    ++c;
+  }
+  return out;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace essdds::bench
+
+#endif  // ESSDDS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,45 @@
+#ifndef ESSDDS_BENCH_FP_UTIL_H_
+#define ESSDDS_BENCH_FP_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/matcher.h"
+
+namespace essdds::bench {
+
+/// True when `pattern` occurs as a consecutive subsequence of `stream`.
+inline bool Contains(const std::vector<uint32_t>& stream,
+                     const std::vector<uint32_t>& pattern) {
+  return !pattern.empty() &&
+         !core::FindOccurrences(std::span<const uint32_t>(stream),
+                                std::span<const uint32_t>(pattern))
+              .empty();
+}
+
+/// Packs a code stream into chunk values of `chunk` codes starting at
+/// `offset`, dropping partial chunks at both ends (the paper's §7 choice).
+inline std::vector<uint32_t> ChunkCodes(const std::vector<uint32_t>& codes,
+                                        size_t chunk, size_t offset,
+                                        uint32_t num_codes) {
+  std::vector<uint32_t> out;
+  for (size_t start = offset; start + chunk <= codes.size(); start += chunk) {
+    uint32_t v = 0;
+    for (size_t i = 0; i < chunk; ++i) v = v * num_codes + codes[start + i];
+    out.push_back(v);
+  }
+  return out;
+}
+
+/// The paper's false-positive rule: a reported record is a false positive
+/// only when the search string does not occur in its plaintext at all
+/// ("we did not count the occurrence of ADAMS in ADAMSON").
+inline bool IsFalsePositive(const std::string& record_name,
+                            const std::string& query) {
+  return record_name.find(query) == std::string::npos;
+}
+
+}  // namespace essdds::bench
+
+#endif  // ESSDDS_BENCH_FP_UTIL_H_

@@ -1,0 +1,96 @@
+// Microbenchmarks of the Galois-field and codec substrates.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "codec/chunker.h"
+#include "codec/dispersal.h"
+#include "codec/symbol_encoder.h"
+#include "gf/gf2n.h"
+#include "gf/matrix.h"
+#include "sdds/rs_code.h"
+#include "util/random.h"
+
+namespace essdds {
+namespace {
+
+void BM_GfMul(benchmark::State& state) {
+  const gf::GfField& f = gf::GfField::Of(static_cast<int>(state.range(0)));
+  uint32_t a = 3, b = 7;
+  for (auto _ : state) {
+    a = f.Mul(a, b) | 1;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_GfMul)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_MatrixApplyRowVector(benchmark::State& state) {
+  const gf::GfField& f = gf::GfField::Of(8);
+  auto m = gf::GfMatrix::RandomInvertible(f, 4, 7);
+  std::vector<uint32_t> v = {1, 2, 3, 4};
+  for (auto _ : state) {
+    auto out = m.ApplyToRowVector(v);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_MatrixApplyRowVector);
+
+void BM_DisperseChunk(benchmark::State& state) {
+  auto d = codec::Disperser::Create(32, 4, 11);
+  uint64_t chunk = 0x01020304;
+  for (auto _ : state) {
+    auto pieces = d->DisperseChunk(chunk++ & 0xFFFFFFFF);
+    benchmark::DoNotOptimize(pieces);
+  }
+}
+BENCHMARK(BM_DisperseChunk);
+
+void BM_RsEncode(benchmark::State& state) {
+  auto code = sdds::RsCode::Create(4, 2);
+  Rng rng(5);
+  std::vector<Bytes> data(4, Bytes(static_cast<size_t>(state.range(0))));
+  for (auto& buf : data) {
+    for (auto& byte : buf) byte = static_cast<uint8_t>(rng.Next());
+  }
+  for (auto _ : state) {
+    auto parity = code->Encode(data);
+    benchmark::DoNotOptimize(parity);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 4);
+}
+BENCHMARK(BM_RsEncode)->Arg(1024)->Arg(65536);
+
+void BM_FrequencyEncoderStream(benchmark::State& state) {
+  std::vector<std::string> corpus = {"SCHWARZ THOMAS", "LITWIN WITOLD",
+                                     "WONG MING", "LEE WEI & MEI"};
+  auto enc = codec::FrequencyEncoder::Train(
+      corpus, {.unit_symbols = 1, .num_codes = 8});
+  const std::string record = "ABOGADO ALEJANDRO & CATHERINE";
+  for (auto _ : state) {
+    auto codes = enc->EncodeStream(record, 0);
+    benchmark::DoNotOptimize(codes);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(record.size()));
+}
+BENCHMARK(BM_FrequencyEncoderStream);
+
+void BM_ChunkerBuildChunks(benchmark::State& state) {
+  static const codec::IdentityEncoder& enc = *new codec::IdentityEncoder;
+  auto chunker = codec::Chunker::Create(&enc, 4);
+  const std::string record = "ABOGADO ALEJANDRO & CATHERINE ESQ";
+  for (auto _ : state) {
+    auto chunks = chunker->BuildChunks(record, 1);
+    benchmark::DoNotOptimize(chunks);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(record.size()));
+}
+BENCHMARK(BM_ChunkerBuildChunks);
+
+}  // namespace
+}  // namespace essdds
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Macrobenchmarks: LH* operations and end-to-end encrypted-store insert and
+// search latency (single simulated process; the interesting metric is
+// throughput scaling, message counts are covered by access_messages).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/encrypted_store.h"
+#include "sdds/lh_system.h"
+#include "util/random.h"
+#include "workload/phonebook.h"
+
+namespace essdds {
+namespace {
+
+void BM_LhInsert(benchmark::State& state) {
+  sdds::LhSystem sys(sdds::LhOptions{.bucket_capacity = 64});
+  sdds::LhClient* client = sys.NewClient();
+  Rng rng(1);
+  for (auto _ : state) {
+    client->Insert(rng.Next(), Bytes(32, 'v'));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LhInsert);
+
+void BM_LhLookup(benchmark::State& state) {
+  sdds::LhSystem sys(sdds::LhOptions{.bucket_capacity = 64});
+  sdds::LhClient* client = sys.NewClient();
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> keys;
+  Rng rng(2);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(rng.Next());
+    client->Insert(keys.back(), Bytes(32, 'v'));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client->Lookup(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LhLookup)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LhScan(benchmark::State& state) {
+  sdds::LhSystem sys(sdds::LhOptions{.bucket_capacity = 64});
+  sdds::LhClient* client = sys.NewClient();
+  Rng rng(3);
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i < n; ++i) client->Insert(rng.Next(), Bytes(32, 'v'));
+  const uint64_t none =
+      sys.InstallFilter([](uint64_t, ByteSpan, ByteSpan) { return false; });
+  for (auto _ : state) {
+    auto result = client->Scan(none, {});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LhScan)->Arg(10000);
+
+std::unique_ptr<core::EncryptedStore> MakeStore(size_t corpus_size,
+                                                core::SchemeParams params) {
+  workload::PhonebookGenerator gen(7);
+  auto corpus = gen.Generate(corpus_size);
+  std::vector<std::string> training;
+  for (const auto& r : corpus) training.push_back(r.name);
+  core::EncryptedStore::Options opts;
+  opts.params = params;
+  opts.record_file.bucket_capacity = 128;
+  opts.index_file.bucket_capacity = 512;
+  auto store = core::EncryptedStore::Create(opts, ToBytes("perf"), training);
+  for (const auto& r : corpus) {
+    if (!(*store)->Insert(r.rid, r.name).ok()) std::abort();
+  }
+  return *std::move(store);
+}
+
+void BM_StoreInsert(benchmark::State& state) {
+  auto store = MakeStore(100, core::SchemeParams{.codes_per_chunk = 4,
+                                                 .dispersal_sites = 4});
+  workload::PhonebookGenerator gen(8);
+  uint64_t seq = 1000000;
+  for (auto _ : state) {
+    auto rec = gen.GenerateOne(seq++ % 9000000);
+    if (!store->Insert(rec.rid, rec.name).ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreInsert);
+
+void BM_StoreSearch(benchmark::State& state) {
+  auto store = MakeStore(static_cast<size_t>(state.range(0)),
+                         core::SchemeParams{.codes_per_chunk = 4,
+                                            .dispersal_sites = 4});
+  for (auto _ : state) {
+    auto rids = store->Search("SCHWARZ");
+    if (!rids.ok()) std::abort();
+    benchmark::DoNotOptimize(rids);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreSearch)->Arg(1000)->Arg(5000);
+
+void BM_StoreSearchStage2(benchmark::State& state) {
+  auto store = MakeStore(
+      2000, core::SchemeParams{.num_codes = 32, .codes_per_chunk = 4});
+  for (auto _ : state) {
+    auto rids = store->Search("SCHWARZ");
+    if (!rids.ok()) std::abort();
+    benchmark::DoNotOptimize(rids);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreSearchStage2);
+
+}  // namespace
+}  // namespace essdds
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Reproduces Table 1 of the paper: chi-squared values for single letters,
+// doublets and triplets of the (synthetic) SF phone directory names, plus
+// the most frequent 1/2/3-grams.
+//
+// Paper reference values (282,965 real entries):
+//   chi2 single 2,071,885 | doublets 10,725,271 | triplets 40,450,503
+//   top letters A 11.1%, E 9.89%, N 8.55%, R 7.55%, I 6.98%, O 6.27%
+//   top doublets AN 3.21%, ER 2.33%, AR 2.11%, ON 1.87%, IN 1.71%
+//   top triplets CHA 0.69%, MAR 0.64%, SON 0.50%, ONG 0.50%, ANG 0.49%
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "stats/chi_squared.h"
+#include "stats/ngram.h"
+
+namespace {
+
+// Name alphabet: A-Z (0..25), space (26), the rare &, ', - fold onto 27..29.
+constexpr uint64_t kAlphabet = 30;
+
+uint32_t SymbolOf(char c) {
+  if (c >= 'A' && c <= 'Z') return static_cast<uint32_t>(c - 'A');
+  if (c == ' ') return 26;
+  if (c == '&') return 27;
+  if (c == '\'') return 28;
+  return 29;
+}
+
+std::string NameOfCell(const essdds::stats::NgramCounter& counter,
+                       uint64_t cell) {
+  std::string out;
+  for (uint32_t s : counter.UnpackCell(cell)) {
+    if (s < 26) {
+      out += static_cast<char>('A' + s);
+    } else if (s == 26) {
+      out += '_';
+    } else {
+      out += '&';
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using essdds::bench::FormatChi2;
+  const size_t n = essdds::bench::CorpusSize();
+  auto corpus = essdds::bench::LoadCorpus(n);
+
+  essdds::bench::PrintHeader(
+      "Table 1: chi2 values for the (synthetic) SF Phone Directory, " +
+      std::to_string(n) + " entries");
+
+  essdds::stats::NgramCounter singles(1, kAlphabet);
+  essdds::stats::NgramCounter doublets(2, kAlphabet);
+  essdds::stats::NgramCounter triplets(3, kAlphabet);
+  std::vector<uint32_t> symbols;
+  for (const auto& rec : corpus) {
+    symbols.clear();
+    for (char c : rec.name) symbols.push_back(SymbolOf(c));
+    singles.Add(symbols);
+    doublets.Add(symbols);
+    triplets.Add(symbols);
+  }
+
+  std::printf("chi2 (Single Letter) | %15s   (paper:  2,071,885)\n",
+              FormatChi2(essdds::stats::ChiSquaredUniform(singles)).c_str());
+  std::printf("chi2 (Doublets)      | %15s   (paper: 10,725,271)\n",
+              FormatChi2(essdds::stats::ChiSquaredUniform(doublets)).c_str());
+  std::printf("chi2 (Triplets)      | %15s   (paper: 40,450,503)\n",
+              FormatChi2(essdds::stats::ChiSquaredUniform(triplets)).c_str());
+
+  std::printf("\nMost frequent single letters (paper: A 11.1%%, E 9.89%%, "
+              "N 8.55%%, R 7.55%%, I 6.98%%, O 6.27%%):\n");
+  for (const auto& e : singles.Top(6)) {
+    std::printf("  %-3s | %5.2f%%\n", NameOfCell(singles, e.cell).c_str(),
+                100.0 * e.fraction);
+  }
+  std::printf("\nMost frequent doublets (paper: AN 3.21%%, ER 2.33%%, "
+              "AR 2.11%%, ON 1.87%%, IN 1.71%%):\n");
+  for (const auto& e : doublets.Top(5)) {
+    std::printf("  %-3s | %5.2f%%\n", NameOfCell(doublets, e.cell).c_str(),
+                100.0 * e.fraction);
+  }
+  std::printf("\nMost frequent triplets (paper: CHA 0.69%%, MAR 0.64%%, "
+              "SON 0.50%%, ONG 0.50%%, ANG 0.49%%):\n");
+  for (const auto& e : triplets.Top(5)) {
+    std::printf("  %-4s| %5.2f%%\n", NameOfCell(triplets, e.cell).c_str(),
+                100.0 * e.fraction);
+  }
+  std::printf("\nShape check: chi2 triplets >> doublets >> singles, all far\n"
+              "beyond uniform-random expectation (alphabet %llu).\n",
+              static_cast<unsigned long long>(kAlphabet));
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces Table 2: chi-squared after dispersal alone. Records in plain
+// 8-bit ASCII are "chunked" at size one symbol and each byte dispersed into
+// four 2-bit pieces with a random non-singular GF(2^2) matrix; the bench
+// measures the symbol/doublet/triplet statistics an attacker sees at the
+// dispersal sites.
+//
+// Paper reference values:
+//   chi2 single 178,849 | doublets 335,796 | triplets 486,790
+//   piece frequencies 0: 33.5%, 1: 26.9%, 2: 21.8%, 3: 17.7%
+//   (key observation: dispersal alone does NOT flatten the distribution,
+//    but the chi2 drop vs Table 1 is "encouraging")
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "codec/dispersal.h"
+#include "stats/chi_squared.h"
+#include "stats/ngram.h"
+
+int main() {
+  using essdds::bench::FormatChi2;
+  const size_t n = essdds::bench::CorpusSize();
+  auto corpus = essdds::bench::LoadCorpus(n);
+
+  essdds::bench::PrintHeader(
+      "Table 2: chi2 after dispersing 8b symbols into four 2b pieces, " +
+      std::to_string(n) + " entries");
+
+  auto disperser = essdds::codec::Disperser::Create(
+      /*chunk_bits=*/8, /*num_sites=*/4, /*matrix_seed=*/20060401);
+  if (!disperser.ok()) {
+    std::fprintf(stderr, "disperser: %s\n",
+                 disperser.status().ToString().c_str());
+    return 1;
+  }
+
+  essdds::stats::NgramCounter singles(1, 4);
+  essdds::stats::NgramCounter doublets(2, 4);
+  essdds::stats::NgramCounter triplets(3, 4);
+
+  std::vector<std::vector<uint32_t>> site_streams(4);
+  for (const auto& rec : corpus) {
+    for (auto& s : site_streams) s.clear();
+    for (char c : rec.name) {
+      auto pieces = disperser->DisperseChunk(static_cast<uint8_t>(c));
+      for (int d = 0; d < 4; ++d) {
+        site_streams[static_cast<size_t>(d)].push_back(
+            pieces[static_cast<size_t>(d)]);
+      }
+    }
+    // Statistics per dispersal record, exactly like the paper: each site's
+    // stream is one "dispersion record".
+    for (const auto& s : site_streams) {
+      singles.Add(s);
+      doublets.Add(s);
+      triplets.Add(s);
+    }
+  }
+
+  std::printf("chi2 (Single Letter) | %12s   (paper: 178,849)\n",
+              FormatChi2(essdds::stats::ChiSquaredUniform(singles)).c_str());
+  std::printf("chi2 (Doublets)      | %12s   (paper: 335,796)\n",
+              FormatChi2(essdds::stats::ChiSquaredUniform(doublets)).c_str());
+  std::printf("chi2 (Triplets)      | %12s   (paper: 486,790)\n",
+              FormatChi2(essdds::stats::ChiSquaredUniform(triplets)).c_str());
+
+  std::printf("\n2-bit piece frequencies (paper: 33.5/26.9/21.8/17.7)\n");
+  for (const auto& e : singles.Top(4)) {
+    std::printf("  %llu | %5.1f%%\n", static_cast<unsigned long long>(e.cell),
+                100.0 * e.fraction);
+  }
+  std::printf("\nTop doublets (paper: 00 6.98%%, 10 6.27%%, 01 3.21%%, "
+              "20 2.33%%):\n");
+  for (const auto& e : doublets.Top(4)) {
+    auto syms = doublets.UnpackCell(e.cell);
+    std::printf("  %u%u | %5.2f%%\n", syms[0], syms[1], 100.0 * e.fraction);
+  }
+  std::printf("\nShape check: uneven piece distribution persists (no matrix\n"
+              "flattens a skewed source), but chi2 dropped by about an order\n"
+              "of magnitude versus Table 1.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Reproduces Table 3: chi-squared after redundancy removal (Stage 2) alone.
+// Symbols are grouped into units of n = 1, 2, 4, 6 characters; all units
+// are ranked by corpus frequency and greedily packed into #enc equally
+// loaded code buckets; the bench then measures the single/doublet/triplet
+// statistics of the resulting code streams.
+//
+// Paper shape to reproduce (exact values are corpus-dependent):
+//  - single-code chi2 is tiny when #distinct units >> #encodings (the
+//    greedy packing equalizes the histogram) and explodes when the unit
+//    space is too small (n=1 with 16 encodings, n=2 with 128);
+//  - doublet/triplet chi2 stays orders of magnitude above the single chi2
+//    (inter-chunk predictability: SMIT->H, MILL->ER);
+//  - larger units push all values down.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "codec/symbol_encoder.h"
+#include "stats/chi_squared.h"
+#include "stats/ngram.h"
+
+namespace {
+
+struct Row {
+  uint32_t encodings;
+  double chi2_single;
+  double chi2_double;
+  double chi2_triple;
+};
+
+}  // namespace
+
+int main() {
+  using essdds::bench::FormatChi2;
+  const size_t n_records = essdds::bench::CorpusSize();
+  auto corpus = essdds::bench::LoadCorpus(n_records);
+
+  essdds::bench::PrintHeader(
+      "Table 3: chi2 after pre-processing (lossy unit encoding), " +
+      std::to_string(n_records) + " entries");
+
+  const std::map<int, std::vector<uint32_t>> sweeps = {
+      {1, {2, 4, 8, 16}},
+      {2, {8, 16, 32, 64, 128}},
+      {4, {16, 32, 64, 128}},
+      {6, {16, 32, 64, 128}},
+  };
+
+  for (const auto& [unit, encodings_list] : sweeps) {
+    // Count unit occurrences once per unit size (offset-0 grouping, exactly
+    // like the paper's "LITWIN WITOLD" -> "LITW" "IN W" "ITOL" example).
+    std::map<std::string, uint64_t> counts;
+    for (const auto& rec : corpus) {
+      const std::string& s = rec.name;
+      for (size_t pos = 0; pos + static_cast<size_t>(unit) <= s.size();
+           pos += static_cast<size_t>(unit)) {
+        counts[s.substr(pos, static_cast<size_t>(unit))]++;
+      }
+    }
+
+    std::vector<Row> rows;
+    for (uint32_t enc : encodings_list) {
+      auto encoder = essdds::codec::FrequencyEncoder::FromCounts(
+          counts, {.unit_symbols = unit, .num_codes = enc});
+      if (!encoder.ok()) {
+        std::fprintf(stderr, "encoder: %s\n",
+                     encoder.status().ToString().c_str());
+        return 1;
+      }
+      essdds::stats::NgramCounter singles(1, enc);
+      essdds::stats::NgramCounter doublets(2, enc);
+      essdds::stats::NgramCounter triplets(3, enc);
+      for (const auto& rec : corpus) {
+        std::vector<uint32_t> codes = encoder->EncodeStream(rec.name, 0);
+        singles.Add(codes);
+        doublets.Add(codes);
+        triplets.Add(codes);
+      }
+      rows.push_back(Row{enc, essdds::stats::ChiSquaredUniform(singles),
+                         essdds::stats::ChiSquaredUniform(doublets),
+                         essdds::stats::ChiSquaredUniform(triplets)});
+    }
+
+    std::printf("\nChunk Size = %d\n", unit);
+    std::printf("  %-8s | %-14s | %-14s | %-14s\n", "# encod.", "chi2 single",
+                "chi2 double", "chi2 triple");
+    for (const Row& r : rows) {
+      std::printf("  %-8u | %-14s | %-14s | %-14s\n", r.encodings,
+                  FormatChi2(r.chi2_single).c_str(),
+                  FormatChi2(r.chi2_double).c_str(),
+                  FormatChi2(r.chi2_triple).c_str());
+    }
+  }
+
+  std::printf(
+      "\nShape check (paper Table 3): single chi2 near zero while distinct\n"
+      "units >> encodings; rises sharply once the unit space is exhausted\n"
+      "(n=1/enc=16, n=2/enc=128); doublet and triplet chi2 remain large\n"
+      "(inter-chunk predictability); larger chunks lower everything.\n");
+  return 0;
+}

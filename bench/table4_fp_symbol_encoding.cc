@@ -1,0 +1,130 @@
+// Reproduces Table 4: false positives after single-symbol encoding (FP1)
+// and after additional chunking with chunk size 2 (FP2), for 8/16/32
+// possible encodings, over 1000 random records whose last names are the
+// 1000 search strings.
+//
+// Paper reference values (real SF data):
+//   (a) all entries:        enc=8: FP1 6,253 FP2 18,838 | enc=16: 911/6,490
+//                           | enc=32: 0/4,669
+//   (b) names > 5 chars:    enc=8: 24/41 | 16: 1/13 | 32: 0/11
+// Shape: FP falls steeply with more encodings; short names cause almost
+// all false positives; chunking adds FPs on top of encoding.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/fp_util.h"
+#include "codec/symbol_encoder.h"
+#include "stats/chi_squared.h"
+#include "stats/ngram.h"
+#include "workload/phonebook.h"
+
+namespace {
+
+struct Row {
+  uint32_t enc;
+  double chi2_single, chi2_double, chi2_triple;
+  uint64_t fp1, fp2;
+};
+
+void PrintRows(const char* title, const std::vector<Row>& rows) {
+  std::printf("\n%s\n", title);
+  std::printf("  %-4s | %-12s | %-12s | %-12s | %-7s | %-7s\n", "En",
+              "chi2 single", "chi2 double", "chi2 triple", "FP1", "FP2");
+  for (const Row& r : rows) {
+    std::printf("  %-4u | %-12s | %-12s | %-12s | %-7llu | %-7llu\n", r.enc,
+                essdds::bench::FormatChi2(r.chi2_single).c_str(),
+                essdds::bench::FormatChi2(r.chi2_double).c_str(),
+                essdds::bench::FormatChi2(r.chi2_triple).c_str(),
+                static_cast<unsigned long long>(r.fp1),
+                static_cast<unsigned long long>(r.fp2));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = essdds::bench::CorpusSize();
+  auto corpus = essdds::bench::LoadCorpus(n);
+  auto sample = essdds::workload::SampleRecords(corpus, 1000, 19741);
+
+  essdds::bench::PrintHeader(
+      "Table 4: false positives after symbol encoding (FP1) and after "
+      "chunking, chunk size 2 (FP2); 1000 records");
+
+  // Queries: the last names of the sampled records (with duplicates, as in
+  // the paper).
+  std::vector<std::string> queries;
+  for (const auto* rec : sample) {
+    queries.emplace_back(essdds::workload::SurnameOf(*rec));
+  }
+
+  for (bool long_names_only : {false, true}) {
+    std::vector<Row> rows;
+    for (uint32_t enc : {8u, 16u, 32u}) {
+      // Train the encoder on the 1000-record sample (Figure 5's counts are
+      // sample counts).
+      std::map<std::string, uint64_t> counts;
+      for (const auto* rec : sample) {
+        for (char c : rec->name) counts[std::string(1, c)]++;
+      }
+      auto encoder = essdds::codec::FrequencyEncoder::FromCounts(
+          counts, {.unit_symbols = 1, .num_codes = enc});
+      if (!encoder.ok()) return 1;
+
+      // Encode all sampled records (and their two chunkings) once.
+      std::vector<std::vector<uint32_t>> encoded, chunks0, chunks1;
+      encoded.reserve(sample.size());
+      essdds::stats::NgramCounter singles(1, enc), doublets(2, enc),
+          triplets(3, enc);
+      for (const auto* rec : sample) {
+        encoded.push_back(encoder->EncodeStream(rec->name, 0));
+        singles.Add(encoded.back());
+        doublets.Add(encoded.back());
+        triplets.Add(encoded.back());
+        chunks0.push_back(essdds::bench::ChunkCodes(encoded.back(), 2, 0, enc));
+        chunks1.push_back(essdds::bench::ChunkCodes(encoded.back(), 2, 1, enc));
+      }
+
+      uint64_t fp1 = 0, fp2 = 0;
+      for (const std::string& q : queries) {
+        if (long_names_only && q.size() <= 5) continue;
+        const std::vector<uint32_t> q_codes = encoder->EncodeStream(q, 0);
+        // Query chunkings (chunk size 2, offsets 0 and 1, partials dropped).
+        const auto q_chunks0 = essdds::bench::ChunkCodes(q_codes, 2, 0, enc);
+        const auto q_chunks1 = essdds::bench::ChunkCodes(q_codes, 2, 1, enc);
+        for (size_t r = 0; r < sample.size(); ++r) {
+          // FP1: symbol-encoding level match.
+          if (essdds::bench::Contains(encoded[r], q_codes)) {
+            fp1 += essdds::bench::IsFalsePositive(sample[r]->name, q);
+          }
+          // FP2: chunked match — any query chunking in any record chunking
+          // (the paper's experimental OR semantics).
+          const bool hit2 = essdds::bench::Contains(chunks0[r], q_chunks0) ||
+                            essdds::bench::Contains(chunks0[r], q_chunks1) ||
+                            essdds::bench::Contains(chunks1[r], q_chunks0) ||
+                            essdds::bench::Contains(chunks1[r], q_chunks1);
+          if (hit2) fp2 += essdds::bench::IsFalsePositive(sample[r]->name, q);
+        }
+      }
+      rows.push_back(Row{enc, essdds::stats::ChiSquaredUniform(singles),
+                         essdds::stats::ChiSquaredUniform(doublets),
+                         essdds::stats::ChiSquaredUniform(triplets), fp1,
+                         fp2});
+    }
+    PrintRows(long_names_only
+                  ? "(b) Entries with names longer than 5 characters "
+                    "(paper: 24/41, 1/13, 0/11)"
+                  : "(a) All entries (paper: 6253/18838, 911/6490, 0/4669)",
+              rows);
+  }
+
+  std::printf(
+      "\nShape check: FP1 collapses as encodings grow (near-lossless at 32);\n"
+      "FP2 > FP1 (chunking adds false positives); restricting to names\n"
+      "longer than 5 characters removes almost all false positives.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Reproduces Table 5: false positives after encoding two-symbol chunks into
+// n = 8, 16, 32, 64 possible codes ("ABOGADO ..." -> "[AB][OG][AD]..." and
+// "[BO][GA][DO]..."), searching the last names of 1000 sampled records.
+//
+// Paper reference values (real SF data):
+//   (a) all entries:     8: 31,648 | 16: 15,588 | 32: 7,968 | 64: 3,857
+//   (b) names > 5 chars: 8: 859    | 16: 96     | 32: 13    | 64: 2
+// Shape: FP halves (roughly) per encoding doubling; long names nearly
+// eliminate FPs; 64 codes here compresses 2 ASCII chars into 6 bits, the
+// same rate as Table 4's last line (32 codes on single symbols).
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/fp_util.h"
+#include "codec/symbol_encoder.h"
+#include "stats/chi_squared.h"
+#include "stats/ngram.h"
+#include "workload/phonebook.h"
+
+namespace {
+
+struct Row {
+  uint32_t enc;
+  double chi2_single, chi2_double, chi2_triple;
+  uint64_t fp;
+};
+
+}  // namespace
+
+int main() {
+  const size_t n = essdds::bench::CorpusSize();
+  auto corpus = essdds::bench::LoadCorpus(n);
+  auto sample = essdds::workload::SampleRecords(corpus, 1000, 19741);
+
+  essdds::bench::PrintHeader(
+      "Table 5: false positives after two-symbol chunk encoding; "
+      "1000 records");
+
+  std::vector<std::string> queries;
+  for (const auto* rec : sample) {
+    queries.emplace_back(essdds::workload::SurnameOf(*rec));
+  }
+
+  for (bool long_names_only : {false, true}) {
+    std::vector<Row> rows;
+    for (uint32_t enc : {8u, 16u, 32u, 64u}) {
+      // Train on two-symbol units of the sample, both alignments (the
+      // paper collects "[AB],[OG],..." and "[BO],[GA],...").
+      std::map<std::string, uint64_t> counts;
+      for (const auto* rec : sample) {
+        const std::string& s = rec->name;
+        for (size_t pos = 0; pos + 2 <= s.size(); ++pos) {
+          counts[s.substr(pos, 2)]++;
+        }
+      }
+      auto encoder = essdds::codec::FrequencyEncoder::FromCounts(
+          counts, {.unit_symbols = 2, .num_codes = enc});
+      if (!encoder.ok()) return 1;
+
+      // Each record yields two code streams (unit offsets 0 and 1).
+      std::vector<std::vector<uint32_t>> streams0, streams1;
+      essdds::stats::NgramCounter singles(1, enc), doublets(2, enc),
+          triplets(3, enc);
+      for (const auto* rec : sample) {
+        streams0.push_back(encoder->EncodeStream(rec->name, 0));
+        streams1.push_back(encoder->EncodeStream(rec->name, 1));
+        singles.Add(streams0.back());
+        doublets.Add(streams0.back());
+        triplets.Add(streams0.back());
+      }
+
+      uint64_t fp = 0;
+      for (const std::string& q : queries) {
+        if (long_names_only && q.size() <= 5) continue;
+        const auto q0 = encoder->EncodeStream(q, 0);
+        const auto q1 = encoder->EncodeStream(q, 1);
+        for (size_t r = 0; r < sample.size(); ++r) {
+          const bool hit = essdds::bench::Contains(streams0[r], q0) ||
+                           essdds::bench::Contains(streams0[r], q1) ||
+                           essdds::bench::Contains(streams1[r], q0) ||
+                           essdds::bench::Contains(streams1[r], q1);
+          if (hit) fp += essdds::bench::IsFalsePositive(sample[r]->name, q);
+        }
+      }
+      rows.push_back(Row{enc, essdds::stats::ChiSquaredUniform(singles),
+                         essdds::stats::ChiSquaredUniform(doublets),
+                         essdds::stats::ChiSquaredUniform(triplets), fp});
+    }
+
+    std::printf("\n%s\n",
+                long_names_only
+                    ? "(b) Entries with last names longer than 5 characters "
+                      "(paper: 859, 96, 13, 2)"
+                    : "(a) All entries (paper: 31648, 15588, 7968, 3857)");
+    std::printf("  %-4s | %-12s | %-12s | %-12s | %-7s\n", "Enc",
+                "chi2 single", "chi2 double", "chi2 triple", "FP");
+    for (const Row& r : rows) {
+      std::printf("  %-4u | %-12s | %-12s | %-12s | %-7llu\n", r.enc,
+                  essdds::bench::FormatChi2(r.chi2_single).c_str(),
+                  essdds::bench::FormatChi2(r.chi2_double).c_str(),
+                  essdds::bench::FormatChi2(r.chi2_triple).c_str(),
+                  static_cast<unsigned long long>(r.fp));
+    }
+  }
+
+  std::printf(
+      "\nShape check: FP decreases monotonically with encodings; (b) is\n"
+      "orders of magnitude below (a); chi2 single stays tiny (plenty of\n"
+      "distinct two-symbol units to balance).\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Interactive shell over an encrypted store: load a synthetic directory,
+// then type commands to search, fetch, insert, and delete records and to
+// inspect the SDDS state. Reads commands from stdin (or a here-doc), so it
+// doubles as a scripting tool:
+//
+//   ./build/examples/essdds_shell 5000 <<'EOF'
+//   search SCHWARZ
+//   stats
+//   EOF
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/encrypted_store.h"
+#include "workload/phonebook.h"
+
+using essdds::ToBytes;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  search <substring>     encrypted parallel substring search\n"
+      "  short <fragment>       §2.3 expansion search (one below minimum)\n"
+      "  get <rid>              fetch + decrypt one record\n"
+      "  insert <rid> <name>    add or replace a record\n"
+      "  delete <rid>           remove a record\n"
+      "  stats                  file extents, records, traffic counters\n"
+      "  params                 scheme parameters\n"
+      "  help                   this text\n"
+      "  quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 2000;
+
+  essdds::workload::PhonebookGenerator gen(20060401);
+  auto corpus = gen.Generate(n);
+  std::vector<std::string> training;
+  for (const auto& r : corpus) training.push_back(r.name);
+
+  essdds::core::EncryptedStore::Options options;
+  options.params = essdds::core::SchemeParams{.codes_per_chunk = 4,
+                                              .dispersal_sites = 4};
+  options.record_file.bucket_capacity = 128;
+  options.index_file.bucket_capacity = 512;
+  auto store = essdds::core::EncryptedStore::Create(
+      options, ToBytes("shell master key"), training);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& r : corpus) {
+    if (!(*store)->Insert(r.rid, r.name).ok()) return 1;
+  }
+  std::printf("loaded %zu records; type 'help' for commands\n", n);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "params") {
+      std::printf("%s\n", (*store)->params().ToString().c_str());
+    } else if (cmd == "stats") {
+      std::printf("records: %llu | record buckets: %zu | index buckets: %zu\n",
+                  static_cast<unsigned long long>((*store)->record_count()),
+                  (*store)->record_file().bucket_count(),
+                  (*store)->index_file().bucket_count());
+      std::printf("index traffic: %s\n",
+                  (*store)->index_file().network().stats().ToString().c_str());
+    } else if (cmd == "search" || cmd == "short") {
+      std::string query;
+      std::getline(in, query);
+      if (!query.empty() && query[0] == ' ') query.erase(0, 1);
+      auto rids = cmd == "search"
+                      ? (*store)->Search(query)
+                      : (*store)->SearchWithExpansion(
+                            query, "ABCDEFGHIJKLMNOPQRSTUVWXYZ &'-");
+      if (!rids.ok()) {
+        std::printf("error: %s\n", rids.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%zu hit(s)\n", rids->size());
+      size_t shown = 0;
+      for (uint64_t rid : *rids) {
+        auto content = (*store)->Get(rid);
+        std::printf("  %llu  %s\n", static_cast<unsigned long long>(rid),
+                    content.ok() ? content->c_str() : "<decrypt failed>");
+        if (++shown == 10 && rids->size() > 10) {
+          std::printf("  ... %zu more\n", rids->size() - shown);
+          break;
+        }
+      }
+    } else if (cmd == "get") {
+      uint64_t rid = 0;
+      in >> rid;
+      auto content = (*store)->Get(rid);
+      std::printf("%s\n", content.ok() ? content->c_str()
+                                       : content.status().ToString().c_str());
+    } else if (cmd == "insert") {
+      uint64_t rid = 0;
+      std::string name;
+      in >> rid;
+      std::getline(in, name);
+      if (!name.empty() && name[0] == ' ') name.erase(0, 1);
+      auto st = (*store)->Insert(rid, name);
+      std::printf("%s\n", st.ToString().c_str());
+    } else if (cmd == "delete") {
+      uint64_t rid = 0;
+      in >> rid;
+      std::printf("%s\n", (*store)->Delete(rid).ToString().c_str());
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

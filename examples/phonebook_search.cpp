@@ -1,0 +1,93 @@
+// The paper's flagship scenario: an encrypted, content-searchable phone
+// directory. Generates a synthetic SF white-pages corpus, loads it into the
+// complete scheme (Stages 1+2+3 over two LH* files), then answers substring
+// queries and reports accuracy and network cost.
+//
+//   ./build/examples/phonebook_search [num_records] [query...]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/encrypted_store.h"
+#include "workload/phonebook.h"
+
+using essdds::ToBytes;
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 5000;
+
+  std::printf("Generating %zu directory records...\n", n);
+  essdds::workload::PhonebookGenerator gen(20060401);
+  auto corpus = gen.Generate(n);
+  std::vector<std::string> training;
+  for (const auto& r : corpus) training.push_back(r.name);
+
+  // The configuration the paper's conclusion recommends: 6-character
+  // chunks dispersed into 3 index records, with modest preprocessing.
+  essdds::core::EncryptedStore::Options options;
+  options.params = essdds::core::SchemeParams{
+      .num_codes = 64,
+      .codes_per_chunk = 6,
+      .dispersal_sites = 3,
+  };
+  options.record_file.bucket_capacity = 128;
+  options.index_file.bucket_capacity = 512;
+
+  auto store = essdds::core::EncryptedStore::Create(
+      options, ToBytes("phonebook demo master key"), training);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Scheme: %s\n", (*store)->params().ToString().c_str());
+
+  for (const auto& r : corpus) {
+    if (!(*store)->Insert(r.rid, r.name).ok()) return 1;
+  }
+  std::printf("Loaded. record file: %zu buckets, index file: %zu buckets, "
+              "%llu index records\n\n",
+              (*store)->record_file().bucket_count(),
+              (*store)->index_file().bucket_count(),
+              static_cast<unsigned long long>(
+                  (*store)->index_file().TotalRecords()));
+
+  std::vector<std::string> queries;
+  for (int i = 2; i < argc; ++i) queries.push_back(argv[i]);
+  if (queries.empty()) {
+    queries = {"SCHWARZ", "MARTIN", "AKIMOTO", "ANDERS", "NGUYEN"};
+  }
+
+  for (const std::string& q : queries) {
+    (*store)->index_file().network().ResetStats();
+    auto outcome = (*store)->SearchDetailed(q);
+    if (!outcome.ok()) {
+      std::printf("query \"%s\": %s\n", q.c_str(),
+                  outcome.status().ToString().c_str());
+      continue;
+    }
+    const auto& stats = (*store)->index_file().network().stats();
+    std::printf("query \"%s\": %zu hit(s)  [candidates=%zu confirmed "
+                "families=%zu, %llu msgs, %llu bytes]\n",
+                q.c_str(), outcome->rids.size(),
+                outcome->stats.candidate_index_records,
+                outcome->stats.families_confirmed,
+                static_cast<unsigned long long>(stats.total_messages),
+                static_cast<unsigned long long>(stats.total_bytes));
+    size_t shown = 0;
+    for (uint64_t rid : outcome->rids) {
+      auto content = (*store)->Get(rid);
+      if (!content.ok()) continue;
+      const bool real = content->find(q) != std::string::npos;
+      std::printf("   %llu  %-30s %s\n",
+                  static_cast<unsigned long long>(rid), content->c_str(),
+                  real ? "" : "(false positive)");
+      if (++shown == 8 && outcome->rids.size() > 8) {
+        std::printf("   ... %zu more\n", outcome->rids.size() - shown);
+        break;
+      }
+    }
+  }
+  return 0;
+}

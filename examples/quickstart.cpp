@@ -1,0 +1,65 @@
+// Quickstart: store encrypted records in a scalable distributed data
+// structure and search them by content without ever exposing plaintext to
+// the storage sites.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/encrypted_store.h"
+
+using essdds::ToBytes;
+
+int main() {
+  // 1. Pick scheme parameters. Defaults: chunks of 4 symbols, all four
+  //    chunkings stored, no lossy compression, no dispersal.
+  essdds::core::EncryptedStore::Options options;
+  options.params = essdds::core::SchemeParams{
+      .codes_per_chunk = 4,   // the paper's s
+      .dispersal_sites = 4,   // Stage 3: split every chunk over 4 sites
+  };
+
+  // 2. Create the store from a single master secret. Everything else —
+  //    record cipher key, chunk ECB key, dispersal matrix — derives from it.
+  auto store = essdds::core::EncryptedStore::Create(
+      options, ToBytes("correct horse battery staple"), /*training_corpus=*/{});
+  if (!store.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Insert records: (RID, content). The record store site receives only
+  //    AES-CTR ciphertext; the index sites receive chunked+encrypted(+split)
+  //    index records.
+  (*store)->Insert(4154090271, "ADRIAN CORTEZ");
+  (*store)->Insert(4154090817, "AFDAHL E");
+  (*store)->Insert(4154090019, "AKIMOTO YOSHIMI");
+  (*store)->Insert(4154090464, "ALEXANDER GINA");
+  (*store)->Insert(4154090910, "ARMENANTE MARK A");
+
+  // 4. Search by arbitrary substring — evaluated in parallel at the sites,
+  //    over encrypted data.
+  auto rids = (*store)->Search("MOTO");
+  if (!rids.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 rids.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Search \"MOTO\" -> %zu hit(s)\n", rids->size());
+
+  // 5. Only the client can decrypt the matching records.
+  for (uint64_t rid : *rids) {
+    auto content = (*store)->Get(rid);
+    std::printf("  rid %llu: %s\n", static_cast<unsigned long long>(rid),
+                content.ok() ? content->c_str() : "<decrypt failed>");
+  }
+
+  // 6. The store is an SDDS: it has grown transparently over simulated
+  //    sites, and access cost is constant in messages.
+  std::printf("record file buckets: %zu, index file buckets: %zu\n",
+              (*store)->record_file().bucket_count(),
+              (*store)->index_file().bucket_count());
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Attacker's-eye view: what does a single index site actually learn? This
+// example builds the index records of a directory under four configurations
+// (plaintext baseline, Stage 1, Stage 1+2, Stage 1+2+3) and prints the
+// statistics an attacker at one site could compute: n-gram chi-squared
+// against uniform, empirical entropy, and a NIST-style randomness battery —
+// the paper's own evaluation methodology (§6).
+//
+//   ./build/examples/security_analysis [num_records]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "stats/chi_squared.h"
+#include "stats/ngram.h"
+#include "stats/randomness.h"
+#include "workload/phonebook.h"
+
+using essdds::Bytes;
+using essdds::ToBytes;
+
+namespace {
+
+struct View {
+  std::string name;
+  Bytes bits;                  // the site's stream, bit-packed
+};
+
+void Analyze(const View& view) {
+  essdds::stats::NgramCounter singles(1, 256);
+  essdds::stats::NgramCounter doublets(2, 256);
+  std::vector<uint32_t> syms(view.bits.begin(), view.bits.end());
+  singles.Add(syms);
+  doublets.Add(syms);
+
+  std::printf("%-34s | %10.0f | %12.0f | %5.2f b/B |", view.name.c_str(),
+              essdds::stats::ChiSquaredUniform(singles),
+              essdds::stats::ChiSquaredUniform(doublets),
+              essdds::stats::EmpiricalEntropyBits(singles));
+  for (const auto& t : essdds::stats::RunAllRandomnessTests(view.bits)) {
+    std::printf(" %s:%s", t.name.c_str(), t.passed ? "pass" : "FAIL");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 3000;
+  essdds::workload::PhonebookGenerator gen(20060401);
+  auto corpus = gen.Generate(n);
+  std::vector<std::string> training;
+  for (const auto& r : corpus) training.push_back(r.name);
+
+  std::printf("What one storage site sees (%zu records):\n\n", n);
+  std::printf("%-34s | %10s | %12s | %9s | randomness battery\n", "view",
+              "chi2 1-gram", "chi2 2-gram", "entropy");
+
+  // Baseline: the plaintext itself (what an unencrypted SDDS site stores).
+  {
+    View v{.name = "plaintext record", .bits = {}};
+    for (const auto& r : corpus) {
+      v.bits.insert(v.bits.end(), r.name.begin(), r.name.end());
+    }
+    Analyze(v);
+  }
+
+  struct Config {
+    std::string name;
+    essdds::core::SchemeParams params;
+  };
+  const std::vector<Config> configs = {
+      {"stage1: chunked ECB (s=4)", {.codes_per_chunk = 4}},
+      {"stage1+2: + 16-code compression",
+       {.num_codes = 16, .codes_per_chunk = 4}},
+      {"stage1+3: + dispersal k=4",
+       {.codes_per_chunk = 4, .dispersal_sites = 4}},
+      {"stage1+2+3: full scheme",
+       {.num_codes = 16, .codes_per_chunk = 4, .dispersal_sites = 2}},
+  };
+  for (const Config& cfg : configs) {
+    auto pipe = essdds::core::IndexPipeline::Create(
+        cfg.params, ToBytes("analysis key"), training);
+    if (!pipe.ok()) {
+      std::fprintf(stderr, "%s\n", pipe.status().ToString().c_str());
+      return 1;
+    }
+    View v{.name = cfg.name, .bits = {}};
+    for (const auto& r : corpus) {
+      auto recs = pipe->BuildIndexRecords(r.rid, r.name);
+      const auto& stream = recs[0].stream;  // family 0, site 0
+      std::vector<uint32_t> syms(stream.begin(), stream.end());
+      Bytes packed =
+          essdds::stats::PackSymbolsToBits(syms, pipe->stream_value_bits());
+      v.bits.insert(v.bits.end(), packed.begin(), packed.end());
+    }
+    Analyze(v);
+  }
+
+  std::printf(
+      "\nReading: every stage pushes the site's view toward randomness\n"
+      "(lower chi2, higher entropy, more battery passes); none reaches\n"
+      "true randomness — which is the paper's own, candid conclusion.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "attack/frequency_attack.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+namespace essdds::attack {
+
+namespace {
+
+using Histogram = std::unordered_map<uint64_t, uint64_t>;
+
+Histogram Count(const std::vector<std::vector<uint64_t>>& streams) {
+  Histogram h;
+  for (const auto& stream : streams) {
+    for (uint64_t v : stream) h[v]++;
+  }
+  return h;
+}
+
+/// Values ranked by descending count; ties broken by value so the attack is
+/// deterministic.
+std::vector<uint64_t> Ranked(const Histogram& h) {
+  std::vector<std::pair<uint64_t, uint64_t>> items(h.begin(), h.end());
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<uint64_t> out;
+  out.reserve(items.size());
+  for (const auto& [value, count] : items) out.push_back(value);
+  return out;
+}
+
+}  // namespace
+
+std::string FrequencyAttackResult::ToString() const {
+  std::ostringstream os;
+  os << "distinct_ct=" << distinct_ciphertexts
+     << " distinct_model=" << distinct_model_values
+     << " occurrence_accuracy=" << occurrence_accuracy
+     << " mapping_accuracy=" << mapping_accuracy
+     << " guess_baseline=" << guess_baseline;
+  return os.str();
+}
+
+FrequencyAttackResult RunFrequencyAttack(
+    const std::vector<std::vector<uint64_t>>& observed_streams,
+    const std::vector<std::vector<uint64_t>>& model_streams,
+    const std::vector<std::vector<uint64_t>>& truth_streams) {
+  ESSDDS_CHECK(observed_streams.size() == truth_streams.size());
+
+  const Histogram observed = Count(observed_streams);
+  const Histogram model = Count(model_streams);
+  const std::vector<uint64_t> observed_ranked = Ranked(observed);
+  const std::vector<uint64_t> model_ranked = Ranked(model);
+
+  FrequencyAttackResult result;
+  result.distinct_ciphertexts = observed_ranked.size();
+  result.distinct_model_values = model_ranked.size();
+
+  // Rank-to-rank decoding table. Ciphertexts beyond the model's vocabulary
+  // stay undecodable (counted as wrong).
+  std::unordered_map<uint64_t, uint64_t> decode;
+  for (size_t i = 0;
+       i < observed_ranked.size() && i < model_ranked.size(); ++i) {
+    decode.emplace(observed_ranked[i], model_ranked[i]);
+  }
+
+  uint64_t total = 0, correct = 0;
+  for (size_t s = 0; s < observed_streams.size(); ++s) {
+    const auto& ct = observed_streams[s];
+    const auto& pt = truth_streams[s];
+    ESSDDS_CHECK(ct.size() == pt.size())
+        << "stream " << s << " misaligned with ground truth";
+    for (size_t i = 0; i < ct.size(); ++i) {
+      ++total;
+      auto it = decode.find(ct[i]);
+      correct += (it != decode.end() && it->second == pt[i]);
+    }
+  }
+  result.occurrence_accuracy =
+      total == 0 ? 0.0
+                 : static_cast<double>(correct) / static_cast<double>(total);
+
+  // Mapping accuracy: for each distinct ciphertext, its majority true
+  // plaintext (the best any deterministic decoder could do per value).
+  std::unordered_map<uint64_t, Histogram> truth_by_ct;
+  for (size_t s = 0; s < observed_streams.size(); ++s) {
+    for (size_t i = 0; i < observed_streams[s].size(); ++i) {
+      truth_by_ct[observed_streams[s][i]][truth_streams[s][i]]++;
+    }
+  }
+  uint64_t mapped_right = 0;
+  for (const auto& [ct, truths] : truth_by_ct) {
+    auto it = decode.find(ct);
+    if (it == decode.end()) continue;
+    uint64_t best_value = 0, best_count = 0;
+    for (const auto& [value, count] : truths) {
+      if (count > best_count || (count == best_count && value < best_value)) {
+        best_value = value;
+        best_count = count;
+      }
+    }
+    mapped_right += (it->second == best_value);
+  }
+  result.mapping_accuracy =
+      truth_by_ct.empty()
+          ? 0.0
+          : static_cast<double>(mapped_right) /
+                static_cast<double>(truth_by_ct.size());
+
+  // Blind-guess baseline: always predict the model's most common value.
+  if (total > 0 && !model_ranked.empty()) {
+    uint64_t hits = 0;
+    for (const auto& pt : truth_streams) {
+      for (uint64_t v : pt) hits += (v == model_ranked[0]);
+    }
+    result.guess_baseline =
+        static_cast<double>(hits) / static_cast<double>(total);
+  }
+  return result;
+}
+
+}  // namespace essdds::attack

@@ -1,0 +1,162 @@
+#include "baseline/swp_word_store.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+#include "crypto/hmac.h"
+
+namespace essdds::baseline {
+
+namespace {
+
+constexpr int kPositionBits = 16;
+
+uint64_t EntryKey(uint64_t rid, uint32_t position) {
+  return (rid << kPositionBits) | position;
+}
+
+}  // namespace
+
+SwpWordStore::SwpWordStore(Bytes master_key)
+    : digest_key_(crypto::DeriveKey(master_key, "swp/digest", 32)),
+      salt_key_(crypto::DeriveKey(master_key, "swp/salt", 32)),
+      check_key_root_(crypto::DeriveKey(master_key, "swp/check", 32)),
+      file_(sdds::LhOptions{.bucket_capacity = 64}) {
+  auto prp = crypto::FeistelPrp::Create(
+      crypto::DeriveKey(master_key, "swp/pre", 16), 64);
+  ESSDDS_CHECK(prp.ok());
+  pre_encryptor_ = std::make_unique<crypto::FeistelPrp>(*std::move(prp));
+  client_ = file_.NewClient();
+
+  filter_id_ = file_.InstallFilter([](uint64_t key, ByteSpan value,
+                                      ByteSpan arg) {
+    (void)key;
+    // arg = X'(8) || check key (16). value = C (8 bytes).
+    if (arg.size() != 24 || value.size() != 8) return false;
+    const uint64_t x_prime = LoadBigEndian64(arg.data());
+    const Bytes check_key(arg.begin() + 8, arg.end());
+    const uint64_t c = LoadBigEndian64(value.data());
+    const uint64_t t = c ^ x_prime;
+    const uint32_t salt = static_cast<uint32_t>(t >> 32);
+    const uint32_t tag = static_cast<uint32_t>(t & 0xFFFFFFFFu);
+    return CheckTag(check_key, salt) == tag;
+  });
+}
+
+Result<std::unique_ptr<SwpWordStore>> SwpWordStore::Create(
+    ByteSpan master_key) {
+  if (master_key.empty()) {
+    return Status::InvalidArgument("empty master key");
+  }
+  return std::unique_ptr<SwpWordStore>(
+      new SwpWordStore(Bytes(master_key.begin(), master_key.end())));
+}
+
+std::vector<std::string> SwpWordStore::Tokenize(std::string_view content) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char c : content) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      words.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.push_back(std::move(current));
+  return words;
+}
+
+uint64_t SwpWordStore::WordDigest(std::string_view word) const {
+  auto mac = crypto::HmacSha256(digest_key_, ToBytes(word));
+  return LoadBigEndian64(mac.data());
+}
+
+uint32_t SwpWordStore::Salt(uint64_t rid, uint32_t position) const {
+  Bytes msg;
+  AppendBigEndian64(rid, msg);
+  AppendBigEndian32(position, msg);
+  auto mac = crypto::HmacSha256(salt_key_, msg);
+  return LoadBigEndian32(mac.data());
+}
+
+Bytes SwpWordStore::CheckKey(uint32_t left) const {
+  Bytes msg;
+  AppendBigEndian32(left, msg);
+  auto mac = crypto::HmacSha256(check_key_root_, msg);
+  return Bytes(mac.begin(), mac.begin() + 16);
+}
+
+uint32_t SwpWordStore::CheckTag(const Bytes& key, uint32_t salt) {
+  Bytes msg;
+  AppendBigEndian32(salt, msg);
+  auto mac = crypto::HmacSha256(key, msg);
+  return LoadBigEndian32(mac.data());
+}
+
+Status SwpWordStore::Insert(uint64_t rid, std::string_view content) {
+  if (rid > (~uint64_t{0} >> kPositionBits)) {
+    return Status::InvalidArgument("rid does not fit the key layout");
+  }
+  const std::vector<std::string> words = Tokenize(content);
+  if (words.size() >= (uint64_t{1} << kPositionBits)) {
+    return Status::InvalidArgument("record has too many words");
+  }
+  // Replace semantics: clear any previous footprint first.
+  auto it = word_counts_.find(rid);
+  if (it != word_counts_.end()) {
+    ESSDDS_RETURN_IF_ERROR(Delete(rid));
+  }
+  for (uint32_t i = 0; i < words.size(); ++i) {
+    const uint64_t x_prime = pre_encryptor_->Encrypt(WordDigest(words[i]));
+    const uint32_t left = static_cast<uint32_t>(x_prime >> 32);
+    const uint32_t salt = Salt(rid, i);
+    const uint32_t tag = CheckTag(CheckKey(left), salt);
+    const uint64_t sealed =
+        x_prime ^ ((static_cast<uint64_t>(salt) << 32) | tag);
+    Bytes value(8);
+    StoreBigEndian64(sealed, value.data());
+    client_->Insert(EntryKey(rid, i), std::move(value));
+  }
+  word_counts_[rid] = static_cast<uint32_t>(words.size());
+  return Status::OK();
+}
+
+Result<std::vector<uint64_t>> SwpWordStore::SearchWord(
+    std::string_view word) {
+  const std::vector<std::string> tokens = Tokenize(word);
+  if (tokens.size() != 1) {
+    return Status::InvalidArgument("SearchWord expects exactly one word");
+  }
+  const uint64_t x_prime = pre_encryptor_->Encrypt(WordDigest(tokens[0]));
+  const uint32_t left = static_cast<uint32_t>(x_prime >> 32);
+  Bytes trapdoor;
+  AppendBigEndian64(x_prime, trapdoor);
+  const Bytes check_key = CheckKey(left);
+  trapdoor.insert(trapdoor.end(), check_key.begin(), check_key.end());
+
+  auto scan = client_->Scan(filter_id_, trapdoor);
+  std::vector<uint64_t> rids;
+  for (const auto& hit : scan.hits) {
+    rids.push_back(hit.key >> kPositionBits);
+  }
+  std::sort(rids.begin(), rids.end());
+  rids.erase(std::unique(rids.begin(), rids.end()), rids.end());
+  return rids;
+}
+
+Status SwpWordStore::Delete(uint64_t rid) {
+  auto it = word_counts_.find(rid);
+  if (it == word_counts_.end()) {
+    return Status::NotFound("no record " + std::to_string(rid));
+  }
+  for (uint32_t i = 0; i < it->second; ++i) {
+    Status s = client_->Delete(EntryKey(rid, i));
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  word_counts_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace essdds::baseline

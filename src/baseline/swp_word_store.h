@@ -1,0 +1,78 @@
+#ifndef ESSDDS_BASELINE_SWP_WORD_STORE_H_
+#define ESSDDS_BASELINE_SWP_WORD_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/prp.h"
+#include "sdds/lh_system.h"
+#include "util/result.h"
+
+namespace essdds::baseline {
+
+/// Baseline for comparison: Song/Wagner/Perrig-style searchable encryption
+/// (IEEE S&P 2000), which the paper explicitly contrasts with ("in contrast
+/// to the work by Song et al., we want to be able to search for arbitrary
+/// patterns, not just words").
+///
+/// Construction (the SWP final scheme, adapted to fixed-width word digests):
+/// each word W maps to a 64-bit digest X = H(W), pre-encrypted to
+/// X' = E(X) = <L, R>. Position i of record rid stores
+///   C_i = X' xor <S_i, F_{k(L)}(S_i)>
+/// where S_i is a per-(rid, i) pseudorandom 32-bit salt and k(L) a
+/// word-derived key. A site given the trapdoor (X', k(L)) can test any C_i
+/// by xoring and checking the <S, F_k(S)> structure — without learning
+/// anything about non-matching words. Search granularity is WHOLE WORDS
+/// only; that is precisely the limitation the paper's chunked scheme lifts.
+class SwpWordStore {
+ public:
+  static Result<std::unique_ptr<SwpWordStore>> Create(ByteSpan master_key);
+
+  /// Tokenizes `content` into words (maximal alpha runs, uppercased) and
+  /// stores one sealed word per position.
+  Status Insert(uint64_t rid, std::string_view content);
+
+  /// Exact-word search; returns sorted rids. Substrings of words are NOT
+  /// found — by design of the baseline.
+  Result<std::vector<uint64_t>> SearchWord(std::string_view word);
+
+  /// Removes all word entries of a record.
+  Status Delete(uint64_t rid);
+
+  sdds::LhSystem& file() { return file_; }
+  uint64_t stored_words() const { return file_.TotalRecords(); }
+
+  /// Tokenization used by Insert (exposed for tests and benches).
+  static std::vector<std::string> Tokenize(std::string_view content);
+
+ private:
+  explicit SwpWordStore(Bytes master_key);
+
+  /// 64-bit word digest (keyed, so sites cannot brute-force a dictionary
+  /// without the key).
+  uint64_t WordDigest(std::string_view word) const;
+  /// 32-bit per-position salt S_i.
+  uint32_t Salt(uint64_t rid, uint32_t position) const;
+  /// Word-derived check key k(L).
+  Bytes CheckKey(uint32_t left) const;
+  /// F_k(S): 32-bit pseudorandom check value.
+  static uint32_t CheckTag(const Bytes& key, uint32_t salt);
+
+  Bytes digest_key_;
+  Bytes salt_key_;
+  Bytes check_key_root_;
+  std::unique_ptr<crypto::FeistelPrp> pre_encryptor_;  // 64-bit PRP
+  sdds::LhSystem file_;
+  sdds::LhClient* client_ = nullptr;
+  uint64_t filter_id_ = 0;
+  /// Word count per record, to derive deterministic delete keys.
+  std::map<uint64_t, uint32_t> word_counts_;
+};
+
+}  // namespace essdds::baseline
+
+#endif  // ESSDDS_BASELINE_SWP_WORD_STORE_H_

@@ -1,0 +1,38 @@
+#include "codec/chunker.h"
+
+namespace essdds::codec {
+
+Result<Chunker> Chunker::Create(const SymbolEncoder* encoder,
+                                int codes_per_chunk) {
+  if (encoder == nullptr) {
+    return Status::InvalidArgument("null encoder");
+  }
+  if (codes_per_chunk < 1) {
+    return Status::InvalidArgument("codes_per_chunk must be >= 1");
+  }
+  if (codes_per_chunk * encoder->code_bits() > 64) {
+    return Status::InvalidArgument(
+        "chunk value exceeds 64 bits: reduce codes_per_chunk or num_codes");
+  }
+  return Chunker(encoder, codes_per_chunk);
+}
+
+std::vector<uint64_t> Chunker::BuildChunks(std::string_view text,
+                                           size_t symbol_offset) const {
+  const std::vector<uint32_t> codes =
+      encoder_->EncodeStream(text, symbol_offset);
+  const size_t s = static_cast<size_t>(codes_per_chunk_);
+  const int t = encoder_->code_bits();
+  std::vector<uint64_t> chunks;
+  chunks.reserve(codes.size() / s);
+  for (size_t start = 0; start + s <= codes.size(); start += s) {
+    uint64_t value = 0;
+    for (size_t i = 0; i < s; ++i) {
+      value = (value << t) | codes[start + i];
+    }
+    chunks.push_back(value);
+  }
+  return chunks;
+}
+
+}  // namespace essdds::codec

@@ -1,0 +1,57 @@
+#ifndef ESSDDS_CODEC_CHUNKER_H_
+#define ESSDDS_CODEC_CHUNKER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "codec/symbol_encoder.h"
+#include "util/result.h"
+
+namespace essdds::codec {
+
+/// Builds the chunked representation of a record content (Stage 1
+/// preparation): symbols are grouped into units, units are encoded through a
+/// SymbolEncoder (identity for Stage-1-only configurations, FrequencyEncoder
+/// for Stage 2), and `codes_per_chunk` consecutive codes are packed into one
+/// chunk value. Chunk values are what gets ECB-encrypted and dispersed.
+///
+/// A *chunking* is determined by its starting symbol offset; the paper
+/// stores one chunking per offset in [0, symbols_per_chunk) — or a strided
+/// subset per its §2.5 storage/false-positive trade-off. Partial chunks at
+/// either end are dropped, matching the paper's experiments and sidestepping
+/// the recognizable boundary-chunk weakness of §2.1.
+class Chunker {
+ public:
+  /// `encoder` must outlive the chunker. codes_per_chunk (the paper's s)
+  /// times the encoder's code width must fit a 64-bit chunk value.
+  static Result<Chunker> Create(const SymbolEncoder* encoder,
+                                int codes_per_chunk);
+
+  /// Chunk values of the chunking starting at `symbol_offset`. Chunk c
+  /// covers symbols [symbol_offset + c*P, symbol_offset + (c+1)*P) where
+  /// P = symbols_per_chunk().
+  std::vector<uint64_t> BuildChunks(std::string_view text,
+                                    size_t symbol_offset) const;
+
+  /// Plaintext symbols spanned by one chunk: unit_symbols * codes_per_chunk.
+  int symbols_per_chunk() const {
+    return encoder_->unit_symbols() * codes_per_chunk_;
+  }
+
+  int codes_per_chunk() const { return codes_per_chunk_; }
+  /// Bits per chunk value: codes_per_chunk * code_bits.
+  int chunk_bits() const { return codes_per_chunk_ * encoder_->code_bits(); }
+  const SymbolEncoder& encoder() const { return *encoder_; }
+
+ private:
+  Chunker(const SymbolEncoder* encoder, int codes_per_chunk)
+      : encoder_(encoder), codes_per_chunk_(codes_per_chunk) {}
+
+  const SymbolEncoder* encoder_;
+  int codes_per_chunk_;
+};
+
+}  // namespace essdds::codec
+
+#endif  // ESSDDS_CODEC_CHUNKER_H_

@@ -1,0 +1,74 @@
+#include "codec/dispersal.h"
+
+#include <utility>
+
+namespace essdds::codec {
+
+Disperser::Disperser(int k, int g, gf::GfMatrix matrix, gf::GfMatrix inverse)
+    : k_(k), g_(g), matrix_(std::move(matrix)), inverse_(std::move(inverse)) {}
+
+Result<Disperser> Disperser::Create(int chunk_bits, int num_sites,
+                                    uint64_t matrix_seed) {
+  if (num_sites < 1) {
+    return Status::InvalidArgument("need at least one dispersal site");
+  }
+  if (chunk_bits < 1 || chunk_bits > 64 || chunk_bits % num_sites != 0) {
+    return Status::InvalidArgument(
+        "chunk_bits must be in 1..64 and divisible by num_sites");
+  }
+  const int g = chunk_bits / num_sites;
+  if (g > 16) {
+    return Status::InvalidArgument("piece width exceeds GF(2^16)");
+  }
+  // The paper wants every E coefficient nonzero; in GF(2) such a square
+  // matrix of size >= 2 is singular, so require a field bigger than k can
+  // pack (cf. "k is small and g is larger").
+  if (g == 1 && num_sites >= 2) {
+    return Status::InvalidArgument(
+        "GF(2) cannot host an all-nonzero invertible dispersal matrix");
+  }
+  const gf::GfField& field = gf::GfField::Of(g);
+  gf::GfMatrix e = gf::GfMatrix::RandomInvertible(
+      field, static_cast<size_t>(num_sites), matrix_seed,
+      /*require_nonzero=*/num_sites > 1);
+  auto inv = e.Inverse();
+  ESSDDS_CHECK(inv.ok());
+  return Disperser(num_sites, g, std::move(e), *std::move(inv));
+}
+
+std::vector<uint32_t> Disperser::DisperseChunk(uint64_t chunk) const {
+  std::vector<uint32_t> c(static_cast<size_t>(k_));
+  const uint64_t mask = (g_ == 64) ? ~uint64_t{0} : ((uint64_t{1} << g_) - 1);
+  // MSB-first split: c_1 is the top g bits.
+  for (int i = 0; i < k_; ++i) {
+    c[static_cast<size_t>(i)] =
+        static_cast<uint32_t>((chunk >> ((k_ - 1 - i) * g_)) & mask);
+  }
+  return matrix_.ApplyToRowVector(c);
+}
+
+uint64_t Disperser::RecombineChunk(const std::vector<uint32_t>& pieces) const {
+  ESSDDS_CHECK(pieces.size() == static_cast<size_t>(k_));
+  std::vector<uint32_t> c = inverse_.ApplyToRowVector(pieces);
+  uint64_t chunk = 0;
+  for (int i = 0; i < k_; ++i) {
+    chunk = (chunk << g_) | c[static_cast<size_t>(i)];
+  }
+  return chunk;
+}
+
+std::vector<std::vector<uint32_t>> Disperser::DisperseSequence(
+    const std::vector<uint64_t>& chunks) const {
+  std::vector<std::vector<uint32_t>> streams(
+      static_cast<size_t>(k_), std::vector<uint32_t>());
+  for (auto& s : streams) s.reserve(chunks.size());
+  for (uint64_t chunk : chunks) {
+    std::vector<uint32_t> d = DisperseChunk(chunk);
+    for (int i = 0; i < k_; ++i) {
+      streams[static_cast<size_t>(i)].push_back(d[static_cast<size_t>(i)]);
+    }
+  }
+  return streams;
+}
+
+}  // namespace essdds::codec

@@ -1,0 +1,55 @@
+#ifndef ESSDDS_CODEC_DISPERSAL_H_
+#define ESSDDS_CODEC_DISPERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/matrix.h"
+#include "util/result.h"
+
+namespace essdds::codec {
+
+/// Stage 3 of the paper: an (ECB-encrypted) chunk of c = g*k bits is viewed
+/// as a row vector (c_1..c_k) over GF(2^g) and multiplied by a fixed
+/// invertible k x k matrix E with all-nonzero coefficients; piece d_i goes
+/// to dispersal site i. Every piece depends on the whole chunk, so a single
+/// site's stream resists frequency analysis far better than a g-bit slice
+/// would, yet equality of chunks is preserved piecewise — which is all that
+/// search needs.
+class Disperser {
+ public:
+  /// `chunk_bits` must be divisible by `num_sites` (the paper's k) with a
+  /// piece width g = chunk_bits/k in 1..16. The matrix E derives
+  /// deterministically from `matrix_seed` (a KeyChain secret in production).
+  static Result<Disperser> Create(int chunk_bits, int num_sites,
+                                  uint64_t matrix_seed);
+
+  /// Splits and encodes one chunk; element i belongs to dispersal site i.
+  std::vector<uint32_t> DisperseChunk(uint64_t chunk) const;
+
+  /// Inverts DisperseChunk (used for verification and by the legitimate
+  /// reader, who knows E).
+  uint64_t RecombineChunk(const std::vector<uint32_t>& pieces) const;
+
+  /// Disperses a whole chunk sequence into k per-site streams:
+  /// result[i][c] = piece i of chunk c.
+  std::vector<std::vector<uint32_t>> DisperseSequence(
+      const std::vector<uint64_t>& chunks) const;
+
+  int num_sites() const { return k_; }
+  int piece_bits() const { return g_; }
+  int chunk_bits() const { return k_ * g_; }
+  const gf::GfMatrix& matrix() const { return matrix_; }
+
+ private:
+  Disperser(int k, int g, gf::GfMatrix matrix, gf::GfMatrix inverse);
+
+  int k_;
+  int g_;
+  gf::GfMatrix matrix_;
+  gf::GfMatrix inverse_;
+};
+
+}  // namespace essdds::codec
+
+#endif  // ESSDDS_CODEC_DISPERSAL_H_

@@ -1,0 +1,108 @@
+#include "codec/symbol_encoder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace essdds::codec {
+
+namespace {
+
+uint64_t Fnv1a(ByteSpan data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+int SymbolEncoder::code_bits() const {
+  const uint32_t n = num_codes();
+  int bits = 0;
+  while ((uint32_t{1} << bits) < n) ++bits;
+  return bits == 0 ? 1 : bits;
+}
+
+std::vector<uint32_t> SymbolEncoder::EncodeStream(std::string_view text,
+                                                  size_t unit_offset) const {
+  const size_t u = static_cast<size_t>(unit_symbols());
+  std::vector<uint32_t> out;
+  if (unit_offset >= text.size()) return out;
+  out.reserve((text.size() - unit_offset) / u);
+  for (size_t pos = unit_offset; pos + u <= text.size(); pos += u) {
+    out.push_back(EncodeUnit(
+        ByteSpan(reinterpret_cast<const uint8_t*>(text.data()) + pos, u)));
+  }
+  return out;
+}
+
+FrequencyEncoder::FrequencyEncoder(Options options,
+                                   std::map<std::string, uint32_t> assignment,
+                                   std::vector<uint64_t> bucket_loads)
+    : options_(options),
+      assignment_(std::move(assignment)),
+      bucket_loads_(std::move(bucket_loads)) {}
+
+Result<FrequencyEncoder> FrequencyEncoder::Train(
+    std::span<const std::string> corpus, const Options& options) {
+  if (options.unit_symbols < 1 || options.unit_symbols > 8) {
+    return Status::InvalidArgument("unit_symbols must be 1..8");
+  }
+  std::map<std::string, uint64_t> counts;
+  const size_t u = static_cast<size_t>(options.unit_symbols);
+  for (const std::string& record : corpus) {
+    if (record.size() < u) continue;
+    // Count at every alignment so the histogram covers all unit phases a
+    // record chunking can produce.
+    for (size_t pos = 0; pos + u <= record.size(); ++pos) {
+      counts[record.substr(pos, u)]++;
+    }
+  }
+  return FromCounts(counts, options);
+}
+
+Result<FrequencyEncoder> FrequencyEncoder::FromCounts(
+    const std::map<std::string, uint64_t>& counts, const Options& options) {
+  if (options.num_codes < 2) {
+    return Status::InvalidArgument("need at least 2 codes");
+  }
+  if (options.unit_symbols < 1 || options.unit_symbols > 8) {
+    return Status::InvalidArgument("unit_symbols must be 1..8");
+  }
+  // Rank units by frequency, most frequent first; break ties by unit value
+  // so training is deterministic.
+  std::vector<std::pair<std::string, uint64_t>> ranked(counts.begin(),
+                                                       counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  // Greedy multiway partition: each unit goes to the currently lightest
+  // bucket. With counts sorted descending this is the classic LPT heuristic
+  // and flattens the per-code frequency profile (the paper's goal).
+  std::vector<uint64_t> loads(options.num_codes, 0);
+  std::map<std::string, uint32_t> assignment;
+  for (const auto& [unit, count] : ranked) {
+    uint32_t lightest = 0;
+    for (uint32_t b = 1; b < options.num_codes; ++b) {
+      if (loads[b] < loads[lightest]) lightest = b;
+    }
+    assignment.emplace(unit, lightest);
+    loads[lightest] += count;
+  }
+  return FrequencyEncoder(options, std::move(assignment), std::move(loads));
+}
+
+uint32_t FrequencyEncoder::EncodeUnit(ByteSpan unit) const {
+  ESSDDS_DCHECK(unit.size() == static_cast<size_t>(options_.unit_symbols));
+  std::string key(reinterpret_cast<const char*>(unit.data()), unit.size());
+  auto it = assignment_.find(key);
+  if (it != assignment_.end()) return it->second;
+  // Unit unseen in training: deterministic spread over the code space.
+  return static_cast<uint32_t>(Fnv1a(unit) % options_.num_codes);
+}
+
+}  // namespace essdds::codec

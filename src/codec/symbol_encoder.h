@@ -1,0 +1,95 @@
+#ifndef ESSDDS_CODEC_SYMBOL_ENCODER_H_
+#define ESSDDS_CODEC_SYMBOL_ENCODER_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace essdds::codec {
+
+/// Maps fixed-width symbol units to codes. Stage 2 of the paper replaces
+/// each unit (one or more plaintext symbols) by a smaller code whose
+/// frequency distribution has been flattened; Stage 1-only configurations
+/// use the identity mapping.
+class SymbolEncoder {
+ public:
+  virtual ~SymbolEncoder() = default;
+
+  /// Plaintext symbols per unit (1 = per-character encoding).
+  virtual int unit_symbols() const = 0;
+
+  /// Number of distinct output codes.
+  virtual uint32_t num_codes() const = 0;
+
+  /// Bits needed per code: ceil(log2(num_codes)).
+  int code_bits() const;
+
+  /// Encodes one unit of exactly unit_symbols() bytes.
+  virtual uint32_t EncodeUnit(ByteSpan unit) const = 0;
+
+  /// Encodes the units of `text` starting at `unit_offset`, dropping the
+  /// partial unit at either end (the paper's experimental choice, which also
+  /// avoids the recognizable boundary chunks of §2.1).
+  std::vector<uint32_t> EncodeStream(std::string_view text,
+                                     size_t unit_offset) const;
+};
+
+/// Identity mapping on single bytes: 256 codes of 8 bits. Gives the pure
+/// Stage-1 (ECB only) configuration.
+class IdentityEncoder final : public SymbolEncoder {
+ public:
+  int unit_symbols() const override { return 1; }
+  uint32_t num_codes() const override { return 256; }
+  uint32_t EncodeUnit(ByteSpan unit) const override { return unit[0]; }
+};
+
+/// Stage-2 lossy compressor: units observed in a training corpus are ranked
+/// by frequency and greedily packed into `num_codes` buckets so every code
+/// occurs about equally often (the paper's redundancy removal). Units never
+/// seen in training fall back to a deterministic hash bucket.
+class FrequencyEncoder final : public SymbolEncoder {
+ public:
+  struct Options {
+    int unit_symbols = 1;
+    uint32_t num_codes = 8;
+  };
+
+  /// Trains on a corpus of record contents; counts units at every alignment.
+  static Result<FrequencyEncoder> Train(
+      std::span<const std::string> corpus, const Options& options);
+
+  /// Builds directly from unit counts (testing / precomputed histograms).
+  static Result<FrequencyEncoder> FromCounts(
+      const std::map<std::string, uint64_t>& counts, const Options& options);
+
+  int unit_symbols() const override { return options_.unit_symbols; }
+  uint32_t num_codes() const override { return options_.num_codes; }
+  uint32_t EncodeUnit(ByteSpan unit) const override;
+
+  /// The trained assignment (unit -> code), e.g. for reproducing the
+  /// paper's Figure 5.
+  const std::map<std::string, uint32_t>& assignment() const {
+    return assignment_;
+  }
+
+  /// Total trained occurrences landing in each code bucket; a flat profile
+  /// is the training objective.
+  const std::vector<uint64_t>& bucket_loads() const { return bucket_loads_; }
+
+ private:
+  FrequencyEncoder(Options options, std::map<std::string, uint32_t> assignment,
+                   std::vector<uint64_t> bucket_loads);
+
+  Options options_;
+  std::map<std::string, uint32_t> assignment_;
+  std::vector<uint64_t> bucket_loads_;
+};
+
+}  // namespace essdds::codec
+
+#endif  // ESSDDS_CODEC_SYMBOL_ENCODER_H_

@@ -1,0 +1,110 @@
+#ifndef ESSDDS_CORE_ENCRYPTED_STORE_H_
+#define ESSDDS_CORE_ENCRYPTED_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/scheme_params.h"
+#include "crypto/record_cipher.h"
+#include "sdds/lh_system.h"
+#include "util/result.h"
+
+namespace essdds::core {
+
+/// The complete scheme of the paper's §5: a record store SDDS holding the
+/// strongly encrypted records, plus an index SDDS holding the chunked,
+/// lossily compressed, ECB-encrypted, dispersed index records, searchable
+/// in parallel at the storage sites.
+///
+///   EncryptedStore::Options opts;
+///   opts.params = {.codes_per_chunk = 4, .dispersal_sites = 4};
+///   auto store = EncryptedStore::Create(opts, master_key, corpus);
+///   store->Insert(4154090271, "ADRIAN CORTEZ");
+///   auto rids = store->Search(" CORTEZ");   // parallel encrypted search
+///   auto text = store->Get((*rids)[0]);     // decrypt at the client
+class EncryptedStore {
+ public:
+  struct Options {
+    SchemeParams params;
+    sdds::LhOptions record_file;
+    sdds::LhOptions index_file;
+  };
+
+  /// Per-search diagnostics (what the paper's evaluation counts).
+  struct SearchStats {
+    /// Index records whose site-side matcher fired (shipped back).
+    size_t candidate_index_records = 0;
+    /// (rid, family) groups that survived the dispersal-site AND.
+    size_t families_confirmed = 0;
+    /// Distinct rids before cross-family combination.
+    size_t rids_candidates = 0;
+    /// Final hits.
+    size_t rids_final = 0;
+  };
+
+  struct SearchOutcome {
+    std::vector<uint64_t> rids;  // sorted ascending
+    SearchStats stats;
+  };
+
+  /// `training_corpus` trains the Stage-2 encoder when enabled; pass a
+  /// representative sample of record contents (the paper preprocesses "a
+  /// representative part of the database").
+  static Result<std::unique_ptr<EncryptedStore>> Create(
+      const Options& options, ByteSpan master_key,
+      std::span<const std::string> training_corpus);
+
+  /// Inserts (or replaces) a record: seals the content into the record
+  /// store and writes all index records.
+  Status Insert(uint64_t rid, std::string_view content);
+
+  /// Fetches and decrypts a record.
+  Result<std::string> Get(uint64_t rid);
+
+  /// Removes a record and its index records.
+  Status Delete(uint64_t rid);
+
+  /// Parallel encrypted substring search; returns the matching RIDs (which
+  /// may contain false positives, per the scheme's design — but never
+  /// misses a true occurrence of at least min_query_symbols() symbols).
+  Result<std::vector<uint64_t>> Search(std::string_view substring);
+
+  /// Search with per-stage diagnostics.
+  Result<SearchOutcome> SearchDetailed(std::string_view substring);
+
+  /// §2.3's "kludge" for search strings one symbol below the scheme
+  /// minimum: the query is expanded with every possible adjacent symbol
+  /// (both directions) and the results unioned. Complete for all
+  /// occurrences in records of at least min_query_symbols() symbols;
+  /// costs 2*|alphabet| inner searches — the waste the paper warns about.
+  Result<std::vector<uint64_t>> SearchWithExpansion(
+      std::string_view substring, std::string_view alphabet);
+
+  const IndexPipeline& pipeline() const { return *pipeline_; }
+  const SchemeParams& params() const { return pipeline_->params(); }
+  sdds::LhSystem& record_file() { return record_file_; }
+  sdds::LhSystem& index_file() { return index_file_; }
+  uint64_t record_count() const { return record_file_.TotalRecords(); }
+
+ private:
+  EncryptedStore(const Options& options,
+                 std::unique_ptr<IndexPipeline> pipeline,
+                 crypto::RecordCipher record_cipher);
+
+  std::unique_ptr<IndexPipeline> pipeline_;
+  crypto::RecordCipher record_cipher_;
+  sdds::LhSystem record_file_;
+  sdds::LhSystem index_file_;
+  sdds::LhClient* record_client_ = nullptr;
+  sdds::LhClient* index_client_ = nullptr;
+  uint64_t match_filter_id_ = 0;
+  uint64_t insert_sequence_ = 0;
+};
+
+}  // namespace essdds::core
+
+#endif  // ESSDDS_CORE_ENCRYPTED_STORE_H_

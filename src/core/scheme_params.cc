@@ -1,0 +1,73 @@
+#include "core/scheme_params.h"
+
+#include <sstream>
+
+namespace essdds::core {
+
+int SchemeParams::code_bits() const {
+  int bits = 0;
+  while ((uint32_t{1} << bits) < num_codes) ++bits;
+  return bits == 0 ? 1 : bits;
+}
+
+Status SchemeParams::Validate() const {
+  if (unit_symbols < 1 || unit_symbols > 8) {
+    return Status::InvalidArgument("unit_symbols must be 1..8");
+  }
+  if (num_codes < 2) {
+    return Status::InvalidArgument("num_codes must be >= 2");
+  }
+  if ((uint32_t{1} << code_bits()) != num_codes) {
+    return Status::InvalidArgument(
+        "num_codes must be a power of two (codes are bit-packed)");
+  }
+  if (codes_per_chunk < 1) {
+    return Status::InvalidArgument("codes_per_chunk must be >= 1");
+  }
+  if (chunk_bits() > 64) {
+    return Status::InvalidArgument("chunk exceeds 64 bits");
+  }
+  if (chunking_stride < 1 || symbols_per_chunk() % chunking_stride != 0) {
+    return Status::InvalidArgument(
+        "chunking_stride must divide symbols_per_chunk");
+  }
+  if (dispersal_sites < 1) {
+    return Status::InvalidArgument("dispersal_sites must be >= 1");
+  }
+  if (dispersal_sites > 1) {
+    if (chunk_bits() % dispersal_sites != 0) {
+      return Status::InvalidArgument(
+          "dispersal_sites must divide the chunk bit width");
+    }
+    const int g = chunk_bits() / dispersal_sites;
+    if (g > 16) {
+      return Status::InvalidArgument("dispersal piece exceeds GF(2^16)");
+    }
+    if (g == 1) {
+      return Status::InvalidArgument(
+          "dispersal pieces of 1 bit cannot host an all-nonzero matrix");
+    }
+  }
+  if (subid_bits < 1 || subid_bits > 16) {
+    return Status::InvalidArgument("subid_bits must be 1..16");
+  }
+  if (index_records_per_record() > (1 << subid_bits)) {
+    return Status::InvalidArgument(
+        "index_records_per_record exceeds the subid key space");
+  }
+  return Status::OK();
+}
+
+std::string SchemeParams::ToString() const {
+  std::ostringstream os;
+  os << "SchemeParams{unit=" << unit_symbols << " codes=" << num_codes
+     << " s=" << codes_per_chunk << " stride=" << chunking_stride
+     << " k=" << dispersal_sites << " chunk_bits=" << chunk_bits()
+     << " chunkings=" << num_chunkings()
+     << " min_query=" << min_query_symbols() << " mode="
+     << (combination == CombinationMode::kAnyChunking ? "any" : "all")
+     << "}";
+  return os.str();
+}
+
+}  // namespace essdds::core

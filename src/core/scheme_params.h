@@ -1,0 +1,99 @@
+#ifndef ESSDDS_CORE_SCHEME_PARAMS_H_
+#define ESSDDS_CORE_SCHEME_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace essdds::core {
+
+/// How hits from different chunking families combine into a final answer.
+enum class CombinationMode : uint8_t {
+  /// A record is a hit when ANY chunking family matches (the semantics the
+  /// paper's §7 false-positive experiments use, and the only possible one
+  /// under §2.5 reduced storage).
+  kAnyChunking = 0,
+  /// A record is a hit only when EVERY family that could structurally
+  /// observe the occurrence position confirms it (§2.3: "all sites indeed
+  /// report a hit ... not possible that a search results in false positives
+  /// from all sites"). Strictly fewer false positives, never false
+  /// negatives.
+  kAllExpectedChunkings = 1,
+};
+
+/// Complete parameterization of the encrypted index (the paper's
+/// application-specific knobs: number of chunkings, chunk size, lossy
+/// compression rate, and dispersal ratio).
+struct SchemeParams {
+  // --- Stage 2: redundancy removal ---
+  /// Plaintext symbols per encoded unit (1 = per-character encoding; 2 =
+  /// the paper's two-symbol-chunk encoding of Table 5).
+  int unit_symbols = 1;
+  /// Number of output codes (2^t buckets). 256 with unit_symbols == 1
+  /// means the identity encoding, i.e. Stage 2 disabled.
+  uint32_t num_codes = 256;
+
+  // --- Stage 1: chunked ECB ---
+  /// Codes per chunk (the paper's s, counted in encoded units).
+  int codes_per_chunk = 4;
+
+  // --- storage layout (§2.5) ---
+  /// Distance in plaintext symbols between stored chunking offsets; 1 =
+  /// store all symbols_per_chunk chunkings, larger strides store fewer
+  /// index copies at the cost of more false positives and a longer minimum
+  /// query. Must divide symbols_per_chunk.
+  int chunking_stride = 1;
+
+  // --- Stage 3: dispersal ---
+  /// Dispersal sites per chunking (the paper's k; 1 = dispersal disabled).
+  /// Must divide the chunk bit-width, with pieces of at most 16 bits.
+  int dispersal_sites = 1;
+
+  CombinationMode combination = CombinationMode::kAnyChunking;
+
+  /// Hardening: encrypt each chunking family under an independent ECB key
+  /// (derived per family from the key chain). Sites belonging to different
+  /// families then cannot correlate equal chunks across chunkings; the
+  /// price is one encrypted query series set per family instead of one
+  /// shared set (larger scan messages). Off by default — the paper uses a
+  /// single codebook.
+  bool per_family_keys = false;
+
+  /// Bits reserved in an index-record key for (chunking, dispersal-site);
+  /// Figure 3 of the paper shows 3; we default to 8 (up to 256 index
+  /// records per record).
+  int subid_bits = 8;
+
+  // --- derived quantities ---
+  /// Bits per Stage-2 code.
+  int code_bits() const;
+  /// Plaintext symbols covered by one chunk: unit_symbols * codes_per_chunk.
+  int symbols_per_chunk() const { return unit_symbols * codes_per_chunk; }
+  /// Encrypted chunk width in bits.
+  int chunk_bits() const { return codes_per_chunk * code_bits(); }
+  /// Number of stored chunking families: symbols_per_chunk / stride.
+  int num_chunkings() const { return symbols_per_chunk() / chunking_stride; }
+  /// Index records per data record: num_chunkings * dispersal_sites.
+  int index_records_per_record() const {
+    return num_chunkings() * dispersal_sites;
+  }
+  /// Shortest searchable substring (§2.3/§2.5): one full chunk must fit at
+  /// every required alignment.
+  size_t min_query_symbols() const {
+    return static_cast<size_t>(symbols_per_chunk() + chunking_stride - 1);
+  }
+  /// True when Stage 2 actually compresses.
+  bool stage2_enabled() const {
+    return unit_symbols != 1 || num_codes != 256;
+  }
+
+  /// Validates all constraints between the knobs.
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace essdds::core
+
+#endif  // ESSDDS_CORE_SCHEME_PARAMS_H_

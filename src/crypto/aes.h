@@ -1,0 +1,45 @@
+#ifndef ESSDDS_CRYPTO_AES_H_
+#define ESSDDS_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace essdds::crypto {
+
+/// AES block cipher (FIPS-197), implemented from scratch so the library has
+/// no external crypto dependency. Supports 128/192/256-bit keys on 16-byte
+/// blocks. This byte-oriented implementation favors clarity and portability;
+/// it is fast enough for the simulated-multicomputer workloads in this repo.
+class Aes {
+ public:
+  static constexpr size_t kBlockSize = 16;
+
+  /// Creates a cipher from a 16-, 24-, or 32-byte key.
+  static Result<Aes> Create(ByteSpan key);
+
+  /// Encrypts one 16-byte block in place semantics: reads `in`, writes `out`
+  /// (may alias).
+  void EncryptBlock(const uint8_t in[kBlockSize],
+                    uint8_t out[kBlockSize]) const;
+
+  /// Decrypts one 16-byte block.
+  void DecryptBlock(const uint8_t in[kBlockSize],
+                    uint8_t out[kBlockSize]) const;
+
+  /// Number of rounds (10/12/14 for 128/192/256-bit keys).
+  int rounds() const { return rounds_; }
+
+ private:
+  Aes() = default;
+
+  // Expanded round keys: 4*(rounds+1) 32-bit words.
+  std::array<uint32_t, 60> round_keys_{};
+  int rounds_ = 0;
+};
+
+}  // namespace essdds::crypto
+
+#endif  // ESSDDS_CRYPTO_AES_H_

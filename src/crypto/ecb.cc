@@ -1,0 +1,30 @@
+#include "crypto/ecb.h"
+
+#include <utility>
+
+namespace essdds::crypto {
+
+Result<EcbCodebook> EcbCodebook::Create(ByteSpan key, int chunk_bits,
+                                        uint64_t tweak) {
+  ESSDDS_ASSIGN_OR_RETURN(FeistelPrp prp,
+                          FeistelPrp::Create(key, chunk_bits, tweak));
+  return EcbCodebook(std::move(prp));
+}
+
+uint64_t EcbCodebook::Encrypt(uint64_t chunk) const {
+  auto it = encrypt_cache_.find(chunk);
+  if (it != encrypt_cache_.end()) return it->second;
+  const uint64_t out = prp_.Encrypt(chunk);
+  encrypt_cache_.emplace(chunk, out);
+  return out;
+}
+
+uint64_t EcbCodebook::Decrypt(uint64_t chunk) const {
+  auto it = decrypt_cache_.find(chunk);
+  if (it != decrypt_cache_.end()) return it->second;
+  const uint64_t out = prp_.Decrypt(chunk);
+  decrypt_cache_.emplace(chunk, out);
+  return out;
+}
+
+}  // namespace essdds::crypto

@@ -1,0 +1,50 @@
+#ifndef ESSDDS_CRYPTO_ECB_H_
+#define ESSDDS_CRYPTO_ECB_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "crypto/prp.h"
+#include "util/result.h"
+
+namespace essdds::crypto {
+
+/// Electronic-Code-Book encryption of fixed-width chunks (Stage 1 of the
+/// paper): a deterministic keyed permutation applied chunk by chunk. Since
+/// ECB is a fixed codebook, this wrapper memoizes the permutation — real
+/// corpora contain few distinct chunks relative to chunk count, which makes
+/// bulk index building orders of magnitude faster than re-running the
+/// Feistel network per occurrence.
+///
+/// Not thread-safe (the memo table is mutated on lookup); each simulated
+/// site owns its own codebook.
+class EcbCodebook {
+ public:
+  /// `chunk_bits`: width of each chunk (2..64). `tweak` selects an
+  /// independent permutation per chunking family from the same key.
+  static Result<EcbCodebook> Create(ByteSpan key, int chunk_bits,
+                                    uint64_t tweak = 0);
+
+  /// Encrypts one chunk value (must be < 2^chunk_bits).
+  uint64_t Encrypt(uint64_t chunk) const;
+
+  /// Decrypts one chunk value.
+  uint64_t Decrypt(uint64_t chunk) const;
+
+  int chunk_bits() const { return prp_.domain_bits(); }
+
+  /// Distinct chunks seen so far (size of the memo table).
+  size_t cache_size() const { return encrypt_cache_.size(); }
+
+ private:
+  explicit EcbCodebook(FeistelPrp prp) : prp_(std::move(prp)) {}
+
+  FeistelPrp prp_;
+  mutable std::unordered_map<uint64_t, uint64_t> encrypt_cache_;
+  mutable std::unordered_map<uint64_t, uint64_t> decrypt_cache_;
+};
+
+}  // namespace essdds::crypto
+
+#endif  // ESSDDS_CRYPTO_ECB_H_

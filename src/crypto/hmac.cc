@@ -1,0 +1,57 @@
+#include "crypto/hmac.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace essdds::crypto {
+
+std::array<uint8_t, Sha256::kDigestSize> HmacSha256(ByteSpan key,
+                                                    ByteSpan message) {
+  uint8_t key_block[Sha256::kBlockSize] = {0};
+  if (key.size() > Sha256::kBlockSize) {
+    auto digest = Sha256::Hash(key);
+    std::memcpy(key_block, digest.data(), digest.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[Sha256::kBlockSize];
+  uint8_t opad[Sha256::kBlockSize];
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ByteSpan(ipad, sizeof(ipad)));
+  inner.Update(message);
+  auto inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(ByteSpan(opad, sizeof(opad)));
+  outer.Update(ByteSpan(inner_digest.data(), inner_digest.size()));
+  return outer.Finish();
+}
+
+Bytes DeriveKey(ByteSpan master, std::string_view label, size_t out_len) {
+  // HKDF-Expand with the label as info; PRK = HMAC(master, label) serves as
+  // extract since the master is already uniform.
+  Bytes out;
+  out.reserve(out_len);
+  std::array<uint8_t, Sha256::kDigestSize> block{};
+  uint8_t counter = 1;
+  size_t block_len = 0;
+  while (out.size() < out_len) {
+    Bytes msg;
+    msg.insert(msg.end(), block.data(), block.data() + block_len);
+    msg.insert(msg.end(), label.begin(), label.end());
+    msg.push_back(counter++);
+    block = HmacSha256(master, msg);
+    block_len = block.size();
+    const size_t take = std::min(block.size(), out_len - out.size());
+    out.insert(out.end(), block.data(), block.data() + take);
+  }
+  return out;
+}
+
+}  // namespace essdds::crypto

@@ -1,0 +1,24 @@
+#ifndef ESSDDS_CRYPTO_HMAC_H_
+#define ESSDDS_CRYPTO_HMAC_H_
+
+#include <array>
+#include <string_view>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace essdds::crypto {
+
+/// HMAC-SHA-256 (RFC 2104). One-shot.
+std::array<uint8_t, Sha256::kDigestSize> HmacSha256(ByteSpan key,
+                                                    ByteSpan message);
+
+/// HKDF-style key derivation: expands `master` into `out_len` bytes bound to
+/// `label`. Every subsystem key in the scheme (record cipher, per-chunking
+/// chunk ciphers, dispersal matrix seed) is derived this way from one master
+/// key, so a deployment manages a single secret.
+Bytes DeriveKey(ByteSpan master, std::string_view label, size_t out_len);
+
+}  // namespace essdds::crypto
+
+#endif  // ESSDDS_CRYPTO_HMAC_H_

@@ -1,0 +1,51 @@
+#ifndef ESSDDS_CRYPTO_KEY_CHAIN_H_
+#define ESSDDS_CRYPTO_KEY_CHAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "crypto/hmac.h"
+#include "util/bytes.h"
+
+namespace essdds::crypto {
+
+/// Derives every subsystem key of the scheme from a single master secret:
+/// the record cipher key, one chunk-cipher key per chunking family, and the
+/// seed of the dispersal matrix. A deployment therefore manages exactly one
+/// secret; losing any single index site reveals nothing about the others'
+/// permutations.
+class KeyChain {
+ public:
+  /// `master` may be any non-empty secret (it is HKDF-extracted).
+  explicit KeyChain(Bytes master) : master_(std::move(master)) {}
+
+  /// Key for the strong record-store cipher.
+  Bytes RecordKey() const { return DeriveKey(master_, "essdds/record", 32); }
+
+  /// Key for the Stage-1 chunk PRP of chunking family `chunking_id`.
+  Bytes ChunkKey(uint32_t chunking_id) const {
+    return DeriveKey(master_,
+                     "essdds/chunk/" + std::to_string(chunking_id), 16);
+  }
+
+  /// Seed for the pseudorandom invertible dispersal matrix E (Stage 3).
+  uint64_t DispersalMatrixSeed() const {
+    Bytes b = DeriveKey(master_, "essdds/dispersal", 8);
+    return LoadBigEndian64(b.data());
+  }
+
+  /// Seed for any auxiliary randomized choice bound to this deployment.
+  uint64_t AuxSeed(std::string_view label) const {
+    Bytes b = DeriveKey(master_, "essdds/aux/" + std::string(label), 8);
+    return LoadBigEndian64(b.data());
+  }
+
+ private:
+  Bytes master_;
+};
+
+}  // namespace essdds::crypto
+
+#endif  // ESSDDS_CRYPTO_KEY_CHAIN_H_

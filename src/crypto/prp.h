@@ -1,0 +1,61 @@
+#ifndef ESSDDS_CRYPTO_PRP_H_
+#define ESSDDS_CRYPTO_PRP_H_
+
+#include <cstdint>
+
+#include "crypto/aes.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace essdds::crypto {
+
+/// Keyed pseudorandom permutation on an n-bit domain, 2 <= n <= 64.
+///
+/// The paper's Stage 1 applies "Electronic Code Book encryption" to chunks of
+/// s symbols, i.e. a secret, reversible mapping of clear chunks to encrypted
+/// chunks of the same size. Real chunk sizes (s*f bits, e.g. 4 ASCII chars =
+/// 32 bits) are smaller than any standard block cipher, so we build a
+/// small-domain PRP: an unbalanced Feistel network (FFX-style) whose round
+/// function is AES-128 of (domain width, round index, half value). The
+/// tweak parameter lets each chunking position family use a distinct
+/// permutation from the same key.
+///
+/// Note on strength: for tiny domains (n <= 8) any PRP is enumerable; this is
+/// inherent to the scheme (and is exactly the weakness the paper's Stages 2-3
+/// mitigate), not a property of the construction.
+class FeistelPrp {
+ public:
+  static constexpr int kMinBits = 2;
+  static constexpr int kMaxBits = 64;
+  static constexpr int kRounds = 8;
+
+  /// Creates a PRP over `domain_bits` bits keyed by `key` (16/24/32 bytes)
+  /// and tweaked by `tweak`.
+  static Result<FeistelPrp> Create(ByteSpan key, int domain_bits,
+                                   uint64_t tweak = 0);
+
+  /// Encrypts `x`; requires x < 2^domain_bits.
+  uint64_t Encrypt(uint64_t x) const;
+
+  /// Inverts Encrypt.
+  uint64_t Decrypt(uint64_t y) const;
+
+  int domain_bits() const { return domain_bits_; }
+
+ private:
+  FeistelPrp(Aes aes, int domain_bits, uint64_t tweak);
+
+  /// AES-based round function: pseudorandom `out_bits`-bit value from the
+  /// round index and the opposite half.
+  uint64_t RoundF(int round, uint64_t half, int out_bits) const;
+
+  Aes aes_;
+  int domain_bits_;
+  int left_bits_;   // floor(n/2)
+  int right_bits_;  // n - left_bits
+  uint64_t tweak_;
+};
+
+}  // namespace essdds::crypto
+
+#endif  // ESSDDS_CRYPTO_PRP_H_

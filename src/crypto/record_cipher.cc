@@ -1,0 +1,97 @@
+#include "crypto/record_cipher.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "crypto/hmac.h"
+
+namespace essdds::crypto {
+
+Result<RecordCipher> RecordCipher::Create(ByteSpan master) {
+  if (master.empty()) {
+    return Status::InvalidArgument("empty master key");
+  }
+  Bytes enc_key = DeriveKey(master, "essdds/record/enc", 16);
+  Bytes mac_key = DeriveKey(master, "essdds/record/mac", 32);
+  ESSDDS_ASSIGN_OR_RETURN(Aes aes, Aes::Create(enc_key));
+  return RecordCipher(std::move(aes), std::move(mac_key));
+}
+
+RecordCipher::RecordCipher(Aes aes, Bytes mac_key)
+    : aes_(std::move(aes)), mac_key_(std::move(mac_key)) {}
+
+void RecordCipher::Keystream(ByteSpan nonce, size_t len, uint8_t* out) const {
+  ESSDDS_DCHECK(nonce.size() == kNonceSize);
+  uint8_t counter_block[Aes::kBlockSize];
+  std::memcpy(counter_block, nonce.data(), kNonceSize);
+  uint8_t block[Aes::kBlockSize];
+  uint32_t counter = 0;
+  size_t produced = 0;
+  while (produced < len) {
+    StoreBigEndian32(counter++, counter_block + kNonceSize);
+    aes_.EncryptBlock(counter_block, block);
+    const size_t take = std::min(len - produced, sizeof(block));
+    std::memcpy(out + produced, block, take);
+    produced += take;
+  }
+}
+
+Bytes RecordCipher::ComputeTag(uint64_t rid, ByteSpan nonce,
+                               ByteSpan ciphertext) const {
+  Bytes msg;
+  msg.reserve(8 + nonce.size() + ciphertext.size());
+  AppendBigEndian64(rid, msg);
+  msg.insert(msg.end(), nonce.begin(), nonce.end());
+  msg.insert(msg.end(), ciphertext.begin(), ciphertext.end());
+  auto full = HmacSha256(mac_key_, msg);
+  return Bytes(full.begin(), full.begin() + kTagSize);
+}
+
+Bytes RecordCipher::Seal(uint64_t rid, uint64_t sequence,
+                         ByteSpan plaintext) const {
+  // Nonce = HMAC(mac_key, "nonce" || rid || sequence) truncated: unique per
+  // (rid, sequence) and unpredictable without the key.
+  Bytes nonce_input;
+  nonce_input.reserve(5 + 16);
+  const char kLabel[] = "nonce";
+  nonce_input.insert(nonce_input.end(), kLabel, kLabel + 5);
+  AppendBigEndian64(rid, nonce_input);
+  AppendBigEndian64(sequence, nonce_input);
+  auto nonce_full = HmacSha256(mac_key_, nonce_input);
+  Bytes nonce(nonce_full.begin(), nonce_full.begin() + kNonceSize);
+
+  Bytes out;
+  out.resize(kNonceSize + plaintext.size() + kTagSize);
+  std::memcpy(out.data(), nonce.data(), kNonceSize);
+  Keystream(nonce, plaintext.size(), out.data() + kNonceSize);
+  for (size_t i = 0; i < plaintext.size(); ++i) {
+    out[kNonceSize + i] ^= plaintext[i];
+  }
+  Bytes tag = ComputeTag(
+      rid, nonce, ByteSpan(out.data() + kNonceSize, plaintext.size()));
+  std::memcpy(out.data() + kNonceSize + plaintext.size(), tag.data(),
+              kTagSize);
+  return out;
+}
+
+Result<Bytes> RecordCipher::Open(uint64_t rid, ByteSpan sealed) const {
+  if (sealed.size() < kNonceSize + kTagSize) {
+    return Status::Corruption("sealed record too short");
+  }
+  ByteSpan nonce = sealed.subspan(0, kNonceSize);
+  const size_t ct_len = sealed.size() - kNonceSize - kTagSize;
+  ByteSpan ciphertext = sealed.subspan(kNonceSize, ct_len);
+  ByteSpan tag = sealed.subspan(kNonceSize + ct_len, kTagSize);
+
+  Bytes expected = ComputeTag(rid, nonce, ciphertext);
+  if (!ConstantTimeEqual(tag, expected)) {
+    return Status::Corruption("record authentication tag mismatch");
+  }
+  Bytes plaintext(ct_len);
+  Keystream(nonce, ct_len, plaintext.data());
+  for (size_t i = 0; i < ct_len; ++i) plaintext[i] ^= ciphertext[i];
+  return plaintext;
+}
+
+}  // namespace essdds::crypto

@@ -1,0 +1,46 @@
+#ifndef ESSDDS_CRYPTO_RECORD_CIPHER_H_
+#define ESSDDS_CRYPTO_RECORD_CIPHER_H_
+
+#include <cstdint>
+
+#include "crypto/aes.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace essdds::crypto {
+
+/// "Strong encryption" for the record-store copy of every record (the upper
+/// right corner of the paper's Figure 3): AES-128-CTR with a per-record
+/// nonce plus an encrypt-then-MAC HMAC-SHA-256 tag (truncated to 16 bytes).
+/// Layout of the sealed buffer: nonce(12) || ciphertext || tag(16).
+class RecordCipher {
+ public:
+  static constexpr size_t kNonceSize = 12;
+  static constexpr size_t kTagSize = 16;
+
+  /// Derives independent encryption and MAC keys from `master`.
+  static Result<RecordCipher> Create(ByteSpan master);
+
+  /// Seals `plaintext` for record `rid`. `sequence` must differ between
+  /// re-encryptions of the same rid (version counter); the nonce is derived
+  /// from both, so (rid, sequence) reuse — and only that — would repeat a
+  /// keystream.
+  Bytes Seal(uint64_t rid, uint64_t sequence, ByteSpan plaintext) const;
+
+  /// Authenticates and decrypts; fails with Corruption on tag mismatch or
+  /// truncated input.
+  Result<Bytes> Open(uint64_t rid, ByteSpan sealed) const;
+
+ private:
+  RecordCipher(Aes aes, Bytes mac_key);
+
+  void Keystream(ByteSpan nonce, size_t len, uint8_t* out) const;
+  Bytes ComputeTag(uint64_t rid, ByteSpan nonce, ByteSpan ciphertext) const;
+
+  Aes aes_;
+  Bytes mac_key_;
+};
+
+}  // namespace essdds::crypto
+
+#endif  // ESSDDS_CRYPTO_RECORD_CIPHER_H_

@@ -1,0 +1,45 @@
+#ifndef ESSDDS_CRYPTO_SHA256_H_
+#define ESSDDS_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace essdds::crypto {
+
+/// Incremental SHA-256 (FIPS-180-4). Used for key derivation and
+/// encrypt-then-MAC integrity tags; implemented from scratch to keep the
+/// library dependency-free.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorbs more input.
+  void Update(ByteSpan data);
+
+  /// Finalizes and returns the 32-byte digest. The object must not be
+  /// updated afterwards (call Reset() to reuse).
+  std::array<uint8_t, kDigestSize> Finish();
+
+  /// Restores the initial state.
+  void Reset();
+
+  /// One-shot convenience.
+  static std::array<uint8_t, kDigestSize> Hash(ByteSpan data);
+
+ private:
+  void ProcessBlock(const uint8_t block[kBlockSize]);
+
+  std::array<uint32_t, 8> state_;
+  uint64_t total_bytes_ = 0;
+  std::array<uint8_t, kBlockSize> buffer_{};
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace essdds::crypto
+
+#endif  // ESSDDS_CRYPTO_SHA256_H_

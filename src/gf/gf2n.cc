@@ -1,0 +1,68 @@
+#include "gf/gf2n.h"
+
+#include <array>
+#include <mutex>
+
+namespace essdds::gf {
+
+namespace {
+
+// Primitive polynomials over GF(2), one per degree 1..16 (bit i = coefficient
+// of x^i). With a primitive polynomial, x (value 2) generates the
+// multiplicative group, which the table construction below relies on.
+constexpr uint32_t kPrimitivePoly[17] = {
+    0,       0x3,    0x7,    0xB,     0x13,   0x25,   0x43,   0x89,  0x11D,
+    0x211,   0x409,  0x805,  0x1053,  0x201B, 0x4443, 0x8003, 0x1100B};
+
+}  // namespace
+
+Result<GfField> GfField::Create(int g) {
+  if (g < 1 || g > 16) {
+    return Status::InvalidArgument("GF(2^g) supports g in 1..16");
+  }
+  GfField f;
+  f.g_ = g;
+  f.order_ = uint32_t{1} << g;
+  const uint32_t group = f.order_ - 1;
+  f.exp_.assign(2 * group, 0);
+  f.log_.assign(f.order_, 0);
+
+  // Repeated multiplication by x with reduction by the primitive polynomial.
+  const uint32_t poly = kPrimitivePoly[g];
+  uint32_t v = 1;
+  for (uint32_t i = 0; i < group; ++i) {
+    f.exp_[i] = v;
+    f.exp_[i + group] = v;
+    f.log_[v] = i;
+    v <<= 1;
+    if (v & f.order_) v ^= poly;
+  }
+  return f;
+}
+
+const GfField& GfField::Of(int g) {
+  ESSDDS_CHECK(g >= 1 && g <= 16) << "GfField::Of: g out of range: " << g;
+  // Function-local static pointer array: initialized on first use, never
+  // destroyed (trivially destructible per style rules for statics).
+  static std::array<const GfField*, 17>& cache =
+      *new std::array<const GfField*, 17>{};
+  static std::mutex& mu = *new std::mutex;
+  std::lock_guard<std::mutex> lock(mu);
+  if (cache[g] == nullptr) {
+    auto f = Create(g);
+    ESSDDS_CHECK(f.ok());
+    cache[g] = new GfField(*std::move(f));
+  }
+  return *cache[g];
+}
+
+uint32_t GfField::Pow(uint32_t a, uint64_t e) const {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const uint32_t group = order_ - 1;
+  const uint64_t exponent = (static_cast<uint64_t>(log_[a]) * (e % group)) %
+                            group;
+  return exp_[exponent];
+}
+
+}  // namespace essdds::gf

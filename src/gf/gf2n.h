@@ -1,0 +1,73 @@
+#ifndef ESSDDS_GF_GF2N_H_
+#define ESSDDS_GF_GF2N_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/result.h"
+
+namespace essdds::gf {
+
+/// The finite field GF(2^g) for 1 <= g <= 16, as required by the paper's
+/// Stage-3 dispersal ("We construct a Galois field Φ = GF(2^g) ... elements
+/// are bit strings of size g") and by the LH*_RS Reed-Solomon parity
+/// extension. Addition is XOR; multiplication/division use log/antilog
+/// tables over a fixed primitive polynomial, so both are O(1).
+///
+/// Instances are immutable and cheap to share; obtain them from the
+/// process-wide cache with GfField::Of(g).
+class GfField {
+ public:
+  /// Builds the field explicitly. Prefer Of() which caches per g.
+  static Result<GfField> Create(int g);
+
+  /// Returns the shared field of order 2^g; aborts on invalid g (1..16).
+  static const GfField& Of(int g);
+
+  int g() const { return g_; }
+  /// Field size 2^g.
+  uint32_t order() const { return order_; }
+  /// Largest element value (also the multiplicative group order).
+  uint32_t max_element() const { return order_ - 1; }
+
+  /// Addition and subtraction coincide: bitwise XOR.
+  uint32_t Add(uint32_t a, uint32_t b) const { return a ^ b; }
+
+  /// Multiplication via log/antilog tables.
+  uint32_t Mul(uint32_t a, uint32_t b) const {
+    if (a == 0 || b == 0) return 0;
+    return exp_[log_[a] + log_[b]];
+  }
+
+  /// Division a / b; b must be nonzero.
+  uint32_t Div(uint32_t a, uint32_t b) const {
+    ESSDDS_DCHECK(b != 0) << "division by zero in GF(2^" << g_ << ")";
+    if (a == 0) return 0;
+    const uint32_t group = order_ - 1;
+    return exp_[(log_[a] + group - log_[b]) % group];
+  }
+
+  /// Multiplicative inverse; a must be nonzero.
+  uint32_t Inv(uint32_t a) const { return Div(1, a); }
+
+  /// a^e with e >= 0 (0^0 == 1 by convention).
+  uint32_t Pow(uint32_t a, uint64_t e) const;
+
+  /// The generator used to build the tables (the polynomial x, value 2;
+  /// for g == 1 the only generator is 1).
+  uint32_t generator() const { return g_ == 1 ? 1u : 2u; }
+
+ private:
+  GfField() = default;
+
+  int g_ = 0;
+  uint32_t order_ = 0;
+  // exp_ is doubled so Mul can skip the modular reduction of log sums.
+  std::vector<uint32_t> exp_;
+  std::vector<uint32_t> log_;
+};
+
+}  // namespace essdds::gf
+
+#endif  // ESSDDS_GF_GF2N_H_

@@ -1,0 +1,183 @@
+#include "gf/matrix.h"
+
+#include <set>
+#include <utility>
+
+namespace essdds::gf {
+
+GfMatrix::GfMatrix(const GfField& field, size_t rows, size_t cols)
+    : field_(&field), rows_(rows), cols_(cols), data_(rows * cols, 0) {
+  ESSDDS_CHECK(rows > 0 && cols > 0);
+}
+
+GfMatrix GfMatrix::Identity(const GfField& field, size_t n) {
+  GfMatrix m(field, n, n);
+  for (size_t i = 0; i < n; ++i) m.Set(i, i, 1);
+  return m;
+}
+
+Result<GfMatrix> GfMatrix::Cauchy(const GfField& field,
+                                  const std::vector<uint32_t>& x,
+                                  const std::vector<uint32_t>& y) {
+  std::set<uint32_t> all(x.begin(), x.end());
+  all.insert(y.begin(), y.end());
+  if (all.size() != x.size() + y.size()) {
+    return Status::InvalidArgument(
+        "Cauchy points must be pairwise distinct across x and y");
+  }
+  for (uint32_t v : all) {
+    if (v > field.max_element()) {
+      return Status::InvalidArgument("Cauchy point outside the field");
+    }
+  }
+  GfMatrix m(field, x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    for (size_t j = 0; j < y.size(); ++j) {
+      m.Set(i, j, field.Inv(field.Add(x[i], y[j])));
+    }
+  }
+  return m;
+}
+
+Result<GfMatrix> GfMatrix::Vandermonde(const GfField& field,
+                                       const std::vector<uint32_t>& x,
+                                       size_t cols) {
+  std::set<uint32_t> distinct(x.begin(), x.end());
+  if (distinct.size() != x.size()) {
+    return Status::InvalidArgument("Vandermonde points must be distinct");
+  }
+  GfMatrix m(field, x.size(), cols);
+  for (size_t i = 0; i < x.size(); ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      m.Set(i, j, field.Pow(x[i], j));
+    }
+  }
+  return m;
+}
+
+GfMatrix GfMatrix::RandomInvertible(const GfField& field, size_t n,
+                                    uint64_t seed, bool require_nonzero) {
+  Rng rng(seed);
+  // Nonzero entries are drawn from 1..max; plain entries from 0..max. For
+  // any field with order > n an invertible all-nonzero matrix exists, so
+  // rejection terminates quickly (singularity probability ~1/order).
+  for (int attempt = 0;; ++attempt) {
+    ESSDDS_CHECK(attempt < 10000) << "could not find invertible matrix";
+    GfMatrix m(field, n, n);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < n; ++c) {
+        uint32_t v = require_nonzero
+                         ? 1 + static_cast<uint32_t>(
+                                   rng.Uniform(field.max_element()))
+                         : static_cast<uint32_t>(rng.Uniform(field.order()));
+        m.Set(r, c, v);
+      }
+    }
+    if (m.IsInvertible()) return m;
+  }
+}
+
+GfMatrix GfMatrix::Multiply(const GfMatrix& other) const {
+  ESSDDS_CHECK(cols_ == other.rows_);
+  ESSDDS_CHECK(field_->g() == other.field_->g());
+  GfMatrix out(*field_, rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < other.cols_; ++j) {
+      uint32_t acc = 0;
+      for (size_t t = 0; t < cols_; ++t) {
+        acc = field_->Add(acc, field_->Mul(At(i, t), other.At(t, j)));
+      }
+      out.Set(i, j, acc);
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> GfMatrix::ApplyToRowVector(
+    const std::vector<uint32_t>& v) const {
+  ESSDDS_CHECK(v.size() == rows_);
+  std::vector<uint32_t> out(cols_, 0);
+  for (size_t j = 0; j < cols_; ++j) {
+    uint32_t acc = 0;
+    for (size_t i = 0; i < rows_; ++i) {
+      acc = field_->Add(acc, field_->Mul(v[i], At(i, j)));
+    }
+    out[j] = acc;
+  }
+  return out;
+}
+
+Result<GfMatrix> GfMatrix::Inverse() const {
+  if (rows_ != cols_) {
+    return Status::InvalidArgument("only square matrices invert");
+  }
+  const size_t n = rows_;
+  GfMatrix a = *this;
+  GfMatrix inv = Identity(*field_, n);
+  for (size_t col = 0; col < n; ++col) {
+    // Find a pivot.
+    size_t pivot = col;
+    while (pivot < n && a.At(pivot, col) == 0) ++pivot;
+    if (pivot == n) {
+      return Status::InvalidArgument("matrix is singular");
+    }
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) {
+        std::swap(a.data_[pivot * n + j], a.data_[col * n + j]);
+        std::swap(inv.data_[pivot * n + j], inv.data_[col * n + j]);
+      }
+    }
+    // Normalize the pivot row.
+    const uint32_t inv_pivot = field_->Inv(a.At(col, col));
+    for (size_t j = 0; j < n; ++j) {
+      a.Set(col, j, field_->Mul(a.At(col, j), inv_pivot));
+      inv.Set(col, j, field_->Mul(inv.At(col, j), inv_pivot));
+    }
+    // Eliminate the column from all other rows.
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const uint32_t factor = a.At(r, col);
+      if (factor == 0) continue;
+      for (size_t j = 0; j < n; ++j) {
+        a.Set(r, j, field_->Add(a.At(r, j), field_->Mul(factor, a.At(col, j))));
+        inv.Set(r, j,
+                field_->Add(inv.At(r, j), field_->Mul(factor, inv.At(col, j))));
+      }
+    }
+  }
+  return inv;
+}
+
+bool GfMatrix::IsInvertible() const {
+  if (rows_ != cols_) return false;
+  GfMatrix a = *this;
+  const size_t n = rows_;
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    while (pivot < n && a.At(pivot, col) == 0) ++pivot;
+    if (pivot == n) return false;
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) {
+        std::swap(a.data_[pivot * n + j], a.data_[col * n + j]);
+      }
+    }
+    const uint32_t inv_pivot = field_->Inv(a.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const uint32_t factor = field_->Mul(a.At(r, col), inv_pivot);
+      if (factor == 0) continue;
+      for (size_t j = col; j < n; ++j) {
+        a.Set(r, j, field_->Add(a.At(r, j), field_->Mul(factor, a.At(col, j))));
+      }
+    }
+  }
+  return true;
+}
+
+bool GfMatrix::AllEntriesNonzero() const {
+  for (uint32_t v : data_) {
+    if (v == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace essdds::gf

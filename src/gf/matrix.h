@@ -1,0 +1,80 @@
+#ifndef ESSDDS_GF_MATRIX_H_
+#define ESSDDS_GF_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/gf2n.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace essdds::gf {
+
+/// Dense matrix over GF(2^g). Small (k x k with k <= 16 in practice): used
+/// for the paper's dispersal matrix E and for Reed-Solomon parity in the
+/// LH*_RS extension. The field reference must outlive the matrix; fields
+/// obtained from GfField::Of() live for the whole process.
+class GfMatrix {
+ public:
+  GfMatrix(const GfField& field, size_t rows, size_t cols);
+
+  static GfMatrix Identity(const GfField& field, size_t n);
+
+  /// Cauchy matrix C[i][j] = 1 / (x_i + y_j); requires the x and y values to
+  /// be pairwise distinct across both sequences (then C is invertible and
+  /// every coefficient is nonzero — the paper's "good E").
+  static Result<GfMatrix> Cauchy(const GfField& field,
+                                 const std::vector<uint32_t>& x,
+                                 const std::vector<uint32_t>& y);
+
+  /// Vandermonde matrix V[i][j] = x_i^j; invertible iff the x_i are
+  /// pairwise distinct.
+  static Result<GfMatrix> Vandermonde(const GfField& field,
+                                      const std::vector<uint32_t>& x,
+                                      size_t cols);
+
+  /// Uniformly random invertible n x n matrix (rejection sampling on
+  /// invertibility), deterministic in the seed. `require_nonzero` insists
+  /// every coefficient is nonzero, matching the paper's recommendation that
+  /// each dispersed symbol depend on the whole chunk.
+  static GfMatrix RandomInvertible(const GfField& field, size_t n,
+                                   uint64_t seed, bool require_nonzero = true);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  const GfField& field() const { return *field_; }
+
+  uint32_t At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  void Set(size_t r, size_t c, uint32_t v) { data_[r * cols_ + c] = v; }
+
+  /// Matrix product; requires this->cols() == other.rows().
+  GfMatrix Multiply(const GfMatrix& other) const;
+
+  /// Row-vector times matrix: v * M, |v| == rows(). This is the dispersal
+  /// operation d = c * E of the paper.
+  std::vector<uint32_t> ApplyToRowVector(const std::vector<uint32_t>& v) const;
+
+  /// Gauss-Jordan inverse; fails with InvalidArgument when singular.
+  Result<GfMatrix> Inverse() const;
+
+  /// True when the matrix has full rank (computed by elimination).
+  bool IsInvertible() const;
+
+  /// True when no coefficient equals zero.
+  bool AllEntriesNonzero() const;
+
+  friend bool operator==(const GfMatrix& a, const GfMatrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           a.field_->g() == b.field_->g() && a.data_ == b.data_;
+  }
+
+ private:
+  const GfField* field_;
+  size_t rows_;
+  size_t cols_;
+  std::vector<uint32_t> data_;
+};
+
+}  // namespace essdds::gf
+
+#endif  // ESSDDS_GF_MATRIX_H_

@@ -1,0 +1,129 @@
+#include "sdds/lh_client.h"
+
+#include <set>
+#include <utility>
+
+namespace essdds::sdds {
+
+LhClient::LhClient(LhRuntime* runtime, SimNetwork* net)
+    : runtime_(runtime), net_(net) {
+  ESSDDS_CHECK(runtime != nullptr && net != nullptr);
+  site_ = net_->Register(this);
+}
+
+uint64_t LhClient::AddressFor(uint64_t key) const {
+  // LH* client addressing: h_{i'} first, stepped up to h_{i'+1} for buckets
+  // the image says have already split.
+  const uint64_t key_image = LhKeyImage(key, runtime_->options());
+  uint64_t a = key_image & ((uint64_t{1} << image_.level) - 1);
+  if (a < image_.split_pointer) {
+    a = key_image & ((uint64_t{1} << (image_.level + 1)) - 1);
+  }
+  return a;
+}
+
+void LhClient::OnMessage(const Message& msg, SimNetwork& net) {
+  (void)net;
+  pending_[msg.request_id].push_back(msg);
+}
+
+void LhClient::ApplyIam(const Message& reply) {
+  if (!reply.has_iam) return;
+  ++iam_count_;
+  // LNS96 image adjustment: i' <- j - 1, n' <- a + 1 (wrapping), where j and
+  // a are the level and address of the first bucket that had to forward.
+  FileImage candidate;
+  candidate.level = reply.iam_level >= 1 ? reply.iam_level - 1 : 0;
+  candidate.split_pointer = static_cast<uint32_t>(reply.iam_address) + 1;
+  if (candidate.split_pointer >= (uint32_t{1} << candidate.level)) {
+    candidate.split_pointer = 0;
+    ++candidate.level;
+  }
+  // The image may only grow; a concurrent smarter client could otherwise
+  // regress it.
+  if (candidate.BucketCount() > image_.BucketCount()) {
+    image_ = candidate;
+  }
+}
+
+Message LhClient::RoundTrip(MsgType type, uint64_t key, Bytes value) {
+  Message req;
+  req.type = type;
+  req.from = site_;
+  req.reply_to = site_;
+  req.request_id = next_request_id_++;
+  req.key = key;
+  req.value = std::move(value);
+  req.to = runtime_->SiteOfBucket(AddressFor(key));
+  const uint64_t id = req.request_id;
+  net_->Send(std::move(req));
+
+  auto it = pending_.find(id);
+  ESSDDS_CHECK(it != pending_.end() && it->second.size() == 1)
+      << "expected exactly one reply for request " << id;
+  Message reply = std::move(it->second.front());
+  pending_.erase(it);
+  ApplyIam(reply);
+  return reply;
+}
+
+bool LhClient::Insert(uint64_t key, Bytes value) {
+  Message reply = RoundTrip(MsgType::kInsert, key, std::move(value));
+  ESSDDS_CHECK(reply.type == MsgType::kInsertAck);
+  return reply.found;
+}
+
+Result<Bytes> LhClient::Lookup(uint64_t key) {
+  Message reply = RoundTrip(MsgType::kLookup, key, {});
+  ESSDDS_CHECK(reply.type == MsgType::kLookupReply);
+  if (!reply.found) {
+    return Status::NotFound("no record with key " + std::to_string(key));
+  }
+  return std::move(reply.value);
+}
+
+Status LhClient::Delete(uint64_t key) {
+  Message reply = RoundTrip(MsgType::kDelete, key, {});
+  ESSDDS_CHECK(reply.type == MsgType::kDeleteAck);
+  if (!reply.found) {
+    return Status::NotFound("no record with key " + std::to_string(key));
+  }
+  return Status::OK();
+}
+
+LhClient::ScanResult LhClient::Scan(uint64_t filter_id, Bytes filter_arg) {
+  const uint64_t id = next_request_id_++;
+  const uint64_t extent = image_.BucketCount();
+  for (uint64_t a = 0; a < extent; ++a) {
+    Message req;
+    req.type = MsgType::kScan;
+    req.from = site_;
+    req.reply_to = site_;
+    req.request_id = id;
+    req.filter_id = filter_id;
+    req.filter_arg = filter_arg;
+    req.assumed_level = image_.AssumedLevel(a);
+    req.to = runtime_->SiteOfBucket(a);
+    net_->Send(std::move(req));
+  }
+
+  ScanResult result;
+  auto it = pending_.find(id);
+  if (it != pending_.end()) {
+    // A stale-ahead image (possible after merges) can deliver the scan to a
+    // folded bucket more than once; keep one reply per bucket.
+    std::set<uint64_t> buckets_seen;
+    for (Message& reply : it->second) {
+      ESSDDS_CHECK(reply.type == MsgType::kScanReply);
+      if (!buckets_seen.insert(reply.key).second) continue;
+      for (WireRecord& r : reply.records) {
+        result.hits.push_back(std::move(r));
+      }
+    }
+    result.buckets_answered = buckets_seen.size();
+    pending_.erase(it);
+  }
+  return result;
+}
+
+}  // namespace essdds::sdds

@@ -1,0 +1,77 @@
+#ifndef ESSDDS_SDDS_LH_CLIENT_H_
+#define ESSDDS_SDDS_LH_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sdds/lh_options.h"
+#include "sdds/network.h"
+#include "util/result.h"
+
+namespace essdds::sdds {
+
+/// An LH* client application view. Each client keeps its own, possibly
+/// stale, image of the file extent; mis-addressed requests are forwarded by
+/// the servers (at most two hops) and the client's image is repaired by the
+/// piggybacked image adjustment messages (IAM). Clients never talk to the
+/// coordinator — that is the SDDS autonomy property.
+class LhClient : public Site {
+ public:
+  /// Result of a parallel scan.
+  struct ScanResult {
+    std::vector<WireRecord> hits;
+    /// Number of buckets that answered (== true file extent at scan time).
+    size_t buckets_answered = 0;
+  };
+
+  LhClient(LhRuntime* runtime, SimNetwork* net);
+
+  void OnMessage(const Message& msg, SimNetwork& net) override;
+
+  /// Inserts or overwrites; returns true when an existing record was
+  /// replaced.
+  bool Insert(uint64_t key, Bytes value);
+
+  /// Point lookup by key.
+  Result<Bytes> Lookup(uint64_t key);
+
+  /// Deletes; NotFound when the key did not exist.
+  Status Delete(uint64_t key);
+
+  /// Parallel scan: ships (filter_id, arg) to every bucket; each bucket
+  /// evaluates the installed filter against its local records in parallel
+  /// (simulated) and replies with its hits.
+  ScanResult Scan(uint64_t filter_id, Bytes filter_arg);
+
+  const FileImage& image() const { return image_; }
+  SiteId site() const { return site_; }
+
+  /// Number of image adjustments this client has received (a measure of how
+  /// often it was stale).
+  uint64_t iam_count() const { return iam_count_; }
+
+ private:
+  /// LH* client addressing with the local image.
+  uint64_t AddressFor(uint64_t key) const;
+
+  /// Sends a key request and returns the (synchronously delivered) reply.
+  Message RoundTrip(MsgType type, uint64_t key, Bytes value);
+
+  void ApplyIam(const Message& reply);
+
+  LhRuntime* runtime_;
+  SimNetwork* net_;
+  SiteId site_;
+  FileImage image_;
+  uint64_t next_request_id_ = 1;
+  uint64_t iam_count_ = 0;
+
+  // Synchronous delivery parks replies here until the requester picks them
+  // up; scans accumulate several replies under one request id.
+  std::map<uint64_t, std::vector<Message>> pending_;
+};
+
+}  // namespace essdds::sdds
+
+#endif  // ESSDDS_SDDS_LH_CLIENT_H_

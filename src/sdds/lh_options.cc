@@ -1,0 +1,13 @@
+#include "sdds/lh_options.h"
+
+namespace essdds::sdds {
+
+uint64_t LhKeyHash(uint64_t key) {
+  // splitmix64 finalizer.
+  uint64_t z = key + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace essdds::sdds

@@ -1,0 +1,89 @@
+#ifndef ESSDDS_SDDS_LH_OPTIONS_H_
+#define ESSDDS_SDDS_LH_OPTIONS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "sdds/message.h"
+#include "util/bytes.h"
+
+namespace essdds::sdds {
+
+/// Tuning knobs of an LH* file.
+struct LhOptions {
+  /// Records per bucket before the bucket reports an overflow to the split
+  /// coordinator. Real deployments use thousands; tests use small values to
+  /// exercise many splits.
+  size_t bucket_capacity = 64;
+
+  /// When positive, a bucket whose record count falls below
+  /// merge_threshold * bucket_capacity after a delete reports an underflow,
+  /// and the coordinator dissolves the most recently created bucket back
+  /// into its parent — the file shrinks transparently, the inverse of
+  /// splitting ("the number of storage sites ... grows and shrinks with the
+  /// storage needs"). 0 disables shrinking.
+  double merge_threshold = 0.0;
+
+  /// Mix keys through a 64-bit finalizer before the linear-hash address
+  /// computation. LH* addressing (key mod 2^i) assumes uniformly
+  /// distributed keys; structured keys — like the scheme's index keys,
+  /// whose low bits hold the (chunking, dispersal-site) sub-id — would
+  /// otherwise collapse onto a handful of addresses and thrash the split
+  /// chain. Disable only for tests that reason about raw key placement.
+  bool hash_keys = true;
+};
+
+/// The key mixer used when LhOptions::hash_keys is set (splitmix64
+/// finalizer: bijective, well-distributed in the low bits LH* consumes).
+uint64_t LhKeyHash(uint64_t key);
+
+/// Address-relevant image of a key under the given options.
+inline uint64_t LhKeyImage(uint64_t key, const LhOptions& options) {
+  return options.hash_keys ? LhKeyHash(key) : key;
+}
+
+/// Site-side scan predicate: runs "at the bucket" against each local record;
+/// returns true when the record is a hit. `arg` is the opaque query payload
+/// shipped in the scan message (its bytes are charged to network traffic).
+using ScanFilter =
+    std::function<bool(uint64_t key, ByteSpan value, ByteSpan arg)>;
+
+/// Services that bucket servers and the coordinator obtain from the hosting
+/// LhSystem: logical-bucket-to-site routing, bucket creation during splits,
+/// and the registry of installed scan filters. Implemented by LhSystem.
+class LhRuntime {
+ public:
+  virtual ~LhRuntime() = default;
+
+  /// Site serving logical bucket `bucket`; aborts if the bucket does not
+  /// exist (a protocol violation in the simulation).
+  virtual SiteId SiteOfBucket(uint64_t bucket) const = 0;
+
+  /// True when the logical bucket exists.
+  virtual bool BucketExists(uint64_t bucket) const = 0;
+
+  /// Site of the split coordinator.
+  virtual SiteId CoordinatorSite() const = 0;
+
+  /// Allocates a new bucket server for logical bucket `bucket` at `level`
+  /// (coordinator only). Returns its site id.
+  virtual SiteId CreateBucket(uint64_t bucket, uint32_t level) = 0;
+
+  /// Looks up an installed scan filter (aborts on unknown id: filters are
+  /// installed before use).
+  virtual const ScanFilter& FilterById(uint64_t filter_id) const = 0;
+
+  /// The file's options (clients need the key-hashing setting to compute
+  /// addresses consistently with the servers).
+  virtual const LhOptions& options() const = 0;
+
+  /// Removes the highest-numbered bucket from the routing directory after a
+  /// merge (coordinator only). The server object is retired, not destroyed:
+  /// in-flight references stay valid, and stale addresses fold onto the
+  /// parent chain in SiteOfBucket.
+  virtual void RetireLastBucket() = 0;
+};
+
+}  // namespace essdds::sdds
+
+#endif  // ESSDDS_SDDS_LH_OPTIONS_H_

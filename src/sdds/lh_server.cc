@@ -1,0 +1,330 @@
+#include "sdds/lh_server.h"
+
+#include <utility>
+
+namespace essdds::sdds {
+
+LhBucketServer::LhBucketServer(LhRuntime* runtime, const LhOptions& options,
+                               uint64_t bucket_number, uint32_t level)
+    : runtime_(runtime),
+      options_(options),
+      bucket_number_(bucket_number),
+      level_(level) {
+  ESSDDS_CHECK(runtime != nullptr);
+}
+
+uint64_t LhBucketServer::RouteFor(uint64_t key) const {
+  // LH* server address verification (Litwin/Neimat/Schneider 1996): compute
+  // the address under this bucket's own level; if it differs, a second
+  // candidate under level-1 may lie closer along the split order. This rule
+  // bounds forwarding at two hops for any client image.
+  const uint64_t image = LhKeyImage(key, options_);
+  const uint64_t a_prime = image & ((uint64_t{1} << level_) - 1);
+  if (a_prime == bucket_number_) return bucket_number_;
+  if (level_ >= 1) {
+    const uint64_t a_second = image & ((uint64_t{1} << (level_ - 1)) - 1);
+    if (a_second > bucket_number_ && a_second < a_prime) return a_second;
+  }
+  return a_prime;
+}
+
+void LhBucketServer::OnMessage(const Message& msg, SimNetwork& net) {
+  switch (msg.type) {
+    case MsgType::kInsert:
+    case MsgType::kLookup:
+    case MsgType::kDelete:
+      HandleKeyOp(msg, net);
+      return;
+    case MsgType::kScan:
+      HandleScan(msg, net);
+      return;
+    case MsgType::kSplit:
+      HandleSplit(msg, net);
+      return;
+    case MsgType::kMoveRecords:
+      HandleMoveRecords(msg);
+      return;
+    case MsgType::kMerge:
+      HandleMerge(msg, net);
+      return;
+    case MsgType::kMergeRecords:
+      HandleMergeRecords(msg);
+      return;
+    default:
+      ESSDDS_CHECK(false) << "bucket server got unexpected message "
+                          << MsgTypeToString(msg.type);
+  }
+}
+
+void LhBucketServer::HandleKeyOp(const Message& msg, SimNetwork& net) {
+  const uint64_t route = RouteFor(msg.key);
+  if (route != bucket_number_) {
+    ESSDDS_CHECK(runtime_->BucketExists(route))
+        << "LH* forwarding target " << route << " does not exist";
+    Message fwd = msg;
+    fwd.from = site_;
+    fwd.to = runtime_->SiteOfBucket(route);
+    fwd.hops = msg.hops + 1;
+    if (msg.hops == 0) {
+      // Remember the first mis-addressed bucket; the serving bucket echoes
+      // it in the image adjustment so the client can repair its image.
+      fwd.has_iam = true;
+      fwd.iam_level = level_;
+      fwd.iam_address = bucket_number_;
+    }
+    net.Send(std::move(fwd));
+    return;
+  }
+
+  Message reply;
+  reply.from = site_;
+  reply.to = msg.reply_to;
+  reply.request_id = msg.request_id;
+  reply.key = msg.key;
+  if (msg.hops > 0) {
+    reply.has_iam = true;
+    reply.iam_level = msg.iam_level;
+    reply.iam_address = msg.iam_address;
+  }
+
+  switch (msg.type) {
+    case MsgType::kInsert: {
+      auto [it, inserted] = records_.insert_or_assign(msg.key, msg.value);
+      (void)it;
+      reply.type = MsgType::kInsertAck;
+      reply.found = !inserted;  // true when an existing record was replaced
+      net.Send(std::move(reply));
+      MaybeReportOverflow(net);
+      return;
+    }
+    case MsgType::kLookup: {
+      reply.type = MsgType::kLookupReply;
+      auto it = records_.find(msg.key);
+      reply.found = it != records_.end();
+      if (reply.found) reply.value = it->second;
+      net.Send(std::move(reply));
+      return;
+    }
+    case MsgType::kDelete: {
+      reply.type = MsgType::kDeleteAck;
+      reply.found = records_.erase(msg.key) > 0;
+      net.Send(std::move(reply));
+      MaybeReportUnderflow(net);
+      return;
+    }
+    default:
+      ESSDDS_CHECK(false);
+  }
+}
+
+void LhBucketServer::HandleScan(const Message& msg, SimNetwork& net) {
+  // Propagate to every split descendant the sender's image did not cover.
+  // Each existing bucket receives the scan exactly once: the client covers
+  // its image, and each bucket covers the children created by its own
+  // splits past the level the sender assumed.
+  for (uint32_t l = msg.assumed_level; l < level_; ++l) {
+    const uint64_t child = bucket_number_ + (uint64_t{1} << l);
+    ESSDDS_CHECK(runtime_->BucketExists(child))
+        << "scan child " << child << " missing";
+    Message fwd = msg;
+    fwd.from = site_;
+    fwd.to = runtime_->SiteOfBucket(child);
+    fwd.assumed_level = l + 1;
+    fwd.hops = msg.hops + 1;
+    net.Send(std::move(fwd));
+  }
+
+  const ScanFilter& filter = runtime_->FilterById(msg.filter_id);
+  Message reply;
+  reply.type = MsgType::kScanReply;
+  reply.from = site_;
+  reply.to = msg.reply_to;
+  reply.request_id = msg.request_id;
+  reply.key = bucket_number_;  // lets the client attribute hits to buckets
+  for (const auto& [key, value] : records_) {
+    if (filter(key, value, msg.filter_arg)) {
+      reply.records.push_back(WireRecord{key, value});
+    }
+  }
+  net.Send(std::move(reply));
+}
+
+void LhBucketServer::HandleSplit(const Message& msg, SimNetwork& net) {
+  ESSDDS_CHECK(msg.bucket_to_split == bucket_number_);
+  ESSDDS_CHECK(msg.new_level == level_ + 1)
+      << "split level mismatch: coordinator " << msg.new_level << " vs local "
+      << level_ + 1;
+  const uint64_t new_bucket = msg.key;
+  level_ = msg.new_level;
+
+  Message move;
+  move.type = MsgType::kMoveRecords;
+  move.from = site_;
+  move.to = runtime_->SiteOfBucket(new_bucket);
+  const uint64_t mask = (uint64_t{1} << level_) - 1;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if ((LhKeyImage(it->first, options_) & mask) == new_bucket) {
+      move.records.push_back(WireRecord{it->first, std::move(it->second)});
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  net.Send(std::move(move));
+
+  Message done;
+  done.type = MsgType::kSplitDone;
+  done.from = site_;
+  done.to = runtime_->CoordinatorSite();
+  done.key = bucket_number_;
+  net.Send(std::move(done));
+}
+
+void LhBucketServer::HandleMoveRecords(const Message& msg) {
+  // Bulk load during a split: records arrive pre-addressed, no overflow
+  // report (a subsequent regular insert re-checks capacity).
+  for (const WireRecord& r : msg.records) {
+    records_[r.key] = r.value;
+  }
+}
+
+void LhBucketServer::HandleMerge(const Message& msg, SimNetwork& net) {
+  // This bucket dissolves: every record returns to the parent it split off
+  // from, and the parent's level steps back down.
+  const uint64_t parent = msg.key;
+  Message move;
+  move.type = MsgType::kMergeRecords;
+  move.from = site_;
+  move.to = runtime_->SiteOfBucket(parent);
+  move.new_level = msg.new_level;
+  for (auto& [key, value] : records_) {
+    move.records.push_back(WireRecord{key, std::move(value)});
+  }
+  records_.clear();
+  net.Send(std::move(move));
+
+  Message done;
+  done.type = MsgType::kMergeDone;
+  done.from = site_;
+  done.to = runtime_->CoordinatorSite();
+  done.key = bucket_number_;
+  net.Send(std::move(done));
+}
+
+void LhBucketServer::HandleMergeRecords(const Message& msg) {
+  ESSDDS_CHECK(msg.new_level == level_ - 1)
+      << "merge level mismatch at bucket " << bucket_number_;
+  level_ = msg.new_level;
+  for (const WireRecord& r : msg.records) {
+    records_[r.key] = r.value;
+  }
+}
+
+void LhBucketServer::MaybeReportOverflow(SimNetwork& net) {
+  if (records_.size() <= options_.bucket_capacity) return;
+  Message overflow;
+  overflow.type = MsgType::kOverflow;
+  overflow.from = site_;
+  overflow.to = runtime_->CoordinatorSite();
+  overflow.key = bucket_number_;
+  net.Send(std::move(overflow));
+}
+
+void LhBucketServer::MaybeReportUnderflow(SimNetwork& net) {
+  if (options_.merge_threshold <= 0.0) return;
+  const double low_water =
+      options_.merge_threshold * static_cast<double>(options_.bucket_capacity);
+  if (static_cast<double>(records_.size()) >= low_water) return;
+  Message underflow;
+  underflow.type = MsgType::kUnderflow;
+  underflow.from = site_;
+  underflow.to = runtime_->CoordinatorSite();
+  underflow.key = bucket_number_;
+  net.Send(std::move(underflow));
+}
+
+void LhCoordinator::OnMessage(const Message& msg, SimNetwork& net) {
+  switch (msg.type) {
+    case MsgType::kOverflow:
+      // Uncontrolled splitting: every collision report triggers one split of
+      // the bucket at the split pointer (which is generally NOT the
+      // overflowing bucket — that is the essence of linear hashing).
+      PerformSplit(net);
+      return;
+    case MsgType::kSplitDone:
+      ESSDDS_CHECK(split_in_progress_);
+      split_in_progress_ = false;
+      ++split_pointer_;
+      ++extent_;
+      if (split_pointer_ == (uint64_t{1} << level_)) {
+        split_pointer_ = 0;
+        ++level_;
+      }
+      return;
+    case MsgType::kUnderflow:
+      PerformMerge(net);
+      return;
+    case MsgType::kMergeDone:
+      ESSDDS_CHECK(merge_in_progress_);
+      merge_in_progress_ = false;
+      if (split_pointer_ == 0) {
+        ESSDDS_CHECK(level_ > 0);
+        --level_;
+        split_pointer_ = (uint64_t{1} << level_) - 1;
+      } else {
+        --split_pointer_;
+      }
+      --extent_;
+      runtime_->RetireLastBucket();
+      return;
+    default:
+      ESSDDS_CHECK(false) << "coordinator got unexpected message "
+                          << MsgTypeToString(msg.type);
+  }
+}
+
+void LhCoordinator::PerformMerge(SimNetwork& net) {
+  if (merge_in_progress_ || split_in_progress_ || extent_ <= 1) return;
+  merge_in_progress_ = true;
+  // Inverse of the split order: dissolve the most recently created bucket
+  // back into its parent.
+  uint64_t victim, parent, parent_new_level;
+  if (split_pointer_ > 0) {
+    parent = split_pointer_ - 1;
+    victim = parent + (uint64_t{1} << level_);
+    parent_new_level = level_;
+  } else {
+    // The file just doubled; undo the last split of the previous round.
+    parent = (uint64_t{1} << (level_ - 1)) - 1;
+    victim = (uint64_t{1} << level_) - 1;
+    parent_new_level = level_ - 1;
+  }
+  Message merge;
+  merge.type = MsgType::kMerge;
+  merge.from = site_;
+  merge.to = runtime_->SiteOfBucket(victim);
+  merge.bucket_to_split = victim;
+  merge.key = parent;
+  merge.new_level = static_cast<uint32_t>(parent_new_level);
+  net.Send(std::move(merge));
+}
+
+void LhCoordinator::PerformSplit(SimNetwork& net) {
+  ESSDDS_CHECK(!split_in_progress_) << "re-entrant split";
+  if (merge_in_progress_) return;
+  split_in_progress_ = true;
+  const uint64_t old_bucket = split_pointer_;
+  const uint64_t new_bucket = split_pointer_ + (uint64_t{1} << level_);
+  runtime_->CreateBucket(new_bucket, level_ + 1);
+
+  Message split;
+  split.type = MsgType::kSplit;
+  split.from = site_;
+  split.to = runtime_->SiteOfBucket(old_bucket);
+  split.bucket_to_split = old_bucket;
+  split.new_level = level_ + 1;
+  split.key = new_bucket;
+  net.Send(std::move(split));
+}
+
+}  // namespace essdds::sdds

@@ -1,0 +1,92 @@
+#ifndef ESSDDS_SDDS_LH_SERVER_H_
+#define ESSDDS_SDDS_LH_SERVER_H_
+
+#include <cstdint>
+#include <map>
+
+#include "sdds/lh_options.h"
+#include "sdds/network.h"
+
+namespace essdds::sdds {
+
+/// One LH* bucket server. Holds the records whose linear-hash address is
+/// this bucket's number, verifies incoming addresses against its own level
+/// (forwarding mis-addressed requests, at most twice per the LH* guarantee),
+/// answers scans, and executes its half of the split protocol.
+class LhBucketServer : public Site {
+ public:
+  LhBucketServer(LhRuntime* runtime, const LhOptions& options,
+                 uint64_t bucket_number, uint32_t level);
+
+  void OnMessage(const Message& msg, SimNetwork& net) override;
+
+  uint64_t bucket_number() const { return bucket_number_; }
+  uint32_t level() const { return level_; }
+  size_t record_count() const { return records_.size(); }
+
+  /// Direct (non-message) read used by tests and recovery tooling; a real
+  /// deployment would expose this as a bulk-read RPC.
+  const std::map<uint64_t, Bytes>& records() const { return records_; }
+
+  /// The site id this server was registered under (set by LhSystem).
+  void set_site(SiteId site) { site_ = site; }
+  SiteId site() const { return site_; }
+
+ private:
+  /// LH* server address verification: returns the bucket this request should
+  /// go to next, or bucket_number_ when it belongs here.
+  uint64_t RouteFor(uint64_t key) const;
+
+  void HandleKeyOp(const Message& msg, SimNetwork& net);
+  void HandleScan(const Message& msg, SimNetwork& net);
+  void HandleSplit(const Message& msg, SimNetwork& net);
+  void HandleMoveRecords(const Message& msg);
+  void HandleMerge(const Message& msg, SimNetwork& net);
+  void HandleMergeRecords(const Message& msg);
+
+  void MaybeReportOverflow(SimNetwork& net);
+  void MaybeReportUnderflow(SimNetwork& net);
+
+  LhRuntime* runtime_;
+  LhOptions options_;
+  uint64_t bucket_number_;
+  uint32_t level_;
+  SiteId site_ = kInvalidSite;
+  bool overflow_reported_ = false;
+  std::map<uint64_t, Bytes> records_;
+};
+
+/// The LH* split coordinator: receives overflow notifications and drives the
+/// deterministic linear-splitting order (always split bucket n, then advance
+/// the split pointer; double the level when the pointer wraps).
+class LhCoordinator : public Site {
+ public:
+  explicit LhCoordinator(LhRuntime* runtime) : runtime_(runtime) {}
+
+  void OnMessage(const Message& msg, SimNetwork& net) override;
+
+  uint32_t level() const { return level_; }
+  uint64_t split_pointer() const { return split_pointer_; }
+
+  /// The coordinator's (always accurate) file image.
+  FileImage Image() const { return FileImage{level_, static_cast<uint32_t>(split_pointer_)}; }
+
+  void set_site(SiteId site) { site_ = site; }
+
+ private:
+  void PerformSplit(SimNetwork& net);
+
+  LhRuntime* runtime_;
+  SiteId site_ = kInvalidSite;
+  void PerformMerge(SimNetwork& net);
+
+  uint32_t level_ = 0;          // i
+  uint64_t split_pointer_ = 0;  // n
+  bool split_in_progress_ = false;
+  bool merge_in_progress_ = false;
+  uint64_t extent_ = 1;  // buckets currently in the file
+};
+
+}  // namespace essdds::sdds
+
+#endif  // ESSDDS_SDDS_LH_SERVER_H_

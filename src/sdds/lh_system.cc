@@ -1,0 +1,94 @@
+#include "sdds/lh_system.h"
+
+#include <utility>
+
+namespace essdds::sdds {
+
+LhSystem::LhSystem(LhOptions options)
+    : options_(options), coordinator_(this) {
+  ESSDDS_CHECK(options_.bucket_capacity > 0);
+  coordinator_site_ = network_.Register(&coordinator_);
+  coordinator_.set_site(coordinator_site_);
+  CreateBucket(0, 0);
+}
+
+LhClient* LhSystem::NewClient() {
+  clients_.push_back(std::make_unique<LhClient>(this, &network_));
+  return clients_.back().get();
+}
+
+uint64_t LhSystem::InstallFilter(ScanFilter filter) {
+  ESSDDS_CHECK(filter != nullptr);
+  filters_.push_back(std::move(filter));
+  return filters_.size() - 1;
+}
+
+SiteId LhSystem::SiteOfBucket(uint64_t bucket) const {
+  // After a merge, stale client images can address buckets beyond the
+  // current extent. The address table keeps forwarding stubs from dissolved
+  // buckets to their parents: clearing the top set bit is exactly the
+  // parent relation of linear hashing.
+  while (bucket >= servers_.size()) {
+    ESSDDS_CHECK(bucket != 0) << "empty file";
+    uint64_t top = uint64_t{1} << 63;
+    while ((bucket & top) == 0) top >>= 1;
+    bucket &= ~top;
+  }
+  return servers_[bucket]->site();
+}
+
+bool LhSystem::BucketExists(uint64_t bucket) const {
+  return bucket < servers_.size();
+}
+
+SiteId LhSystem::CoordinatorSite() const { return coordinator_site_; }
+
+SiteId LhSystem::CreateBucket(uint64_t bucket, uint32_t level) {
+  // Buckets are created in linear-hash order, so the new bucket's number is
+  // always the next free slot.
+  ESSDDS_CHECK(bucket == servers_.size())
+      << "bucket creation out of order: " << bucket;
+  servers_.push_back(
+      std::make_unique<LhBucketServer>(this, options_, bucket, level));
+  const SiteId site = network_.Register(servers_.back().get());
+  servers_.back()->set_site(site);
+  return site;
+}
+
+void LhSystem::RetireLastBucket() {
+  ESSDDS_CHECK(servers_.size() > 1) << "cannot retire the root bucket";
+  ESSDDS_CHECK(servers_.back()->record_count() == 0)
+      << "retiring a non-empty bucket";
+  retired_servers_.push_back(std::move(servers_.back()));
+  servers_.pop_back();
+}
+
+const ScanFilter& LhSystem::FilterById(uint64_t filter_id) const {
+  ESSDDS_CHECK(filter_id < filters_.size())
+      << "unknown scan filter " << filter_id;
+  return filters_[filter_id];
+}
+
+const LhBucketServer& LhSystem::bucket(uint64_t b) const {
+  ESSDDS_CHECK(b < servers_.size());
+  return *servers_[b];
+}
+
+LhBucketServer& LhSystem::mutable_bucket(uint64_t b) {
+  ESSDDS_CHECK(b < servers_.size());
+  return *servers_[b];
+}
+
+uint64_t LhSystem::TotalRecords() const {
+  uint64_t total = 0;
+  for (const auto& s : servers_) total += s->record_count();
+  return total;
+}
+
+double LhSystem::LoadFactor() const {
+  return static_cast<double>(TotalRecords()) /
+         (static_cast<double>(bucket_count()) *
+          static_cast<double>(options_.bucket_capacity));
+}
+
+}  // namespace essdds::sdds

@@ -1,0 +1,76 @@
+#ifndef ESSDDS_SDDS_LH_SYSTEM_H_
+#define ESSDDS_SDDS_LH_SYSTEM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sdds/lh_client.h"
+#include "sdds/lh_options.h"
+#include "sdds/lh_server.h"
+#include "sdds/network.h"
+
+namespace essdds::sdds {
+
+/// Owns one LH* file: the simulated network, the split coordinator, the
+/// bucket servers, the logical-bucket directory, and the scan-filter
+/// registry. This is the embedding application's entry point to the SDDS
+/// substrate.
+///
+/// Usage:
+///   LhSystem sys({.bucket_capacity = 128});
+///   uint64_t match_all = sys.InstallFilter([](auto, auto, auto) { ... });
+///   LhClient* c = sys.NewClient();
+///   c->Insert(42, ToBytes("hello"));
+///   auto r = c->Lookup(42);
+class LhSystem : public LhRuntime {
+ public:
+  explicit LhSystem(LhOptions options = {});
+
+  LhSystem(const LhSystem&) = delete;
+  LhSystem& operator=(const LhSystem&) = delete;
+
+  /// Creates a client with a fresh (minimal) image of the file.
+  LhClient* NewClient();
+
+  /// Installs a site-side scan predicate, returning its id for
+  /// LhClient::Scan. Stands in for query code deployed at the sites.
+  uint64_t InstallFilter(ScanFilter filter);
+
+  // --- LhRuntime ---
+  SiteId SiteOfBucket(uint64_t bucket) const override;
+  bool BucketExists(uint64_t bucket) const override;
+  SiteId CoordinatorSite() const override;
+  SiteId CreateBucket(uint64_t bucket, uint32_t level) override;
+  const ScanFilter& FilterById(uint64_t filter_id) const override;
+  const LhOptions& options() const override { return options_; }
+  void RetireLastBucket() override;
+
+  // --- introspection for tests, benches and recovery tooling ---
+  SimNetwork& network() { return network_; }
+  const SimNetwork& network() const { return network_; }
+  size_t bucket_count() const { return servers_.size(); }
+  const LhCoordinator& coordinator() const { return coordinator_; }
+  const LhBucketServer& bucket(uint64_t b) const;
+  LhBucketServer& mutable_bucket(uint64_t b);
+  uint64_t TotalRecords() const;
+  /// Fraction of used capacity: records / (buckets * capacity).
+  double LoadFactor() const;
+
+ private:
+  LhOptions options_;
+  SimNetwork network_;
+  LhCoordinator coordinator_;
+  SiteId coordinator_site_;
+  std::vector<std::unique_ptr<LhBucketServer>> servers_;  // by bucket number
+  // Dissolved bucket servers: kept alive (network sites hold raw pointers)
+  // but no longer routed to.
+  std::vector<std::unique_ptr<LhBucketServer>> retired_servers_;
+  std::vector<std::unique_ptr<LhClient>> clients_;
+  std::vector<ScanFilter> filters_;
+};
+
+}  // namespace essdds::sdds
+
+#endif  // ESSDDS_SDDS_LH_SYSTEM_H_

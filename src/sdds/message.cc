@@ -1,0 +1,85 @@
+#include "sdds/message.h"
+
+namespace essdds::sdds {
+
+std::string_view MsgTypeToString(MsgType t) {
+  switch (t) {
+    case MsgType::kInsert:
+      return "Insert";
+    case MsgType::kLookup:
+      return "Lookup";
+    case MsgType::kDelete:
+      return "Delete";
+    case MsgType::kInsertAck:
+      return "InsertAck";
+    case MsgType::kLookupReply:
+      return "LookupReply";
+    case MsgType::kDeleteAck:
+      return "DeleteAck";
+    case MsgType::kScan:
+      return "Scan";
+    case MsgType::kScanReply:
+      return "ScanReply";
+    case MsgType::kOverflow:
+      return "Overflow";
+    case MsgType::kSplit:
+      return "Split";
+    case MsgType::kMoveRecords:
+      return "MoveRecords";
+    case MsgType::kSplitDone:
+      return "SplitDone";
+    case MsgType::kUnderflow:
+      return "Underflow";
+    case MsgType::kMerge:
+      return "Merge";
+    case MsgType::kMergeRecords:
+      return "MergeRecords";
+    case MsgType::kMergeDone:
+      return "MergeDone";
+  }
+  return "Unknown";
+}
+
+size_t Message::AccountedBytes() const {
+  // Header: type(1) + from(4) + to(4) + request_id(8) + hops(1).
+  size_t n = 18;
+  switch (type) {
+    case MsgType::kInsert:
+      n += 8 + value.size();
+      break;
+    case MsgType::kLookup:
+    case MsgType::kDelete:
+      n += 8;
+      break;
+    case MsgType::kLookupReply:
+      n += 8 + 1 + value.size();
+      break;
+    case MsgType::kInsertAck:
+    case MsgType::kDeleteAck:
+      n += 8 + 1;
+      break;
+    case MsgType::kScan:
+      n += 8 + filter_arg.size() + 4;
+      break;
+    case MsgType::kScanReply:
+      for (const WireRecord& r : records) n += 8 + r.value.size();
+      break;
+    case MsgType::kOverflow:
+    case MsgType::kSplit:
+    case MsgType::kSplitDone:
+    case MsgType::kUnderflow:
+    case MsgType::kMerge:
+    case MsgType::kMergeDone:
+      n += 8 + 4;
+      break;
+    case MsgType::kMoveRecords:
+    case MsgType::kMergeRecords:
+      n += 4;
+      for (const WireRecord& r : records) n += 8 + r.value.size();
+      break;
+  }
+  if (has_iam) n += 12;
+  return n;
+}
+
+}  // namespace essdds::sdds

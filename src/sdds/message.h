@@ -1,0 +1,122 @@
+#ifndef ESSDDS_SDDS_MESSAGE_H_
+#define ESSDDS_SDDS_MESSAGE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace essdds::sdds {
+
+/// Identifies a site (node) of the simulated multicomputer.
+using SiteId = uint32_t;
+
+inline constexpr SiteId kInvalidSite = static_cast<SiteId>(-1);
+
+/// Wire message types of the LH* protocol.
+enum class MsgType : uint8_t {
+  // Client -> server key operations.
+  kInsert = 0,
+  kLookup,
+  kDelete,
+  // Server -> client replies (carry an optional image adjustment).
+  kInsertAck,
+  kLookupReply,
+  kDeleteAck,
+  // Parallel scan: client -> every bucket in its image; buckets forward to
+  // buckets the client's stale image missed.
+  kScan,
+  kScanReply,
+  // Split protocol: overflowing bucket -> coordinator; coordinator ->
+  // splitting bucket; splitting bucket -> new bucket (bulk move).
+  kOverflow,
+  kSplit,
+  kMoveRecords,
+  kSplitDone,
+  // Merge protocol (file shrinking): underflowing bucket -> coordinator;
+  // coordinator -> dissolving bucket; dissolving bucket -> parent (bulk
+  // move + level adjustment).
+  kUnderflow,
+  kMerge,
+  kMergeRecords,
+  kMergeDone,
+};
+
+std::string_view MsgTypeToString(MsgType t);
+
+/// A key/value record as shipped between sites.
+struct WireRecord {
+  uint64_t key = 0;
+  Bytes value;
+};
+
+/// Client's view of the file extent (possibly stale): level i' and split
+/// pointer n'. The true extent is 2^i + n buckets.
+struct FileImage {
+  uint32_t level = 0;          // i'
+  uint32_t split_pointer = 0;  // n'
+
+  /// Number of buckets this image believes exist.
+  uint64_t BucketCount() const {
+    return (uint64_t{1} << level) + split_pointer;
+  }
+
+  /// The level this image assumes for bucket `a`: buckets below the split
+  /// pointer (and their split images) are at i'+1, the rest at i'.
+  uint32_t AssumedLevel(uint64_t a) const {
+    const uint64_t two_i = uint64_t{1} << level;
+    return (a < split_pointer || a >= two_i) ? level + 1 : level;
+  }
+
+  friend bool operator==(const FileImage&, const FileImage&) = default;
+};
+
+/// One simulated network message. Payload fields are a union-of-purposes:
+/// only the fields relevant to `type` are meaningful. AccountedBytes() below
+/// charges each message as if the active fields were serialized, so message
+/// and byte counters behave like a real deployment's.
+struct Message {
+  MsgType type = MsgType::kInsert;
+  SiteId from = kInvalidSite;
+  SiteId to = kInvalidSite;
+
+  /// Correlates replies with requests; assigned by the client.
+  uint64_t request_id = 0;
+  /// Final reply destination: preserved across server-to-server forwards so
+  /// the serving bucket answers the originating client directly.
+  SiteId reply_to = kInvalidSite;
+  /// Forwarding hops taken so far by this request (LH* guarantees <= 2).
+  uint32_t hops = 0;
+
+  // --- key operations ---
+  uint64_t key = 0;
+  Bytes value;
+  bool found = false;  // lookup/delete outcome
+
+  // --- image adjustment (piggybacked on replies after a forward) ---
+  bool has_iam = false;
+  uint32_t iam_level = 0;     // level of the bucket that finally served
+  uint64_t iam_address = 0;   // logical address the client first hit
+
+  // --- scan ---
+  /// Identifier of the scan filter to run at the site (registered on the
+  /// system; stands in for shipping query code/parameters).
+  uint64_t filter_id = 0;
+  Bytes filter_arg;
+  /// Level the sender assumed for the destination bucket; receiving buckets
+  /// with a deeper level forward to the children the sender did not know.
+  uint32_t assumed_level = 0;
+  std::vector<WireRecord> records;  // scan hits / bulk moves
+
+  // --- split protocol ---
+  uint64_t bucket_to_split = 0;
+  uint32_t new_level = 0;
+
+  /// Simulated serialized size in bytes (header + active payload).
+  size_t AccountedBytes() const;
+};
+
+}  // namespace essdds::sdds
+
+#endif  // ESSDDS_SDDS_MESSAGE_H_

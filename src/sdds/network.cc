@@ -1,0 +1,40 @@
+#include "sdds/network.h"
+
+#include <sstream>
+#include <utility>
+
+namespace essdds::sdds {
+
+std::string NetworkStats::ToString() const {
+  std::ostringstream os;
+  os << "messages=" << total_messages << " bytes=" << total_bytes
+     << " forwarded=" << forwarded_messages;
+  for (const auto& [type, count] : per_type) {
+    os << " " << MsgTypeToString(type) << "=" << count;
+  }
+  return os.str();
+}
+
+SiteId SimNetwork::Register(Site* site) {
+  ESSDDS_CHECK(site != nullptr);
+  sites_.push_back(site);
+  return static_cast<SiteId>(sites_.size() - 1);
+}
+
+void SimNetwork::Send(Message msg) {
+  ESSDDS_CHECK(msg.to < sites_.size())
+      << "send to unregistered site " << msg.to;
+  stats_.total_messages++;
+  stats_.total_bytes += msg.AccountedBytes();
+  stats_.per_type[msg.type]++;
+  if (msg.hops > 0) stats_.forwarded_messages++;
+
+  // Guard against protocol bugs that would recurse unboundedly.
+  ++delivery_depth_;
+  ESSDDS_CHECK(delivery_depth_ < 256) << "message delivery depth exceeded";
+  Site* dest = sites_[msg.to];
+  dest->OnMessage(msg, *this);
+  --delivery_depth_;
+}
+
+}  // namespace essdds::sdds

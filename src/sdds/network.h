@@ -1,0 +1,72 @@
+#ifndef ESSDDS_SDDS_NETWORK_H_
+#define ESSDDS_SDDS_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sdds/message.h"
+#include "util/logging.h"
+
+namespace essdds::sdds {
+
+class SimNetwork;
+
+/// A node of the simulated multicomputer. Concrete sites are LH* bucket
+/// servers, the split coordinator, and clients.
+class Site {
+ public:
+  virtual ~Site() = default;
+
+  /// Handles one delivered message. The site may send further messages
+  /// through `net` (delivery is synchronous and re-entrant).
+  virtual void OnMessage(const Message& msg, SimNetwork& net) = 0;
+};
+
+/// Per-network traffic statistics. The paper's performance story for SDDS
+/// is counted in messages, not wall-clock time; this is what the simulator
+/// measures.
+struct NetworkStats {
+  uint64_t total_messages = 0;
+  uint64_t total_bytes = 0;
+  uint64_t forwarded_messages = 0;  // messages with hops > 0
+  std::map<MsgType, uint64_t> per_type;
+
+  std::string ToString() const;
+};
+
+/// Single-process simulation of a multicomputer: every site has an id;
+/// Send() delivers synchronously to the destination's OnMessage and accounts
+/// the traffic. Not thread-safe; the simulation is single-threaded by
+/// design (determinism).
+class SimNetwork {
+ public:
+  SimNetwork() = default;
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Registers a site and returns its id. The site must outlive the
+  /// network.
+  SiteId Register(Site* site);
+
+  /// Delivers `msg` to msg.to, charging the traffic counters. Delivery is
+  /// synchronous: the destination's OnMessage runs before Send returns.
+  void Send(Message msg);
+
+  /// Number of registered sites.
+  size_t site_count() const { return sites_.size(); }
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+ private:
+  std::vector<Site*> sites_;
+  NetworkStats stats_;
+  int delivery_depth_ = 0;
+};
+
+}  // namespace essdds::sdds
+
+#endif  // ESSDDS_SDDS_NETWORK_H_

@@ -1,0 +1,141 @@
+#include "sdds/rs_code.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace essdds::sdds {
+
+namespace {
+
+const gf::GfField& Field() { return gf::GfField::Of(8); }
+
+}  // namespace
+
+RsCode::RsCode(int k, int m, gf::GfMatrix generator)
+    : k_(k), m_(m), generator_(std::move(generator)) {}
+
+Result<RsCode> RsCode::Create(int k, int m) {
+  if (k < 1 || m < 1 || k + m > 256) {
+    return Status::InvalidArgument("RS code needs 1<=k, 1<=m, k+m<=256");
+  }
+  const gf::GfField& f = Field();
+  // Cauchy points: x_j = j for parity rows, y_i = m + i for data columns —
+  // pairwise distinct, so every square submatrix of [I; C] is invertible.
+  std::vector<uint32_t> x(m), y(k);
+  for (int j = 0; j < m; ++j) x[j] = static_cast<uint32_t>(j);
+  for (int i = 0; i < k; ++i) y[i] = static_cast<uint32_t>(m + i);
+  ESSDDS_ASSIGN_OR_RETURN(gf::GfMatrix cauchy, gf::GfMatrix::Cauchy(f, x, y));
+
+  gf::GfMatrix gen(f, static_cast<size_t>(k + m), static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) gen.Set(i, i, 1);
+  for (int j = 0; j < m; ++j) {
+    for (int i = 0; i < k; ++i) {
+      gen.Set(static_cast<size_t>(k + j), static_cast<size_t>(i),
+              cauchy.At(static_cast<size_t>(j), static_cast<size_t>(i)));
+    }
+  }
+  return RsCode(k, m, std::move(gen));
+}
+
+Result<std::vector<Bytes>> RsCode::Encode(
+    const std::vector<Bytes>& data) const {
+  if (data.size() != static_cast<size_t>(k_)) {
+    return Status::InvalidArgument("Encode expects exactly k data buffers");
+  }
+  size_t len = 0;
+  for (const Bytes& d : data) len = std::max(len, d.size());
+
+  const gf::GfField& f = Field();
+  std::vector<Bytes> parity(static_cast<size_t>(m_), Bytes(len, 0));
+  for (int j = 0; j < m_; ++j) {
+    Bytes& out = parity[static_cast<size_t>(j)];
+    for (int i = 0; i < k_; ++i) {
+      const uint32_t coeff = generator_.At(static_cast<size_t>(k_ + j),
+                                           static_cast<size_t>(i));
+      const Bytes& src = data[static_cast<size_t>(i)];
+      for (size_t b = 0; b < src.size(); ++b) {
+        out[b] = static_cast<uint8_t>(f.Add(out[b], f.Mul(coeff, src[b])));
+      }
+    }
+  }
+  return parity;
+}
+
+Result<std::vector<Bytes>> RsCode::Decode(
+    const std::vector<std::optional<Bytes>>& pieces) const {
+  if (pieces.size() != static_cast<size_t>(k_ + m_)) {
+    return Status::InvalidArgument("Decode expects k+m piece slots");
+  }
+  // Gather the first k surviving pieces, preferring data pieces (cheap
+  // identity rows).
+  std::vector<size_t> chosen;
+  for (size_t i = 0; i < pieces.size() && chosen.size() < static_cast<size_t>(k_); ++i) {
+    if (pieces[i].has_value()) chosen.push_back(i);
+  }
+  if (chosen.size() < static_cast<size_t>(k_)) {
+    return Status::FailedPrecondition(
+        "too many erasures: fewer than k pieces survive");
+  }
+  size_t len = 0;
+  for (size_t i : chosen) len = std::max(len, pieces[i]->size());
+
+  const gf::GfField& f = Field();
+  gf::GfMatrix sub(f, static_cast<size_t>(k_), static_cast<size_t>(k_));
+  for (size_t r = 0; r < static_cast<size_t>(k_); ++r) {
+    for (size_t c = 0; c < static_cast<size_t>(k_); ++c) {
+      sub.Set(r, c, generator_.At(chosen[r], c));
+    }
+  }
+  ESSDDS_ASSIGN_OR_RETURN(gf::GfMatrix inv, sub.Inverse());
+
+  // data[c] = sum_r inv[c][r] * piece[chosen[r]]  (byte-wise).
+  std::vector<Bytes> data(static_cast<size_t>(k_), Bytes(len, 0));
+  for (size_t c = 0; c < static_cast<size_t>(k_); ++c) {
+    Bytes& out = data[c];
+    for (size_t r = 0; r < static_cast<size_t>(k_); ++r) {
+      const uint32_t coeff = inv.At(c, r);
+      if (coeff == 0) continue;
+      const Bytes& src = *pieces[chosen[r]];
+      for (size_t b = 0; b < src.size(); ++b) {
+        out[b] = static_cast<uint8_t>(f.Add(out[b], f.Mul(coeff, src[b])));
+      }
+    }
+  }
+  return data;
+}
+
+Bytes SerializeRecords(
+    const std::vector<std::pair<uint64_t, Bytes>>& records) {
+  Bytes out;
+  AppendBigEndian32(static_cast<uint32_t>(records.size()), out);
+  for (const auto& [key, value] : records) {
+    AppendBigEndian64(key, out);
+    AppendBigEndian32(static_cast<uint32_t>(value.size()), out);
+    out.insert(out.end(), value.begin(), value.end());
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<uint64_t, Bytes>>> DeserializeRecords(
+    ByteSpan data) {
+  std::vector<std::pair<uint64_t, Bytes>> out;
+  size_t pos = 0;
+  auto need = [&](size_t n) { return pos + n <= data.size(); };
+  if (!need(4)) return Status::Corruption("truncated record block header");
+  const uint32_t count = LoadBigEndian32(data.data());
+  pos = 4;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!need(12)) return Status::Corruption("truncated record header");
+    const uint64_t key = LoadBigEndian64(data.data() + pos);
+    const uint32_t len = LoadBigEndian32(data.data() + pos + 8);
+    pos += 12;
+    if (!need(len)) return Status::Corruption("truncated record value");
+    out.emplace_back(key, Bytes(data.begin() + static_cast<ptrdiff_t>(pos),
+                                data.begin() + static_cast<ptrdiff_t>(pos + len)));
+    pos += len;
+  }
+  return out;
+}
+
+}  // namespace essdds::sdds

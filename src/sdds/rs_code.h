@@ -1,0 +1,55 @@
+#ifndef ESSDDS_SDDS_RS_CODE_H_
+#define ESSDDS_SDDS_RS_CODE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gf/matrix.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace essdds::sdds {
+
+/// Systematic Reed-Solomon erasure code over GF(2^8) with a Cauchy parity
+/// matrix — the coding layer of the paper's LH*_RS companion ([LMS05]): k
+/// data buckets per group plus m parity buckets survive any m simultaneous
+/// site failures. Also demonstrates the claim in the paper's Stage 3 that
+/// "any dispersion algorithm (such as erasure correcting codes popularized
+/// as IDA) that maintains the same information will do".
+class RsCode {
+ public:
+  /// Creates a (k, m) code; requires 1 <= k, 1 <= m, k + m <= 256.
+  static Result<RsCode> Create(int k, int m);
+
+  int k() const { return k_; }
+  int m() const { return m_; }
+
+  /// Encodes k equal-length data buffers into m parity buffers.
+  Result<std::vector<Bytes>> Encode(const std::vector<Bytes>& data) const;
+
+  /// Reconstructs all k data buffers from any k surviving pieces. `pieces`
+  /// has k + m slots (data first, then parity); erased slots are nullopt.
+  /// Fails when fewer than k pieces survive.
+  Result<std::vector<Bytes>> Decode(
+      const std::vector<std::optional<Bytes>>& pieces) const;
+
+ private:
+  RsCode(int k, int m, gf::GfMatrix generator);
+
+  int k_;
+  int m_;
+  /// (k+m) x k over GF(2^8): identity on top, Cauchy parity rows below.
+  /// Every k x k submatrix is invertible (MDS property).
+  gf::GfMatrix generator_;
+};
+
+/// Serializes a bucket's record map for parity computation / recovery
+/// (length-prefixed records). Used by the recovery tooling and tests.
+Bytes SerializeRecords(const std::vector<std::pair<uint64_t, Bytes>>& records);
+Result<std::vector<std::pair<uint64_t, Bytes>>> DeserializeRecords(
+    ByteSpan data);
+
+}  // namespace essdds::sdds
+
+#endif  // ESSDDS_SDDS_RS_CODE_H_

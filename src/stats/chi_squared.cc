@@ -1,0 +1,43 @@
+#include "stats/chi_squared.h"
+
+#include <cmath>
+
+namespace essdds::stats {
+
+double ChiSquaredUniform(
+    const std::unordered_map<uint64_t, uint64_t>& observed,
+    uint64_t num_cells) {
+  ESSDDS_CHECK(num_cells >= 1);
+  uint64_t total = 0;
+  for (const auto& [cell, count] : observed) total += count;
+  if (total == 0) return 0.0;
+
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(num_cells);
+  double chi2 = 0.0;
+  for (const auto& [cell, count] : observed) {
+    const double diff = static_cast<double>(count) - expected;
+    chi2 += diff * diff / expected;
+  }
+  // Every unobserved cell contributes (0 - e)^2 / e = e.
+  const uint64_t unobserved = num_cells - observed.size();
+  chi2 += static_cast<double>(unobserved) * expected;
+  return chi2;
+}
+
+double ChiSquaredUniform(const NgramCounter& counter) {
+  return ChiSquaredUniform(counter.counts(), counter.num_cells());
+}
+
+double EmpiricalEntropyBits(const NgramCounter& counter) {
+  const double total = static_cast<double>(counter.total());
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [cell, count] : counter.counts()) {
+    const double p = static_cast<double>(count) / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace essdds::stats

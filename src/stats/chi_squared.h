@@ -1,0 +1,29 @@
+#ifndef ESSDDS_STATS_CHI_SQUARED_H_
+#define ESSDDS_STATS_CHI_SQUARED_H_
+
+#include "stats/ngram.h"
+
+namespace essdds::stats {
+
+/// Pearson chi-squared statistic of an n-gram distribution against the
+/// uniform distribution over all possible n-grams — the measure used
+/// throughout the paper's Tables 1-5. Zero-count cells contribute their
+/// expected mass (handled in closed form, so 256^3 triplet cells cost
+/// nothing).
+///
+/// chi2 = sum_cells (observed - expected)^2 / expected,
+/// expected = total / num_cells.
+double ChiSquaredUniform(const NgramCounter& counter);
+
+/// Chi-squared from a raw histogram against uniform over `num_cells`
+/// possible outcomes; zero-count cells again handled in closed form.
+/// `observed` holds only nonzero counts.
+double ChiSquaredUniform(const std::unordered_map<uint64_t, uint64_t>& observed,
+                         uint64_t num_cells);
+
+/// Shannon entropy (bits/symbol) of the empirical n-gram distribution.
+double EmpiricalEntropyBits(const NgramCounter& counter);
+
+}  // namespace essdds::stats
+
+#endif  // ESSDDS_STATS_CHI_SQUARED_H_

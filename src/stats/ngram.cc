@@ -1,0 +1,80 @@
+#include "stats/ngram.h"
+
+#include <algorithm>
+
+namespace essdds::stats {
+
+NgramCounter::NgramCounter(int n, uint64_t alphabet_size)
+    : n_(n), alphabet_size_(alphabet_size) {
+  ESSDDS_CHECK(n >= 1 && n <= 8);
+  ESSDDS_CHECK(alphabet_size >= 2);
+  // Overflow guard for alphabet_size^n.
+  num_cells_ = 1;
+  for (int i = 0; i < n; ++i) {
+    ESSDDS_CHECK(num_cells_ <= (~uint64_t{0}) / alphabet_size)
+        << "n-gram cell space exceeds 64 bits";
+    num_cells_ *= alphabet_size;
+  }
+}
+
+void NgramCounter::Add(std::span<const uint32_t> sequence) {
+  if (sequence.size() < static_cast<size_t>(n_)) return;
+  for (size_t i = 0; i + static_cast<size_t>(n_) <= sequence.size(); ++i) {
+    counts_[PackCell(sequence.subspan(i, static_cast<size_t>(n_)))]++;
+    ++total_;
+  }
+}
+
+void NgramCounter::AddText(std::string_view text) {
+  ESSDDS_CHECK(alphabet_size_ >= 256);
+  std::vector<uint32_t> symbols(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    symbols[i] = static_cast<uint8_t>(text[i]);
+  }
+  Add(symbols);
+}
+
+uint64_t NgramCounter::CountOf(uint64_t cell) const {
+  auto it = counts_.find(cell);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+uint64_t NgramCounter::PackCell(std::span<const uint32_t> symbols) const {
+  ESSDDS_DCHECK(symbols.size() == static_cast<size_t>(n_));
+  uint64_t cell = 0;
+  for (uint32_t s : symbols) {
+    ESSDDS_DCHECK(s < alphabet_size_);
+    cell = cell * alphabet_size_ + s;
+  }
+  return cell;
+}
+
+std::vector<uint32_t> NgramCounter::UnpackCell(uint64_t cell) const {
+  std::vector<uint32_t> symbols(static_cast<size_t>(n_));
+  for (int i = n_ - 1; i >= 0; --i) {
+    symbols[static_cast<size_t>(i)] =
+        static_cast<uint32_t>(cell % alphabet_size_);
+    cell /= alphabet_size_;
+  }
+  return symbols;
+}
+
+std::vector<NgramCounter::TopEntry> NgramCounter::Top(size_t k) const {
+  std::vector<TopEntry> entries;
+  entries.reserve(counts_.size());
+  for (const auto& [cell, count] : counts_) {
+    entries.push_back(TopEntry{
+        cell, count,
+        total_ == 0 ? 0.0
+                    : static_cast<double>(count) / static_cast<double>(total_)});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const TopEntry& a, const TopEntry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.cell < b.cell;
+            });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+}  // namespace essdds::stats

@@ -1,0 +1,71 @@
+#ifndef ESSDDS_STATS_NGRAM_H_
+#define ESSDDS_STATS_NGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace essdds::stats {
+
+/// Streaming n-gram counter over symbol sequences from an alphabet of
+/// `alphabet_size` symbols. Sequences are independent: n-grams never span a
+/// sequence boundary (matches the paper, which counts within records).
+/// Supports the paper's single letters (n=1), doublets (n=2) and triplets
+/// (n=3); any n up to 8 works as long as alphabet_size^n fits 64 bits.
+class NgramCounter {
+ public:
+  NgramCounter(int n, uint64_t alphabet_size);
+
+  /// Counts all n-grams of `sequence`.
+  void Add(std::span<const uint32_t> sequence);
+
+  /// Convenience for byte text (alphabet must be >= 256).
+  void AddText(std::string_view text);
+
+  int n() const { return n_; }
+  uint64_t alphabet_size() const { return alphabet_size_; }
+  /// Number of possible n-grams: alphabet_size^n.
+  uint64_t num_cells() const { return num_cells_; }
+  /// Total n-grams counted.
+  uint64_t total() const { return total_; }
+  /// Distinct n-grams observed.
+  size_t observed_cells() const { return counts_.size(); }
+
+  /// Count of one specific n-gram (by packed cell id).
+  uint64_t CountOf(uint64_t cell) const;
+
+  /// Packs symbols into a cell id (symbol-major, first symbol most
+  /// significant).
+  uint64_t PackCell(std::span<const uint32_t> symbols) const;
+  /// Inverse of PackCell.
+  std::vector<uint32_t> UnpackCell(uint64_t cell) const;
+
+  /// The raw observed counts (cell id -> count).
+  const std::unordered_map<uint64_t, uint64_t>& counts() const {
+    return counts_;
+  }
+
+  /// The `k` most frequent n-grams, ordered by descending count (ties by
+  /// cell id). Each entry is (cell, count, count/total).
+  struct TopEntry {
+    uint64_t cell;
+    uint64_t count;
+    double fraction;
+  };
+  std::vector<TopEntry> Top(size_t k) const;
+
+ private:
+  int n_;
+  uint64_t alphabet_size_;
+  uint64_t num_cells_;
+  uint64_t total_ = 0;
+  std::unordered_map<uint64_t, uint64_t> counts_;
+};
+
+}  // namespace essdds::stats
+
+#endif  // ESSDDS_STATS_NGRAM_H_

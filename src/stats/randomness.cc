@@ -1,0 +1,176 @@
+#include "stats/randomness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "util/bitstream.h"
+
+namespace essdds::stats {
+
+namespace {
+
+size_t BitCount(ByteSpan data) { return data.size() * 8; }
+
+int BitAt(ByteSpan data, size_t i) {
+  return (data[i / 8] >> (7 - i % 8)) & 1;
+}
+
+// Critical values of the chi-squared distribution at alpha = 0.01.
+constexpr double kChi2Crit3df = 11.345;   // serial test (4 cells)
+constexpr double kChi2Crit15df = 30.578;  // poker test (16 cells)
+
+}  // namespace
+
+RandomnessTestResult MonobitTest(ByteSpan data) {
+  RandomnessTestResult r{.name = "monobit"};
+  const size_t n = BitCount(data);
+  if (n == 0) return r;
+  int64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) sum += BitAt(data, i) ? 1 : -1;
+  const double s_obs =
+      std::abs(static_cast<double>(sum)) / std::sqrt(static_cast<double>(n));
+  r.statistic = s_obs;
+  const double p_value = std::erfc(s_obs / std::sqrt(2.0));
+  r.passed = p_value >= 0.01;
+  return r;
+}
+
+RandomnessTestResult RunsTest(ByteSpan data) {
+  RandomnessTestResult r{.name = "runs"};
+  const size_t n = BitCount(data);
+  if (n < 2) return r;
+  size_t ones = 0;
+  for (size_t i = 0; i < n; ++i) ones += static_cast<size_t>(BitAt(data, i));
+  const double pi = static_cast<double>(ones) / static_cast<double>(n);
+  // NIST prerequisite: the frequency test must be passable at all.
+  if (std::abs(pi - 0.5) >= 2.0 / std::sqrt(static_cast<double>(n))) {
+    r.statistic = std::abs(pi - 0.5);
+    r.passed = false;
+    return r;
+  }
+  uint64_t runs = 1;
+  for (size_t i = 1; i < n; ++i) {
+    runs += static_cast<uint64_t>(BitAt(data, i) != BitAt(data, i - 1));
+  }
+  const double nn = static_cast<double>(n);
+  const double expected = 2.0 * nn * pi * (1.0 - pi);
+  const double denom = 2.0 * std::sqrt(2.0 * nn) * pi * (1.0 - pi);
+  const double stat =
+      std::abs(static_cast<double>(runs) - expected) / denom;
+  r.statistic = stat;
+  r.passed = std::erfc(stat / std::sqrt(2.0)) >= 0.01;
+  return r;
+}
+
+RandomnessTestResult SerialTest(ByteSpan data) {
+  RandomnessTestResult r{.name = "serial2"};
+  const size_t n = BitCount(data);
+  if (n < 8) return r;
+  // Non-overlapping 2-bit patterns, chi-squared against uniform (df = 3).
+  uint64_t counts[4] = {0, 0, 0, 0};
+  const size_t pairs = n / 2;
+  for (size_t p = 0; p < pairs; ++p) {
+    const int v = (BitAt(data, 2 * p) << 1) | BitAt(data, 2 * p + 1);
+    counts[v]++;
+  }
+  const double expected = static_cast<double>(pairs) / 4.0;
+  double chi2 = 0.0;
+  for (uint64_t c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  r.statistic = chi2;
+  r.passed = chi2 < kChi2Crit3df;
+  return r;
+}
+
+RandomnessTestResult PokerTest(ByteSpan data) {
+  RandomnessTestResult r{.name = "poker4"};
+  const size_t n = BitCount(data);
+  if (n < 64) return r;
+  uint64_t counts[16] = {0};
+  const size_t nibbles = n / 4;
+  for (size_t i = 0; i < nibbles; ++i) {
+    const uint8_t byte = data[i / 2];
+    const int v = (i % 2 == 0) ? (byte >> 4) : (byte & 0xF);
+    counts[v]++;
+  }
+  double sum_sq = 0.0;
+  for (uint64_t c : counts) {
+    sum_sq += static_cast<double>(c) * static_cast<double>(c);
+  }
+  const double m = static_cast<double>(nibbles);
+  const double x = (16.0 / m) * sum_sq - m;
+  r.statistic = x;
+  r.passed = x < kChi2Crit15df;
+  return r;
+}
+
+RandomnessTestResult CumulativeSumsTest(ByteSpan data) {
+  RandomnessTestResult r{.name = "cusum"};
+  const size_t n = BitCount(data);
+  if (n < 100) return r;
+  int64_t sum = 0;
+  int64_t max_excursion = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += BitAt(data, i) ? 1 : -1;
+    max_excursion = std::max<int64_t>(max_excursion, std::abs(sum));
+  }
+  const double z = static_cast<double>(max_excursion) /
+                   std::sqrt(static_cast<double>(n));
+  r.statistic = z;
+  // NIST's exact p-value is a theta-function series; the dominant term
+  // gives p ~ 2*(erfc(z/sqrt(2))-ish). Use the conservative bound
+  // p >= 0.01 <=> z <= ~3.1 for large n.
+  r.passed = z <= 3.1;
+  return r;
+}
+
+RandomnessTestResult ApproximateEntropyTest(ByteSpan data) {
+  RandomnessTestResult r{.name = "apen2"};
+  const size_t n = BitCount(data);
+  if (n < 128) return r;
+  // phi(m): sum of p*log(p) over overlapping m-bit patterns (cyclic).
+  auto phi = [&](int m) {
+    std::vector<uint64_t> counts(size_t{1} << m, 0);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t v = 0;
+      for (int j = 0; j < m; ++j) {
+        v = (v << 1) | static_cast<uint32_t>(BitAt(data, (i + static_cast<size_t>(j)) % n));
+      }
+      counts[v]++;
+    }
+    double acc = 0.0;
+    for (uint64_t c : counts) {
+      if (c == 0) continue;
+      const double p = static_cast<double>(c) / static_cast<double>(n);
+      acc += p * std::log(p);
+    }
+    return acc;
+  };
+  const int m = 2;
+  const double apen = phi(m) - phi(m + 1);
+  const double chi2 =
+      2.0 * static_cast<double>(n) * (std::log(2.0) - apen);
+  r.statistic = chi2;
+  // chi-squared with 2^m = 4 degrees of freedom; alpha = 0.01 -> 13.277.
+  r.passed = chi2 < 13.277;
+  return r;
+}
+
+std::vector<RandomnessTestResult> RunAllRandomnessTests(ByteSpan data) {
+  return {MonobitTest(data),  RunsTest(data),
+          SerialTest(data),   PokerTest(data),
+          CumulativeSumsTest(data), ApproximateEntropyTest(data)};
+}
+
+Bytes PackSymbolsToBits(const std::vector<uint32_t>& symbols,
+                        int bits_per_symbol) {
+  BitWriter w;
+  for (uint32_t s : symbols) w.Write(s, bits_per_symbol);
+  return w.TakeBuffer();
+}
+
+}  // namespace essdds::stats

@@ -1,0 +1,49 @@
+#ifndef ESSDDS_STATS_RANDOMNESS_H_
+#define ESSDDS_STATS_RANDOMNESS_H_
+
+#include <string>
+
+#include "util/bytes.h"
+
+namespace essdds::stats {
+
+/// Result of one statistical randomness test (NIST SP 800-22 style, which
+/// the paper's §6 proposes for judging index-record quality). `statistic`
+/// is test-specific; `passed` applies the test's alpha = 0.01 criterion.
+struct RandomnessTestResult {
+  std::string name;
+  double statistic = 0.0;
+  bool passed = false;
+};
+
+/// Frequency (monobit) test: |#ones - #zeros| / sqrt(n) must be small.
+RandomnessTestResult MonobitTest(ByteSpan data);
+
+/// Runs test: number of maximal runs of equal bits vs. expectation.
+RandomnessTestResult RunsTest(ByteSpan data);
+
+/// Serial test over overlapping 2-bit patterns (chi-squared).
+RandomnessTestResult SerialTest(ByteSpan data);
+
+/// Poker test (FIPS 140-1 style) over 4-bit nibbles.
+RandomnessTestResult PokerTest(ByteSpan data);
+
+/// Cumulative-sums test (NIST SP 800-22 §2.13): the maximum excursion of
+/// the +/-1 random walk must stay near sqrt(n).
+RandomnessTestResult CumulativeSumsTest(ByteSpan data);
+
+/// Approximate-entropy test (NIST SP 800-22 §2.12) with block length m=2:
+/// compares the frequency of overlapping 2-bit and 3-bit patterns.
+RandomnessTestResult ApproximateEntropyTest(ByteSpan data);
+
+/// Runs the whole battery (6 tests).
+std::vector<RandomnessTestResult> RunAllRandomnessTests(ByteSpan data);
+
+/// Packs a stream of `bits_per_symbol`-wide symbols into bytes so symbol
+/// streams (e.g. 2-bit dispersal pieces) can be fed to the bit-level tests.
+Bytes PackSymbolsToBits(const std::vector<uint32_t>& symbols,
+                        int bits_per_symbol);
+
+}  // namespace essdds::stats
+
+#endif  // ESSDDS_STATS_RANDOMNESS_H_

@@ -1,0 +1,40 @@
+#include "util/bitstream.h"
+
+#include <utility>
+
+namespace essdds {
+
+void BitWriter::Write(uint64_t value, int bits) {
+  ESSDDS_CHECK(bits >= 1 && bits <= 64);
+  for (int i = bits - 1; i >= 0; --i) {
+    const int bit = static_cast<int>((value >> i) & 1);
+    const size_t byte_index = bit_count_ / 8;
+    if (byte_index == buffer_.size()) buffer_.push_back(0);
+    if (bit) {
+      buffer_[byte_index] |= static_cast<uint8_t>(1u << (7 - bit_count_ % 8));
+    }
+    ++bit_count_;
+  }
+}
+
+Bytes BitWriter::TakeBuffer() {
+  bit_count_ = 0;
+  return std::exchange(buffer_, Bytes{});
+}
+
+Result<uint64_t> BitReader::Read(int bits) {
+  ESSDDS_CHECK(bits >= 1 && bits <= 64);
+  if (remaining_bits() < static_cast<size_t>(bits)) {
+    return Status::OutOfRange("bit stream exhausted");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < bits; ++i) {
+    const size_t byte_index = pos_ / 8;
+    const int bit = (data_[byte_index] >> (7 - pos_ % 8)) & 1;
+    v = (v << 1) | static_cast<uint64_t>(bit);
+    ++pos_;
+  }
+  return v;
+}
+
+}  // namespace essdds

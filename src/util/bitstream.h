@@ -1,0 +1,51 @@
+#ifndef ESSDDS_UTIL_BITSTREAM_H_
+#define ESSDDS_UTIL_BITSTREAM_H_
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace essdds {
+
+/// Writes values of arbitrary bit width (1..64) into a packed MSB-first
+/// buffer. Used to pack g-bit dispersal symbols and t-bit bucket codes.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the low `bits` bits of `value`, most significant bit first.
+  void Write(uint64_t value, int bits);
+
+  /// Number of bits written so far.
+  size_t bit_count() const { return bit_count_; }
+
+  /// Returns the packed buffer, zero-padding the final partial byte.
+  const Bytes& buffer() const { return buffer_; }
+
+  /// Moves the buffer out; the writer is reset to empty.
+  Bytes TakeBuffer();
+
+ private:
+  Bytes buffer_;
+  size_t bit_count_ = 0;
+};
+
+/// Reads fixed-width values back out of a packed MSB-first buffer.
+class BitReader {
+ public:
+  explicit BitReader(ByteSpan data) : data_(data) {}
+
+  /// Reads `bits` bits (1..64) MSB-first. Returns OutOfRange past the end.
+  Result<uint64_t> Read(int bits);
+
+  /// Bits remaining in the buffer.
+  size_t remaining_bits() const { return data_.size() * 8 - pos_; }
+
+ private:
+  ByteSpan data_;
+  size_t pos_ = 0;  // bit position
+};
+
+}  // namespace essdds
+
+#endif  // ESSDDS_UTIL_BITSTREAM_H_

@@ -1,0 +1,76 @@
+#ifndef ESSDDS_UTIL_LOGGING_H_
+#define ESSDDS_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace essdds {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+namespace internal_logging {
+
+/// Stream-style log message; emits on destruction. A kFatal message aborts
+/// the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Null sink used when a CHECK passes; swallows the streamed message.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+/// Minimum level that is actually emitted (default kWarning so tests and
+/// benches stay quiet). Thread-safe to read; set once at startup.
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+#define ESSDDS_LOG(level)                                            \
+  ::essdds::internal_logging::LogMessage(::essdds::LogLevel::level,  \
+                                         __FILE__, __LINE__)
+
+/// Invariant check: aborts with the streamed message when `cond` is false.
+/// Supports trailing stream syntax: ESSDDS_CHECK(x) << "context". Used only
+/// for programmer errors, never for data-dependent failures (those return
+/// Status).
+#define ESSDDS_CHECK(cond)                                             \
+  if (cond) {                                                          \
+  } else /* NOLINT */                                                  \
+    ::essdds::internal_logging::LogMessage(::essdds::LogLevel::kFatal, \
+                                           __FILE__, __LINE__)         \
+        << "Check failed: " #cond " "
+
+#define ESSDDS_DCHECK(cond) ESSDDS_CHECK(cond)
+
+}  // namespace essdds
+
+#endif  // ESSDDS_UTIL_LOGGING_H_

@@ -1,0 +1,56 @@
+#ifndef ESSDDS_UTIL_RANDOM_H_
+#define ESSDDS_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace essdds {
+
+/// Deterministic pseudo-random generator (xoshiro256**). Every randomized
+/// component in the library takes an explicit seed so runs are reproducible;
+/// this generator is NOT cryptographic (crypto keys come from crypto/).
+class Rng {
+ public:
+  /// Seeds the state with splitmix64 expansion of `seed`.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be > 0. Uses rejection sampling,
+  /// so the distribution is exactly uniform.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples an index from a discrete distribution given cumulative weights
+  /// (non-decreasing, last element is the total). Used by the workload
+  /// generator for weighted name picks.
+  size_t SampleCumulative(const std::vector<double>& cumulative);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace essdds
+
+#endif  // ESSDDS_UTIL_RANDOM_H_

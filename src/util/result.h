@@ -1,0 +1,78 @@
+#ifndef ESSDDS_UTIL_RESULT_H_
+#define ESSDDS_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace essdds {
+
+/// Either a value of type T or an error Status. Modeled on
+/// absl::StatusOr / arrow::Result: construction from T yields an OK result,
+/// construction from a non-OK Status yields an error result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: the common `return value;` case.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    ESSDDS_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; calling these on an error result aborts.
+  const T& value() const& {
+    ESSDDS_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    ESSDDS_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    ESSDDS_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; on success binds the
+/// value to `lhs`.
+#define ESSDDS_ASSIGN_OR_RETURN(lhs, rexpr)                     \
+  ESSDDS_ASSIGN_OR_RETURN_IMPL_(                                \
+      ESSDDS_RESULT_CONCAT_(_essdds_result_, __LINE__), lhs, rexpr)
+
+#define ESSDDS_RESULT_CONCAT_INNER_(a, b) a##b
+#define ESSDDS_RESULT_CONCAT_(a, b) ESSDDS_RESULT_CONCAT_INNER_(a, b)
+#define ESSDDS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace essdds
+
+#endif  // ESSDDS_UTIL_RESULT_H_

@@ -1,0 +1,111 @@
+#include "workload/names.h"
+
+namespace essdds::workload {
+
+namespace {
+
+// Weights are per-100000 rough frequencies, shaped to reproduce the SF
+// directory's properties the paper depends on: a heavy head of short
+// East-Asian surnames (the source of its false-positive storms), a long
+// Hispanic/European tail, and letter frequencies dominated by A/E/N/R/I/O.
+constexpr WeightedName kSurnames[] = {
+    // East-Asian heavy head (short names on purpose).
+    {"LEE", 2100},     {"WONG", 1800},    {"CHAN", 1500},   {"CHEN", 1300},
+    {"KIM", 1150},     {"YU", 970},       {"WU", 900},      {"LI", 850},
+    {"NG", 820},       {"WOO", 800},      {"LIM", 760},     {"LIN", 740},
+    {"HO", 720},       {"MAK", 700},      {"LEW", 680},     {"MAI", 660},
+    {"OU", 640},       {"IP", 620},       {"BA", 600},      {"LE", 590},
+    {"TRAN", 580},     {"NGUYEN", 1400},  {"WANG", 560},    {"LIU", 540},
+    {"CHANG", 530},    {"HUANG", 510},    {"YANG", 500},    {"ZHANG", 480},
+    {"CHOW", 460},     {"CHU", 450},      {"FONG", 440},    {"KWAN", 430},
+    {"LAM", 420},      {"LAU", 410},      {"LEUNG", 400},   {"LOUIE", 390},
+    {"TAM", 380},      {"TANG", 370},     {"TOM", 360},     {"YEE", 350},
+    {"SITU", 340},     {"DER", 330},      {"ENG", 320},     {"GEE", 310},
+    {"HOM", 300},      {"JANG", 290},     {"JUE", 280},     {"KAY", 540},
+    {"SEE", 520},      {"PHAM", 260},     {"VU", 250},      {"DANG", 240},
+    {"DINH", 230},     {"DOAN", 220},     {"DUONG", 210},   {"HOANG", 200},
+    // Hispanic names (the paper's ABOGADO/ALBAREZ/ARBELAEZ flavor).
+    {"GARCIA", 950},   {"MARTINEZ", 900}, {"RODRIGUEZ", 880}, {"LOPEZ", 860},
+    {"HERNANDEZ", 840}, {"GONZALEZ", 820}, {"PEREZ", 800},  {"SANCHEZ", 780},
+    {"RAMIREZ", 760},  {"TORRES", 740},   {"FLORES", 720},  {"RIVERA", 700},
+    {"GOMEZ", 680},    {"DIAZ", 660},     {"REYES", 640},   {"MORALES", 620},
+    {"CRUZ", 600},     {"ORTIZ", 580},    {"GUTIERREZ", 560}, {"CHAVEZ", 540},
+    {"RAMOS", 520},    {"RUIZ", 500},     {"ALVAREZ", 480}, {"MENDOZA", 460},
+    {"VASQUEZ", 440},  {"CASTILLO", 420}, {"JIMENEZ", 400}, {"MORENO", 380},
+    {"ROMERO", 360},   {"HERRERA", 340},  {"MEDINA", 320},  {"AGUILAR", 300},
+    {"ABOGADO", 60},   {"ALBAREZ", 55},   {"ARBELAEZ", 50}, {"ALGAHIEM", 45},
+    // European / American names.
+    {"SMITH", 1200},   {"JOHNSON", 1000}, {"WILLIAMS", 900}, {"BROWN", 850},
+    {"JONES", 800},    {"MILLER", 780},   {"DAVIS", 750},   {"WILSON", 700},
+    {"ANDERSON", 680}, {"TAYLOR", 650},   {"THOMAS", 630},  {"MOORE", 600},
+    {"MARTIN", 580},   {"JACKSON", 560},  {"THOMPSON", 540}, {"WHITE", 520},
+    {"HARRIS", 500},   {"CLARK", 480},    {"LEWIS", 460},   {"ROBINSON", 440},
+    {"WALKER", 420},   {"YOUNG", 400},    {"ALLEN", 380},   {"KING", 360},
+    {"WRIGHT", 340},   {"SCOTT", 320},    {"GREEN", 300},   {"BAKER", 290},
+    {"ADAMS", 280},    {"NELSON", 270},   {"HILL", 260},    {"CAMPBELL", 250},
+    {"MITCHELL", 240}, {"ROBERTS", 230},  {"CARTER", 220},  {"PHILLIPS", 210},
+    {"EVANS", 200},    {"TURNER", 190},   {"PARKER", 180},  {"COLLINS", 170},
+    {"EDWARDS", 160},  {"STEWART", 150},  {"MORRIS", 140},  {"MURPHY", 130},
+    {"COOK", 120},     {"ROGERS", 110},   {"SULLIVAN", 100}, {"O'BRIEN", 90},
+    {"SCHWARZ", 40},   {"LITWIN", 30},    {"TSUI", 35},     {"SOTO", 80},
+    {"AKIMOTO", 70},   {"ALGHAZALY", 25}, {"ARMENANTE", 20}, {"AFDAHL", 15},
+    {"DAMSTER", 10},   {"ADAMSON", 85},   {"PETERSON", 240}, {"GRAY", 230},
+    {"JAMES", 220},    {"WATSON", 210},   {"BROOKS", 200},  {"KELLY", 190},
+    {"SANDERS", 180},  {"PRICE", 170},    {"BENNETT", 160}, {"WOOD", 150},
+    {"BARNES", 140},   {"ROSS", 130},     {"HENDERSON", 120}, {"COLEMAN", 110},
+    {"JENKINS", 100},  {"PERRY", 95},     {"POWELL", 90},   {"LONG", 85},
+    {"PATTERSON", 80}, {"HUGHES", 75},    {"WASHINGTON", 70}, {"BUTLER", 65},
+    {"SIMMONS", 60},   {"FOSTER", 55},    {"GONZALES", 50}, {"BRYANT", 45},
+    {"ALEXANDER", 40}, {"RUSSELL", 38},   {"GRIFFIN", 36},  {"HAYES", 34},
+    {"MYERS", 32},     {"FORD", 30},      {"HAMILTON", 28}, {"GRAHAM", 26},
+    {"WALLACE", 24},   {"WOODS", 22},     {"COLE", 20},     {"WEST", 18},
+    {"OWENS", 16},     {"REED", 55},      {"FISHER", 50},   {"ELLIS", 45},
+    // Middle-Eastern / South-Asian tail.
+    {"ALI", 260},      {"KHAN", 240},     {"SINGH", 280},   {"PATEL", 300},
+    {"SHAH", 220},     {"KUMAR", 200},    {"RAHMAN", 120},  {"HASSAN", 110},
+    {"AHMED", 180},    {"MOHAMED", 150},  {"EBREHIM", 12},  {"NAKAMURA", 90},
+    {"TANAKA", 85},    {"YAMAMOTO", 80},  {"SATO", 75},     {"SUZUKI", 70},
+    {"YOSHIMI", 30},   {"KOBAYASHI", 60}, {"WATANABE", 55}, {"ITO", 65},
+};
+
+constexpr WeightedName kGivenNames[] = {
+    {"MICHAEL", 900}, {"DAVID", 850},    {"JOHN", 820},    {"JAMES", 800},
+    {"ROBERT", 780},  {"MARY", 760},     {"MARIA", 740},   {"LINDA", 700},
+    {"WILLIAM", 680}, {"RICHARD", 660},  {"THOMAS", 640},  {"SUSAN", 620},
+    {"JOSE", 600},    {"CARLOS", 580},   {"JUAN", 560},    {"LUIS", 540},
+    {"ANA", 520},     {"CARMEN", 500},   {"ROSA", 480},    {"ALEJANDRO", 90},
+    {"CATHERINE", 300}, {"ELIZABETH", 440}, {"JENNIFER", 420}, {"PATRICIA", 400},
+    {"BARBARA", 380}, {"CHARLES", 360},  {"JOSEPH", 340},  {"DANIEL", 320},
+    {"PAUL", 300},    {"MARK", 290},     {"GEORGE", 280},  {"KENNETH", 270},
+    {"STEVEN", 260},  {"EDWARD", 250},   {"BRIAN", 240},   {"RONALD", 230},
+    {"ANTHONY", 220}, {"KEVIN", 210},    {"JASON", 200},   {"JEFF", 190},
+    {"GARY", 180},    {"TIMOTHY", 170},  {"JOSHUA", 160},  {"LARRY", 150},
+    {"WEI", 340},     {"MING", 320},     {"HONG", 300},    {"JUN", 280},
+    {"LI", 260},      {"YAN", 240},      {"HUI", 220},     {"XIN", 200},
+    {"MEI", 190},     {"LING", 180},     {"YING", 170},    {"FENG", 160},
+    {"KWOK", 150},    {"SIU", 140},      {"WAI", 130},     {"KAM", 120},
+    {"QUOC", 110},    {"MINH", 100},     {"THANH", 95},    {"VAN", 90},
+    {"HIROSHI", 60},  {"YOSHIMI", 55},   {"KENJI", 50},    {"AKIRA", 45},
+    {"GINA", 120},    {"LIBIA", 15},     {"MARIA TERESA", 40}, {"ANNA", 220},
+    {"SANDRA", 200},  {"DONNA", 180},    {"CAROL", 160},   {"RUTH", 140},
+    {"SHARON", 130},  {"MICHELLE", 120}, {"LAURA", 110},   {"SARAH", 100},
+    {"KIMBERLY", 90}, {"DEBORAH", 80},   {"JESSICA", 70},  {"SHIRLEY", 60},
+    {"CYNTHIA", 55},  {"ANGELA", 50},    {"MELISSA", 45},  {"BRENDA", 40},
+    {"AMY", 140},     {"IRENE", 120},    {"GRACE", 160},   {"JOYCE", 100},
+    {"MOHAMMED", 80}, {"FATIMA", 60},    {"RAVI", 55},     {"PRIYA", 50},
+    {"AL", 65},       {"ED", 60},        {"JO", 55},       {"BO", 50},
+};
+
+}  // namespace
+
+std::span<const WeightedName> Surnames() { return kSurnames; }
+
+std::span<const WeightedName> GivenNames() { return kGivenNames; }
+
+uint64_t TotalWeight(std::span<const WeightedName> corpus) {
+  uint64_t total = 0;
+  for (const WeightedName& w : corpus) total += w.weight;
+  return total;
+}
+
+}  // namespace essdds::workload

@@ -1,0 +1,33 @@
+#ifndef ESSDDS_WORKLOAD_NAMES_H_
+#define ESSDDS_WORKLOAD_NAMES_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace essdds::workload {
+
+/// A weighted name entry. Weights approximate a Zipf-like frequency profile
+/// with the heavy East-Asian surname mass the paper observes in the San
+/// Francisco directory ("because of the heavy presence of Asian names, the
+/// frequency distribution of letters is somewhat unusual"; its false
+/// positives were dominated by short names such as YU, OU, IP, WU, LI, LE,
+/// WOO, KIM, LEE, MAI, LIM, MAK, LEW).
+struct WeightedName {
+  std::string_view name;
+  uint32_t weight;
+};
+
+/// Surname corpus (San Francisco-like mix: East-Asian heavy, Hispanic and
+/// European names present, many 2-3 letter surnames).
+std::span<const WeightedName> Surnames();
+
+/// Given-name corpus (capitalized, Western and Asian given names).
+std::span<const WeightedName> GivenNames();
+
+/// Sum of all weights in a corpus (precomputed, for samplers).
+uint64_t TotalWeight(std::span<const WeightedName> corpus);
+
+}  // namespace essdds::workload
+
+#endif  // ESSDDS_WORKLOAD_NAMES_H_

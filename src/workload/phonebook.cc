@@ -1,0 +1,173 @@
+#include "workload/phonebook.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "workload/names.h"
+
+namespace essdds::workload {
+
+namespace {
+
+/// Name field width in the Figure-4 line format.
+constexpr size_t kNameFieldWidth = 26;
+
+}  // namespace
+
+std::string PhoneRecord::FormattedLine() const {
+  std::string line = name;
+  if (line.size() < kNameFieldWidth) {
+    line.append(kNameFieldWidth - line.size(), '%');
+  }
+  line += phone;
+  line += "$$";
+  return line;
+}
+
+Result<PhoneRecord> ParseFormattedLine(std::string_view line) {
+  if (line.size() < 2 || line.substr(line.size() - 2) != "$$") {
+    return Status::InvalidArgument("line does not end in $$");
+  }
+  line.remove_suffix(2);
+  // The phone number is the trailing 12 characters (ddd-ddd-dddd).
+  if (line.size() < 12) {
+    return Status::InvalidArgument("line too short for a phone number");
+  }
+  const std::string_view phone = line.substr(line.size() - 12);
+  if (phone[3] != '-' || phone[7] != '-') {
+    return Status::InvalidArgument("malformed phone number");
+  }
+  PhoneRecord rec;
+  rec.phone = std::string(phone);
+  uint64_t rid = 0;
+  for (char c : phone) {
+    if (c == '-') continue;
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("non-digit in phone number");
+    }
+    rid = rid * 10 + static_cast<uint64_t>(c - '0');
+  }
+  rec.rid = rid;
+  std::string_view name = line.substr(0, line.size() - 12);
+  // Strip the '%' padding.
+  const size_t pad = name.find('%');
+  if (pad != std::string_view::npos) name = name.substr(0, pad);
+  if (name.empty()) {
+    return Status::InvalidArgument("empty name field");
+  }
+  rec.name = std::string(name);
+  return rec;
+}
+
+PhonebookGenerator::PhonebookGenerator(uint64_t seed,
+                                       double synthetic_surname_rate)
+    : rng_(seed), synthetic_surname_rate_(synthetic_surname_rate) {
+  double acc = 0.0;
+  for (const WeightedName& w : Surnames()) {
+    acc += static_cast<double>(w.weight);
+    surname_cumulative_.push_back(acc);
+  }
+  acc = 0.0;
+  for (const WeightedName& w : GivenNames()) {
+    acc += static_cast<double>(w.weight);
+    given_cumulative_.push_back(acc);
+  }
+}
+
+std::string PhonebookGenerator::SampleSurname() {
+  if (rng_.Bernoulli(synthetic_surname_rate_)) return ComposeSurname();
+  return std::string(
+      Surnames()[rng_.SampleCumulative(surname_cumulative_)].name);
+}
+
+std::string PhonebookGenerator::ComposeSurname() {
+  // Syllable composition approximating the directory's mixed onomastics;
+  // yields a long tail of distinct-but-plausible capitalized surnames.
+  static constexpr std::string_view kOnsets[] = {
+      "B",  "BR", "C",  "CH", "D",  "F",  "G",  "GR", "H",  "J",
+      "K",  "KR", "L",  "M",  "N",  "P",  "R",  "S",  "SCH", "SH",
+      "ST", "T",  "TR", "V",  "W",  "Y",  "Z"};
+  static constexpr std::string_view kNuclei[] = {"A",  "E",  "I",  "O",
+                                                 "U",  "AI", "EI", "OU"};
+  static constexpr std::string_view kCodas[] = {
+      "",   "N",  "NG", "R",  "S",  "L",  "M",  "T",  "K",
+      "RD", "NS", "LL", "TZ", "CK", "X"};
+  const int syllables = 2 + static_cast<int>(rng_.Uniform(2));
+  std::string name;
+  for (int i = 0; i < syllables; ++i) {
+    name += kOnsets[rng_.Uniform(std::size(kOnsets))];
+    name += kNuclei[rng_.Uniform(std::size(kNuclei))];
+    if (i + 1 == syllables || rng_.Bernoulli(0.4)) {
+      name += kCodas[rng_.Uniform(std::size(kCodas))];
+    }
+  }
+  return name;
+}
+
+std::string PhonebookGenerator::SampleGivenName() {
+  return std::string(
+      GivenNames()[rng_.SampleCumulative(given_cumulative_)].name);
+}
+
+PhoneRecord PhonebookGenerator::GenerateOne(uint64_t sequence) {
+  PhoneRecord rec;
+  // Unique, deterministic numbers in the paper's changed 415-xxx-xxxx space.
+  const uint64_t exchange = 409 + sequence / 10000;
+  const uint64_t line = sequence % 10000;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "415-%03llu-%04llu",
+                static_cast<unsigned long long>(exchange),
+                static_cast<unsigned long long>(line));
+  rec.phone = buf;
+  rec.rid = 4150000000ULL + exchange * 10000 + line;
+
+  // Name shapes follow the Figure-4 extract.
+  const uint64_t shape = rng_.Uniform(100);
+  rec.name = SampleSurname();
+  rec.name += ' ';
+  if (shape < 55) {
+    rec.name += SampleGivenName();                       // ADRIAN CORTEZ
+  } else if (shape < 75) {
+    rec.name += static_cast<char>('A' + rng_.Uniform(26));  // AFDAHL E
+  } else if (shape < 90) {
+    rec.name += SampleGivenName();                       // ... GIVEN & GIVEN
+    rec.name += " & ";
+    rec.name += SampleGivenName();
+  } else {
+    rec.name += SampleGivenName();                       // ... GIVEN X
+    rec.name += ' ';
+    rec.name += static_cast<char>('A' + rng_.Uniform(26));
+  }
+  return rec;
+}
+
+std::vector<PhoneRecord> PhonebookGenerator::Generate(size_t count) {
+  std::vector<PhoneRecord> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(GenerateOne(static_cast<uint64_t>(i)));
+  }
+  return out;
+}
+
+std::string_view SurnameOf(const PhoneRecord& record) {
+  const size_t space = record.name.find(' ');
+  return space == std::string::npos
+             ? std::string_view(record.name)
+             : std::string_view(record.name).substr(0, space);
+}
+
+std::vector<const PhoneRecord*> SampleRecords(
+    const std::vector<PhoneRecord>& corpus, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<size_t> indices(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) indices[i] = i;
+  rng.Shuffle(indices);
+  count = std::min(count, corpus.size());
+  std::vector<const PhoneRecord*> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(&corpus[indices[i]]);
+  return out;
+}
+
+}  // namespace essdds::workload

@@ -1,0 +1,76 @@
+#ifndef ESSDDS_WORKLOAD_PHONEBOOK_H_
+#define ESSDDS_WORKLOAD_PHONEBOOK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/result.h"
+
+namespace essdds::workload {
+
+/// One white-pages entry. The paper's records are flat: the telephone
+/// number serves as the record identifier (RID, assumed non-sensitive) and
+/// the subscriber name is the record content (RC) that gets indexed and
+/// searched.
+struct PhoneRecord {
+  uint64_t rid = 0;       // telephone number digits, e.g. 4154090271
+  std::string name;       // capitalized subscriber name, e.g. "ADRIAN CORTEZ"
+  std::string phone;      // formatted, e.g. "415-409-0271"
+
+  /// The paper's Figure-4 line format: name padded with '%' to a fixed
+  /// width, then the number, then "$$".
+  std::string FormattedLine() const;
+};
+
+/// Parses a Figure-4 formatted line back into a record.
+Result<PhoneRecord> ParseFormattedLine(std::string_view line);
+
+/// Deterministic synthetic stand-in for the paper's 282,965-entry San
+/// Francisco White Pages extract (the original scrape is not available; see
+/// DESIGN.md §5 for why this preserves the experiments' behaviour). Name
+/// shapes follow Figure 4: "SURNAME GIVEN", "SURNAME INITIAL",
+/// "SURNAME GIVEN & GIVEN", "SURNAME GIVEN MIDDLE-INITIAL".
+class PhonebookGenerator {
+ public:
+  /// The paper's corpus size.
+  static constexpr size_t kPaperCorpusSize = 282965;
+
+  /// `synthetic_surname_rate`: fraction of records whose surname is freshly
+  /// composed from syllables instead of drawn from the fixed corpus. A real
+  /// directory has tens of thousands of distinct surnames; the long
+  /// synthetic tail keeps false-positive rates comparable to the paper's
+  /// without disturbing the head of the frequency distribution.
+  explicit PhonebookGenerator(uint64_t seed,
+                              double synthetic_surname_rate = 0.25);
+
+  /// Generates `count` records with unique RIDs (deterministic in seed).
+  std::vector<PhoneRecord> Generate(size_t count);
+
+  /// Generates one record with the given sequence number.
+  PhoneRecord GenerateOne(uint64_t sequence);
+
+ private:
+  std::string SampleSurname();
+  std::string SampleGivenName();
+  std::string ComposeSurname();
+
+  Rng rng_;
+  double synthetic_surname_rate_;
+  std::vector<double> surname_cumulative_;
+  std::vector<double> given_cumulative_;
+};
+
+/// Extracts the surname (first whitespace-delimited token) of a record
+/// name; the paper's false-positive experiments search for last names.
+std::string_view SurnameOf(const PhoneRecord& record);
+
+/// Samples `count` distinct records from `corpus` (the paper extracts 1000
+/// random records and searches for their last names).
+std::vector<const PhoneRecord*> SampleRecords(
+    const std::vector<PhoneRecord>& corpus, size_t count, uint64_t seed);
+
+}  // namespace essdds::workload
+
+#endif  // ESSDDS_WORKLOAD_PHONEBOOK_H_

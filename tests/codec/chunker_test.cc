@@ -1,0 +1,126 @@
+#include "codec/chunker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace essdds::codec {
+namespace {
+
+uint64_t Pack(std::string_view s) {
+  uint64_t v = 0;
+  for (char c : s) v = (v << 8) | static_cast<uint8_t>(c);
+  return v;
+}
+
+class ChunkerTest : public ::testing::Test {
+ protected:
+  IdentityEncoder enc_;
+};
+
+TEST_F(ChunkerTest, PaperExampleOffsets) {
+  // §2.2: s = 4 over "ABCDEFGHIJKLMNOPQRSTUVWXYZ" (partial chunks dropped in
+  // this implementation, per the paper's own experimental choice in §7).
+  auto chunker = Chunker::Create(&enc_, 4);
+  ASSERT_TRUE(chunker.ok());
+  const std::string rc = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+  auto c0 = chunker->BuildChunks(rc, 0);
+  ASSERT_EQ(c0.size(), 6u);  // ABCD EFGH IJKL MNOP QRST UVWX (YZ dropped)
+  EXPECT_EQ(c0[0], Pack("ABCD"));
+  EXPECT_EQ(c0[5], Pack("UVWX"));
+
+  auto c1 = chunker->BuildChunks(rc, 1);
+  ASSERT_EQ(c1.size(), 6u);  // BCDE FGHI JKLM NOPQ RSTU VWXY (Z dropped)
+  EXPECT_EQ(c1[0], Pack("BCDE"));
+  EXPECT_EQ(c1[5], Pack("VWXY"));
+
+  auto c2 = chunker->BuildChunks(rc, 2);
+  ASSERT_EQ(c2.size(), 6u);  // CDEF ... WXYZ
+  EXPECT_EQ(c2[5], Pack("WXYZ"));
+
+  auto c3 = chunker->BuildChunks(rc, 3);
+  ASSERT_EQ(c3.size(), 5u);  // DEFG HIJK LMNO PQRS TUVW (XYZ dropped)
+  EXPECT_EQ(c3[0], Pack("DEFG"));
+  EXPECT_EQ(c3[4], Pack("TUVW"));
+}
+
+TEST_F(ChunkerTest, ShortTextYieldsNoChunks) {
+  auto chunker = Chunker::Create(&enc_, 4);
+  EXPECT_TRUE(chunker->BuildChunks("ABC", 0).empty());
+  EXPECT_TRUE(chunker->BuildChunks("ABCD", 1).empty());
+  EXPECT_TRUE(chunker->BuildChunks("", 0).empty());
+}
+
+TEST_F(ChunkerTest, ExactMultiple) {
+  auto chunker = Chunker::Create(&enc_, 2);
+  auto chunks = chunker->BuildChunks("ABCD", 0);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0], Pack("AB"));
+  EXPECT_EQ(chunks[1], Pack("CD"));
+}
+
+TEST_F(ChunkerTest, ChunkBitsAndSymbols) {
+  auto chunker = Chunker::Create(&enc_, 4);
+  EXPECT_EQ(chunker->chunk_bits(), 32);
+  EXPECT_EQ(chunker->symbols_per_chunk(), 4);
+  EXPECT_EQ(chunker->codes_per_chunk(), 4);
+}
+
+TEST_F(ChunkerTest, RejectsOversizedChunks) {
+  EXPECT_FALSE(Chunker::Create(&enc_, 9).ok());  // 72 bits
+  EXPECT_TRUE(Chunker::Create(&enc_, 8).ok());   // 64 bits
+  EXPECT_FALSE(Chunker::Create(&enc_, 0).ok());
+  EXPECT_FALSE(Chunker::Create(nullptr, 4).ok());
+}
+
+TEST_F(ChunkerTest, EqualSubstringsProduceEqualChunks) {
+  // The property search relies on: the same symbols at chunk-aligned
+  // positions produce the same chunk value.
+  auto chunker = Chunker::Create(&enc_, 4);
+  auto a = chunker->BuildChunks("XXXXSCHWARZX", 4);  // SCHW ARZX
+  auto b = chunker->BuildChunks("SCHWARZX", 0);      // SCHW ARZX
+  EXPECT_EQ(a, b);
+}
+
+TEST(ChunkerStage2Test, PaperSymbolEncodingExample) {
+  // §7: "ABOGADO ALEJANDRO & CATHERINE" with 8 single-symbol encodings,
+  // chunk size 2 -> first chunking [c0 c1][c2 c3]...
+  std::map<std::string, uint64_t> counts;
+  // Any counts work for structure checks; give every char of the record
+  // some weight.
+  const std::string rec = "ABOGADO ALEJANDRO & CATHERINE";
+  for (char c : rec) counts[std::string(1, c)] += 1;
+  auto enc =
+      FrequencyEncoder::FromCounts(counts, {.unit_symbols = 1, .num_codes = 8});
+  ASSERT_TRUE(enc.ok());
+  auto chunker = Chunker::Create(&*enc, 2);
+  ASSERT_TRUE(chunker.ok());
+
+  auto codes = enc->EncodeStream(rec, 0);
+  ASSERT_EQ(codes.size(), rec.size());
+  auto chunks0 = chunker->BuildChunks(rec, 0);
+  auto chunks1 = chunker->BuildChunks(rec, 1);
+  // 29 symbols: offset 0 -> 14 chunks (last symbol dropped); offset 1 -> 14.
+  EXPECT_EQ(chunks0.size(), 14u);
+  EXPECT_EQ(chunks1.size(), 14u);
+  // Chunk 0 of chunking 0 packs codes[0],codes[1] in 3 bits each.
+  EXPECT_EQ(chunks0[0], (uint64_t{codes[0]} << 3) | codes[1]);
+}
+
+TEST(ChunkerStage2Test, TwoSymbolUnitChunking) {
+  // Units of 2 symbols, 2 codes per chunk -> a chunk spans 4 symbols.
+  std::vector<std::string> corpus = {"ABOGADO ALEJANDRO & CATHERINE"};
+  auto enc =
+      FrequencyEncoder::Train(corpus, {.unit_symbols = 2, .num_codes = 16});
+  ASSERT_TRUE(enc.ok());
+  auto chunker = Chunker::Create(&*enc, 2);
+  ASSERT_TRUE(chunker.ok());
+  EXPECT_EQ(chunker->symbols_per_chunk(), 4);
+  auto chunks = chunker->BuildChunks("ABCDEFGH", 0);
+  EXPECT_EQ(chunks.size(), 2u);  // [AB CD] [EF GH]
+}
+
+}  // namespace
+}  // namespace essdds::codec

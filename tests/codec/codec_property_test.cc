@@ -1,0 +1,119 @@
+// Cross-module codec properties exercised as parameterized sweeps.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "codec/chunker.h"
+#include "codec/dispersal.h"
+#include "codec/symbol_encoder.h"
+#include "util/random.h"
+#include "workload/phonebook.h"
+
+namespace essdds::codec {
+namespace {
+
+class ChunkerSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(UnitAndChunk, ChunkerSweep,
+                         ::testing::Combine(::testing::Values(1, 2),
+                                            ::testing::Values(1, 2, 4, 6,
+                                                              8)));
+
+TEST_P(ChunkerSweep, ChunkCountMatchesArithmetic) {
+  auto [unit, s] = GetParam();
+  if (unit * s * 8 > 64) GTEST_SKIP() << "chunk too wide for uint64";
+  std::vector<std::string> corpus = {"SCHWARZ THOMAS & WITOLD LITWIN JR"};
+  auto enc = FrequencyEncoder::Train(
+      corpus, {.unit_symbols = unit, .num_codes = 16});
+  ASSERT_TRUE(enc.ok());
+  auto chunker = Chunker::Create(&*enc, s);
+  ASSERT_TRUE(chunker.ok());
+  const std::string& text = corpus[0];
+  for (size_t offset = 0; offset < static_cast<size_t>(unit * s); ++offset) {
+    const auto chunks = chunker->BuildChunks(text, offset);
+    const size_t units =
+        text.size() >= offset ? (text.size() - offset) / unit : 0;
+    EXPECT_EQ(chunks.size(), units / static_cast<size_t>(s))
+        << "unit " << unit << " s " << s << " offset " << offset;
+  }
+}
+
+TEST_P(ChunkerSweep, ChunkValuesStayInRange) {
+  auto [unit, s] = GetParam();
+  if (unit * s * 8 > 64) GTEST_SKIP();
+  std::vector<std::string> corpus = {"ABOGADO ALEJANDRO & CATHERINE"};
+  auto enc = FrequencyEncoder::Train(
+      corpus, {.unit_symbols = unit, .num_codes = 16});
+  auto chunker = Chunker::Create(&*enc, s);
+  const uint64_t bound = uint64_t{1} << chunker->chunk_bits();
+  for (const uint64_t c : chunker->BuildChunks(corpus[0], 0)) {
+    EXPECT_LT(c, bound);
+  }
+}
+
+TEST(CodecPropertyTest, EncodeStreamConsistentWithEncodeUnit) {
+  std::vector<std::string> corpus = {"SCHWARZ THOMAS"};
+  auto enc =
+      FrequencyEncoder::Train(corpus, {.unit_symbols = 2, .num_codes = 8});
+  ASSERT_TRUE(enc.ok());
+  const std::string text = "SCHWARZ";
+  auto stream = enc->EncodeStream(text, 1);
+  ASSERT_EQ(stream.size(), 3u);  // CH WA RZ
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const uint8_t* p =
+        reinterpret_cast<const uint8_t*>(text.data()) + 1 + 2 * i;
+    EXPECT_EQ(stream[i], enc->EncodeUnit(ByteSpan(p, 2)));
+  }
+}
+
+TEST(CodecPropertyTest, DispersalPreservesEqualityExactly) {
+  // The searchability invariant: chunks are equal iff all pieces are equal.
+  auto d = Disperser::Create(32, 4, 99);
+  ASSERT_TRUE(d.ok());
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t a = rng.Next() & 0xFFFFFFFF;
+    const uint64_t b = rng.Bernoulli(0.5) ? a : (rng.Next() & 0xFFFFFFFF);
+    const bool equal_chunks = (a == b);
+    const bool equal_pieces = d->DisperseChunk(a) == d->DisperseChunk(b);
+    EXPECT_EQ(equal_chunks, equal_pieces);
+  }
+}
+
+TEST(CodecPropertyTest, TrainedEncoderCoversRealCorpusWithoutFallback) {
+  // Training at all alignments must cover every unit the chunker later
+  // encounters at any offset (no hash-fallback surprises on training data).
+  workload::PhonebookGenerator gen(12);
+  auto records = gen.Generate(300);
+  std::vector<std::string> corpus;
+  for (const auto& r : records) corpus.push_back(r.name);
+  auto enc =
+      FrequencyEncoder::Train(corpus, {.unit_symbols = 2, .num_codes = 32});
+  ASSERT_TRUE(enc.ok());
+  const auto& assignment = enc->assignment();
+  for (const auto& r : records) {
+    for (size_t pos = 0; pos + 2 <= r.name.size(); ++pos) {
+      EXPECT_TRUE(assignment.contains(r.name.substr(pos, 2)))
+          << "unit '" << r.name.substr(pos, 2) << "' untrained";
+    }
+  }
+}
+
+TEST(CodecPropertyTest, BucketLoadsSumToTrainedOccurrences) {
+  std::map<std::string, uint64_t> counts = {
+      {"A", 10}, {"B", 20}, {"C", 30}, {"D", 40}};
+  auto enc =
+      FrequencyEncoder::FromCounts(counts, {.unit_symbols = 1, .num_codes = 4});
+  ASSERT_TRUE(enc.ok());
+  uint64_t total = 0;
+  for (uint64_t l : enc->bucket_loads()) total += l;
+  EXPECT_EQ(total, 100u);
+}
+
+}  // namespace
+}  // namespace essdds::codec

@@ -1,0 +1,132 @@
+#include "codec/dispersal.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "util/random.h"
+
+namespace essdds::codec {
+namespace {
+
+class DisperserParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+// (chunk_bits, k) including the paper's configurations: 8-bit symbols into
+// 4 pieces of 2 bits (Table 2), 32-bit chunks into 4, 48-bit into 3.
+INSTANTIATE_TEST_SUITE_P(Configs, DisperserParamTest,
+                         ::testing::Values(std::tuple{8, 4}, std::tuple{32, 4},
+                                           std::tuple{48, 3}, std::tuple{16, 2},
+                                           std::tuple{64, 4}, std::tuple{12, 3},
+                                           std::tuple{16, 1}));
+
+TEST_P(DisperserParamTest, RoundTripRecombination) {
+  auto [bits, k] = GetParam();
+  auto d = Disperser::Create(bits, k, 7);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_sites(), k);
+  EXPECT_EQ(d->piece_bits(), bits / k);
+  Rng rng(5);
+  const uint64_t mask =
+      bits == 64 ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t chunk = rng.Next() & mask;
+    auto pieces = d->DisperseChunk(chunk);
+    ASSERT_EQ(pieces.size(), static_cast<size_t>(k));
+    for (uint32_t p : pieces) {
+      EXPECT_LT(p, uint32_t{1} << d->piece_bits());
+    }
+    EXPECT_EQ(d->RecombineChunk(pieces), chunk);
+  }
+}
+
+TEST_P(DisperserParamTest, EqualChunksGiveEqualPieces) {
+  auto [bits, k] = GetParam();
+  auto d = Disperser::Create(bits, k, 9);
+  ASSERT_TRUE(d.ok());
+  const uint64_t chunk = 0x2A;
+  EXPECT_EQ(d->DisperseChunk(chunk), d->DisperseChunk(chunk));
+}
+
+TEST(DisperserTest, DistinctChunksDifferInSomePiece) {
+  auto d = Disperser::Create(32, 4, 11);
+  ASSERT_TRUE(d.ok());
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = rng.Next() & 0xFFFFFFFF;
+    uint64_t b = rng.Next() & 0xFFFFFFFF;
+    if (a == b) continue;
+    EXPECT_NE(d->DisperseChunk(a), d->DisperseChunk(b));
+  }
+}
+
+TEST(DisperserTest, PieceDependsOnWholeChunk) {
+  // The paper's rationale for matrix dispersal over plain slicing: with all
+  // E coefficients nonzero, flipping any input symbol changes every piece.
+  auto d = Disperser::Create(32, 4, 17);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(d->matrix().AllEntriesNonzero());
+  const uint64_t base = 0x01020304;
+  auto base_pieces = d->DisperseChunk(base);
+  for (int sym = 0; sym < 4; ++sym) {
+    // Change one 8-bit input symbol.
+    const uint64_t changed = base ^ (uint64_t{0xFF} << (8 * sym));
+    auto pieces = d->DisperseChunk(changed);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_NE(pieces[static_cast<size_t>(i)],
+                base_pieces[static_cast<size_t>(i)])
+          << "piece " << i << " unchanged when symbol " << sym << " flipped";
+    }
+  }
+}
+
+TEST(DisperserTest, SequenceStreamsLineUp) {
+  auto d = Disperser::Create(16, 2, 19);
+  ASSERT_TRUE(d.ok());
+  std::vector<uint64_t> chunks = {1, 2, 3, 0xFFFF, 42};
+  auto streams = d->DisperseSequence(chunks);
+  ASSERT_EQ(streams.size(), 2u);
+  ASSERT_EQ(streams[0].size(), chunks.size());
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    EXPECT_EQ(d->RecombineChunk({streams[0][c], streams[1][c]}), chunks[c]);
+  }
+}
+
+TEST(DisperserTest, DeterministicInSeed) {
+  auto a = Disperser::Create(32, 4, 123);
+  auto b = Disperser::Create(32, 4, 123);
+  auto c = Disperser::Create(32, 4, 124);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->DisperseChunk(99), b->DisperseChunk(99));
+  EXPECT_NE(a->DisperseChunk(99), c->DisperseChunk(99));
+}
+
+TEST(DisperserTest, RejectsBadConfigs) {
+  EXPECT_FALSE(Disperser::Create(33, 4, 1).ok());   // not divisible
+  EXPECT_FALSE(Disperser::Create(0, 4, 1).ok());    // empty chunk
+  EXPECT_FALSE(Disperser::Create(32, 0, 1).ok());   // no sites
+  EXPECT_FALSE(Disperser::Create(4, 4, 1).ok());    // g=1 with k>=2
+  EXPECT_FALSE(Disperser::Create(80, 4, 1).ok());   // > 64 bits
+  EXPECT_FALSE(Disperser::Create(64, 2, 1).ok());   // g=32 > 16
+}
+
+TEST(DisperserTest, Paper1To4ByteDispersalShape) {
+  // Table 2 setup: 8-bit symbols dispersed into four 2-bit pieces.
+  auto d = Disperser::Create(8, 4, 42);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->piece_bits(), 2);
+  std::set<uint64_t> images;
+  for (uint64_t sym = 0; sym < 256; ++sym) {
+    auto pieces = d->DisperseChunk(sym);
+    uint64_t packed = 0;
+    for (uint32_t p : pieces) packed = (packed << 2) | p;
+    images.insert(packed);
+  }
+  // The dispersal map is a bijection on the symbol space.
+  EXPECT_EQ(images.size(), 256u);
+}
+
+}  // namespace
+}  // namespace essdds::codec

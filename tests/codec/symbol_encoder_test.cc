@@ -1,0 +1,150 @@
+#include "codec/symbol_encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace essdds::codec {
+namespace {
+
+TEST(IdentityEncoderTest, PassesBytesThrough) {
+  IdentityEncoder enc;
+  EXPECT_EQ(enc.unit_symbols(), 1);
+  EXPECT_EQ(enc.num_codes(), 256u);
+  EXPECT_EQ(enc.code_bits(), 8);
+  uint8_t b = 'Q';
+  EXPECT_EQ(enc.EncodeUnit(ByteSpan(&b, 1)), uint32_t{'Q'});
+}
+
+TEST(IdentityEncoderTest, EncodeStreamCoversWholeText) {
+  IdentityEncoder enc;
+  auto codes = enc.EncodeStream("ABC", 0);
+  EXPECT_EQ(codes, (std::vector<uint32_t>{'A', 'B', 'C'}));
+  codes = enc.EncodeStream("ABC", 1);
+  EXPECT_EQ(codes, (std::vector<uint32_t>{'B', 'C'}));
+  EXPECT_TRUE(enc.EncodeStream("ABC", 3).empty());
+  EXPECT_TRUE(enc.EncodeStream("ABC", 99).empty());
+}
+
+TEST(FrequencyEncoderTest, CodeBitsIsCeilLog2) {
+  std::map<std::string, uint64_t> counts = {{"A", 10}, {"B", 5}};
+  for (auto [codes, bits] : std::vector<std::pair<uint32_t, int>>{
+           {2, 1}, {3, 2}, {4, 2}, {8, 3}, {16, 4}, {32, 5}, {128, 7}}) {
+    auto enc = FrequencyEncoder::FromCounts(
+        counts, {.unit_symbols = 1, .num_codes = codes});
+    ASSERT_TRUE(enc.ok());
+    EXPECT_EQ(enc->code_bits(), bits) << codes;
+  }
+}
+
+TEST(FrequencyEncoderTest, MostFrequentUnitsSpreadAcrossBuckets) {
+  // Mirrors the paper's Figure 5 construction: the heaviest units must land
+  // in distinct buckets.
+  std::map<std::string, uint64_t> counts = {
+      {" ", 503}, {"A", 495}, {"E", 407}, {"N", 383},
+      {"R", 350}, {"I", 300}, {"O", 287}, {"L", 258},
+      {"S", 258}, {"T", 200}, {"H", 186}, {"M", 178}};
+  auto enc =
+      FrequencyEncoder::FromCounts(counts, {.unit_symbols = 1, .num_codes = 8});
+  ASSERT_TRUE(enc.ok());
+  const auto& assign = enc->assignment();
+  std::set<uint32_t> top8_codes;
+  for (const char* u : {" ", "A", "E", "N", "R", "I", "O", "L"}) {
+    top8_codes.insert(assign.at(u));
+  }
+  EXPECT_EQ(top8_codes.size(), 8u);  // 8 heaviest units -> 8 distinct codes
+}
+
+TEST(FrequencyEncoderTest, BucketLoadsAreBalanced) {
+  std::vector<std::string> corpus;
+  // Synthetic skewed corpus: heavy 'E', light 'Z'.
+  corpus.push_back(std::string(500, 'E') + std::string(300, 'A') +
+                   std::string(200, 'N') + std::string(100, 'R') +
+                   std::string(50, 'I') + std::string(20, 'O') +
+                   std::string(10, 'Q') + std::string(5, 'Z'));
+  auto enc = FrequencyEncoder::Train(corpus, {.unit_symbols = 1, .num_codes = 4});
+  ASSERT_TRUE(enc.ok());
+  const auto& loads = enc->bucket_loads();
+  const uint64_t max_load = *std::max_element(loads.begin(), loads.end());
+  const uint64_t min_load = *std::min_element(loads.begin(), loads.end());
+  // LPT greedy keeps the spread tight relative to the dominant unit.
+  EXPECT_LE(max_load - min_load, 500u);
+  EXPECT_GT(min_load, 0u);
+}
+
+TEST(FrequencyEncoderTest, EncodingIsDeterministic) {
+  std::vector<std::string> corpus = {"SCHWARZ THOMAS", "LITWIN WITOLD",
+                                     "TSUI PETER"};
+  auto a = FrequencyEncoder::Train(corpus, {.unit_symbols = 1, .num_codes = 8});
+  auto b = FrequencyEncoder::Train(corpus, {.unit_symbols = 1, .num_codes = 8});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignment(), b->assignment());
+}
+
+TEST(FrequencyEncoderTest, LossyCollisionsExist) {
+  // With more units than codes, distinct units must share codes — the
+  // source of Stage-2 false positives.
+  std::vector<std::string> corpus = {"ABCDEFGHIJKLMNOPQRSTUVWXYZ"};
+  auto enc = FrequencyEncoder::Train(corpus, {.unit_symbols = 1, .num_codes = 8});
+  ASSERT_TRUE(enc.ok());
+  std::map<uint32_t, int> per_code;
+  for (const auto& [unit, code] : enc->assignment()) per_code[code]++;
+  int collisions = 0;
+  for (const auto& [code, n] : per_code) collisions += (n > 1);
+  EXPECT_GT(collisions, 0);
+}
+
+TEST(FrequencyEncoderTest, TwoSymbolUnits) {
+  std::vector<std::string> corpus = {"ABOGADO ALEJANDRO & CATHERINE"};
+  auto enc =
+      FrequencyEncoder::Train(corpus, {.unit_symbols = 2, .num_codes = 16});
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc->unit_symbols(), 2);
+  // Stream at offset 0: "AB","OG","AD",... offset 1: "BO","GA",...
+  auto s0 = enc->EncodeStream("ABOGADO", 0);
+  auto s1 = enc->EncodeStream("ABOGADO", 1);
+  EXPECT_EQ(s0.size(), 3u);  // AB OG AD (O dropped)
+  EXPECT_EQ(s1.size(), 3u);  // BO GA DO
+}
+
+TEST(FrequencyEncoderTest, UnknownUnitsHashDeterministically) {
+  std::map<std::string, uint64_t> counts = {{"A", 1}};
+  auto enc =
+      FrequencyEncoder::FromCounts(counts, {.unit_symbols = 1, .num_codes = 8});
+  ASSERT_TRUE(enc.ok());
+  uint8_t z = 'Z';
+  const uint32_t c1 = enc->EncodeUnit(ByteSpan(&z, 1));
+  const uint32_t c2 = enc->EncodeUnit(ByteSpan(&z, 1));
+  EXPECT_EQ(c1, c2);
+  EXPECT_LT(c1, 8u);
+}
+
+TEST(FrequencyEncoderTest, RejectsBadOptions) {
+  std::map<std::string, uint64_t> counts = {{"A", 1}};
+  EXPECT_FALSE(
+      FrequencyEncoder::FromCounts(counts, {.unit_symbols = 1, .num_codes = 1})
+          .ok());
+  EXPECT_FALSE(
+      FrequencyEncoder::FromCounts(counts, {.unit_symbols = 0, .num_codes = 8})
+          .ok());
+  EXPECT_FALSE(
+      FrequencyEncoder::FromCounts(counts, {.unit_symbols = 9, .num_codes = 8})
+          .ok());
+}
+
+TEST(FrequencyEncoderTest, EqualCodesNeverExceedUnitCount) {
+  // If there are fewer distinct units than codes, some buckets stay empty
+  // (the paper: "we did not succeed in equal distribution").
+  std::map<std::string, uint64_t> counts = {{"A", 5}, {"B", 3}};
+  auto enc = FrequencyEncoder::FromCounts(
+      counts, {.unit_symbols = 1, .num_codes = 16});
+  ASSERT_TRUE(enc.ok());
+  int used = 0;
+  for (uint64_t load : enc->bucket_loads()) used += (load > 0);
+  EXPECT_EQ(used, 2);
+}
+
+}  // namespace
+}  // namespace essdds::codec

@@ -1,0 +1,186 @@
+// Tests for the extension features beyond the paper's baseline: per-family
+// ECB keys, shrinking files under the encrypted store, and the full
+// Figure-2 worked example of the paper.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/encrypted_store.h"
+#include "workload/phonebook.h"
+
+namespace essdds::core {
+namespace {
+
+std::unique_ptr<EncryptedStore> MakeStore(
+    SchemeParams params, sdds::LhOptions index_opts = {},
+    std::span<const std::string> corpus = {}) {
+  EncryptedStore::Options opts;
+  opts.params = params;
+  opts.index_file = index_opts;
+  auto store = EncryptedStore::Create(opts, ToBytes("ext test"), corpus);
+  EXPECT_TRUE(store.ok()) << store.status();
+  return *std::move(store);
+}
+
+TEST(PerFamilyKeysTest, SearchStillWorks) {
+  SchemeParams p{.codes_per_chunk = 4, .per_family_keys = true};
+  auto store = MakeStore(p);
+  ASSERT_TRUE(store->Insert(1, "SCHWARZ THOMAS").ok());
+  ASSERT_TRUE(store->Insert(2, "WONG MING").ok());
+  auto rids = store->Search("SCHWARZ");
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(*rids, (std::vector<uint64_t>{1}));
+}
+
+TEST(PerFamilyKeysTest, WithDispersalAndStage2) {
+  SchemeParams p{.num_codes = 16,
+                 .codes_per_chunk = 4,
+                 .dispersal_sites = 2,
+                 .per_family_keys = true};
+  workload::PhonebookGenerator gen(9);
+  auto corpus = gen.Generate(80);
+  std::vector<std::string> training;
+  for (const auto& r : corpus) training.push_back(r.name);
+  auto store = MakeStore(p, {}, training);
+  for (const auto& r : corpus) ASSERT_TRUE(store->Insert(r.rid, r.name).ok());
+  int checked = 0;
+  for (const auto& r : corpus) {
+    if (r.name.size() < store->params().min_query_symbols()) continue;
+    auto rids = store->Search(r.name);
+    ASSERT_TRUE(rids.ok());
+    EXPECT_TRUE(std::binary_search(rids->begin(), rids->end(), r.rid))
+        << r.name;
+    ++checked;
+  }
+  EXPECT_GT(checked, 60);
+}
+
+TEST(PerFamilyKeysTest, FamiliesUseDistinctCodebooks) {
+  // The same content chunk at the same symbols must encrypt differently in
+  // different families (offset-0 chunk of family 0 vs the same 4 symbols
+  // appearing chunk-aligned in another record's family-0... so instead
+  // compare across stores: per-family off => family streams of a repeated
+  // pattern coincide at aligned offsets; on => they don't).
+  const std::string content = "ABCDABCDABCDABCD";  // period == chunk size
+  SchemeParams off{.codes_per_chunk = 4};
+  SchemeParams on{.codes_per_chunk = 4, .per_family_keys = true};
+  auto pipe_off = IndexPipeline::Create(off, ToBytes("k"), {});
+  auto pipe_on = IndexPipeline::Create(on, ToBytes("k"), {});
+  auto recs_off = pipe_off->BuildIndexRecords(1, content);
+  auto recs_on = pipe_on->BuildIndexRecords(1, content);
+  // Family 0 sees chunks "ABCD" repeated; its stream is constant in both,
+  // and family 0 uses the same key/tweak in both modes.
+  EXPECT_EQ(recs_off[0].stream[0], recs_off[0].stream[1]);
+  EXPECT_EQ(recs_on[0].stream[0], recs_on[0].stream[1]);
+  EXPECT_EQ(recs_on[0].stream[0], recs_off[0].stream[0]);
+  // Family 1 sees "BCDA" repeated. With a shared codebook its ciphertext is
+  // the shared encryption of "BCDA"; with per-family keys it must differ.
+  EXPECT_EQ(recs_off[1].stream[0], recs_off[1].stream[1]);
+  EXPECT_NE(recs_on[1].stream[0], recs_off[1].stream[0])
+      << "per-family keys did not change the family-1 codebook";
+}
+
+TEST(PerFamilyKeysTest, QueryWireGrowsByFamilyCount) {
+  SchemeParams off{.codes_per_chunk = 4};
+  SchemeParams on{.codes_per_chunk = 4, .per_family_keys = true};
+  auto pipe_off = IndexPipeline::Create(off, ToBytes("k"), {});
+  auto pipe_on = IndexPipeline::Create(on, ToBytes("k"), {});
+  auto q_off = pipe_off->BuildQuery("ABCDEFGHIJ");
+  auto q_on = pipe_on->BuildQuery("ABCDEFGHIJ");
+  EXPECT_GT(q_on->Serialize().size(), 3 * q_off->Serialize().size());
+  // Round trip.
+  auto back = SearchQuery::Deserialize(q_on->Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->per_family);
+  EXPECT_EQ(back->family_series.size(), 4u);
+  EXPECT_EQ(back->SeriesFor(2).size(), q_on->SeriesFor(2).size());
+}
+
+TEST(StoreShrinkTest, IndexFileShrinksWithDeletes) {
+  SchemeParams p{.codes_per_chunk = 4};
+  sdds::LhOptions index_opts{.bucket_capacity = 16, .merge_threshold = 0.25};
+  auto store = MakeStore(p, index_opts);
+  workload::PhonebookGenerator gen(77);
+  auto corpus = gen.Generate(400);
+  for (const auto& r : corpus) ASSERT_TRUE(store->Insert(r.rid, r.name).ok());
+  const size_t peak = store->index_file().bucket_count();
+  ASSERT_GT(peak, 32u);
+  for (size_t i = 0; i + 20 < corpus.size(); ++i) {
+    ASSERT_TRUE(store->Delete(corpus[i].rid).ok());
+  }
+  EXPECT_LT(store->index_file().bucket_count(), peak / 2);
+  // Remaining records still searchable.
+  for (size_t i = corpus.size() - 20; i < corpus.size(); ++i) {
+    const auto& r = corpus[i];
+    if (r.name.size() < store->params().min_query_symbols()) continue;
+    auto rids = store->Search(r.name);
+    ASSERT_TRUE(rids.ok());
+    EXPECT_TRUE(std::binary_search(rids->begin(), rids->end(), r.rid))
+        << r.name;
+  }
+}
+
+TEST(PaperExampleTest, Figure2SearchSchwarz) {
+  // Figure 2 of the paper: record RI=007 "415-409-5431SCHWARZ THOMAS J$$",
+  // chunk size 4 with two chunkings; searching the last name "SCHWARZ"
+  // (the paper pads with the leading space: " SCHWARZ") must hit.
+  SchemeParams p{.codes_per_chunk = 4, .chunking_stride = 2};
+  ASSERT_EQ(p.num_chunkings(), 2);  // two index records, like the figure
+  auto store = MakeStore(p);
+  const std::string rc = "415-409-5431SCHWARZ THOMAS J";
+  ASSERT_TRUE(store->Insert(7, rc).ok());
+  // The figure's two search chunkings (min query = s + stride - 1 = 5).
+  // " SCHWARZ " does not occur (a '1' precedes SCHWARZ), yet the scheme
+  // reports a hit: the leading space falls outside every full chunk of the
+  // matching alignments, so no site can verify it — the boundary
+  // false-positive class the paper's §2.3/§7 discussion describes.
+  auto rids = store->Search(" SCHWARZ ");
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(*rids, (std::vector<uint64_t>{7}));
+  rids = store->Search("SCHWARZ ");
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(*rids, (std::vector<uint64_t>{7}));
+  rids = store->Search("2SCHWARZ");
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(*rids, (std::vector<uint64_t>{7}));
+}
+
+TEST(PaperExampleTest, Section24FalsePositiveStructure) {
+  // §2.4: with only ONE stored chunking, "ACDEFGHI" false-positives against
+  // a record containing "BCDEFGHIJK" because the critical chunked search
+  // string (EFGH) coincides. With all chunkings + the AND rule, it doesn't.
+  const std::string record = "ABCDEFGHIJKLMNOP";
+
+  SchemeParams one_site{.codes_per_chunk = 4, .chunking_stride = 4};
+  ASSERT_TRUE(one_site.Validate().ok());
+  ASSERT_EQ(one_site.num_chunkings(), 1);
+  auto store1 = MakeStore(one_site);
+  ASSERT_TRUE(store1->Insert(1, record).ok());
+  // Query whose only full chunk at some alignment is "EFGH"-aligned:
+  // "ACDEFGH" (7 symbols >= min 4+4-1=7): alignments 0..3 -> chunks
+  // [ACDE]? no — offsets of full chunks: a=0: ACDE? "ACDEFGH" a=0 ->
+  // [ACDE]; a=1 -> [CDEF]; a=2 -> [DEFG]; a=3 -> [EFGH]. Only alignment 3
+  // matches the record's single chunking at the right phase.
+  auto rids = store1->Search("ACDEFGH");
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(*rids, (std::vector<uint64_t>{1}))
+      << "single-chunking storage must show the paper's false positive";
+
+  SchemeParams all_sites{.codes_per_chunk = 4,
+                         .combination =
+                             CombinationMode::kAllExpectedChunkings};
+  auto store4 = MakeStore(all_sites);
+  ASSERT_TRUE(store4->Insert(1, record).ok());
+  rids = store4->Search("ACDEFGH");
+  ASSERT_TRUE(rids.ok());
+  EXPECT_TRUE(rids->empty())
+      << "all-chunkings AND combination must kill the false positive";
+}
+
+}  // namespace
+}  // namespace essdds::core

@@ -1,0 +1,138 @@
+// Property sweep across the scheme's parameter grid: the no-false-negative
+// guarantee, serialization round trips, and storage accounting must hold
+// for every legal combination of (unit, codes, s, stride, k, mode,
+// per-family keys).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/encrypted_store.h"
+#include "util/random.h"
+#include "workload/phonebook.h"
+
+namespace essdds::core {
+namespace {
+
+// (unit_symbols, num_codes, codes_per_chunk, stride, k, mode, per_family)
+using GridPoint = std::tuple<int, uint32_t, int, int, int, int, bool>;
+
+class SchemeGridTest : public ::testing::TestWithParam<GridPoint> {
+ protected:
+  SchemeParams ParamsFromGrid() const {
+    auto [unit, codes, s, stride, k, mode, per_family] = GetParam();
+    SchemeParams p;
+    p.unit_symbols = unit;
+    p.num_codes = codes;
+    p.codes_per_chunk = s;
+    p.chunking_stride = stride;
+    p.dispersal_sites = k;
+    p.combination = static_cast<CombinationMode>(mode);
+    p.per_family_keys = per_family;
+    return p;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SchemeGridTest,
+    ::testing::Values(
+        // Stage-1-only shapes.
+        GridPoint{1, 256, 2, 1, 1, 0, false},
+        GridPoint{1, 256, 4, 1, 1, 0, false},
+        GridPoint{1, 256, 8, 1, 1, 0, false},
+        GridPoint{1, 256, 4, 2, 1, 0, false},
+        GridPoint{1, 256, 8, 4, 1, 0, false},
+        GridPoint{1, 256, 8, 8, 1, 0, false},
+        // Dispersal shapes (k | chunk bits, g in 2..16).
+        GridPoint{1, 256, 4, 1, 2, 0, false},
+        GridPoint{1, 256, 4, 1, 4, 0, false},
+        GridPoint{1, 256, 4, 1, 8, 0, false},
+        GridPoint{1, 256, 6, 1, 3, 0, false},
+        GridPoint{1, 256, 6, 2, 3, 0, false},
+        // Stage 2 shapes.
+        GridPoint{1, 8, 2, 1, 1, 0, false},
+        GridPoint{1, 32, 4, 1, 1, 0, false},
+        GridPoint{1, 16, 4, 2, 2, 0, false},
+        GridPoint{2, 16, 2, 1, 1, 0, false},
+        GridPoint{2, 64, 2, 2, 1, 0, false},
+        // AND combination.
+        GridPoint{1, 256, 4, 1, 4, 1, false},
+        GridPoint{1, 16, 4, 1, 2, 1, false},
+        GridPoint{2, 16, 2, 1, 1, 1, false},
+        // Per-family keys.
+        GridPoint{1, 256, 4, 1, 1, 0, true},
+        GridPoint{1, 256, 4, 1, 4, 0, true},
+        GridPoint{1, 16, 4, 1, 2, 1, true}));
+
+TEST_P(SchemeGridTest, ValidatesAndRoundTrips) {
+  SchemeParams p = ParamsFromGrid();
+  ASSERT_TRUE(p.Validate().ok()) << p.ToString();
+
+  workload::PhonebookGenerator gen(404);
+  auto corpus = gen.Generate(40);
+  std::vector<std::string> training;
+  for (const auto& r : corpus) training.push_back(r.name);
+
+  auto pipe = IndexPipeline::Create(p, ToBytes("grid"), training);
+  ASSERT_TRUE(pipe.ok()) << p.ToString();
+
+  // Index records: exactly the advertised count, streams serialize.
+  auto recs = pipe->BuildIndexRecords(1, corpus[0].name);
+  EXPECT_EQ(recs.size(),
+            static_cast<size_t>(p.index_records_per_record()));
+  for (const auto& r : recs) {
+    auto back = pipe->DeserializeStream(pipe->SerializeStream(r.stream));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, r.stream);
+  }
+
+  // Query round trip through the wire format.
+  std::string probe;
+  while (probe.size() < p.min_query_symbols()) probe += "SCHWARZ ";
+  probe.resize(std::max(p.min_query_symbols(), size_t{8}));
+  auto q = pipe->BuildQuery(probe);
+  ASSERT_TRUE(q.ok()) << p.ToString();
+  auto wire = q->Serialize();
+  auto parsed = SearchQuery::Deserialize(wire);
+  ASSERT_TRUE(parsed.ok()) << p.ToString();
+  EXPECT_EQ(parsed->per_family, p.per_family_keys);
+}
+
+TEST_P(SchemeGridTest, NoFalseNegativesEndToEnd) {
+  SchemeParams p = ParamsFromGrid();
+  EncryptedStore::Options opts;
+  opts.params = p;
+  workload::PhonebookGenerator gen(505);
+  auto corpus = gen.Generate(60);
+  std::vector<std::string> training;
+  for (const auto& r : corpus) training.push_back(r.name);
+  auto store = EncryptedStore::Create(opts, ToBytes("grid"), training);
+  ASSERT_TRUE(store.ok()) << p.ToString();
+  for (const auto& r : corpus) {
+    ASSERT_TRUE((*store)->Insert(r.rid, r.name).ok());
+  }
+
+  Rng rng(606);
+  int checked = 0;
+  for (const auto& r : corpus) {
+    if (r.name.size() < p.min_query_symbols()) continue;
+    const size_t extra = r.name.size() - p.min_query_symbols();
+    const size_t len = p.min_query_symbols() + rng.Uniform(extra + 1);
+    const size_t start = rng.Uniform(r.name.size() - len + 1);
+    const std::string needle = r.name.substr(start, len);
+    auto rids = (*store)->Search(needle);
+    ASSERT_TRUE(rids.ok()) << p.ToString();
+    EXPECT_TRUE(std::binary_search(rids->begin(), rids->end(), r.rid))
+        << p.ToString() << " needle='" << needle << "' in '" << r.name << "'";
+    ++checked;
+  }
+  EXPECT_GT(checked, 20) << p.ToString();
+}
+
+}  // namespace
+}  // namespace essdds::core

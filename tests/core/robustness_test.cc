@@ -1,0 +1,180 @@
+// Robustness and failure-injection tests: malformed wire bytes must never
+// crash or be misinterpreted, and the paper's §2.3 short-query expansion
+// must stay complete.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/encrypted_store.h"
+#include "core/pipeline.h"
+#include "sdds/rs_code.h"
+#include "util/random.h"
+#include "workload/phonebook.h"
+
+namespace essdds::core {
+namespace {
+
+std::unique_ptr<EncryptedStore> MakeStore(SchemeParams params) {
+  EncryptedStore::Options opts;
+  opts.params = params;
+  auto store = EncryptedStore::Create(opts, ToBytes("robustness"), {});
+  EXPECT_TRUE(store.ok());
+  return *std::move(store);
+}
+
+constexpr char kNameAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ &'-";
+
+TEST(ExpansionSearchTest, FindsOccurrencesOneBelowMinimum) {
+  auto store = MakeStore(SchemeParams{});  // s=4, min query 4
+  ASSERT_TRUE(store->Insert(1, "SCHWARZ THOMAS").ok());
+  ASSERT_TRUE(store->Insert(2, "WONG MING").ok());
+  // "ONG" is 3 symbols — below the minimum; plain Search refuses.
+  EXPECT_FALSE(store->Search("ONG").ok());
+  auto rids = store->SearchWithExpansion("ONG", kNameAlphabet);
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(*rids, (std::vector<uint64_t>{2}));
+}
+
+TEST(ExpansionSearchTest, CoversOccurrenceAtRecordEnd) {
+  auto store = MakeStore(SchemeParams{});
+  ASSERT_TRUE(store->Insert(1, "ABCDEFG").ok());
+  // "EFG" occurs only at the very end: right-extension alone would miss it;
+  // the left extension ("DEFG") finds it.
+  auto rids = store->SearchWithExpansion("EFG", kNameAlphabet);
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(*rids, (std::vector<uint64_t>{1}));
+}
+
+TEST(ExpansionSearchTest, CoversOccurrenceAtRecordStart) {
+  auto store = MakeStore(SchemeParams{});
+  ASSERT_TRUE(store->Insert(1, "ABCDEFG").ok());
+  auto rids = store->SearchWithExpansion("ABC", kNameAlphabet);
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(*rids, (std::vector<uint64_t>{1}));
+}
+
+TEST(ExpansionSearchTest, RejectsTooShortOrEmptyAlphabet) {
+  auto store = MakeStore(SchemeParams{});
+  EXPECT_FALSE(store->SearchWithExpansion("AB", kNameAlphabet).ok());
+  EXPECT_FALSE(store->SearchWithExpansion("ABC", "").ok());
+}
+
+TEST(ExpansionSearchTest, FullLengthQueryPassesThrough) {
+  auto store = MakeStore(SchemeParams{});
+  ASSERT_TRUE(store->Insert(1, "SCHWARZ").ok());
+  auto rids = store->SearchWithExpansion("SCHW", kNameAlphabet);
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(*rids, (std::vector<uint64_t>{1}));
+}
+
+TEST(ExpansionSearchTest, NoFalseNegativesOverCorpus) {
+  auto store = MakeStore(SchemeParams{});
+  workload::PhonebookGenerator gen(88);
+  auto corpus = gen.Generate(100);
+  for (const auto& r : corpus) ASSERT_TRUE(store->Insert(r.rid, r.name).ok());
+  int checked = 0;
+  for (const auto& r : corpus) {
+    if (r.name.size() < 3) continue;
+    const std::string fragment = r.name.substr(0, 3);  // min - 1 symbols
+    auto rids = store->SearchWithExpansion(fragment, kNameAlphabet);
+    ASSERT_TRUE(rids.ok());
+    EXPECT_TRUE(std::binary_search(rids->begin(), rids->end(), r.rid))
+        << fragment;
+    ++checked;
+  }
+  EXPECT_GT(checked, 90);
+}
+
+// --- deserializer fuzzing: random bytes must produce errors, not UB ---
+
+TEST(FuzzTest, SearchQueryDeserializeSurvivesRandomBytes) {
+  Rng rng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes junk(rng.Uniform(200));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.Next());
+    auto q = SearchQuery::Deserialize(junk);  // must not crash
+    if (q.ok()) {
+      // If it parsed, the invariants must hold.
+      EXPECT_GT(q->dispersal_sites, 0u);
+      EXPECT_LE(q->series.size(), 1024u);
+    }
+  }
+}
+
+TEST(FuzzTest, SearchQueryDeserializeSurvivesTruncation) {
+  SchemeParams p{.codes_per_chunk = 4, .dispersal_sites = 4};
+  auto pipe = IndexPipeline::Create(p, ToBytes("fuzz"), {});
+  auto q = pipe->BuildQuery("ABCDEFGHIJ");
+  Bytes wire = q->Serialize();
+  for (size_t len = 0; len < wire.size(); ++len) {
+    auto parsed = SearchQuery::Deserialize(ByteSpan(wire.data(), len));
+    EXPECT_FALSE(parsed.ok()) << "truncation at " << len << " parsed";
+  }
+  // Full length parses.
+  EXPECT_TRUE(SearchQuery::Deserialize(wire).ok());
+}
+
+TEST(FuzzTest, StreamDeserializeSurvivesRandomBytes) {
+  SchemeParams p{.codes_per_chunk = 4};
+  auto pipe = IndexPipeline::Create(p, ToBytes("fuzz"), {});
+  Rng rng(2);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes junk(rng.Uniform(64));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.Next());
+    (void)pipe->DeserializeStream(junk);  // must not crash
+  }
+}
+
+TEST(FuzzTest, RecordBlockDeserializeSurvivesRandomBytes) {
+  Rng rng(3);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes junk(rng.Uniform(100));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.Next());
+    (void)sdds::DeserializeRecords(junk);  // must not crash
+  }
+}
+
+// --- failure injection at the storage layer ---
+
+TEST(FailureInjectionTest, CorruptIndexPayloadIsIgnoredNotFatal) {
+  auto store = MakeStore(SchemeParams{});
+  ASSERT_TRUE(store->Insert(1, "SCHWARZ THOMAS").ok());
+  ASSERT_TRUE(store->Insert(2, "WONG MING").ok());
+  // Vandalize every index record of rid 1 with garbage.
+  auto& index = store->index_file();
+  for (uint64_t b = 0; b < index.bucket_count(); ++b) {
+    auto& records =
+        const_cast<std::map<uint64_t, Bytes>&>(index.bucket(b).records());
+    for (auto& [key, value] : records) {
+      if ((key >> store->params().subid_bits) == 1) {
+        value = Bytes{0xDE, 0xAD};
+      }
+    }
+  }
+  // Site-side matching skips the corrupt records; rid 2 is still found and
+  // the search does not crash. (rid 1 becomes unfindable — data loss at a
+  // site is an availability problem, handled by the RS extension.)
+  auto rids = store->Search("WONG");
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(*rids, (std::vector<uint64_t>{2}));
+}
+
+TEST(FailureInjectionTest, CorruptSealedRecordFailsClosed) {
+  auto store = MakeStore(SchemeParams{});
+  ASSERT_TRUE(store->Insert(1, "SCHWARZ THOMAS").ok());
+  auto& file = store->record_file();
+  for (uint64_t b = 0; b < file.bucket_count(); ++b) {
+    auto& records =
+        const_cast<std::map<uint64_t, Bytes>&>(file.bucket(b).records());
+    for (auto& [key, value] : records) value[value.size() / 2] ^= 0x80;
+  }
+  auto got = store->Get(1);
+  EXPECT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace essdds::core

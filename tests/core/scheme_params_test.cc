@@ -1,0 +1,83 @@
+#include "core/scheme_params.h"
+
+#include <gtest/gtest.h>
+
+namespace essdds::core {
+namespace {
+
+TEST(SchemeParamsTest, DefaultsValidate) {
+  SchemeParams p;
+  EXPECT_TRUE(p.Validate().ok()) << p.Validate();
+  EXPECT_EQ(p.symbols_per_chunk(), 4);
+  EXPECT_EQ(p.chunk_bits(), 32);
+  EXPECT_EQ(p.num_chunkings(), 4);
+  EXPECT_EQ(p.index_records_per_record(), 4);
+  EXPECT_EQ(p.min_query_symbols(), 4u);
+  EXPECT_FALSE(p.stage2_enabled());
+}
+
+TEST(SchemeParamsTest, PaperConclusionConfigValidates) {
+  // "a chunk size of 6 ASCII characters together with dispersing index
+  // records into 3 records" — 48-bit chunks, k=3, g=16.
+  SchemeParams p{.codes_per_chunk = 6, .dispersal_sites = 3};
+  ASSERT_TRUE(p.Validate().ok()) << p.Validate();
+  EXPECT_EQ(p.chunk_bits(), 48);
+  EXPECT_EQ(p.chunk_bits() / p.dispersal_sites, 16);
+}
+
+TEST(SchemeParamsTest, Stage2ConfigDerivedQuantities) {
+  SchemeParams p{.unit_symbols = 2,
+                 .num_codes = 16,
+                 .codes_per_chunk = 2,
+                 .chunking_stride = 1};
+  ASSERT_TRUE(p.Validate().ok());
+  EXPECT_TRUE(p.stage2_enabled());
+  EXPECT_EQ(p.code_bits(), 4);
+  EXPECT_EQ(p.symbols_per_chunk(), 4);
+  EXPECT_EQ(p.chunk_bits(), 8);
+  EXPECT_EQ(p.num_chunkings(), 4);
+}
+
+TEST(SchemeParamsTest, ReducedStorageRaisesMinQuery) {
+  // §2.5: s=8 with 4 sites -> min length s+1; with 2 sites -> s+3.
+  SchemeParams four{.codes_per_chunk = 8, .chunking_stride = 2};
+  ASSERT_TRUE(four.Validate().ok());
+  EXPECT_EQ(four.num_chunkings(), 4);
+  EXPECT_EQ(four.min_query_symbols(), 9u);
+
+  SchemeParams two{.codes_per_chunk = 8, .chunking_stride = 4};
+  ASSERT_TRUE(two.Validate().ok());
+  EXPECT_EQ(two.num_chunkings(), 2);
+  EXPECT_EQ(two.min_query_symbols(), 11u);
+}
+
+TEST(SchemeParamsTest, RejectsBadConfigs) {
+  EXPECT_FALSE(SchemeParams{.unit_symbols = 0}.Validate().ok());
+  EXPECT_FALSE(SchemeParams{.unit_symbols = 9}.Validate().ok());
+  EXPECT_FALSE(SchemeParams{.num_codes = 1}.Validate().ok());
+  EXPECT_FALSE(SchemeParams{.num_codes = 100}.Validate().ok());  // not 2^t
+  EXPECT_FALSE(SchemeParams{.codes_per_chunk = 0}.Validate().ok());
+  EXPECT_FALSE(SchemeParams{.codes_per_chunk = 9}.Validate().ok());  // 72 bits
+  EXPECT_FALSE(SchemeParams{.chunking_stride = 3}.Validate().ok());  // !| 4
+  EXPECT_FALSE(SchemeParams{.dispersal_sites = 0}.Validate().ok());
+  EXPECT_FALSE(SchemeParams{.dispersal_sites = 3}.Validate().ok());  // !| 32
+  SchemeParams too_many{.codes_per_chunk = 8, .dispersal_sites = 8,
+                        .subid_bits = 3};
+  EXPECT_FALSE(too_many.Validate().ok());  // 8*8=64 > 2^3
+}
+
+TEST(SchemeParamsTest, OneBitPiecesRejected) {
+  // 8-bit chunks over 8 sites would need GF(2) with all-nonzero E.
+  SchemeParams p{.num_codes = 4, .codes_per_chunk = 4, .dispersal_sites = 8};
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(SchemeParamsTest, ToStringMentionsKeyKnobs) {
+  SchemeParams p;
+  const std::string s = p.ToString();
+  EXPECT_NE(s.find("s=4"), std::string::npos);
+  EXPECT_NE(s.find("k=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace essdds::core

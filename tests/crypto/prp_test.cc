@@ -1,0 +1,135 @@
+#include "crypto/prp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "crypto/ecb.h"
+#include "util/random.h"
+
+namespace essdds::crypto {
+namespace {
+
+Bytes TestKey() { return Bytes(16, 0x5A); }
+
+class PrpWidthTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSmallWidths, PrpWidthTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 10, 12, 16));
+
+// For small domains, exhaustively verify the PRP is a permutation.
+TEST_P(PrpWidthTest, IsExhaustivelyAPermutation) {
+  const int bits = GetParam();
+  auto prp = FeistelPrp::Create(TestKey(), bits);
+  ASSERT_TRUE(prp.ok());
+  const uint64_t domain = uint64_t{1} << bits;
+  std::set<uint64_t> images;
+  for (uint64_t x = 0; x < domain; ++x) {
+    uint64_t y = prp->Encrypt(x);
+    EXPECT_LT(y, domain);
+    images.insert(y);
+    EXPECT_EQ(prp->Decrypt(y), x);
+  }
+  EXPECT_EQ(images.size(), domain);  // bijective
+}
+
+class PrpLargeWidthTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(LargeWidths, PrpLargeWidthTest,
+                         ::testing::Values(24, 32, 40, 48, 56, 63, 64));
+
+TEST_P(PrpLargeWidthTest, RandomizedRoundTrip) {
+  const int bits = GetParam();
+  auto prp = FeistelPrp::Create(TestKey(), bits);
+  ASSERT_TRUE(prp.ok());
+  Rng rng(99);
+  const uint64_t mask =
+      bits == 64 ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t x = rng.Next() & mask;
+    uint64_t y = prp->Encrypt(x);
+    EXPECT_EQ(y & mask, y);
+    EXPECT_EQ(prp->Decrypt(y), x);
+  }
+}
+
+TEST(PrpTest, RejectsOutOfRangeWidths) {
+  EXPECT_FALSE(FeistelPrp::Create(TestKey(), 1).ok());
+  EXPECT_FALSE(FeistelPrp::Create(TestKey(), 0).ok());
+  EXPECT_FALSE(FeistelPrp::Create(TestKey(), 65).ok());
+  EXPECT_FALSE(FeistelPrp::Create(TestKey(), -3).ok());
+}
+
+TEST(PrpTest, RejectsBadKey) {
+  EXPECT_FALSE(FeistelPrp::Create(Bytes(5, 1), 32).ok());
+}
+
+TEST(PrpTest, TweaksSelectIndependentPermutations) {
+  auto p0 = FeistelPrp::Create(TestKey(), 16, 0);
+  auto p1 = FeistelPrp::Create(TestKey(), 16, 1);
+  ASSERT_TRUE(p0.ok() && p1.ok());
+  int differing = 0;
+  for (uint64_t x = 0; x < 1000; ++x) {
+    if (p0->Encrypt(x) != p1->Encrypt(x)) ++differing;
+  }
+  // A pair of independent random permutations agrees on ~1000/65536 points.
+  EXPECT_GT(differing, 950);
+}
+
+TEST(PrpTest, KeysSelectIndependentPermutations) {
+  auto p0 = FeistelPrp::Create(Bytes(16, 1), 32);
+  auto p1 = FeistelPrp::Create(Bytes(16, 2), 32);
+  int differing = 0;
+  for (uint64_t x = 0; x < 1000; ++x) {
+    if (p0->Encrypt(x) != p1->Encrypt(x)) ++differing;
+  }
+  EXPECT_GT(differing, 990);
+}
+
+TEST(PrpTest, DeterministicAcrossInstances) {
+  auto a = FeistelPrp::Create(TestKey(), 32, 7);
+  auto b = FeistelPrp::Create(TestKey(), 32, 7);
+  for (uint64_t x : {0ull, 1ull, 12345ull, 0xFFFFFFFFull}) {
+    EXPECT_EQ(a->Encrypt(x), b->Encrypt(x));
+  }
+}
+
+TEST(PrpTest, AvalancheOnSingleBitFlip) {
+  auto prp = FeistelPrp::Create(TestKey(), 64);
+  uint64_t base = prp->Encrypt(0x0123456789ABCDEFull);
+  int total_flipped = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    uint64_t y = prp->Encrypt(0x0123456789ABCDEFull ^ (uint64_t{1} << bit));
+    total_flipped += __builtin_popcountll(base ^ y);
+  }
+  // Expect ~32 bits flipped per input-bit change: allow a generous band.
+  double avg = static_cast<double>(total_flipped) / 64.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(EcbCodebookTest, MatchesUnderlyingPrpAndCaches) {
+  auto cb = EcbCodebook::Create(TestKey(), 32, 3);
+  ASSERT_TRUE(cb.ok());
+  auto prp = FeistelPrp::Create(TestKey(), 32, 3);
+  ASSERT_TRUE(prp.ok());
+  EXPECT_EQ(cb->cache_size(), 0u);
+  for (uint64_t x : {5ull, 5ull, 5ull, 6ull}) {
+    EXPECT_EQ(cb->Encrypt(x), prp->Encrypt(x));
+  }
+  EXPECT_EQ(cb->cache_size(), 2u);  // 5 and 6
+  EXPECT_EQ(cb->Decrypt(cb->Encrypt(42)), 42u);
+}
+
+TEST(EcbCodebookTest, DeterministicCodebookProperty) {
+  // ECB's defining property (and weakness): equal plaintext chunks yield
+  // equal ciphertext chunks.
+  auto cb = EcbCodebook::Create(TestKey(), 16);
+  ASSERT_TRUE(cb.ok());
+  EXPECT_EQ(cb->Encrypt(0xABCD), cb->Encrypt(0xABCD));
+  EXPECT_NE(cb->Encrypt(0xABCD), cb->Encrypt(0xABCE));
+}
+
+}  // namespace
+}  // namespace essdds::crypto

@@ -1,0 +1,131 @@
+#include "crypto/record_cipher.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/key_chain.h"
+#include "util/bytes.h"
+
+namespace essdds::crypto {
+namespace {
+
+RecordCipher MakeCipher() {
+  auto c = RecordCipher::Create(ToBytes("test master key"));
+  EXPECT_TRUE(c.ok());
+  return *std::move(c);
+}
+
+TEST(RecordCipherTest, SealOpenRoundTrip) {
+  RecordCipher c = MakeCipher();
+  Bytes pt = ToBytes("SCHWARZ THOMAS%%%%%415-409-0001$$");
+  Bytes sealed = c.Seal(7, 0, pt);
+  auto opened = c.Open(7, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST(RecordCipherTest, EmptyPlaintext) {
+  RecordCipher c = MakeCipher();
+  Bytes sealed = c.Seal(1, 0, Bytes{});
+  EXPECT_EQ(sealed.size(), RecordCipher::kNonceSize + RecordCipher::kTagSize);
+  auto opened = c.Open(1, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(RecordCipherTest, CiphertextHidesPlaintext) {
+  RecordCipher c = MakeCipher();
+  Bytes pt(64, 'A');
+  Bytes sealed = c.Seal(2, 0, pt);
+  // The body must not contain a long run of any single byte.
+  int max_run = 0, run = 0;
+  for (size_t i = RecordCipher::kNonceSize; i + 1 < sealed.size(); ++i) {
+    run = (sealed[i] == sealed[i + 1]) ? run + 1 : 0;
+    max_run = std::max(max_run, run);
+  }
+  EXPECT_LT(max_run, 4);
+}
+
+TEST(RecordCipherTest, TamperedCiphertextRejected) {
+  RecordCipher c = MakeCipher();
+  Bytes sealed = c.Seal(3, 0, ToBytes("payload"));
+  for (size_t i = 0; i < sealed.size(); i += 5) {
+    Bytes tampered = sealed;
+    tampered[i] ^= 0x01;
+    EXPECT_FALSE(c.Open(3, tampered).ok()) << "byte " << i;
+  }
+}
+
+TEST(RecordCipherTest, WrongRidRejected) {
+  RecordCipher c = MakeCipher();
+  Bytes sealed = c.Seal(4, 0, ToBytes("payload"));
+  EXPECT_FALSE(c.Open(5, sealed).ok());
+}
+
+TEST(RecordCipherTest, TruncatedInputRejected) {
+  RecordCipher c = MakeCipher();
+  Bytes sealed = c.Seal(6, 0, ToBytes("payload"));
+  Bytes truncated(sealed.begin(), sealed.begin() + 10);
+  EXPECT_FALSE(c.Open(6, truncated).ok());
+}
+
+TEST(RecordCipherTest, DifferentSequencesUseDifferentNonces) {
+  RecordCipher c = MakeCipher();
+  Bytes pt = ToBytes("same content");
+  Bytes s0 = c.Seal(7, 0, pt);
+  Bytes s1 = c.Seal(7, 1, pt);
+  EXPECT_NE(s0, s1);
+  // Both decrypt.
+  EXPECT_TRUE(c.Open(7, s0).ok());
+  EXPECT_TRUE(c.Open(7, s1).ok());
+}
+
+TEST(RecordCipherTest, DifferentRidsProduceUnrelatedCiphertext) {
+  RecordCipher c = MakeCipher();
+  Bytes pt = ToBytes("identical plaintext across rids");
+  Bytes a = c.Seal(100, 0, pt);
+  Bytes b = c.Seal(101, 0, pt);
+  EXPECT_NE(a, b);
+}
+
+TEST(RecordCipherTest, DifferentMastersCannotOpen) {
+  auto c1 = RecordCipher::Create(ToBytes("master-1"));
+  auto c2 = RecordCipher::Create(ToBytes("master-2"));
+  Bytes sealed = c1->Seal(8, 0, ToBytes("secret"));
+  EXPECT_FALSE(c2->Open(8, sealed).ok());
+}
+
+TEST(RecordCipherTest, RejectsEmptyMaster) {
+  EXPECT_FALSE(RecordCipher::Create(Bytes{}).ok());
+}
+
+TEST(RecordCipherTest, LargeRecordRoundTrip) {
+  RecordCipher c = MakeCipher();
+  Bytes pt(100000);
+  for (size_t i = 0; i < pt.size(); ++i) pt[i] = static_cast<uint8_t>(i * 31);
+  Bytes sealed = c.Seal(9, 0, pt);
+  auto opened = c.Open(9, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST(KeyChainTest, SubkeysAreDistinctAndStable) {
+  KeyChain kc(ToBytes("deployment master"));
+  EXPECT_EQ(kc.RecordKey(), kc.RecordKey());
+  EXPECT_NE(kc.ChunkKey(0), kc.ChunkKey(1));
+  EXPECT_NE(kc.RecordKey(), Bytes{});
+  EXPECT_EQ(kc.ChunkKey(3), kc.ChunkKey(3));
+  EXPECT_NE(kc.AuxSeed("a"), kc.AuxSeed("b"));
+  EXPECT_EQ(kc.DispersalMatrixSeed(), kc.DispersalMatrixSeed());
+}
+
+TEST(KeyChainTest, DifferentMastersGiveDifferentChains) {
+  KeyChain a(ToBytes("m1"));
+  KeyChain b(ToBytes("m2"));
+  EXPECT_NE(a.RecordKey(), b.RecordKey());
+  EXPECT_NE(a.DispersalMatrixSeed(), b.DispersalMatrixSeed());
+}
+
+}  // namespace
+}  // namespace essdds::crypto

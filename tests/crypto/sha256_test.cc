@@ -1,0 +1,124 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/hmac.h"
+#include "util/bytes.h"
+
+namespace essdds::crypto {
+namespace {
+
+std::string HashHex(std::string_view input) {
+  auto d = Sha256::Hash(ToBytes(input));
+  return HexEncode(ByteSpan(d.data(), d.size()));
+}
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HashHex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HashHex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HashHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  auto d = h.Finish();
+  EXPECT_EQ(HexEncode(ByteSpan(d.data(), d.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "block boundaries in interesting ways. 0123456789.";
+  auto one_shot = Sha256::Hash(ToBytes(msg));
+  for (size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.Update(ToBytes(msg.substr(0, split)));
+    h.Update(ToBytes(msg.substr(split)));
+    EXPECT_EQ(h.Finish(), one_shot) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, ResetRestoresInitialState) {
+  Sha256 h;
+  h.Update(ToBytes("garbage"));
+  h.Reset();
+  h.Update(ToBytes("abc"));
+  auto d = h.Finish();
+  EXPECT_EQ(HexEncode(ByteSpan(d.data(), d.size())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// RFC 4231 HMAC-SHA-256 vectors.
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  auto mac = HmacSha256(key, ToBytes("Hi There"));
+  EXPECT_EQ(HexEncode(ByteSpan(mac.data(), mac.size())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  auto mac =
+      HmacSha256(ToBytes("Jefe"), ToBytes("what do ya want for nothing?"));
+  EXPECT_EQ(HexEncode(ByteSpan(mac.data(), mac.size())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  auto mac = HmacSha256(key, data);
+  EXPECT_EQ(HexEncode(ByteSpan(mac.data(), mac.size())),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  Bytes key(131, 0xaa);
+  auto mac = HmacSha256(
+      key, ToBytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(HexEncode(ByteSpan(mac.data(), mac.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(DeriveKeyTest, DeterministicAndLabelSeparated) {
+  Bytes master = ToBytes("master secret");
+  Bytes a1 = DeriveKey(master, "label-a", 32);
+  Bytes a2 = DeriveKey(master, "label-a", 32);
+  Bytes b = DeriveKey(master, "label-b", 32);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+TEST(DeriveKeyTest, ArbitraryOutputLengths) {
+  Bytes master = ToBytes("m");
+  for (size_t len : {1u, 16u, 31u, 32u, 33u, 64u, 100u}) {
+    Bytes k = DeriveKey(master, "x", len);
+    EXPECT_EQ(k.size(), len);
+  }
+  // Prefix property: longer outputs extend shorter ones.
+  Bytes k16 = DeriveKey(master, "x", 16);
+  Bytes k32 = DeriveKey(master, "x", 32);
+  EXPECT_TRUE(std::equal(k16.begin(), k16.end(), k32.begin()));
+}
+
+TEST(DeriveKeyTest, DifferentMastersDiffer) {
+  EXPECT_NE(DeriveKey(ToBytes("m1"), "x", 32),
+            DeriveKey(ToBytes("m2"), "x", 32));
+}
+
+}  // namespace
+}  // namespace essdds::crypto

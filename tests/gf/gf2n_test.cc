@@ -1,0 +1,146 @@
+#include "gf/gf2n.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace essdds::gf {
+namespace {
+
+class GfFieldTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, GfFieldTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+TEST_P(GfFieldTest, OrderAndBounds) {
+  const GfField& f = GfField::Of(GetParam());
+  EXPECT_EQ(f.g(), GetParam());
+  EXPECT_EQ(f.order(), uint32_t{1} << GetParam());
+  EXPECT_EQ(f.max_element(), f.order() - 1);
+}
+
+TEST_P(GfFieldTest, MultiplicativeIdentityAndZero) {
+  const GfField& f = GfField::Of(GetParam());
+  const uint32_t n = std::min<uint32_t>(f.order(), 512);
+  for (uint32_t a = 0; a < n; ++a) {
+    EXPECT_EQ(f.Mul(a, 1), a);
+    EXPECT_EQ(f.Mul(1, a), a);
+    EXPECT_EQ(f.Mul(a, 0), 0u);
+    EXPECT_EQ(f.Add(a, 0), a);
+    EXPECT_EQ(f.Add(a, a), 0u);  // characteristic 2
+  }
+}
+
+TEST_P(GfFieldTest, EveryNonzeroElementHasInverse) {
+  const GfField& f = GfField::Of(GetParam());
+  // Exhaustive for small fields, sampled for big ones.
+  if (f.order() <= 4096) {
+    for (uint32_t a = 1; a < f.order(); ++a) {
+      EXPECT_EQ(f.Mul(a, f.Inv(a)), 1u) << "a=" << a;
+    }
+  } else {
+    Rng rng(17);
+    for (int i = 0; i < 4096; ++i) {
+      uint32_t a = 1 + static_cast<uint32_t>(rng.Uniform(f.max_element()));
+      EXPECT_EQ(f.Mul(a, f.Inv(a)), 1u) << "a=" << a;
+    }
+  }
+}
+
+TEST_P(GfFieldTest, MulIsCommutativeAndAssociative) {
+  const GfField& f = GfField::Of(GetParam());
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    uint32_t a = static_cast<uint32_t>(rng.Uniform(f.order()));
+    uint32_t b = static_cast<uint32_t>(rng.Uniform(f.order()));
+    uint32_t c = static_cast<uint32_t>(rng.Uniform(f.order()));
+    EXPECT_EQ(f.Mul(a, b), f.Mul(b, a));
+    EXPECT_EQ(f.Mul(f.Mul(a, b), c), f.Mul(a, f.Mul(b, c)));
+  }
+}
+
+TEST_P(GfFieldTest, DistributivityOverAddition) {
+  const GfField& f = GfField::Of(GetParam());
+  Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    uint32_t a = static_cast<uint32_t>(rng.Uniform(f.order()));
+    uint32_t b = static_cast<uint32_t>(rng.Uniform(f.order()));
+    uint32_t c = static_cast<uint32_t>(rng.Uniform(f.order()));
+    EXPECT_EQ(f.Mul(a, f.Add(b, c)), f.Add(f.Mul(a, b), f.Mul(a, c)));
+  }
+}
+
+TEST_P(GfFieldTest, DivisionInvertsMultiplication) {
+  const GfField& f = GfField::Of(GetParam());
+  Rng rng(37);
+  for (int i = 0; i < 2000; ++i) {
+    uint32_t a = static_cast<uint32_t>(rng.Uniform(f.order()));
+    uint32_t b = 1 + static_cast<uint32_t>(rng.Uniform(f.max_element()));
+    EXPECT_EQ(f.Div(f.Mul(a, b), b), a);
+  }
+}
+
+TEST_P(GfFieldTest, GeneratorHasFullOrder) {
+  const GfField& f = GfField::Of(GetParam());
+  // g^k for k = 0..order-2 must enumerate all nonzero elements.
+  const uint32_t group = f.max_element();
+  std::vector<bool> seen(f.order(), false);
+  uint32_t v = 1;
+  for (uint32_t k = 0; k < group; ++k) {
+    EXPECT_FALSE(seen[v]) << "generator order < group order at k=" << k;
+    seen[v] = true;
+    v = f.Mul(v, f.generator());
+  }
+  EXPECT_EQ(v, 1u);  // cycles back
+}
+
+TEST_P(GfFieldTest, PowMatchesRepeatedMultiplication) {
+  const GfField& f = GfField::Of(GetParam());
+  Rng rng(41);
+  for (int i = 0; i < 200; ++i) {
+    uint32_t a = static_cast<uint32_t>(rng.Uniform(f.order()));
+    uint64_t e = rng.Uniform(20);
+    uint32_t expect = 1;
+    for (uint64_t k = 0; k < e; ++k) expect = f.Mul(expect, a);
+    EXPECT_EQ(f.Pow(a, e), expect) << "a=" << a << " e=" << e;
+  }
+  EXPECT_EQ(f.Pow(0, 0), 1u);
+  EXPECT_EQ(f.Pow(0, 5), 0u);
+}
+
+TEST_P(GfFieldTest, PowHandlesLargeExponents) {
+  const GfField& f = GfField::Of(GetParam());
+  const uint32_t group = f.max_element();
+  // Fermat: a^(order-1) == 1 for nonzero a; exponents reduce mod group.
+  Rng rng(43);
+  for (int i = 0; i < 50; ++i) {
+    uint32_t a = 1 + static_cast<uint32_t>(rng.Uniform(group));
+    EXPECT_EQ(f.Pow(a, group), 1u);
+    EXPECT_EQ(f.Pow(a, static_cast<uint64_t>(group) * 1000 + 3),
+              f.Pow(a, 3));
+  }
+}
+
+TEST(GfFieldTest, CreateRejectsBadOrders) {
+  EXPECT_FALSE(GfField::Create(0).ok());
+  EXPECT_FALSE(GfField::Create(17).ok());
+  EXPECT_FALSE(GfField::Create(-1).ok());
+}
+
+TEST(GfFieldTest, OfReturnsSameInstance) {
+  const GfField& a = GfField::Of(8);
+  const GfField& b = GfField::Of(8);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(GfFieldTest, Gf256KnownProducts) {
+  // Spot values against the AES-standard GF(2^8) with poly 0x11D (note:
+  // this library uses 0x11D, the Reed-Solomon convention, not AES's 0x11B).
+  const GfField& f = GfField::Of(8);
+  EXPECT_EQ(f.Mul(2, 128), 29u);  // x * (x^7) = x^8 = 0x11D & 0xFF = 0x1D
+  EXPECT_EQ(f.Mul(0x53, 1), 0x53u);
+}
+
+}  // namespace
+}  // namespace essdds::gf

@@ -1,0 +1,153 @@
+#include "gf/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace essdds::gf {
+namespace {
+
+TEST(GfMatrixTest, IdentityMultiplication) {
+  const GfField& f = GfField::Of(8);
+  GfMatrix id = GfMatrix::Identity(f, 4);
+  GfMatrix m = GfMatrix::RandomInvertible(f, 4, 1);
+  EXPECT_EQ(m.Multiply(id), m);
+  EXPECT_EQ(id.Multiply(m), m);
+}
+
+TEST(GfMatrixTest, InverseRoundTrip) {
+  const GfField& f = GfField::Of(8);
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    GfMatrix m = GfMatrix::RandomInvertible(f, 4, seed);
+    auto inv = m.Inverse();
+    ASSERT_TRUE(inv.ok());
+    EXPECT_EQ(m.Multiply(*inv), GfMatrix::Identity(f, 4)) << "seed " << seed;
+    EXPECT_EQ(inv->Multiply(m), GfMatrix::Identity(f, 4)) << "seed " << seed;
+  }
+}
+
+TEST(GfMatrixTest, SingularMatrixHasNoInverse) {
+  const GfField& f = GfField::Of(8);
+  GfMatrix m(f, 2, 2);  // all zeros
+  EXPECT_FALSE(m.IsInvertible());
+  EXPECT_FALSE(m.Inverse().ok());
+  // Two identical rows.
+  GfMatrix d(f, 2, 2);
+  d.Set(0, 0, 3);
+  d.Set(0, 1, 5);
+  d.Set(1, 0, 3);
+  d.Set(1, 1, 5);
+  EXPECT_FALSE(d.IsInvertible());
+  EXPECT_FALSE(d.Inverse().ok());
+}
+
+TEST(GfMatrixTest, NonSquareNotInvertible) {
+  const GfField& f = GfField::Of(4);
+  GfMatrix m(f, 2, 3);
+  EXPECT_FALSE(m.IsInvertible());
+  EXPECT_FALSE(m.Inverse().ok());
+}
+
+TEST(GfMatrixTest, RandomInvertibleIsInvertibleAndNonzero) {
+  for (int g : {4, 8, 16}) {
+    const GfField& f = GfField::Of(g);
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+      GfMatrix m = GfMatrix::RandomInvertible(f, 4, seed);
+      EXPECT_TRUE(m.IsInvertible());
+      EXPECT_TRUE(m.AllEntriesNonzero());
+    }
+  }
+}
+
+TEST(GfMatrixTest, RandomInvertibleIsDeterministicInSeed) {
+  const GfField& f = GfField::Of(8);
+  EXPECT_EQ(GfMatrix::RandomInvertible(f, 3, 99),
+            GfMatrix::RandomInvertible(f, 3, 99));
+}
+
+TEST(GfMatrixTest, CauchyIsInvertibleWithAllNonzeroEntries) {
+  const GfField& f = GfField::Of(8);
+  std::vector<uint32_t> x = {1, 2, 3, 4};
+  std::vector<uint32_t> y = {5, 6, 7, 8};
+  auto c = GfMatrix::Cauchy(f, x, y);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->IsInvertible());
+  EXPECT_TRUE(c->AllEntriesNonzero());
+  auto inv = c->Inverse();
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(c->Multiply(*inv), GfMatrix::Identity(f, 4));
+}
+
+TEST(GfMatrixTest, CauchyRejectsOverlappingPoints) {
+  const GfField& f = GfField::Of(8);
+  EXPECT_FALSE(GfMatrix::Cauchy(f, {1, 2}, {2, 3}).ok());
+  EXPECT_FALSE(GfMatrix::Cauchy(f, {1, 1}, {2, 3}).ok());
+}
+
+TEST(GfMatrixTest, CauchyRejectsOutOfFieldPoints) {
+  const GfField& f = GfField::Of(4);
+  EXPECT_FALSE(GfMatrix::Cauchy(f, {1, 2}, {3, 100}).ok());
+}
+
+TEST(GfMatrixTest, VandermondeInvertibleForDistinctPoints) {
+  const GfField& f = GfField::Of(8);
+  auto v = GfMatrix::Vandermonde(f, {1, 2, 3, 4}, 4);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->IsInvertible());
+  // First column is all ones (x^0).
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(v->At(i, 0), 1u);
+}
+
+TEST(GfMatrixTest, VandermondeRejectsDuplicatePoints) {
+  const GfField& f = GfField::Of(8);
+  EXPECT_FALSE(GfMatrix::Vandermonde(f, {1, 2, 2}, 3).ok());
+}
+
+TEST(GfMatrixTest, RowVectorApplicationMatchesMatrixProduct) {
+  const GfField& f = GfField::Of(8);
+  Rng rng(7);
+  GfMatrix m = GfMatrix::RandomInvertible(f, 4, 3);
+  std::vector<uint32_t> v(4);
+  for (auto& e : v) e = static_cast<uint32_t>(rng.Uniform(f.order()));
+  auto out = m.ApplyToRowVector(v);
+
+  GfMatrix row(f, 1, 4);
+  for (size_t j = 0; j < 4; ++j) row.Set(0, j, v[j]);
+  GfMatrix prod = row.Multiply(m);
+  for (size_t j = 0; j < 4; ++j) EXPECT_EQ(out[j], prod.At(0, j));
+}
+
+TEST(GfMatrixTest, DispersalRoundTripThroughInverse) {
+  // The property Stage 3 relies on: c -> c*E -> (c*E)*E^-1 == c.
+  const GfField& f = GfField::Of(4);
+  GfMatrix e = GfMatrix::RandomInvertible(f, 4, 42);
+  auto inv = e.Inverse();
+  ASSERT_TRUE(inv.ok());
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<uint32_t> c(4);
+    for (auto& x : c) x = static_cast<uint32_t>(rng.Uniform(f.order()));
+    auto d = e.ApplyToRowVector(c);
+    auto back = inv->ApplyToRowVector(d);
+    EXPECT_EQ(back, c);
+  }
+}
+
+class MatrixSizeTest : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatrixSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST_P(MatrixSizeTest, InverseWorksAcrossSizes) {
+  const size_t n = GetParam();
+  const GfField& f = GfField::Of(8);
+  GfMatrix m = GfMatrix::RandomInvertible(f, n, 1234 + n);
+  auto inv = m.Inverse();
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(m.Multiply(*inv), GfMatrix::Identity(f, n));
+}
+
+}  // namespace
+}  // namespace essdds::gf

@@ -1,0 +1,143 @@
+// Whole-system integration: Figure-4 formatted lines in, parsed, stored
+// encrypted, searched in parallel over all three stages, decrypted out —
+// across growth, shrink, and both LH* files at once.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/swp_word_store.h"
+#include "core/encrypted_store.h"
+#include "workload/phonebook.h"
+
+namespace essdds {
+namespace {
+
+TEST(EndToEndTest, FormattedLinesThroughFullScheme) {
+  // Produce the paper's Figure-4 file format, then run the whole pipeline
+  // from parsing to decryption.
+  workload::PhonebookGenerator gen(2006);
+  std::vector<std::string> lines;
+  for (const auto& rec : gen.Generate(300)) {
+    lines.push_back(rec.FormattedLine());
+  }
+
+  core::EncryptedStore::Options options;
+  options.params = core::SchemeParams{.num_codes = 64,
+                                      .codes_per_chunk = 6,
+                                      .dispersal_sites = 3};
+  std::vector<std::string> training;
+  std::vector<workload::PhoneRecord> parsed;
+  for (const std::string& line : lines) {
+    auto rec = workload::ParseFormattedLine(line);
+    ASSERT_TRUE(rec.ok()) << line;
+    training.push_back(rec->name);
+    parsed.push_back(*std::move(rec));
+  }
+  auto store =
+      core::EncryptedStore::Create(options, ToBytes("e2e"), training);
+  ASSERT_TRUE(store.ok());
+  for (const auto& rec : parsed) {
+    ASSERT_TRUE((*store)->Insert(rec.rid, rec.name).ok());
+  }
+
+  // Search every parseable surname; decrypt every hit; confirm the target.
+  int checked = 0;
+  for (const auto& rec : parsed) {
+    const std::string surname(workload::SurnameOf(rec));
+    if (surname.size() < (*store)->params().min_query_symbols()) continue;
+    auto rids = (*store)->Search(surname);
+    ASSERT_TRUE(rids.ok());
+    ASSERT_TRUE(std::binary_search(rids->begin(), rids->end(), rec.rid))
+        << surname;
+    auto content = (*store)->Get(rec.rid);
+    ASSERT_TRUE(content.ok());
+    EXPECT_EQ(*content, rec.name);
+    ++checked;
+  }
+  EXPECT_GT(checked, 150);
+}
+
+TEST(EndToEndTest, GrowShrinkSearchLifecycle) {
+  core::EncryptedStore::Options options;
+  options.params = core::SchemeParams{.codes_per_chunk = 4};
+  options.index_file =
+      sdds::LhOptions{.bucket_capacity = 32, .merge_threshold = 0.2};
+  options.record_file =
+      sdds::LhOptions{.bucket_capacity = 16, .merge_threshold = 0.2};
+  auto store = core::EncryptedStore::Create(options, ToBytes("cycle"), {});
+  ASSERT_TRUE(store.ok());
+
+  workload::PhonebookGenerator gen(55);
+  auto corpus = gen.Generate(500);
+  for (const auto& rec : corpus) {
+    ASSERT_TRUE((*store)->Insert(rec.rid, rec.name).ok());
+  }
+  const size_t peak_buckets = (*store)->index_file().bucket_count();
+
+  // Shrink to 10%.
+  for (size_t i = 50; i < corpus.size(); ++i) {
+    ASSERT_TRUE((*store)->Delete(corpus[i].rid).ok());
+  }
+  EXPECT_LT((*store)->index_file().bucket_count(), peak_buckets);
+
+  // Everything remaining is searchable, nothing deleted is.
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const auto& rec = corpus[i];
+    if (rec.name.size() < (*store)->params().min_query_symbols()) continue;
+    auto rids = (*store)->Search(rec.name);  // full-name search: unique-ish
+    ASSERT_TRUE(rids.ok());
+    const bool present =
+        std::binary_search(rids->begin(), rids->end(), rec.rid);
+    if (i < 50) {
+      EXPECT_TRUE(present) << rec.name;
+    } else {
+      EXPECT_FALSE(present) << rec.name;
+    }
+  }
+
+  // Regrow.
+  for (size_t i = 50; i < 200; ++i) {
+    ASSERT_TRUE((*store)->Insert(corpus[i].rid, corpus[i].name).ok());
+  }
+  EXPECT_EQ((*store)->record_count(), 200u);
+}
+
+TEST(EndToEndTest, SideBySideWithBaselineOnSameCorpus) {
+  // Both systems loaded with the same corpus agree on whole-word searches
+  // (modulo the chunked scheme's false positives, which are a superset).
+  workload::PhonebookGenerator gen(31);
+  auto corpus = gen.Generate(200);
+  std::vector<std::string> training;
+  for (const auto& r : corpus) training.push_back(r.name);
+
+  core::EncryptedStore::Options options;
+  options.params = core::SchemeParams{.codes_per_chunk = 4};
+  auto ours = core::EncryptedStore::Create(options, ToBytes("x"), training);
+  auto swp = baseline::SwpWordStore::Create(ToBytes("x"));
+  ASSERT_TRUE(ours.ok());
+  ASSERT_TRUE(swp.ok());
+  for (const auto& r : corpus) {
+    ASSERT_TRUE((*ours)->Insert(r.rid, r.name).ok());
+    ASSERT_TRUE((*swp)->Insert(r.rid, r.name).ok());
+  }
+  for (const auto* rec : workload::SampleRecords(corpus, 50, 9)) {
+    const std::string surname(workload::SurnameOf(*rec));
+    if (surname.size() < (*ours)->params().min_query_symbols()) continue;
+    auto swp_rids = (*swp)->SearchWord(surname);
+    auto our_rids = (*ours)->Search(surname);
+    ASSERT_TRUE(swp_rids.ok() && our_rids.ok());
+    // Every SWP (exact word) hit must also be a substring hit for us.
+    for (uint64_t rid : *swp_rids) {
+      EXPECT_TRUE(
+          std::binary_search(our_rids->begin(), our_rids->end(), rid))
+          << surname;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace essdds

@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sdds/lh_system.h"
+#include "util/random.h"
+
+namespace essdds::sdds {
+namespace {
+
+Bytes Val(uint64_t k) { return ToBytes("value-" + std::to_string(k)); }
+
+TEST(LhSystemTest, StartsWithSingleBucket) {
+  LhSystem sys;
+  EXPECT_EQ(sys.bucket_count(), 1u);
+  EXPECT_EQ(sys.coordinator().level(), 0u);
+  EXPECT_EQ(sys.coordinator().split_pointer(), 0u);
+  EXPECT_EQ(sys.TotalRecords(), 0u);
+}
+
+TEST(LhSystemTest, InsertThenLookup) {
+  LhSystem sys;
+  LhClient* c = sys.NewClient();
+  EXPECT_FALSE(c->Insert(1, Val(1)));
+  auto r = c->Lookup(1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Val(1));
+}
+
+TEST(LhSystemTest, LookupMissingIsNotFound) {
+  LhSystem sys;
+  LhClient* c = sys.NewClient();
+  EXPECT_TRUE(c->Lookup(99).status().IsNotFound());
+}
+
+TEST(LhSystemTest, InsertOverwrites) {
+  LhSystem sys;
+  LhClient* c = sys.NewClient();
+  EXPECT_FALSE(c->Insert(5, Val(5)));
+  EXPECT_TRUE(c->Insert(5, ToBytes("new")));
+  EXPECT_EQ(*c->Lookup(5), ToBytes("new"));
+  EXPECT_EQ(sys.TotalRecords(), 1u);
+}
+
+TEST(LhSystemTest, DeleteRemoves) {
+  LhSystem sys;
+  LhClient* c = sys.NewClient();
+  c->Insert(7, Val(7));
+  EXPECT_TRUE(c->Delete(7).ok());
+  EXPECT_TRUE(c->Lookup(7).status().IsNotFound());
+  EXPECT_TRUE(c->Delete(7).IsNotFound());
+}
+
+TEST(LhSystemTest, FileGrowsUnderLoad) {
+  LhSystem sys(LhOptions{.bucket_capacity = 8});
+  LhClient* c = sys.NewClient();
+  for (uint64_t k = 0; k < 500; ++k) c->Insert(k, Val(k));
+  EXPECT_GT(sys.bucket_count(), 16u);
+  EXPECT_EQ(sys.TotalRecords(), 500u);
+}
+
+TEST(LhSystemTest, AllRecordsFindableAfterManySplits) {
+  LhSystem sys(LhOptions{.bucket_capacity = 4});
+  LhClient* c = sys.NewClient();
+  Rng rng(2024);
+  std::set<uint64_t> keys;
+  for (int i = 0; i < 2000; ++i) keys.insert(rng.Next());
+  for (uint64_t k : keys) c->Insert(k, Val(k));
+  for (uint64_t k : keys) {
+    auto r = c->Lookup(k);
+    ASSERT_TRUE(r.ok()) << "key " << k;
+    EXPECT_EQ(*r, Val(k));
+  }
+}
+
+TEST(LhSystemTest, RecordsLiveInTheirLinearHashBucket) {
+  // Invariant: every record's hashed address under its bucket's own level
+  // equals the bucket number.
+  LhSystem sys(LhOptions{.bucket_capacity = 4});
+  LhClient* c = sys.NewClient();
+  Rng rng(7);
+  for (int i = 0; i < 1500; ++i) c->Insert(rng.Next(), Val(i));
+  for (uint64_t b = 0; b < sys.bucket_count(); ++b) {
+    const LhBucketServer& srv = sys.bucket(b);
+    const uint64_t mask = (uint64_t{1} << srv.level()) - 1;
+    for (const auto& [key, value] : srv.records()) {
+      EXPECT_EQ(LhKeyImage(key, sys.options()) & mask, b)
+          << "key " << key << " misplaced in " << b;
+    }
+  }
+}
+
+TEST(LhSystemTest, RawKeyAddressingWhenHashingDisabled) {
+  LhSystem sys(LhOptions{.bucket_capacity = 4, .hash_keys = false});
+  LhClient* c = sys.NewClient();
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) c->Insert(rng.Next(), Val(i));
+  for (uint64_t b = 0; b < sys.bucket_count(); ++b) {
+    const LhBucketServer& srv = sys.bucket(b);
+    const uint64_t mask = (uint64_t{1} << srv.level()) - 1;
+    for (const auto& [key, value] : srv.records()) {
+      EXPECT_EQ(key & mask, b);
+    }
+  }
+}
+
+TEST(LhSystemTest, BucketLevelsFollowSplitPointer) {
+  LhSystem sys(LhOptions{.bucket_capacity = 4});
+  LhClient* c = sys.NewClient();
+  for (uint64_t k = 0; k < 800; ++k) c->Insert(k * 2654435761u, Val(k));
+  const uint32_t i = sys.coordinator().level();
+  const uint64_t n = sys.coordinator().split_pointer();
+  EXPECT_EQ(sys.bucket_count(), (uint64_t{1} << i) + n);
+  for (uint64_t b = 0; b < sys.bucket_count(); ++b) {
+    const uint32_t expected =
+        (b < n || b >= (uint64_t{1} << i)) ? i + 1 : i;
+    EXPECT_EQ(sys.bucket(b).level(), expected) << "bucket " << b;
+  }
+}
+
+TEST(LhSystemTest, StaleClientStillReachesEverything) {
+  LhSystem sys(LhOptions{.bucket_capacity = 4});
+  LhClient* writer = sys.NewClient();
+  std::vector<uint64_t> keys;
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) keys.push_back(rng.Next());
+  for (uint64_t k : keys) writer->Insert(k, Val(k));
+
+  // A brand-new client has image (0,0) — maximally stale.
+  LhClient* reader = sys.NewClient();
+  EXPECT_EQ(reader->image().BucketCount(), 1u);
+  for (uint64_t k : keys) {
+    auto r = reader->Lookup(k);
+    ASSERT_TRUE(r.ok()) << "key " << k;
+  }
+}
+
+TEST(LhSystemTest, ForwardingNeverExceedsTwoHops) {
+  LhSystem sys(LhOptions{.bucket_capacity = 4});
+  LhClient* writer = sys.NewClient();
+  Rng rng(123);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 1200; ++i) {
+    keys.push_back(rng.Next());
+    writer->Insert(keys.back(), Val(i));
+  }
+  LhClient* stale = sys.NewClient();
+  // Track hops via the reply message's hop counter: reply.hops was copied
+  // from the serving request. Use lookups; the guarantee is <= 2 forwards.
+  // (We cannot see the reply struct here, so assert via stats: every lookup
+  // sends 1 request + <=2 forwards + 1 reply.)
+  for (uint64_t k : keys) {
+    sys.network().ResetStats();
+    ASSERT_TRUE(stale->Lookup(k).ok());
+    const NetworkStats& st = sys.network().stats();
+    // 1 client request + forwards + 1 reply.
+    const uint64_t forwards = st.total_messages - 2;
+    EXPECT_LE(forwards, 2u) << "key " << k;
+    EXPECT_EQ(st.forwarded_messages, forwards);
+  }
+}
+
+TEST(LhSystemTest, ClientImageConvergesViaIam) {
+  LhSystem sys(LhOptions{.bucket_capacity = 4});
+  LhClient* writer = sys.NewClient();
+  Rng rng(5);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back(rng.Next());
+    writer->Insert(keys.back(), Val(i));
+  }
+  LhClient* reader = sys.NewClient();
+  for (uint64_t k : keys) ASSERT_TRUE(reader->Lookup(k).ok());
+  EXPECT_GT(reader->iam_count(), 0u);
+
+  // After enough traffic the image must be close to the true extent; repeat
+  // lookups should almost never forward.
+  sys.network().ResetStats();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(reader->Lookup(keys[static_cast<size_t>(i)]).ok());
+  }
+  const NetworkStats& st = sys.network().stats();
+  const double forward_rate =
+      static_cast<double>(st.forwarded_messages) / 200.0;
+  EXPECT_LT(forward_rate, 0.20) << st.ToString();
+}
+
+TEST(LhSystemTest, ImageNeverExceedsTrueExtent) {
+  LhSystem sys(LhOptions{.bucket_capacity = 4});
+  LhClient* c = sys.NewClient();
+  Rng rng(31);
+  for (int i = 0; i < 1500; ++i) {
+    c->Insert(rng.Next(), Val(i));
+    ASSERT_LE(c->image().BucketCount(), sys.bucket_count());
+  }
+}
+
+TEST(LhSystemTest, ScanReachesEveryBucketExactlyOnce) {
+  LhSystem sys(LhOptions{.bucket_capacity = 4});
+  LhClient* c = sys.NewClient();
+  Rng rng(8);
+  for (int i = 0; i < 700; ++i) c->Insert(rng.Next(), Val(i));
+
+  const uint64_t match_all =
+      sys.InstallFilter([](uint64_t, ByteSpan, ByteSpan) { return true; });
+  // A stale client must still reach all buckets.
+  LhClient* stale = sys.NewClient();
+  auto result = stale->Scan(match_all, {});
+  EXPECT_EQ(result.buckets_answered, sys.bucket_count());
+  EXPECT_EQ(result.hits.size(), sys.TotalRecords());
+  // No duplicates.
+  std::set<uint64_t> seen;
+  for (const auto& r : result.hits) {
+    EXPECT_TRUE(seen.insert(r.key).second) << "duplicate hit " << r.key;
+  }
+}
+
+TEST(LhSystemTest, ScanFilterSelectsSubset) {
+  LhSystem sys(LhOptions{.bucket_capacity = 16});
+  LhClient* c = sys.NewClient();
+  for (uint64_t k = 0; k < 300; ++k) c->Insert(k, Val(k));
+  const uint64_t odd_filter = sys.InstallFilter(
+      [](uint64_t key, ByteSpan, ByteSpan) { return key % 2 == 1; });
+  auto result = c->Scan(odd_filter, {});
+  EXPECT_EQ(result.hits.size(), 150u);
+  for (const auto& r : result.hits) EXPECT_EQ(r.key % 2, 1u);
+}
+
+TEST(LhSystemTest, ScanFilterReceivesArgument) {
+  LhSystem sys(LhOptions{.bucket_capacity = 16});
+  LhClient* c = sys.NewClient();
+  for (uint64_t k = 0; k < 100; ++k) c->Insert(k, Val(k));
+  const uint64_t mod_filter =
+      sys.InstallFilter([](uint64_t key, ByteSpan, ByteSpan arg) {
+        return !arg.empty() && key % arg[0] == 0;
+      });
+  auto result = c->Scan(mod_filter, Bytes{7});
+  size_t expected = 0;
+  for (uint64_t k = 0; k < 100; ++k) expected += (k % 7 == 0);
+  EXPECT_EQ(result.hits.size(), expected);
+}
+
+TEST(LhSystemTest, LoadFactorStaysReasonable) {
+  LhSystem sys(LhOptions{.bucket_capacity = 32});
+  LhClient* c = sys.NewClient();
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) c->Insert(rng.Next(), Bytes(16, 'x'));
+  // Linear hashing with uncontrolled splits keeps load factor in a sane
+  // band (paper-typical ~0.6-0.8).
+  EXPECT_GT(sys.LoadFactor(), 0.3);
+  EXPECT_LT(sys.LoadFactor(), 1.1);
+}
+
+TEST(LhSystemTest, MessageCountPerInsertIsConstantIndependentOfScale) {
+  // The SDDS promise: access cost does not grow with file size.
+  LhSystem sys(LhOptions{.bucket_capacity = 32});
+  LhClient* c = sys.NewClient();
+  Rng rng(17);
+  auto measure = [&](int batch) {
+    sys.network().ResetStats();
+    for (int i = 0; i < batch; ++i) c->Insert(rng.Next(), Bytes(8, 'a'));
+    return static_cast<double>(sys.network().stats().total_messages) / batch;
+  };
+  (void)measure(2000);                  // warm-up: grow the file
+  double small_cost = measure(1000);    // ~dozens of buckets
+  for (int i = 0; i < 20000; ++i) c->Insert(rng.Next(), Bytes(8, 'a'));
+  double large_cost = measure(1000);    // ~hundreds of buckets
+  // Within noise, cost per op stays flat (2 messages + occasional split
+  // traffic + rare forwards).
+  EXPECT_LT(large_cost, small_cost * 1.5 + 1.0);
+}
+
+TEST(LhSystemTest, DistributionAcrossBucketsIsBalanced) {
+  LhSystem sys(LhOptions{.bucket_capacity = 32});
+  LhClient* c = sys.NewClient();
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) c->Insert(rng.Next(), Bytes(4, 'b'));
+  size_t max_records = 0;
+  for (uint64_t b = 0; b < sys.bucket_count(); ++b) {
+    max_records = std::max(max_records, sys.bucket(b).record_count());
+  }
+  const double mean = static_cast<double>(sys.TotalRecords()) /
+                      static_cast<double>(sys.bucket_count());
+  EXPECT_LT(static_cast<double>(max_records), mean * 4);
+}
+
+TEST(LhSystemTest, SequentialKeysStripePerfectlyWithoutHashing) {
+  // With raw addressing, linear hashing uses the low bits directly, so
+  // sequential keys stripe perfectly.
+  LhSystem sys(LhOptions{.bucket_capacity = 32, .hash_keys = false});
+  LhClient* c = sys.NewClient();
+  for (uint64_t k = 0; k < 4096; ++k) c->Insert(k, Bytes(4, 'c'));
+  size_t min_records = static_cast<size_t>(-1), max_records = 0;
+  for (uint64_t b = 0; b < sys.bucket_count(); ++b) {
+    min_records = std::min(min_records, sys.bucket(b).record_count());
+    max_records = std::max(max_records, sys.bucket(b).record_count());
+  }
+  EXPECT_LE(max_records, 2 * std::max<size_t>(min_records, 1));
+}
+
+TEST(LhSystemTest, StructuredKeysBalanceWithHashing) {
+  // The scheme's index keys carry a sub-id in the low bits; without the
+  // key mixer they would collapse onto a handful of addresses. With it,
+  // the file stays compact and balanced.
+  LhSystem sys(LhOptions{.bucket_capacity = 32});
+  LhClient* c = sys.NewClient();
+  for (uint64_t rid = 0; rid < 1000; ++rid) {
+    for (uint64_t subid = 0; subid < 4; ++subid) {
+      c->Insert((rid << 8) | subid, Bytes(4, 'c'));
+    }
+  }
+  // 4000 records / 32 per bucket: a sane file has ~125-260 buckets, not
+  // thousands (which the unhashed layout produces).
+  EXPECT_LT(sys.bucket_count(), 400u);
+  EXPECT_GT(sys.LoadFactor(), 0.3);
+}
+
+TEST(LhSystemTest, MultipleClientsSeeSameData) {
+  LhSystem sys(LhOptions{.bucket_capacity = 8});
+  LhClient* a = sys.NewClient();
+  LhClient* b = sys.NewClient();
+  for (uint64_t k = 0; k < 200; ++k) a->Insert(k, Val(k));
+  for (uint64_t k = 200; k < 400; ++k) b->Insert(k, Val(k));
+  for (uint64_t k = 0; k < 400; ++k) {
+    EXPECT_TRUE(a->Lookup(k).ok());
+    EXPECT_TRUE(b->Lookup(k).ok());
+  }
+}
+
+TEST(LhSystemTest, DeleteHeavyWorkloadKeepsInvariants) {
+  LhSystem sys(LhOptions{.bucket_capacity = 8});
+  LhClient* c = sys.NewClient();
+  Rng rng(23);
+  std::set<uint64_t> live;
+  for (int i = 0; i < 3000; ++i) {
+    if (!live.empty() && rng.Bernoulli(0.4)) {
+      uint64_t victim = *live.begin();
+      EXPECT_TRUE(c->Delete(victim).ok());
+      live.erase(live.begin());
+    } else {
+      uint64_t k = rng.Next();
+      c->Insert(k, Val(k));
+      live.insert(k);
+    }
+  }
+  EXPECT_EQ(sys.TotalRecords(), live.size());
+  for (uint64_t k : live) EXPECT_TRUE(c->Lookup(k).ok());
+}
+
+TEST(NetworkStatsTest, CountsMessagesAndBytes) {
+  LhSystem sys;
+  LhClient* c = sys.NewClient();
+  sys.network().ResetStats();
+  c->Insert(1, Bytes(100, 'z'));
+  const NetworkStats& st = sys.network().stats();
+  EXPECT_EQ(st.total_messages, 2u);  // request + ack
+  EXPECT_GT(st.total_bytes, 100u);
+  EXPECT_EQ(st.per_type.at(MsgType::kInsert), 1u);
+  EXPECT_EQ(st.per_type.at(MsgType::kInsertAck), 1u);
+  EXPECT_FALSE(st.ToString().empty());
+}
+
+}  // namespace
+}  // namespace essdds::sdds

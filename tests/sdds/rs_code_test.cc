@@ -1,0 +1,172 @@
+#include "sdds/rs_code.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "sdds/lh_system.h"
+#include "util/random.h"
+
+namespace essdds::sdds {
+namespace {
+
+std::vector<Bytes> RandomData(int k, size_t len, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bytes> data(static_cast<size_t>(k));
+  for (auto& d : data) {
+    d.resize(len);
+    for (auto& b : d) b = static_cast<uint8_t>(rng.Next());
+  }
+  return data;
+}
+
+class RsCodeParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(Configs, RsCodeParamTest,
+                         ::testing::Values(std::tuple{2, 1}, std::tuple{4, 2},
+                                           std::tuple{4, 4}, std::tuple{8, 2},
+                                           std::tuple{10, 4},
+                                           std::tuple{1, 1}));
+
+TEST_P(RsCodeParamTest, SurvivesEveryErasurePatternUpToM) {
+  auto [k, m] = GetParam();
+  auto code = RsCode::Create(k, m);
+  ASSERT_TRUE(code.ok());
+  auto data = RandomData(k, 64, 42);
+  auto parity = code->Encode(data);
+  ASSERT_TRUE(parity.ok());
+
+  const int total = k + m;
+  // Erase every subset of size <= m (bounded enumeration for large configs).
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::optional<Bytes>> pieces;
+    for (int i = 0; i < k; ++i) pieces.emplace_back(data[static_cast<size_t>(i)]);
+    for (int j = 0; j < m; ++j) pieces.emplace_back((*parity)[static_cast<size_t>(j)]);
+    // Random erasure pattern of size exactly m.
+    std::vector<int> idx(static_cast<size_t>(total));
+    for (int i = 0; i < total; ++i) idx[static_cast<size_t>(i)] = i;
+    rng.Shuffle(idx);
+    for (int e = 0; e < m; ++e) pieces[static_cast<size_t>(idx[static_cast<size_t>(e)])].reset();
+
+    auto decoded = code->Decode(pieces);
+    ASSERT_TRUE(decoded.ok());
+    for (int i = 0; i < k; ++i) {
+      EXPECT_EQ((*decoded)[static_cast<size_t>(i)], data[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST(RsCodeTest, FailsBeyondMErasures) {
+  auto code = RsCode::Create(4, 2);
+  auto data = RandomData(4, 32, 1);
+  auto parity = code->Encode(data);
+  std::vector<std::optional<Bytes>> pieces;
+  for (auto& d : data) pieces.emplace_back(d);
+  for (auto& p : *parity) pieces.emplace_back(p);
+  pieces[0].reset();
+  pieces[1].reset();
+  pieces[4].reset();  // 3 erasures > m=2
+  EXPECT_FALSE(code->Decode(pieces).ok());
+}
+
+TEST(RsCodeTest, RejectsBadParameters) {
+  EXPECT_FALSE(RsCode::Create(0, 1).ok());
+  EXPECT_FALSE(RsCode::Create(1, 0).ok());
+  EXPECT_FALSE(RsCode::Create(200, 100).ok());
+}
+
+TEST(RsCodeTest, EncodeValidatesBufferCount) {
+  auto code = RsCode::Create(3, 2);
+  EXPECT_FALSE(code->Encode(RandomData(2, 8, 3)).ok());
+}
+
+TEST(RsCodeTest, DecodeValidatesSlotCount) {
+  auto code = RsCode::Create(3, 2);
+  std::vector<std::optional<Bytes>> too_few(3);
+  EXPECT_FALSE(code->Decode(too_few).ok());
+}
+
+TEST(RsCodeTest, UnequalLengthBuffersArePaddedConsistently) {
+  auto code = RsCode::Create(2, 1);
+  std::vector<Bytes> data = {ToBytes("short"), ToBytes("a longer buffer")};
+  auto parity = code->Encode(data);
+  ASSERT_TRUE(parity.ok());
+  std::vector<std::optional<Bytes>> pieces = {std::nullopt, data[1],
+                                              (*parity)[0]};
+  auto decoded = code->Decode(pieces);
+  ASSERT_TRUE(decoded.ok());
+  // Reconstructed buffer is zero-padded to the group length.
+  Bytes expected = ToBytes("short");
+  expected.resize(data[1].size(), 0);
+  EXPECT_EQ((*decoded)[0], expected);
+}
+
+TEST(RsCodeTest, RecordSerializationRoundTrip) {
+  std::vector<std::pair<uint64_t, Bytes>> records = {
+      {1, ToBytes("alpha")}, {42, ToBytes("")}, {7, Bytes(300, 0xAB)}};
+  Bytes blob = SerializeRecords(records);
+  auto back = DeserializeRecords(blob);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, records);
+}
+
+TEST(RsCodeTest, DeserializeRejectsTruncation) {
+  std::vector<std::pair<uint64_t, Bytes>> records = {{1, ToBytes("alpha")}};
+  Bytes blob = SerializeRecords(records);
+  for (size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_FALSE(DeserializeRecords(ByteSpan(blob.data(), len)).ok())
+        << "len " << len;
+  }
+}
+
+// End-to-end: recover a lost LH* bucket from group parity, the LH*_RS idea.
+TEST(RsCodeTest, RecoversLostLhBucketFromParity) {
+  LhSystem sys(LhOptions{.bucket_capacity = 16});
+  LhClient* c = sys.NewClient();
+  Rng rng(11);
+  for (int i = 0; i < 400; ++i) {
+    c->Insert(rng.Next(), ToBytes("record-" + std::to_string(i)));
+  }
+  const int k = 4;
+  ASSERT_GE(sys.bucket_count(), static_cast<size_t>(k));
+  auto code = RsCode::Create(k, 2);
+
+  // Snapshot a group of k buckets, compute parity.
+  std::vector<Bytes> group;
+  for (int b = 0; b < k; ++b) {
+    const auto& recs = sys.bucket(static_cast<uint64_t>(b)).records();
+    std::vector<std::pair<uint64_t, Bytes>> v(recs.begin(), recs.end());
+    group.push_back(SerializeRecords(v));
+  }
+  size_t max_len = 0;
+  for (auto& g : group) max_len = std::max(max_len, g.size());
+  for (auto& g : group) g.resize(max_len, 0);
+  auto parity = code->Encode(group);
+  ASSERT_TRUE(parity.ok());
+
+  // "Lose" buckets 1 and 3; rebuild from the surviving pieces.
+  std::vector<std::optional<Bytes>> pieces;
+  for (int b = 0; b < k; ++b) pieces.emplace_back(group[static_cast<size_t>(b)]);
+  for (auto& p : *parity) pieces.emplace_back(p);
+  pieces[1].reset();
+  pieces[3].reset();
+  auto decoded = code->Decode(pieces);
+  ASSERT_TRUE(decoded.ok());
+
+  auto restored1 = DeserializeRecords((*decoded)[1]);
+  ASSERT_TRUE(restored1.ok());
+  const auto& original1 = sys.bucket(1).records();
+  ASSERT_EQ(restored1->size(), original1.size());
+  for (const auto& [key, value] : *restored1) {
+    auto it = original1.find(key);
+    ASSERT_TRUE(it != original1.end());
+    EXPECT_EQ(it->second, value);
+  }
+}
+
+}  // namespace
+}  // namespace essdds::sdds

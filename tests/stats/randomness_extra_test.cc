@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "stats/randomness.h"
+#include "util/random.h"
+
+namespace essdds::stats {
+namespace {
+
+Bytes PseudoRandomBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Bytes b(n);
+  for (auto& x : b) x = static_cast<uint8_t>(rng.Next());
+  return b;
+}
+
+TEST(CusumTest, RandomDataPasses) {
+  EXPECT_TRUE(CumulativeSumsTest(PseudoRandomBytes(20000, 1)).passed);
+}
+
+TEST(CusumTest, DriftingDataFails) {
+  // 60% ones: the random walk drifts linearly and the excursion explodes.
+  Rng rng(2);
+  Bytes data(5000);
+  for (auto& b : data) {
+    uint8_t v = 0;
+    for (int bit = 0; bit < 8; ++bit) {
+      v = static_cast<uint8_t>((v << 1) | (rng.Bernoulli(0.6) ? 1 : 0));
+    }
+    b = v;
+  }
+  EXPECT_FALSE(CumulativeSumsTest(data).passed);
+}
+
+TEST(CusumTest, TooShortInputIsInconclusiveFail) {
+  EXPECT_FALSE(CumulativeSumsTest(Bytes(4, 0xA5)).passed);
+}
+
+TEST(ApEnTest, RandomDataPasses) {
+  EXPECT_TRUE(ApproximateEntropyTest(PseudoRandomBytes(20000, 3)).passed);
+}
+
+TEST(ApEnTest, PeriodicDataFails) {
+  // 01010101... is perfectly predictable: ApEn ~ 0, chi2 explodes.
+  Bytes data(2000, 0x55);
+  EXPECT_FALSE(ApproximateEntropyTest(data).passed);
+}
+
+TEST(ApEnTest, AsciiTextFails) {
+  std::string text;
+  for (int i = 0; i < 500; ++i) text += "SCHWARZ THOMAS ";
+  EXPECT_FALSE(ApproximateEntropyTest(ToBytes(text)).passed);
+}
+
+TEST(BatteryTest, HasSixTests) {
+  auto results = RunAllRandomnessTests(PseudoRandomBytes(20000, 4));
+  EXPECT_EQ(results.size(), 6u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.passed) << r.name << " stat=" << r.statistic;
+    EXPECT_FALSE(r.name.empty());
+  }
+}
+
+}  // namespace
+}  // namespace essdds::stats

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "stats/chi_squared.h"
+#include "stats/ngram.h"
+#include "stats/randomness.h"
+#include "util/random.h"
+
+namespace essdds::stats {
+namespace {
+
+TEST(NgramCounterTest, SingleLetterCounts) {
+  NgramCounter c(1, 256);
+  c.AddText("AABAC");
+  EXPECT_EQ(c.total(), 5u);
+  EXPECT_EQ(c.CountOf('A'), 3u);
+  EXPECT_EQ(c.CountOf('B'), 1u);
+  EXPECT_EQ(c.CountOf('C'), 1u);
+  EXPECT_EQ(c.CountOf('Z'), 0u);
+  EXPECT_EQ(c.observed_cells(), 3u);
+}
+
+TEST(NgramCounterTest, DoubletCountsWithinRecordOnly) {
+  NgramCounter c(2, 256);
+  c.AddText("AB");
+  c.AddText("BA");
+  // "AB" and "BA"; no cross-record "BB".
+  EXPECT_EQ(c.total(), 2u);
+  std::vector<uint32_t> ab = {'A', 'B'};
+  std::vector<uint32_t> bb = {'B', 'B'};
+  EXPECT_EQ(c.CountOf(c.PackCell(ab)), 1u);
+  EXPECT_EQ(c.CountOf(c.PackCell(bb)), 0u);
+}
+
+TEST(NgramCounterTest, TripletsOverlap) {
+  NgramCounter c(3, 256);
+  c.AddText("ABCD");  // ABC, BCD
+  EXPECT_EQ(c.total(), 2u);
+}
+
+TEST(NgramCounterTest, PackUnpackRoundTrip) {
+  NgramCounter c(3, 8);
+  std::vector<uint32_t> sym = {7, 0, 5};
+  EXPECT_EQ(c.UnpackCell(c.PackCell(sym)), sym);
+  EXPECT_EQ(c.num_cells(), 512u);
+}
+
+TEST(NgramCounterTest, ShortSequencesIgnored) {
+  NgramCounter c(3, 256);
+  c.AddText("AB");
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(NgramCounterTest, TopRanksByCount) {
+  NgramCounter c(1, 256);
+  c.AddText("AAABBC");
+  auto top = c.Top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].cell, uint64_t{'A'});
+  EXPECT_EQ(top[0].count, 3u);
+  EXPECT_NEAR(top[0].fraction, 0.5, 1e-9);
+  EXPECT_EQ(top[1].cell, uint64_t{'B'});
+}
+
+TEST(ChiSquaredTest, UniformDataScoresNearDegreesOfFreedom) {
+  // For uniform random data, E[chi2] = num_cells - 1.
+  Rng rng(42);
+  NgramCounter c(1, 16);
+  std::vector<uint32_t> seq(100000);
+  for (auto& s : seq) s = static_cast<uint32_t>(rng.Uniform(16));
+  c.Add(seq);
+  const double chi2 = ChiSquaredUniform(c);
+  EXPECT_GT(chi2, 1.0);
+  EXPECT_LT(chi2, 60.0);  // df = 15; 60 is far beyond any sane quantile
+}
+
+TEST(ChiSquaredTest, SkewedDataScoresHuge) {
+  NgramCounter c(1, 16);
+  std::vector<uint32_t> seq(10000, 3);  // all mass on one symbol
+  c.Add(seq);
+  const double chi2 = ChiSquaredUniform(c);
+  // All 10000 in one of 16 cells: chi2 = n*(k-1) = 150000.
+  EXPECT_NEAR(chi2, 150000.0, 1.0);
+}
+
+TEST(ChiSquaredTest, ZeroCellsContributeExpectedMass) {
+  // Two symbols observed equally out of 4 possible.
+  NgramCounter c(1, 4);
+  std::vector<uint32_t> seq = {0, 1, 0, 1};
+  c.Add(seq);
+  // expected = 1 per cell; chi2 = (2-1)^2*2 + (0-1)^2*2 = 4.
+  EXPECT_NEAR(ChiSquaredUniform(c), 4.0, 1e-9);
+}
+
+TEST(ChiSquaredTest, EmptyCounterIsZero) {
+  NgramCounter c(1, 4);
+  EXPECT_EQ(ChiSquaredUniform(c), 0.0);
+}
+
+TEST(ChiSquaredTest, RawHistogramOverload) {
+  std::unordered_map<uint64_t, uint64_t> h = {{0, 10}, {1, 10}};
+  EXPECT_NEAR(ChiSquaredUniform(h, 2), 0.0, 1e-9);
+  EXPECT_GT(ChiSquaredUniform(h, 4), 0.0);
+}
+
+TEST(EntropyTest, UniformIsLogK) {
+  NgramCounter c(1, 8);
+  std::vector<uint32_t> seq;
+  for (uint32_t s = 0; s < 8; ++s) {
+    for (int i = 0; i < 10; ++i) seq.push_back(s);
+  }
+  c.Add(seq);
+  EXPECT_NEAR(EmpiricalEntropyBits(c), 3.0, 1e-9);
+}
+
+TEST(EntropyTest, ConstantIsZero) {
+  NgramCounter c(1, 8);
+  std::vector<uint32_t> seq(100, 5);
+  c.Add(seq);
+  EXPECT_NEAR(EmpiricalEntropyBits(c), 0.0, 1e-9);
+}
+
+Bytes PseudoRandomBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Bytes b(n);
+  for (auto& x : b) x = static_cast<uint8_t>(rng.Next());
+  return b;
+}
+
+TEST(RandomnessTest, RandomDataPassesBattery) {
+  Bytes data = PseudoRandomBytes(20000, 7);
+  for (const auto& r : RunAllRandomnessTests(data)) {
+    EXPECT_TRUE(r.passed) << r.name << " statistic=" << r.statistic;
+  }
+}
+
+TEST(RandomnessTest, ConstantDataFailsMonobit) {
+  Bytes data(1000, 0xFF);
+  EXPECT_FALSE(MonobitTest(data).passed);
+}
+
+TEST(RandomnessTest, AlternatingBitsFailRuns) {
+  // 0101... has far too many runs.
+  Bytes data(1000, 0x55);
+  EXPECT_TRUE(MonobitTest(data).passed);  // perfectly balanced
+  EXPECT_FALSE(RunsTest(data).passed);
+}
+
+TEST(RandomnessTest, BiasedPairsFailSerial) {
+  // Bytes of 0b00110011: pairs 00,11,00,11 - only two of four patterns.
+  Bytes data(1000, 0x33);
+  EXPECT_FALSE(SerialTest(data).passed);
+}
+
+TEST(RandomnessTest, RepeatedNibblesFailPoker) {
+  Bytes data(1000, 0xAA);  // nibble 0xA only
+  EXPECT_FALSE(PokerTest(data).passed);
+}
+
+TEST(RandomnessTest, AsciiTextFailsBattery) {
+  // English-like text is visibly non-random: the monobit test alone
+  // catches the 0 high bit of ASCII.
+  std::string text;
+  for (int i = 0; i < 300; ++i) text += "SCHWARZ THOMAS J ";
+  Bytes data = ToBytes(text);
+  int failures = 0;
+  for (const auto& r : RunAllRandomnessTests(data)) failures += !r.passed;
+  EXPECT_GE(failures, 2);
+}
+
+TEST(RandomnessTest, PackSymbolsToBits) {
+  // Four 2-bit symbols pack into one byte.
+  Bytes packed = PackSymbolsToBits({0b01, 0b10, 0b11, 0b00}, 2);
+  ASSERT_EQ(packed.size(), 1u);
+  EXPECT_EQ(packed[0], 0b01101100);
+}
+
+}  // namespace
+}  // namespace essdds::stats

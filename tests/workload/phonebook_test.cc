@@ -1,0 +1,167 @@
+#include "workload/phonebook.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "stats/chi_squared.h"
+#include "stats/ngram.h"
+#include "workload/names.h"
+
+namespace essdds::workload {
+namespace {
+
+TEST(NamesTest, CorporaAreNonEmptyAndWeighted) {
+  EXPECT_GT(Surnames().size(), 100u);
+  EXPECT_GT(GivenNames().size(), 50u);
+  EXPECT_GT(TotalWeight(Surnames()), 0u);
+  for (const WeightedName& w : Surnames()) {
+    EXPECT_FALSE(w.name.empty());
+    EXPECT_GT(w.weight, 0u);
+    for (char c : w.name) {
+      EXPECT_TRUE((c >= 'A' && c <= 'Z') || c == ' ' || c == '\'' || c == '-')
+          << w.name;
+    }
+  }
+}
+
+TEST(NamesTest, ShortAsianSurnamesPresent) {
+  // The paper's false-positive analysis hinges on these.
+  std::set<std::string_view> names;
+  for (const WeightedName& w : Surnames()) names.insert(w.name);
+  for (std::string_view expect :
+       {"YU", "OU", "IP", "WU", "LI", "LE", "WOO", "KIM", "LEE", "MAI",
+        "LIM", "MAK", "LEW", "KAY", "SEE"}) {
+    EXPECT_TRUE(names.contains(expect)) << expect;
+  }
+}
+
+TEST(PhonebookTest, FormattedLineMatchesFigure4Shape) {
+  PhoneRecord rec{.rid = 4154090271, .name = "ADRIAN CORTEZ",
+                  .phone = "415-409-0271"};
+  const std::string line = rec.FormattedLine();
+  EXPECT_EQ(line, "ADRIAN CORTEZ%%%%%%%%%%%%%415-409-0271$$");
+  EXPECT_EQ(line.substr(line.size() - 2), "$$");
+}
+
+TEST(PhonebookTest, ParseRoundTrip) {
+  PhonebookGenerator gen(1);
+  for (uint64_t i = 0; i < 200; ++i) {
+    PhoneRecord rec = gen.GenerateOne(i);
+    auto parsed = ParseFormattedLine(rec.FormattedLine());
+    ASSERT_TRUE(parsed.ok()) << rec.FormattedLine();
+    EXPECT_EQ(parsed->name, rec.name);
+    EXPECT_EQ(parsed->phone, rec.phone);
+    EXPECT_EQ(parsed->rid, rec.rid);
+  }
+}
+
+TEST(PhonebookTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseFormattedLine("").ok());
+  EXPECT_FALSE(ParseFormattedLine("NO TRAILER").ok());
+  EXPECT_FALSE(ParseFormattedLine("X$$").ok());
+  EXPECT_FALSE(ParseFormattedLine("NAME%%%%415~409~0000$$").ok());
+  EXPECT_FALSE(ParseFormattedLine("%%%%%%%%%%%%%%415-409-0000$$").ok());
+}
+
+TEST(PhonebookTest, GenerationIsDeterministic) {
+  PhonebookGenerator a(42), b(42);
+  auto ra = a.Generate(500);
+  auto rb = b.Generate(500);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].name, rb[i].name);
+    EXPECT_EQ(ra[i].rid, rb[i].rid);
+  }
+}
+
+TEST(PhonebookTest, RidsAreUnique) {
+  PhonebookGenerator gen(7);
+  auto records = gen.Generate(30000);
+  std::set<uint64_t> rids;
+  for (const auto& r : records) rids.insert(r.rid);
+  EXPECT_EQ(rids.size(), records.size());
+}
+
+TEST(PhonebookTest, NamesAreCapitalizedAndPlausible) {
+  PhonebookGenerator gen(3);
+  auto records = gen.Generate(1000);
+  for (const auto& r : records) {
+    EXPECT_FALSE(r.name.empty());
+    EXPECT_TRUE(r.name.find(' ') != std::string::npos) << r.name;
+    for (char c : r.name) {
+      EXPECT_TRUE((c >= 'A' && c <= 'Z') || c == ' ' || c == '&' ||
+                  c == '\'' || c == '-')
+          << r.name;
+    }
+  }
+}
+
+TEST(PhonebookTest, SurnameOfExtractsFirstToken) {
+  PhoneRecord rec{.rid = 1, .name = "SCHWARZ THOMAS J", .phone = ""};
+  EXPECT_EQ(SurnameOf(rec), "SCHWARZ");
+}
+
+TEST(PhonebookTest, SampleRecordsDistinctAndDeterministic) {
+  PhonebookGenerator gen(5);
+  auto corpus = gen.Generate(5000);
+  auto s1 = SampleRecords(corpus, 1000, 99);
+  auto s2 = SampleRecords(corpus, 1000, 99);
+  ASSERT_EQ(s1.size(), 1000u);
+  std::set<const PhoneRecord*> unique(s1.begin(), s1.end());
+  EXPECT_EQ(unique.size(), 1000u);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(PhonebookTest, LetterFrequenciesMatchPaperProfile) {
+  // Table 1 of the paper: A, E, N, R, I, O are the most common letters,
+  // with A around 11% and all six between ~5%% and ~12%.
+  PhonebookGenerator gen(11);
+  auto records = gen.Generate(20000);
+  stats::NgramCounter c(1, 256);
+  uint64_t letter_total = 0;
+  for (const auto& r : records) {
+    for (char ch : r.name) {
+      if (ch >= 'A' && ch <= 'Z') {
+        uint32_t sym = static_cast<uint32_t>(ch);
+        c.Add(std::span<const uint32_t>(&sym, 1));
+        ++letter_total;
+      }
+    }
+  }
+  auto frac = [&](char ch) {
+    return static_cast<double>(c.CountOf(static_cast<uint64_t>(ch))) /
+           static_cast<double>(letter_total);
+  };
+  for (char ch : {'A', 'E', 'N', 'I', 'O'}) {
+    EXPECT_GT(frac(ch), 0.04) << ch;
+    EXPECT_LT(frac(ch), 0.16) << ch;
+  }
+  // Rare letters stay rare.
+  EXPECT_LT(frac('Q'), 0.01);
+  EXPECT_LT(frac('X'), 0.01);
+}
+
+TEST(PhonebookTest, ChiSquaredIsLargeLikeTable1) {
+  // The plaintext directory is wildly non-uniform; over the 27-letter
+  // (A-Z + space) alphabet the chi2 must be enormous, as in Table 1.
+  PhonebookGenerator gen(13);
+  auto records = gen.Generate(10000);
+  stats::NgramCounter c(1, 27);
+  for (const auto& r : records) {
+    std::vector<uint32_t> syms;
+    for (char ch : r.name) {
+      if (ch >= 'A' && ch <= 'Z') {
+        syms.push_back(static_cast<uint32_t>(ch - 'A'));
+      } else if (ch == ' ') {
+        syms.push_back(26);
+      }
+    }
+    c.Add(syms);
+  }
+  EXPECT_GT(stats::ChiSquaredUniform(c), 10000.0);
+}
+
+}  // namespace
+}  // namespace essdds::workload
