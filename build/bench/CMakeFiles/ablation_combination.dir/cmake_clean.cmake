@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_combination.dir/ablation_combination.cc.o"
+  "CMakeFiles/ablation_combination.dir/ablation_combination.cc.o.d"
+  "ablation_combination"
+  "ablation_combination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_combination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_per_family_keys.dir/ablation_per_family_keys.cc.o"
+  "CMakeFiles/ablation_per_family_keys.dir/ablation_per_family_keys.cc.o.d"
+  "ablation_per_family_keys"
+  "ablation_per_family_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_per_family_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

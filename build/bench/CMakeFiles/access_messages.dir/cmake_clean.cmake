@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_messages.dir/access_messages.cc.o"
+  "CMakeFiles/access_messages.dir/access_messages.cc.o.d"
+  "access_messages"
+  "access_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

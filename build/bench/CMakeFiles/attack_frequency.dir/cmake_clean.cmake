@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_frequency.dir/attack_frequency.cc.o"
+  "CMakeFiles/attack_frequency.dir/attack_frequency.cc.o.d"
+  "attack_frequency"
+  "attack_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

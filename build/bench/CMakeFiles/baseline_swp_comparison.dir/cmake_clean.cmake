@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_swp_comparison.dir/baseline_swp_comparison.cc.o"
+  "CMakeFiles/baseline_swp_comparison.dir/baseline_swp_comparison.cc.o.d"
+  "baseline_swp_comparison"
+  "baseline_swp_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_swp_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

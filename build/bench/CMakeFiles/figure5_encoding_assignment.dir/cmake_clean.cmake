@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_encoding_assignment.dir/figure5_encoding_assignment.cc.o"
+  "CMakeFiles/figure5_encoding_assignment.dir/figure5_encoding_assignment.cc.o.d"
+  "figure5_encoding_assignment"
+  "figure5_encoding_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_encoding_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_crypto.dir/perf_crypto.cc.o"
+  "CMakeFiles/perf_crypto.dir/perf_crypto.cc.o.d"
+  "perf_crypto"
+  "perf_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_gf_codec.dir/perf_gf_codec.cc.o"
+  "CMakeFiles/perf_gf_codec.dir/perf_gf_codec.cc.o.d"
+  "perf_gf_codec"
+  "perf_gf_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_gf_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

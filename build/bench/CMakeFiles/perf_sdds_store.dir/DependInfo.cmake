@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/perf_sdds_store.cc" "bench/CMakeFiles/perf_sdds_store.dir/perf_sdds_store.cc.o" "gcc" "bench/CMakeFiles/perf_sdds_store.dir/perf_sdds_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/essdds_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/essdds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/essdds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/essdds_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/essdds_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/essdds_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdds/CMakeFiles/essdds_sdds.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/essdds_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/essdds_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/essdds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_sdds_store.dir/perf_sdds_store.cc.o"
+  "CMakeFiles/perf_sdds_store.dir/perf_sdds_store.cc.o.d"
+  "perf_sdds_store"
+  "perf_sdds_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_sdds_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_overhead.dir/storage_overhead.cc.o"
+  "CMakeFiles/storage_overhead.dir/storage_overhead.cc.o.d"
+  "storage_overhead"
+  "storage_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_plaintext_chi2.dir/table1_plaintext_chi2.cc.o"
+  "CMakeFiles/table1_plaintext_chi2.dir/table1_plaintext_chi2.cc.o.d"
+  "table1_plaintext_chi2"
+  "table1_plaintext_chi2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_plaintext_chi2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_plaintext_chi2.
+# This may be replaced when dependencies are built.

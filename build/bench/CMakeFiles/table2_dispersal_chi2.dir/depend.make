@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_dispersal_chi2.
+# This may be replaced when dependencies are built.

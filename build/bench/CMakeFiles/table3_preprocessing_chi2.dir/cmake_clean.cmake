@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_preprocessing_chi2.dir/table3_preprocessing_chi2.cc.o"
+  "CMakeFiles/table3_preprocessing_chi2.dir/table3_preprocessing_chi2.cc.o.d"
+  "table3_preprocessing_chi2"
+  "table3_preprocessing_chi2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_preprocessing_chi2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_fp_symbol_encoding.dir/table4_fp_symbol_encoding.cc.o"
+  "CMakeFiles/table4_fp_symbol_encoding.dir/table4_fp_symbol_encoding.cc.o.d"
+  "table4_fp_symbol_encoding"
+  "table4_fp_symbol_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fp_symbol_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_fp_chunk_encoding.dir/table5_fp_chunk_encoding.cc.o"
+  "CMakeFiles/table5_fp_chunk_encoding.dir/table5_fp_chunk_encoding.cc.o.d"
+  "table5_fp_chunk_encoding"
+  "table5_fp_chunk_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_fp_chunk_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

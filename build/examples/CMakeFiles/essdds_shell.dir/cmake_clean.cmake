@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_shell.dir/essdds_shell.cpp.o"
+  "CMakeFiles/essdds_shell.dir/essdds_shell.cpp.o.d"
+  "essdds_shell"
+  "essdds_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

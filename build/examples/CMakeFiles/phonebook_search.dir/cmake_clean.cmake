@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phonebook_search.dir/phonebook_search.cpp.o"
+  "CMakeFiles/phonebook_search.dir/phonebook_search.cpp.o.d"
+  "phonebook_search"
+  "phonebook_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phonebook_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdds_scaling.dir/sdds_scaling.cpp.o"
+  "CMakeFiles/sdds_scaling.dir/sdds_scaling.cpp.o.d"
+  "sdds_scaling"
+  "sdds_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdds_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

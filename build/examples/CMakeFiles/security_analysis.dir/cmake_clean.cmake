@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_analysis.dir/security_analysis.cpp.o"
+  "CMakeFiles/security_analysis.dir/security_analysis.cpp.o.d"
+  "security_analysis"
+  "security_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_attack.dir/frequency_attack.cc.o"
+  "CMakeFiles/essdds_attack.dir/frequency_attack.cc.o.d"
+  "libessdds_attack.a"
+  "libessdds_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

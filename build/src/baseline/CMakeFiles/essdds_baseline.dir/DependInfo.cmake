@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/swp_word_store.cc" "src/baseline/CMakeFiles/essdds_baseline.dir/swp_word_store.cc.o" "gcc" "src/baseline/CMakeFiles/essdds_baseline.dir/swp_word_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/essdds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/essdds_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdds/CMakeFiles/essdds_sdds.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/essdds_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

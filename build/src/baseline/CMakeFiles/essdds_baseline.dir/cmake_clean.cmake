@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_baseline.dir/swp_word_store.cc.o"
+  "CMakeFiles/essdds_baseline.dir/swp_word_store.cc.o.d"
+  "libessdds_baseline.a"
+  "libessdds_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

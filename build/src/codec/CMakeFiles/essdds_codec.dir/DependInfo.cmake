@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/chunker.cc" "src/codec/CMakeFiles/essdds_codec.dir/chunker.cc.o" "gcc" "src/codec/CMakeFiles/essdds_codec.dir/chunker.cc.o.d"
+  "/root/repo/src/codec/dispersal.cc" "src/codec/CMakeFiles/essdds_codec.dir/dispersal.cc.o" "gcc" "src/codec/CMakeFiles/essdds_codec.dir/dispersal.cc.o.d"
+  "/root/repo/src/codec/symbol_encoder.cc" "src/codec/CMakeFiles/essdds_codec.dir/symbol_encoder.cc.o" "gcc" "src/codec/CMakeFiles/essdds_codec.dir/symbol_encoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/essdds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/essdds_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_codec.dir/chunker.cc.o"
+  "CMakeFiles/essdds_codec.dir/chunker.cc.o.d"
+  "CMakeFiles/essdds_codec.dir/dispersal.cc.o"
+  "CMakeFiles/essdds_codec.dir/dispersal.cc.o.d"
+  "CMakeFiles/essdds_codec.dir/symbol_encoder.cc.o"
+  "CMakeFiles/essdds_codec.dir/symbol_encoder.cc.o.d"
+  "libessdds_codec.a"
+  "libessdds_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

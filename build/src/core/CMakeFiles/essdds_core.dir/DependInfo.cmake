@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/encrypted_store.cc" "src/core/CMakeFiles/essdds_core.dir/encrypted_store.cc.o" "gcc" "src/core/CMakeFiles/essdds_core.dir/encrypted_store.cc.o.d"
+  "/root/repo/src/core/matcher.cc" "src/core/CMakeFiles/essdds_core.dir/matcher.cc.o" "gcc" "src/core/CMakeFiles/essdds_core.dir/matcher.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/essdds_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/essdds_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/scheme_params.cc" "src/core/CMakeFiles/essdds_core.dir/scheme_params.cc.o" "gcc" "src/core/CMakeFiles/essdds_core.dir/scheme_params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/essdds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/essdds_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/essdds_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdds/CMakeFiles/essdds_sdds.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/essdds_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_core.dir/encrypted_store.cc.o"
+  "CMakeFiles/essdds_core.dir/encrypted_store.cc.o.d"
+  "CMakeFiles/essdds_core.dir/matcher.cc.o"
+  "CMakeFiles/essdds_core.dir/matcher.cc.o.d"
+  "CMakeFiles/essdds_core.dir/pipeline.cc.o"
+  "CMakeFiles/essdds_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/essdds_core.dir/scheme_params.cc.o"
+  "CMakeFiles/essdds_core.dir/scheme_params.cc.o.d"
+  "libessdds_core.a"
+  "libessdds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

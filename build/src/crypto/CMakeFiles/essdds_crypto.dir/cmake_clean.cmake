@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_crypto.dir/aes.cc.o"
+  "CMakeFiles/essdds_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/essdds_crypto.dir/ecb.cc.o"
+  "CMakeFiles/essdds_crypto.dir/ecb.cc.o.d"
+  "CMakeFiles/essdds_crypto.dir/hmac.cc.o"
+  "CMakeFiles/essdds_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/essdds_crypto.dir/prp.cc.o"
+  "CMakeFiles/essdds_crypto.dir/prp.cc.o.d"
+  "CMakeFiles/essdds_crypto.dir/record_cipher.cc.o"
+  "CMakeFiles/essdds_crypto.dir/record_cipher.cc.o.d"
+  "CMakeFiles/essdds_crypto.dir/sha256.cc.o"
+  "CMakeFiles/essdds_crypto.dir/sha256.cc.o.d"
+  "libessdds_crypto.a"
+  "libessdds_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

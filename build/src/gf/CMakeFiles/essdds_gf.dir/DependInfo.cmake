@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gf/gf2n.cc" "src/gf/CMakeFiles/essdds_gf.dir/gf2n.cc.o" "gcc" "src/gf/CMakeFiles/essdds_gf.dir/gf2n.cc.o.d"
+  "/root/repo/src/gf/matrix.cc" "src/gf/CMakeFiles/essdds_gf.dir/matrix.cc.o" "gcc" "src/gf/CMakeFiles/essdds_gf.dir/matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/essdds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_gf.dir/gf2n.cc.o"
+  "CMakeFiles/essdds_gf.dir/gf2n.cc.o.d"
+  "CMakeFiles/essdds_gf.dir/matrix.cc.o"
+  "CMakeFiles/essdds_gf.dir/matrix.cc.o.d"
+  "libessdds_gf.a"
+  "libessdds_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdds/lh_client.cc" "src/sdds/CMakeFiles/essdds_sdds.dir/lh_client.cc.o" "gcc" "src/sdds/CMakeFiles/essdds_sdds.dir/lh_client.cc.o.d"
+  "/root/repo/src/sdds/lh_options.cc" "src/sdds/CMakeFiles/essdds_sdds.dir/lh_options.cc.o" "gcc" "src/sdds/CMakeFiles/essdds_sdds.dir/lh_options.cc.o.d"
+  "/root/repo/src/sdds/lh_server.cc" "src/sdds/CMakeFiles/essdds_sdds.dir/lh_server.cc.o" "gcc" "src/sdds/CMakeFiles/essdds_sdds.dir/lh_server.cc.o.d"
+  "/root/repo/src/sdds/lh_system.cc" "src/sdds/CMakeFiles/essdds_sdds.dir/lh_system.cc.o" "gcc" "src/sdds/CMakeFiles/essdds_sdds.dir/lh_system.cc.o.d"
+  "/root/repo/src/sdds/message.cc" "src/sdds/CMakeFiles/essdds_sdds.dir/message.cc.o" "gcc" "src/sdds/CMakeFiles/essdds_sdds.dir/message.cc.o.d"
+  "/root/repo/src/sdds/network.cc" "src/sdds/CMakeFiles/essdds_sdds.dir/network.cc.o" "gcc" "src/sdds/CMakeFiles/essdds_sdds.dir/network.cc.o.d"
+  "/root/repo/src/sdds/rs_code.cc" "src/sdds/CMakeFiles/essdds_sdds.dir/rs_code.cc.o" "gcc" "src/sdds/CMakeFiles/essdds_sdds.dir/rs_code.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/essdds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/essdds_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

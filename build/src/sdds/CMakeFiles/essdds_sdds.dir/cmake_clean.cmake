@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_sdds.dir/lh_client.cc.o"
+  "CMakeFiles/essdds_sdds.dir/lh_client.cc.o.d"
+  "CMakeFiles/essdds_sdds.dir/lh_options.cc.o"
+  "CMakeFiles/essdds_sdds.dir/lh_options.cc.o.d"
+  "CMakeFiles/essdds_sdds.dir/lh_server.cc.o"
+  "CMakeFiles/essdds_sdds.dir/lh_server.cc.o.d"
+  "CMakeFiles/essdds_sdds.dir/lh_system.cc.o"
+  "CMakeFiles/essdds_sdds.dir/lh_system.cc.o.d"
+  "CMakeFiles/essdds_sdds.dir/message.cc.o"
+  "CMakeFiles/essdds_sdds.dir/message.cc.o.d"
+  "CMakeFiles/essdds_sdds.dir/network.cc.o"
+  "CMakeFiles/essdds_sdds.dir/network.cc.o.d"
+  "CMakeFiles/essdds_sdds.dir/rs_code.cc.o"
+  "CMakeFiles/essdds_sdds.dir/rs_code.cc.o.d"
+  "libessdds_sdds.a"
+  "libessdds_sdds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_sdds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_stats.dir/chi_squared.cc.o"
+  "CMakeFiles/essdds_stats.dir/chi_squared.cc.o.d"
+  "CMakeFiles/essdds_stats.dir/ngram.cc.o"
+  "CMakeFiles/essdds_stats.dir/ngram.cc.o.d"
+  "CMakeFiles/essdds_stats.dir/randomness.cc.o"
+  "CMakeFiles/essdds_stats.dir/randomness.cc.o.d"
+  "libessdds_stats.a"
+  "libessdds_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

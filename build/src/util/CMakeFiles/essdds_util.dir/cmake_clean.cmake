@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_util.dir/bitstream.cc.o"
+  "CMakeFiles/essdds_util.dir/bitstream.cc.o.d"
+  "CMakeFiles/essdds_util.dir/bytes.cc.o"
+  "CMakeFiles/essdds_util.dir/bytes.cc.o.d"
+  "CMakeFiles/essdds_util.dir/logging.cc.o"
+  "CMakeFiles/essdds_util.dir/logging.cc.o.d"
+  "CMakeFiles/essdds_util.dir/random.cc.o"
+  "CMakeFiles/essdds_util.dir/random.cc.o.d"
+  "CMakeFiles/essdds_util.dir/status.cc.o"
+  "CMakeFiles/essdds_util.dir/status.cc.o.d"
+  "libessdds_util.a"
+  "libessdds_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

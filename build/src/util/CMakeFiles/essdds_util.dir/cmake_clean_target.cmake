@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libessdds_util.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_workload.dir/names.cc.o"
+  "CMakeFiles/essdds_workload.dir/names.cc.o.d"
+  "CMakeFiles/essdds_workload.dir/phonebook.cc.o"
+  "CMakeFiles/essdds_workload.dir/phonebook.cc.o.d"
+  "libessdds_workload.a"
+  "libessdds_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

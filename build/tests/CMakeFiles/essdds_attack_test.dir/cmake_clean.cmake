@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_attack_test.dir/attack/frequency_attack_test.cc.o"
+  "CMakeFiles/essdds_attack_test.dir/attack/frequency_attack_test.cc.o.d"
+  "essdds_attack_test"
+  "essdds_attack_test.pdb"
+  "essdds_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_baseline_test.dir/baseline/swp_word_store_test.cc.o"
+  "CMakeFiles/essdds_baseline_test.dir/baseline/swp_word_store_test.cc.o.d"
+  "essdds_baseline_test"
+  "essdds_baseline_test.pdb"
+  "essdds_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

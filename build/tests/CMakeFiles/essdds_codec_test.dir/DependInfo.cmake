@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/codec/chunker_test.cc" "tests/CMakeFiles/essdds_codec_test.dir/codec/chunker_test.cc.o" "gcc" "tests/CMakeFiles/essdds_codec_test.dir/codec/chunker_test.cc.o.d"
+  "/root/repo/tests/codec/codec_property_test.cc" "tests/CMakeFiles/essdds_codec_test.dir/codec/codec_property_test.cc.o" "gcc" "tests/CMakeFiles/essdds_codec_test.dir/codec/codec_property_test.cc.o.d"
+  "/root/repo/tests/codec/dispersal_test.cc" "tests/CMakeFiles/essdds_codec_test.dir/codec/dispersal_test.cc.o" "gcc" "tests/CMakeFiles/essdds_codec_test.dir/codec/dispersal_test.cc.o.d"
+  "/root/repo/tests/codec/symbol_encoder_test.cc" "tests/CMakeFiles/essdds_codec_test.dir/codec/symbol_encoder_test.cc.o" "gcc" "tests/CMakeFiles/essdds_codec_test.dir/codec/symbol_encoder_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codec/CMakeFiles/essdds_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/essdds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/essdds_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/essdds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

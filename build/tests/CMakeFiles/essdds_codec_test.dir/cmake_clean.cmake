@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_codec_test.dir/codec/chunker_test.cc.o"
+  "CMakeFiles/essdds_codec_test.dir/codec/chunker_test.cc.o.d"
+  "CMakeFiles/essdds_codec_test.dir/codec/codec_property_test.cc.o"
+  "CMakeFiles/essdds_codec_test.dir/codec/codec_property_test.cc.o.d"
+  "CMakeFiles/essdds_codec_test.dir/codec/dispersal_test.cc.o"
+  "CMakeFiles/essdds_codec_test.dir/codec/dispersal_test.cc.o.d"
+  "CMakeFiles/essdds_codec_test.dir/codec/symbol_encoder_test.cc.o"
+  "CMakeFiles/essdds_codec_test.dir/codec/symbol_encoder_test.cc.o.d"
+  "essdds_codec_test"
+  "essdds_codec_test.pdb"
+  "essdds_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

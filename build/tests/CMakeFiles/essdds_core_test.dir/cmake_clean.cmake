@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_core_test.dir/core/encrypted_store_test.cc.o"
+  "CMakeFiles/essdds_core_test.dir/core/encrypted_store_test.cc.o.d"
+  "CMakeFiles/essdds_core_test.dir/core/extensions_test.cc.o"
+  "CMakeFiles/essdds_core_test.dir/core/extensions_test.cc.o.d"
+  "CMakeFiles/essdds_core_test.dir/core/matcher_test.cc.o"
+  "CMakeFiles/essdds_core_test.dir/core/matcher_test.cc.o.d"
+  "CMakeFiles/essdds_core_test.dir/core/pipeline_test.cc.o"
+  "CMakeFiles/essdds_core_test.dir/core/pipeline_test.cc.o.d"
+  "CMakeFiles/essdds_core_test.dir/core/property_sweep_test.cc.o"
+  "CMakeFiles/essdds_core_test.dir/core/property_sweep_test.cc.o.d"
+  "CMakeFiles/essdds_core_test.dir/core/robustness_test.cc.o"
+  "CMakeFiles/essdds_core_test.dir/core/robustness_test.cc.o.d"
+  "CMakeFiles/essdds_core_test.dir/core/scheme_params_test.cc.o"
+  "CMakeFiles/essdds_core_test.dir/core/scheme_params_test.cc.o.d"
+  "essdds_core_test"
+  "essdds_core_test.pdb"
+  "essdds_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

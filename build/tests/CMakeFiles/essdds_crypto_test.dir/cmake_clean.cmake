@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_crypto_test.dir/crypto/aes_test.cc.o"
+  "CMakeFiles/essdds_crypto_test.dir/crypto/aes_test.cc.o.d"
+  "CMakeFiles/essdds_crypto_test.dir/crypto/key_separation_test.cc.o"
+  "CMakeFiles/essdds_crypto_test.dir/crypto/key_separation_test.cc.o.d"
+  "CMakeFiles/essdds_crypto_test.dir/crypto/prp_test.cc.o"
+  "CMakeFiles/essdds_crypto_test.dir/crypto/prp_test.cc.o.d"
+  "CMakeFiles/essdds_crypto_test.dir/crypto/record_cipher_test.cc.o"
+  "CMakeFiles/essdds_crypto_test.dir/crypto/record_cipher_test.cc.o.d"
+  "CMakeFiles/essdds_crypto_test.dir/crypto/sha256_test.cc.o"
+  "CMakeFiles/essdds_crypto_test.dir/crypto/sha256_test.cc.o.d"
+  "essdds_crypto_test"
+  "essdds_crypto_test.pdb"
+  "essdds_crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_gf_test.dir/gf/gf2n_test.cc.o"
+  "CMakeFiles/essdds_gf_test.dir/gf/gf2n_test.cc.o.d"
+  "CMakeFiles/essdds_gf_test.dir/gf/matrix_test.cc.o"
+  "CMakeFiles/essdds_gf_test.dir/gf/matrix_test.cc.o.d"
+  "essdds_gf_test"
+  "essdds_gf_test.pdb"
+  "essdds_gf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_gf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_integration_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/essdds_integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "essdds_integration_test"
+  "essdds_integration_test.pdb"
+  "essdds_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sdds/lh_shrink_test.cc" "tests/CMakeFiles/essdds_sdds_test.dir/sdds/lh_shrink_test.cc.o" "gcc" "tests/CMakeFiles/essdds_sdds_test.dir/sdds/lh_shrink_test.cc.o.d"
+  "/root/repo/tests/sdds/lh_test.cc" "tests/CMakeFiles/essdds_sdds_test.dir/sdds/lh_test.cc.o" "gcc" "tests/CMakeFiles/essdds_sdds_test.dir/sdds/lh_test.cc.o.d"
+  "/root/repo/tests/sdds/network_test.cc" "tests/CMakeFiles/essdds_sdds_test.dir/sdds/network_test.cc.o" "gcc" "tests/CMakeFiles/essdds_sdds_test.dir/sdds/network_test.cc.o.d"
+  "/root/repo/tests/sdds/rs_code_test.cc" "tests/CMakeFiles/essdds_sdds_test.dir/sdds/rs_code_test.cc.o" "gcc" "tests/CMakeFiles/essdds_sdds_test.dir/sdds/rs_code_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sdds/CMakeFiles/essdds_sdds.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/essdds_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/essdds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_sdds_test.dir/sdds/lh_shrink_test.cc.o"
+  "CMakeFiles/essdds_sdds_test.dir/sdds/lh_shrink_test.cc.o.d"
+  "CMakeFiles/essdds_sdds_test.dir/sdds/lh_test.cc.o"
+  "CMakeFiles/essdds_sdds_test.dir/sdds/lh_test.cc.o.d"
+  "CMakeFiles/essdds_sdds_test.dir/sdds/network_test.cc.o"
+  "CMakeFiles/essdds_sdds_test.dir/sdds/network_test.cc.o.d"
+  "CMakeFiles/essdds_sdds_test.dir/sdds/rs_code_test.cc.o"
+  "CMakeFiles/essdds_sdds_test.dir/sdds/rs_code_test.cc.o.d"
+  "essdds_sdds_test"
+  "essdds_sdds_test.pdb"
+  "essdds_sdds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_sdds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_stats_test.dir/stats/randomness_extra_test.cc.o"
+  "CMakeFiles/essdds_stats_test.dir/stats/randomness_extra_test.cc.o.d"
+  "CMakeFiles/essdds_stats_test.dir/stats/stats_test.cc.o"
+  "CMakeFiles/essdds_stats_test.dir/stats/stats_test.cc.o.d"
+  "essdds_stats_test"
+  "essdds_stats_test.pdb"
+  "essdds_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

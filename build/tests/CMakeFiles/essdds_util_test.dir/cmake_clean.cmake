@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_util_test.dir/util/bytes_test.cc.o"
+  "CMakeFiles/essdds_util_test.dir/util/bytes_test.cc.o.d"
+  "CMakeFiles/essdds_util_test.dir/util/status_test.cc.o"
+  "CMakeFiles/essdds_util_test.dir/util/status_test.cc.o.d"
+  "essdds_util_test"
+  "essdds_util_test.pdb"
+  "essdds_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

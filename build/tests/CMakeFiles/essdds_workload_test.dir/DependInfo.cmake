@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/phonebook_test.cc" "tests/CMakeFiles/essdds_workload_test.dir/workload/phonebook_test.cc.o" "gcc" "tests/CMakeFiles/essdds_workload_test.dir/workload/phonebook_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/essdds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/essdds_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/essdds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essdds_workload_test.dir/workload/phonebook_test.cc.o"
+  "CMakeFiles/essdds_workload_test.dir/workload/phonebook_test.cc.o.d"
+  "essdds_workload_test"
+  "essdds_workload_test.pdb"
+  "essdds_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essdds_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/essdds_util_test[1]_include.cmake")
+include("/root/repo/build/tests/essdds_gf_test[1]_include.cmake")
+include("/root/repo/build/tests/essdds_sdds_test[1]_include.cmake")
+include("/root/repo/build/tests/essdds_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/essdds_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/essdds_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/essdds_core_test[1]_include.cmake")
+include("/root/repo/build/tests/essdds_baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/essdds_crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/essdds_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/essdds_attack_test[1]_include.cmake")
