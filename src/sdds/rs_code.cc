@@ -124,6 +124,13 @@ Result<std::vector<std::pair<uint64_t, Bytes>>> DeserializeRecords(
   if (!need(4)) return Status::Corruption("truncated record block header");
   const uint32_t count = LoadBigEndian32(data.data());
   pos = 4;
+  // `count` comes off the wire untrusted: every record occupies at least 12
+  // header bytes, so any count the payload cannot account for is corruption.
+  // Checking before reserve() keeps a ~100-byte junk block from demanding a
+  // multi-gigabyte allocation (bad_alloc) up front.
+  if (count > (data.size() - 4) / 12) {
+    return Status::Corruption("record count exceeds payload capacity");
+  }
   out.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     if (!need(12)) return Status::Corruption("truncated record header");
