@@ -4,6 +4,7 @@
 
 #include "crypto/key_chain.h"
 #include "util/bitstream.h"
+#include "util/wire.h"
 
 namespace essdds::core {
 
@@ -27,94 +28,89 @@ void ParseIndexKey(uint64_t key, const SchemeParams& params, uint64_t* rid,
 namespace {
 
 void SerializeSeriesList(const std::vector<QuerySeries>& list,
-                         uint32_t dispersal_sites, Bytes& out) {
-  AppendBigEndian32(static_cast<uint32_t>(list.size()), out);
+                         uint32_t dispersal_sites, WireWriter& w) {
+  w.WriteU32(static_cast<uint32_t>(list.size()));
   for (const QuerySeries& s : list) {
-    AppendBigEndian32(s.alignment, out);
-    AppendBigEndian32(static_cast<uint32_t>(s.chunks.size()), out);
+    w.WriteU32(s.alignment);
+    w.WriteU32(static_cast<uint32_t>(s.chunks.size()));
     if (dispersal_sites == 1) {
-      for (uint64_t c : s.chunks) AppendBigEndian64(c, out);
+      for (uint64_t c : s.chunks) w.WriteU64(c);
     } else {
       // Only the dispersed pieces go on the wire: sites never see the
       // undispersed chunk values.
       for (const auto& site_stream : s.pieces) {
         ESSDDS_DCHECK(site_stream.size() == s.chunks.size());
-        for (uint64_t p : site_stream) AppendBigEndian64(p, out);
+        for (uint64_t p : site_stream) w.WriteU64(p);
       }
     }
   }
 }
 
+/// Wire-level plausibility bound on dispersal_sites: k divides the chunk bit
+/// width, which SchemeParams caps at 64 bits. Rejecting larger values keeps
+/// the per-series pieces.resize(k) below from being attacker-sized.
+constexpr uint32_t kMaxWireDispersalSites = 64;
+
 }  // namespace
 
 Bytes SearchQuery::Serialize() const {
-  Bytes out;
-  AppendBigEndian32(symbols_per_chunk, out);
-  AppendBigEndian32(chunking_stride, out);
-  AppendBigEndian32(dispersal_sites, out);
-  AppendBigEndian64(query_symbols, out);
-  out.push_back(per_family ? 1 : 0);
+  WireWriter w;
+  w.WriteU32(symbols_per_chunk);
+  w.WriteU32(chunking_stride);
+  w.WriteU32(dispersal_sites);
+  w.WriteU64(query_symbols);
+  w.WriteBool(per_family);
   if (per_family) {
-    AppendBigEndian32(static_cast<uint32_t>(family_series.size()), out);
+    w.WriteU32(static_cast<uint32_t>(family_series.size()));
     for (const auto& list : family_series) {
-      SerializeSeriesList(list, dispersal_sites, out);
+      SerializeSeriesList(list, dispersal_sites, w);
     }
   } else {
-    SerializeSeriesList(series, dispersal_sites, out);
+    SerializeSeriesList(series, dispersal_sites, w);
   }
-  return out;
+  return w.TakeBuffer();
 }
 
 Result<SearchQuery> SearchQuery::Deserialize(ByteSpan data) {
-  size_t pos = 0;
-  auto need = [&](size_t n) { return pos + n <= data.size(); };
-  auto read32 = [&]() {
-    const uint32_t v = LoadBigEndian32(data.data() + pos);
-    pos += 4;
-    return v;
-  };
-  auto read64 = [&]() {
-    const uint64_t v = LoadBigEndian64(data.data() + pos);
-    pos += 8;
-    return v;
-  };
+  WireReader r(data);
   SearchQuery q;
-  if (!need(21)) return Status::Corruption("query header truncated");
-  q.symbols_per_chunk = read32();
-  q.chunking_stride = read32();
-  q.dispersal_sites = read32();
-  q.query_symbols = read64();
-  q.per_family = data[pos++] != 0;
-  if (q.dispersal_sites == 0) {
+  ESSDDS_ASSIGN_OR_RETURN(q.symbols_per_chunk, r.ReadU32());
+  ESSDDS_ASSIGN_OR_RETURN(q.chunking_stride, r.ReadU32());
+  ESSDDS_ASSIGN_OR_RETURN(q.dispersal_sites, r.ReadU32());
+  ESSDDS_ASSIGN_OR_RETURN(q.query_symbols, r.ReadU64());
+  ESSDDS_ASSIGN_OR_RETURN(q.per_family, r.ReadBool());
+  if (q.dispersal_sites == 0 || q.dispersal_sites > kMaxWireDispersalSites) {
     return Status::Corruption("implausible query header");
   }
 
   auto read_series_list =
       [&](std::vector<QuerySeries>& list) -> Status {
-    if (!need(4)) return Status::Corruption("series count truncated");
-    const uint32_t num_series = read32();
+    // A series needs >= 8 bytes (alignment + chunk count).
+    ESSDDS_ASSIGN_OR_RETURN(const uint32_t num_series, r.ReadCount(8));
     if (num_series > 1024) {
       return Status::Corruption("implausible series count");
     }
     list.reserve(num_series);
     for (uint32_t i = 0; i < num_series; ++i) {
       QuerySeries s;
-      if (!need(8)) return Status::Corruption("series header truncated");
-      s.alignment = read32();
-      const uint32_t num_chunks = read32();
+      ESSDDS_ASSIGN_OR_RETURN(s.alignment, r.ReadU32());
       const size_t streams = q.dispersal_sites > 1 ? q.dispersal_sites : 1;
-      if (!need(static_cast<size_t>(num_chunks) * 8 * streams)) {
-        return Status::Corruption("series body truncated");
-      }
+      // Each claimed chunk occupies 8 bytes in each of `streams` streams.
+      ESSDDS_ASSIGN_OR_RETURN(const uint32_t num_chunks,
+                              r.ReadCount(8 * streams));
       if (q.dispersal_sites == 1) {
         s.chunks.reserve(num_chunks);
-        for (uint32_t c = 0; c < num_chunks; ++c) s.chunks.push_back(read64());
+        for (uint32_t c = 0; c < num_chunks; ++c) {
+          ESSDDS_ASSIGN_OR_RETURN(const uint64_t v, r.ReadU64());
+          s.chunks.push_back(v);
+        }
       } else {
         s.pieces.resize(q.dispersal_sites);
         for (uint32_t d = 0; d < q.dispersal_sites; ++d) {
           s.pieces[d].reserve(num_chunks);
           for (uint32_t c = 0; c < num_chunks; ++c) {
-            s.pieces[d].push_back(read64());
+            ESSDDS_ASSIGN_OR_RETURN(const uint64_t v, r.ReadU64());
+            s.pieces[d].push_back(v);
           }
         }
         s.chunks.clear();
@@ -125,8 +121,8 @@ Result<SearchQuery> SearchQuery::Deserialize(ByteSpan data) {
   };
 
   if (q.per_family) {
-    if (!need(4)) return Status::Corruption("family count truncated");
-    const uint32_t families = read32();
+    // A family's series list needs at least its own 4-byte series count.
+    ESSDDS_ASSIGN_OR_RETURN(const uint32_t families, r.ReadCount(4));
     if (families == 0 || families > 256) {
       return Status::Corruption("implausible family count");
     }
@@ -137,6 +133,7 @@ Result<SearchQuery> SearchQuery::Deserialize(ByteSpan data) {
   } else {
     ESSDDS_RETURN_IF_ERROR(read_series_list(q.series));
   }
+  ESSDDS_RETURN_IF_ERROR(r.ExpectEnd());
   return q;
 }
 
@@ -329,6 +326,9 @@ Result<std::vector<uint64_t>> IndexPipeline::DeserializeStream(
   BitReader r(data);
   ESSDDS_ASSIGN_OR_RETURN(uint64_t count, r.Read(32));
   const int bits = stream_value_bits();
+  // Bounds the untrusted count against the remaining bit budget before any
+  // allocation (count <= 2^32 and bits <= 64, so the product cannot
+  // overflow); same invariant WireReader::ReadCount enforces byte-wise.
   if (r.remaining_bits() < count * static_cast<uint64_t>(bits)) {
     return Status::Corruption("stream payload truncated");
   }

@@ -8,6 +8,7 @@
 
 #include "crypto/hmac.h"
 #include "util/bytes.h"
+#include "util/wire.h"
 
 namespace essdds::crypto {
 
@@ -32,17 +33,24 @@ class KeyChain {
 
   /// Seed for the pseudorandom invertible dispersal matrix E (Stage 3).
   uint64_t DispersalMatrixSeed() const {
-    Bytes b = DeriveKey(master_, "essdds/dispersal", 8);
-    return LoadBigEndian64(b.data());
+    return SeedFrom(DeriveKey(master_, "essdds/dispersal", 8));
   }
 
   /// Seed for any auxiliary randomized choice bound to this deployment.
   uint64_t AuxSeed(std::string_view label) const {
-    Bytes b = DeriveKey(master_, "essdds/aux/" + std::string(label), 8);
-    return LoadBigEndian64(b.data());
+    return SeedFrom(DeriveKey(master_, "essdds/aux/" + std::string(label), 8));
   }
 
  private:
+  /// Bounds-checked big-endian load of a derived 8-byte block; a wrong-sized
+  /// derivation is an internal invariant violation, not a parse error.
+  static uint64_t SeedFrom(const Bytes& block) {
+    WireReader r(block);
+    Result<uint64_t> seed = r.ReadU64();
+    ESSDDS_CHECK(seed.ok()) << "derived seed block shorter than 8 bytes";
+    return *seed;
+  }
+
   Bytes master_;
 };
 

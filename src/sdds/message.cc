@@ -1,5 +1,9 @@
 #include "sdds/message.h"
 
+#include <utility>
+
+#include "util/wire.h"
+
 namespace essdds::sdds {
 
 std::string_view MsgTypeToString(MsgType t) {
@@ -80,6 +84,73 @@ size_t Message::AccountedBytes() const {
   }
   if (has_iam) n += 12;
   return n;
+}
+
+Bytes Message::Encode() const {
+  WireWriter w;
+  w.WriteU8(static_cast<uint8_t>(type));
+  w.WriteU32(from);
+  w.WriteU32(to);
+  w.WriteU64(request_id);
+  w.WriteU32(reply_to);
+  w.WriteU32(hops);
+  w.WriteU64(key);
+  w.WriteLengthPrefixed(value);
+  w.WriteBool(found);
+  w.WriteBool(has_iam);
+  w.WriteU32(iam_level);
+  w.WriteU64(iam_address);
+  w.WriteU64(filter_id);
+  w.WriteLengthPrefixed(filter_arg);
+  w.WriteU32(assumed_level);
+  w.WriteU32(static_cast<uint32_t>(records.size()));
+  for (const WireRecord& r : records) {
+    w.WriteU64(r.key);
+    w.WriteLengthPrefixed(r.value);
+  }
+  w.WriteU64(bucket_to_split);
+  w.WriteU32(new_level);
+  return w.TakeBuffer();
+}
+
+Result<Message> Message::Decode(ByteSpan data) {
+  WireReader r(data);
+  Message m;
+  ESSDDS_ASSIGN_OR_RETURN(const uint8_t type_byte, r.ReadU8());
+  if (type_byte > static_cast<uint8_t>(MsgType::kMergeDone)) {
+    return Status::Corruption("message type out of range");
+  }
+  m.type = static_cast<MsgType>(type_byte);
+  ESSDDS_ASSIGN_OR_RETURN(m.from, r.ReadU32());
+  ESSDDS_ASSIGN_OR_RETURN(m.to, r.ReadU32());
+  ESSDDS_ASSIGN_OR_RETURN(m.request_id, r.ReadU64());
+  ESSDDS_ASSIGN_OR_RETURN(m.reply_to, r.ReadU32());
+  ESSDDS_ASSIGN_OR_RETURN(m.hops, r.ReadU32());
+  ESSDDS_ASSIGN_OR_RETURN(m.key, r.ReadU64());
+  ESSDDS_ASSIGN_OR_RETURN(ByteSpan value, r.ReadLengthPrefixed());
+  m.value.assign(value.begin(), value.end());
+  ESSDDS_ASSIGN_OR_RETURN(m.found, r.ReadBool());
+  ESSDDS_ASSIGN_OR_RETURN(m.has_iam, r.ReadBool());
+  ESSDDS_ASSIGN_OR_RETURN(m.iam_level, r.ReadU32());
+  ESSDDS_ASSIGN_OR_RETURN(m.iam_address, r.ReadU64());
+  ESSDDS_ASSIGN_OR_RETURN(m.filter_id, r.ReadU64());
+  ESSDDS_ASSIGN_OR_RETURN(ByteSpan filter_arg, r.ReadLengthPrefixed());
+  m.filter_arg.assign(filter_arg.begin(), filter_arg.end());
+  ESSDDS_ASSIGN_OR_RETURN(m.assumed_level, r.ReadU32());
+  // Every record needs >= 12 bytes (key + value length prefix).
+  ESSDDS_ASSIGN_OR_RETURN(const uint32_t num_records, r.ReadCount(12));
+  m.records.reserve(num_records);
+  for (uint32_t i = 0; i < num_records; ++i) {
+    WireRecord rec;
+    ESSDDS_ASSIGN_OR_RETURN(rec.key, r.ReadU64());
+    ESSDDS_ASSIGN_OR_RETURN(ByteSpan rec_value, r.ReadLengthPrefixed());
+    rec.value.assign(rec_value.begin(), rec_value.end());
+    m.records.push_back(std::move(rec));
+  }
+  ESSDDS_ASSIGN_OR_RETURN(m.bucket_to_split, r.ReadU64());
+  ESSDDS_ASSIGN_OR_RETURN(m.new_level, r.ReadU32());
+  ESSDDS_RETURN_IF_ERROR(r.ExpectEnd());
+  return m;
 }
 
 }  // namespace essdds::sdds

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/bytes.h"
+#include "util/result.h"
 
 namespace essdds::sdds {
 
@@ -49,6 +50,8 @@ std::string_view MsgTypeToString(MsgType t);
 struct WireRecord {
   uint64_t key = 0;
   Bytes value;
+
+  friend bool operator==(const WireRecord&, const WireRecord&) = default;
 };
 
 /// Client's view of the file extent (possibly stale): level i' and split
@@ -114,7 +117,17 @@ struct Message {
   uint32_t new_level = 0;
 
   /// Simulated serialized size in bytes (header + active payload).
+  /// Cheaper than Encode().size(): counts only the fields `type` activates,
+  /// mirroring what a production encoder would ship.
   size_t AccountedBytes() const;
+
+  /// Real wire encoding (uniform layout: every field serialized). Decode is
+  /// the bounds-checked inverse; malformed bytes yield Status::Corruption,
+  /// never an exception or unbounded allocation.
+  Bytes Encode() const;
+  static Result<Message> Decode(ByteSpan data);
+
+  friend bool operator==(const Message&, const Message&) = default;
 };
 
 }  // namespace essdds::sdds

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/wire.h"
+
 namespace essdds::sdds {
 
 namespace {
@@ -106,42 +108,31 @@ Result<std::vector<Bytes>> RsCode::Decode(
 
 Bytes SerializeRecords(
     const std::vector<std::pair<uint64_t, Bytes>>& records) {
-  Bytes out;
-  AppendBigEndian32(static_cast<uint32_t>(records.size()), out);
+  WireWriter w;
+  w.WriteU32(static_cast<uint32_t>(records.size()));
   for (const auto& [key, value] : records) {
-    AppendBigEndian64(key, out);
-    AppendBigEndian32(static_cast<uint32_t>(value.size()), out);
-    out.insert(out.end(), value.begin(), value.end());
+    w.WriteU64(key);
+    w.WriteLengthPrefixed(value);
   }
-  return out;
+  return w.TakeBuffer();
 }
 
 Result<std::vector<std::pair<uint64_t, Bytes>>> DeserializeRecords(
     ByteSpan data) {
+  WireReader r(data);
+  // Each record occupies at least 12 header bytes; ReadCount rejects any
+  // count the payload cannot account for before we reserve, so a ~100-byte
+  // junk block can never demand a multi-gigabyte allocation (bad_alloc).
+  ESSDDS_ASSIGN_OR_RETURN(const uint32_t count, r.ReadCount(12));
   std::vector<std::pair<uint64_t, Bytes>> out;
-  size_t pos = 0;
-  auto need = [&](size_t n) { return pos + n <= data.size(); };
-  if (!need(4)) return Status::Corruption("truncated record block header");
-  const uint32_t count = LoadBigEndian32(data.data());
-  pos = 4;
-  // `count` comes off the wire untrusted: every record occupies at least 12
-  // header bytes, so any count the payload cannot account for is corruption.
-  // Checking before reserve() keeps a ~100-byte junk block from demanding a
-  // multi-gigabyte allocation (bad_alloc) up front.
-  if (count > (data.size() - 4) / 12) {
-    return Status::Corruption("record count exceeds payload capacity");
-  }
   out.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
-    if (!need(12)) return Status::Corruption("truncated record header");
-    const uint64_t key = LoadBigEndian64(data.data() + pos);
-    const uint32_t len = LoadBigEndian32(data.data() + pos + 8);
-    pos += 12;
-    if (!need(len)) return Status::Corruption("truncated record value");
-    out.emplace_back(key, Bytes(data.begin() + static_cast<ptrdiff_t>(pos),
-                                data.begin() + static_cast<ptrdiff_t>(pos + len)));
-    pos += len;
+    ESSDDS_ASSIGN_OR_RETURN(const uint64_t key, r.ReadU64());
+    ESSDDS_ASSIGN_OR_RETURN(ByteSpan value, r.ReadLengthPrefixed());
+    out.emplace_back(key, Bytes(value.begin(), value.end()));
   }
+  // No ExpectEnd: RS parity groups pad every block to the group's maximum
+  // length, so a record block legitimately carries a zero tail.
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include "core/encrypted_store.h"
 #include "core/pipeline.h"
 #include "sdds/rs_code.h"
+#include "tests/util/fuzz_util.h"
 #include "util/random.h"
 #include "workload/phonebook.h"
 
@@ -91,17 +92,14 @@ TEST(ExpansionSearchTest, NoFalseNegativesOverCorpus) {
 // --- deserializer fuzzing: random bytes must produce errors, not UB ---
 
 TEST(FuzzTest, SearchQueryDeserializeSurvivesRandomBytes) {
-  Rng rng(1);
-  for (int trial = 0; trial < 2000; ++trial) {
-    Bytes junk(rng.Uniform(200));
-    for (auto& b : junk) b = static_cast<uint8_t>(rng.Next());
+  test::RandomBytesTrials(1, 2000, 200, [](ByteSpan junk) {
     auto q = SearchQuery::Deserialize(junk);  // must not crash
     if (q.ok()) {
       // If it parsed, the invariants must hold.
       EXPECT_GT(q->dispersal_sites, 0u);
       EXPECT_LE(q->series.size(), 1024u);
     }
-  }
+  });
 }
 
 TEST(FuzzTest, SearchQueryDeserializeSurvivesTruncation) {
@@ -109,32 +107,97 @@ TEST(FuzzTest, SearchQueryDeserializeSurvivesTruncation) {
   auto pipe = IndexPipeline::Create(p, ToBytes("fuzz"), {});
   auto q = pipe->BuildQuery("ABCDEFGHIJ");
   Bytes wire = q->Serialize();
-  for (size_t len = 0; len < wire.size(); ++len) {
-    auto parsed = SearchQuery::Deserialize(ByteSpan(wire.data(), len));
+  test::TruncationSweep(wire, [](ByteSpan prefix, size_t len) {
+    auto parsed = SearchQuery::Deserialize(prefix);
     EXPECT_FALSE(parsed.ok()) << "truncation at " << len << " parsed";
-  }
+  });
   // Full length parses.
   EXPECT_TRUE(SearchQuery::Deserialize(wire).ok());
+}
+
+TEST(FuzzTest, SearchQueryDeserializeSurvivesSingleByteMutations) {
+  SchemeParams p{.codes_per_chunk = 4, .dispersal_sites = 4};
+  auto pipe = IndexPipeline::Create(p, ToBytes("fuzz"), {});
+  auto q = pipe->BuildQuery("ABCDEFGHIJ");
+  const Bytes wire = q->Serialize();
+  test::SingleByteMutations(4, wire, [](ByteSpan mutated, size_t) {
+    auto parsed = SearchQuery::Deserialize(mutated);  // must not crash
+    if (parsed.ok()) {
+      EXPECT_GT(parsed->dispersal_sites, 0u);
+      EXPECT_LE(parsed->dispersal_sites, 64u);
+    }
+  });
 }
 
 TEST(FuzzTest, StreamDeserializeSurvivesRandomBytes) {
   SchemeParams p{.codes_per_chunk = 4};
   auto pipe = IndexPipeline::Create(p, ToBytes("fuzz"), {});
-  Rng rng(2);
-  for (int trial = 0; trial < 2000; ++trial) {
-    Bytes junk(rng.Uniform(64));
-    for (auto& b : junk) b = static_cast<uint8_t>(rng.Next());
+  test::RandomBytesTrials(2, 2000, 64, [&](ByteSpan junk) {
     (void)pipe->DeserializeStream(junk);  // must not crash
-  }
+  });
+}
+
+TEST(FuzzTest, StreamDeserializeSurvivesTruncationAndMutation) {
+  SchemeParams p{.codes_per_chunk = 4};
+  auto pipe = IndexPipeline::Create(p, ToBytes("fuzz"), {});
+  const Bytes wire = pipe->SerializeStream({1, 2, 3, 0xFFFF, 42});
+  EXPECT_TRUE(pipe->DeserializeStream(wire).ok());
+  test::TruncationSweep(wire, [&](ByteSpan prefix, size_t) {
+    (void)pipe->DeserializeStream(prefix);  // must not crash
+  });
+  test::SingleByteMutations(5, wire, [&](ByteSpan mutated, size_t) {
+    (void)pipe->DeserializeStream(mutated);  // must not crash
+  });
 }
 
 TEST(FuzzTest, RecordBlockDeserializeSurvivesRandomBytes) {
-  Rng rng(3);
-  for (int trial = 0; trial < 2000; ++trial) {
-    Bytes junk(rng.Uniform(100));
-    for (auto& b : junk) b = static_cast<uint8_t>(rng.Next());
+  test::RandomBytesTrials(3, 2000, 100, [](ByteSpan junk) {
     (void)sdds::DeserializeRecords(junk);  // must not crash
-  }
+  });
+}
+
+TEST(FuzzTest, RecordBlockDeserializeSurvivesTruncation) {
+  const Bytes wire = sdds::SerializeRecords(
+      {{1, ToBytes("SCHWARZ")}, {2, ToBytes("TSUI")}, {3, {}}});
+  test::TruncationSweep(wire, [](ByteSpan prefix, size_t len) {
+    auto parsed = sdds::DeserializeRecords(prefix);
+    EXPECT_FALSE(parsed.ok()) << "truncation at " << len << " parsed";
+  });
+  auto full = sdds::DeserializeRecords(wire);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->size(), 3u);
+}
+
+TEST(FuzzTest, RecordBlockDeserializeSurvivesSingleByteMutations) {
+  const Bytes wire = sdds::SerializeRecords(
+      {{1, ToBytes("SCHWARZ")}, {2, ToBytes("TSUI")}, {3, {}}});
+  test::SingleByteMutations(6, wire, [](ByteSpan mutated, size_t) {
+    auto parsed = sdds::DeserializeRecords(mutated);  // must not crash
+    if (parsed.ok()) {
+      EXPECT_LE(parsed->size(), 3u + 255u);  // a mutated count stays bounded
+    }
+  });
+}
+
+TEST(FuzzTest, RecordBlockRejectsHugeClaimedCountWithoutAllocating) {
+  // count = 0xFFFFFFFF over a 12-byte payload: must fail closed as
+  // Corruption before any reserve; with a count that big a reserve would
+  // demand tens of gigabytes and throw bad_alloc.
+  Bytes evil = {0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3, 4, 5, 6, 7, 8};
+  auto parsed = sdds::DeserializeRecords(evil);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsCorruption());
+}
+
+TEST(FuzzTest, RecordBlockToleratesZeroPaddedTail) {
+  // RS parity groups pad blocks to the group maximum; the zero tail after
+  // the last record must stay parseable (the recovery path relies on it).
+  Bytes wire = sdds::SerializeRecords({{9, ToBytes("PADDED")}});
+  wire.resize(wire.size() + 64, 0);
+  auto parsed = sdds::DeserializeRecords(wire);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].first, 9u);
 }
 
 // --- failure injection at the storage layer ---

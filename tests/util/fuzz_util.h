@@ -1,0 +1,63 @@
+#ifndef ESSDDS_TESTS_UTIL_FUZZ_UTIL_H_
+#define ESSDDS_TESTS_UTIL_FUZZ_UTIL_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "util/bytes.h"
+#include "util/random.h"
+
+// Shared deterministic fuzz drivers for the wire-parsing surface. Every
+// Deserialize entry point carries the same guarantee — junk in ->
+// Status::Corruption out, zero exceptions, zero UB — and these harnesses are
+// how the tests state it: seeded random bytes, full truncation sweeps of a
+// valid encoding, and single-byte mutations of a valid encoding.
+
+namespace essdds::test {
+
+/// Calls `fn(junk)` on `trials` buffers of random length in [0, max_len)
+/// filled with seeded random bytes. Deterministic in `seed`.
+template <typename Fn>
+void RandomBytesTrials(uint64_t seed, int trials, size_t max_len, Fn&& fn) {
+  Rng rng(seed);
+  for (int trial = 0; trial < trials; ++trial) {
+    Bytes junk(rng.Uniform(max_len));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.Next());
+    fn(ByteSpan(junk));
+  }
+}
+
+/// Calls `fn(prefix, len)` on every strict prefix of `wire` (lengths
+/// 0 .. wire.size()-1). A parser of an exactly-sized format must reject
+/// every one of them.
+template <typename Fn>
+void TruncationSweep(ByteSpan wire, Fn&& fn) {
+  for (size_t len = 0; len < wire.size(); ++len) {
+    fn(wire.subspan(0, len), len);
+  }
+}
+
+/// Calls `fn(mutated, pos)` on copies of `wire` where the byte at each
+/// position is in turn (a) flipped in one random bit, (b) replaced by a
+/// random byte, and (c) forced to 0xFF — the worst case for length and
+/// count fields. The parser may accept or reject, but must not crash,
+/// throw, or over-allocate. Deterministic in `seed`.
+template <typename Fn>
+void SingleByteMutations(uint64_t seed, ByteSpan wire, Fn&& fn) {
+  Rng rng(seed);
+  Bytes buf(wire.begin(), wire.end());
+  for (size_t pos = 0; pos < buf.size(); ++pos) {
+    const uint8_t original = buf[pos];
+    buf[pos] = original ^ static_cast<uint8_t>(1u << rng.Uniform(8));
+    fn(ByteSpan(buf), pos);
+    buf[pos] = static_cast<uint8_t>(rng.Next());
+    fn(ByteSpan(buf), pos);
+    buf[pos] = 0xFF;
+    fn(ByteSpan(buf), pos);
+    buf[pos] = original;
+  }
+}
+
+}  // namespace essdds::test
+
+#endif  // ESSDDS_TESTS_UTIL_FUZZ_UTIL_H_
