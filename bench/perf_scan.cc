@@ -1,0 +1,200 @@
+// Scan-engine benchmark: (1) the site-side matcher — seed-style naive
+// matching (per-record failure-table construction via FindOccurrences)
+// against the compiled query (tables built once per scan); (2) end-to-end
+// encrypted search on the phonebook workload, serial vs thread-pool index
+// scans. Emits one JSON object so CI can track the numbers.
+//
+// Scale with ESSDDS_RECORDS=<n> (default 20,000 — the matcher contrast is
+// size-independent, the end-to-end part is wall-clock bound).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#if ESSDDS_THREADS
+#include <thread>
+#endif
+
+#include "bench/bench_util.h"
+#include "core/compiled_query.h"
+#include "core/encrypted_store.h"
+#include "core/matcher.h"
+#include "core/pipeline.h"
+
+namespace essdds::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One stored index record as the scan sees it: coordinates plus stream.
+struct IndexedStream {
+  uint32_t family;
+  uint32_t site;
+  std::vector<uint64_t> stream;
+};
+
+/// The seed's per-record matching path: FindOccurrences builds the KMP
+/// failure table (and an occurrence vector) anew for every record.
+bool NaiveMatch(const core::SearchQuery& query, const IndexedStream& rec) {
+  for (const core::QuerySeries& s : query.SeriesFor(rec.family)) {
+    const std::vector<uint64_t>& pattern = query.PatternFor(s, rec.site);
+    if (!core::FindOccurrences(rec.stream, pattern).empty()) return true;
+  }
+  return false;
+}
+
+struct MatcherNumbers {
+  double naive_records_per_sec = 0;
+  double compiled_records_per_sec = 0;
+  size_t records = 0;
+  size_t matched = 0;
+};
+
+MatcherNumbers RunMatcherContrast(size_t corpus_size) {
+  const core::SchemeParams params{.codes_per_chunk = 4, .dispersal_sites = 2};
+  auto corpus = LoadCorpus(corpus_size);
+  std::vector<std::string> training;
+  training.reserve(corpus.size());
+  for (const auto& r : corpus) training.push_back(r.name);
+  auto pipeline =
+      core::IndexPipeline::Create(params, ToBytes("perf-scan-key"), training);
+  ESSDDS_CHECK(pipeline.ok()) << pipeline.status();
+
+  std::vector<IndexedStream> records;
+  for (const auto& r : corpus) {
+    for (core::IndexRecordData& rec :
+         pipeline->BuildIndexRecords(r.rid, r.name)) {
+      records.push_back(
+          IndexedStream{rec.family, rec.site, std::move(rec.stream)});
+    }
+  }
+  auto query = pipeline->BuildQuery("SCHWARZ");
+  ESSDDS_CHECK(query.ok()) << query.status();
+
+  MatcherNumbers out;
+  out.records = records.size();
+
+  // Several passes so each side runs long enough to time reliably.
+  const int kPasses = 5;
+  size_t naive_matched = 0;
+  auto t0 = Clock::now();
+  for (int pass = 0; pass < kPasses; ++pass) {
+    for (const IndexedStream& rec : records) {
+      naive_matched += NaiveMatch(*query, rec) ? 1 : 0;
+    }
+  }
+  const double naive_s = SecondsSince(t0);
+
+  const core::CompiledQuery compiled(*std::move(query));
+  size_t compiled_matched = 0;
+  t0 = Clock::now();
+  for (int pass = 0; pass < kPasses; ++pass) {
+    for (const IndexedStream& rec : records) {
+      compiled_matched +=
+          compiled.Matches(rec.family, rec.site, rec.stream) ? 1 : 0;
+    }
+  }
+  const double compiled_s = SecondsSince(t0);
+  ESSDDS_CHECK(naive_matched == compiled_matched)
+      << "matcher disagreement: " << naive_matched << " vs "
+      << compiled_matched;
+
+  const double total = static_cast<double>(records.size()) * kPasses;
+  out.naive_records_per_sec = total / naive_s;
+  out.compiled_records_per_sec = total / compiled_s;
+  out.matched = compiled_matched / kPasses;
+  return out;
+}
+
+struct ScanNumbers {
+  double ms_per_search = 0;
+  double index_records_per_sec = 0;
+  size_t hits = 0;
+};
+
+ScanNumbers RunStoreSearches(size_t corpus_size, size_t scan_threads) {
+  core::EncryptedStore::Options opts;
+  opts.params = core::SchemeParams{.codes_per_chunk = 4, .dispersal_sites = 2};
+  opts.record_file.bucket_capacity = 64;
+  opts.index_file.bucket_capacity = 128;
+  opts.index_file.scan_threads = scan_threads;
+  auto store =
+      core::EncryptedStore::Create(opts, ToBytes("perf-scan-key"), {});
+  ESSDDS_CHECK(store.ok()) << store.status();
+
+  auto corpus = LoadCorpus(corpus_size);
+  for (const auto& r : corpus) {
+    ESSDDS_CHECK((*store)->Insert(r.rid, r.name).ok());
+  }
+  const double index_records =
+      static_cast<double>((*store)->index_file().TotalRecords());
+
+  const std::vector<std::string> queries = {"SCHWARZ", "MARIA",  "GARCIA",
+                                            "JOHNSON", "THOMAS", "NGUYEN"};
+  ScanNumbers out;
+  // Warm once (image adjustments, allocator), then measure.
+  ESSDDS_CHECK((*store)->Search(queries[0]).ok());
+  auto t0 = Clock::now();
+  for (const std::string& q : queries) {
+    auto rids = (*store)->Search(q);
+    ESSDDS_CHECK(rids.ok()) << rids.status();
+    out.hits += rids->size();
+  }
+  const double elapsed = SecondsSince(t0);
+  out.ms_per_search = 1e3 * elapsed / static_cast<double>(queries.size());
+  // Every search evaluates every index record once at its site.
+  out.index_records_per_sec =
+      index_records * static_cast<double>(queries.size()) / elapsed;
+  return out;
+}
+
+int Main() {
+  const size_t corpus_size = CorpusSize(/*default_size=*/20000);
+#if ESSDDS_THREADS
+  size_t threads = std::thread::hardware_concurrency();
+  if (threads < 2) threads = 2;
+#else
+  const size_t threads = 0;  // thread support compiled out
+#endif
+
+  const MatcherNumbers m = RunMatcherContrast(corpus_size);
+  const ScanNumbers serial = RunStoreSearches(corpus_size, 0);
+  const ScanNumbers parallel = RunStoreSearches(corpus_size, threads);
+
+  std::printf("{\n");
+  std::printf("  \"corpus_records\": %zu,\n", corpus_size);
+  std::printf("  \"matcher\": {\n");
+  std::printf("    \"index_records\": %zu,\n", m.records);
+  std::printf("    \"records_matched\": %zu,\n", m.matched);
+  std::printf("    \"naive_records_per_sec\": %.0f,\n",
+              m.naive_records_per_sec);
+  std::printf("    \"compiled_records_per_sec\": %.0f,\n",
+              m.compiled_records_per_sec);
+  std::printf("    \"speedup\": %.2f\n",
+              m.compiled_records_per_sec / m.naive_records_per_sec);
+  std::printf("  },\n");
+  std::printf("  \"search\": {\n");
+  std::printf("    \"scan_threads\": %zu,\n", threads);
+  std::printf("    \"serial_ms_per_search\": %.2f,\n", serial.ms_per_search);
+  std::printf("    \"parallel_ms_per_search\": %.2f,\n",
+              parallel.ms_per_search);
+  std::printf("    \"serial_index_records_per_sec\": %.0f,\n",
+              serial.index_records_per_sec);
+  std::printf("    \"parallel_index_records_per_sec\": %.0f,\n",
+              parallel.index_records_per_sec);
+  std::printf("    \"hits_agree\": %s\n",
+              serial.hits == parallel.hits ? "true" : "false");
+  std::printf("  }\n");
+  std::printf("}\n");
+  return serial.hits == parallel.hits ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace essdds::bench
+
+int main() { return essdds::bench::Main(); }

@@ -7,6 +7,10 @@
 //   search SCHWARZ
 //   stats
 //   EOF
+//
+// A second argument sets the index scan thread count (0 = serial):
+//
+//   ./build/examples/essdds_shell 5000 8
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +44,8 @@ void PrintHelp() {
 
 int main(int argc, char** argv) {
   const size_t n = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 2000;
+  const size_t scan_threads =
+      argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 0;
 
   essdds::workload::PhonebookGenerator gen(20060401);
   auto corpus = gen.Generate(n);
@@ -51,6 +57,7 @@ int main(int argc, char** argv) {
                                               .dispersal_sites = 4};
   options.record_file.bucket_capacity = 128;
   options.index_file.bucket_capacity = 512;
+  options.index_file.scan_threads = scan_threads;
   auto store = essdds::core::EncryptedStore::Create(
       options, ToBytes("shell master key"), training);
   if (!store.ok()) {

@@ -1,0 +1,52 @@
+#include "core/compiled_query.h"
+
+namespace essdds::core {
+
+CompiledQuery::CompiledQuery(SearchQuery query) : query_(std::move(query)) {
+  sites_ = query_.dispersal_sites > 1 ? query_.dispersal_sites : 1;
+  if (query_.per_family) {
+    compiled_.reserve(query_.family_series.size());
+    for (const auto& list : query_.family_series) {
+      compiled_.push_back(CompileSeriesList(query_, list));
+    }
+    if (compiled_.empty()) compiled_.emplace_back();
+  } else {
+    compiled_.push_back(CompileSeriesList(query_, query_.series));
+  }
+}
+
+std::vector<CompiledQuery::Pattern> CompiledQuery::CompileSeriesList(
+    const SearchQuery& q, const std::vector<QuerySeries>& list) {
+  const size_t sites = q.dispersal_sites > 1 ? q.dispersal_sites : 1;
+  std::vector<Pattern> out;
+  out.reserve(list.size() * sites);
+  for (const QuerySeries& s : list) {
+    for (uint32_t d = 0; d < sites; ++d) {
+      Pattern p;
+      p.alignment = s.alignment;
+      const std::vector<uint64_t>& values = q.PatternFor(s, d);
+      p.values = std::span<const uint64_t>(values);
+      p.fail = KmpFailureTable(p.values);
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+Result<CompiledQuery> CompiledQuery::FromWire(ByteSpan data) {
+  ESSDDS_ASSIGN_OR_RETURN(SearchQuery query, SearchQuery::Deserialize(data));
+  return CompiledQuery(std::move(query));
+}
+
+bool CompiledQuery::Matches(uint32_t family, uint32_t site,
+                            std::span<const uint64_t> stream) const {
+  const std::vector<Pattern>* patterns = PatternsFor(family);
+  if (patterns == nullptr || site >= sites_) return false;
+  for (size_t s = 0; s * sites_ + site < patterns->size(); ++s) {
+    const Pattern& p = (*patterns)[s * sites_ + site];
+    if (KmpContains(stream, p.values, p.fail)) return true;
+  }
+  return false;
+}
+
+}  // namespace essdds::core

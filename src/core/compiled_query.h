@@ -1,0 +1,100 @@
+#ifndef ESSDDS_CORE_COMPILED_QUERY_H_
+#define ESSDDS_CORE_COMPILED_QUERY_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/matcher.h"
+#include "core/pipeline.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace essdds::core {
+
+/// A SearchQuery compiled for repeated matching: per (family, series,
+/// dispersal-site), the pattern stream plus its precomputed KMP failure
+/// table, built once at scan start. Matches() then costs O(stream) per
+/// index record, allocates nothing, and early-exits on the first matching
+/// series — this is the inner loop every index bucket runs during a scan,
+/// and the inner loop of the client-side position confirmation.
+///
+/// Out-of-range coordinates are answered with "no match" rather than
+/// undefined behaviour: a site whose stored key names a family the query
+/// does not carry, or a dispersal site beyond the query's piece streams
+/// (possible when a wire query was built under different scheme
+/// parameters), simply cannot match.
+class CompiledQuery {
+ public:
+  /// Compiles `query`, taking ownership (patterns reference the query's
+  /// chunk/piece buffers; no values are copied).
+  explicit CompiledQuery(SearchQuery query);
+
+  /// Deserializes and compiles a wire query (the per-scan site-side path).
+  static Result<CompiledQuery> FromWire(ByteSpan data);
+
+  // Patterns point into query_'s heap buffers: moving is safe (vector
+  // moves keep their allocations), copying would dangle.
+  CompiledQuery(CompiledQuery&&) = default;
+  CompiledQuery& operator=(CompiledQuery&&) = default;
+  CompiledQuery(const CompiledQuery&) = delete;
+  CompiledQuery& operator=(const CompiledQuery&) = delete;
+
+  const SearchQuery& query() const { return query_; }
+
+  /// True when any query series matches the index stream of (family, site).
+  bool Matches(uint32_t family, uint32_t site,
+               std::span<const uint64_t> stream) const;
+
+  /// Invokes fn(series_alignment, chunk_index) for every occurrence of
+  /// every series pattern of (family, site) in `stream`; used by the
+  /// client-side confirmation that intersects implied positions across
+  /// dispersal sites.
+  template <typename Fn>
+  void ForEachOccurrence(uint32_t family, uint32_t site,
+                         std::span<const uint64_t> stream, Fn&& fn) const {
+    const std::vector<Pattern>* patterns = PatternsFor(family);
+    if (patterns == nullptr || site >= sites_) return;
+    for (size_t s = 0; s * sites_ + site < patterns->size(); ++s) {
+      const Pattern& p = (*patterns)[s * sites_ + site];
+      if (p.values.empty() || stream.size() < p.values.size()) continue;
+      for (size_t i = 0, k = 0; i < stream.size(); ++i) {
+        while (k > 0 && stream[i] != p.values[k]) k = p.fail[k - 1];
+        if (stream[i] == p.values[k]) ++k;
+        if (k == p.values.size()) {
+          fn(p.alignment, i + 1 - p.values.size());
+          k = p.fail[k - 1];
+        }
+      }
+    }
+  }
+
+ private:
+  struct Pattern {
+    uint32_t alignment = 0;
+    std::span<const uint64_t> values;  // into query_'s chunk/piece buffers
+    std::vector<uint32_t> fail;        // KMP failure table of `values`
+  };
+
+  /// The compiled series set for `family` (series-major, sites_ entries per
+  /// series), or nullptr when the query carries none for that family.
+  const std::vector<Pattern>* PatternsFor(uint32_t family) const {
+    if (!query_.per_family) return &compiled_[0];
+    if (family >= compiled_.size()) return nullptr;
+    return &compiled_[family];
+  }
+
+  static std::vector<Pattern> CompileSeriesList(
+      const SearchQuery& q, const std::vector<QuerySeries>& list);
+
+  SearchQuery query_;
+  /// compiled_[f][s * sites_ + d] = pattern of series s at dispersal site d
+  /// for family f; a single shared entry when !query_.per_family.
+  std::vector<std::vector<Pattern>> compiled_;
+  size_t sites_ = 1;
+};
+
+}  // namespace essdds::core
+
+#endif  // ESSDDS_CORE_COMPILED_QUERY_H_

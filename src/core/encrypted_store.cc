@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 #include <utility>
 
-#include "core/matcher.h"
+#include "core/compiled_query.h"
 
 namespace essdds::core {
 
@@ -23,6 +24,50 @@ int64_t ImpliedPosition(uint32_t family_offset, size_t chunk_index,
          static_cast<int64_t>(alignment);
 }
 
+/// The site-side matcher: runs at every index bucket during a scan. An
+/// index record is a candidate when any query series matches its stream;
+/// cross-site AND and cross-family combination happen at the client, which
+/// is the only party that can correlate sites. Each scan compiles the wire
+/// query once per bucket (Prepare) and matches every local record against
+/// the compiled form without further allocation.
+class MatchScanFilter : public sdds::ScanFilter {
+ public:
+  explicit MatchScanFilter(const IndexPipeline* pipeline)
+      : pipeline_(pipeline) {}
+
+  std::unique_ptr<Prepared> Prepare(ByteSpan arg) const override {
+    auto compiled = CompiledQuery::FromWire(arg);
+    if (!compiled.ok()) return nullptr;  // malformed query matches nothing
+    return std::make_unique<PreparedMatch>(pipeline_, *std::move(compiled));
+  }
+
+ private:
+  class PreparedMatch : public Prepared {
+   public:
+    PreparedMatch(const IndexPipeline* pipeline, CompiledQuery compiled)
+        : pipeline_(pipeline), compiled_(std::move(compiled)) {}
+
+    bool Matches(uint64_t key, ByteSpan value) const override {
+      uint64_t rid;
+      uint32_t family, site;
+      ParseIndexKey(key, pipeline_->params(), &rid, &family, &site);
+      if (!pipeline_->DeserializeStreamInto(value, &scratch_).ok()) {
+        return false;
+      }
+      return compiled_.Matches(family, site, scratch_);
+    }
+
+   private:
+    const IndexPipeline* pipeline_;
+    CompiledQuery compiled_;
+    // Decode buffer reused across the bucket's records (a Prepared instance
+    // is driven by one thread).
+    mutable std::vector<uint64_t> scratch_;
+  };
+
+  const IndexPipeline* pipeline_;
+};
+
 }  // namespace
 
 EncryptedStore::EncryptedStore(const Options& options,
@@ -35,40 +80,8 @@ EncryptedStore::EncryptedStore(const Options& options,
   record_client_ = record_file_.NewClient();
   index_client_ = index_file_.NewClient();
 
-  // The site-side matcher: runs at every index bucket during a scan. An
-  // index record is a candidate when any query series matches its stream;
-  // cross-site AND and cross-family combination happen at the client, which
-  // is the only party that can correlate sites.
-  const SchemeParams& params = pipeline_->params();
-  IndexPipeline* pipeline_ptr = pipeline_.get();
-  auto query_cache = std::make_shared<std::pair<Bytes, SearchQuery>>();
   match_filter_id_ = index_file_.InstallFilter(
-      [pipeline_ptr, params, query_cache](uint64_t key, ByteSpan value,
-                                          ByteSpan arg) {
-        if (!std::equal(arg.begin(), arg.end(), query_cache->first.begin(),
-                        query_cache->first.end())) {
-          auto parsed = SearchQuery::Deserialize(arg);
-          if (!parsed.ok()) return false;
-          query_cache->first = Bytes(arg.begin(), arg.end());
-          query_cache->second = *std::move(parsed);
-        }
-        const SearchQuery& query = query_cache->second;
-
-        uint64_t rid;
-        uint32_t family, site;
-        ParseIndexKey(key, params, &rid, &family, &site);
-        if (query.per_family &&
-            family >= static_cast<uint32_t>(query.family_series.size())) {
-          return false;
-        }
-        auto stream = pipeline_ptr->DeserializeStream(value);
-        if (!stream.ok()) return false;
-        for (const QuerySeries& s : query.SeriesFor(family)) {
-          const std::vector<uint64_t>& pattern = query.PatternFor(s, site);
-          if (!FindOccurrences(*stream, pattern).empty()) return true;
-        }
-        return false;
-      });
+      std::make_unique<MatchScanFilter>(pipeline_.get()));
 }
 
 Result<std::unique_ptr<EncryptedStore>> EncryptedStore::Create(
@@ -163,6 +176,10 @@ Result<EncryptedStore::SearchOutcome> EncryptedStore::SearchDetailed(
     std::string_view substring) {
   ESSDDS_ASSIGN_OR_RETURN(SearchQuery query, pipeline_->BuildQuery(substring));
   const Bytes wire = query.Serialize();
+  // The client-side confirmation reuses the same compiled form the sites
+  // run: the query's failure tables are built once per search, not per
+  // candidate record.
+  const CompiledQuery compiled(std::move(query));
 
   // Parallel scan: every index bucket matches locally and ships back only
   // the candidate index records.
@@ -189,6 +206,7 @@ Result<EncryptedStore::SearchOutcome> EncryptedStore::SearchDetailed(
   // offset (§4: "If all dispersion sites containing dispersed chunks from
   // the same index record report a hit in the same location").
   std::map<uint64_t, std::map<uint32_t, std::set<int64_t>>> confirmed;
+  std::vector<uint64_t> stream;  // decode buffer, reused across candidates
   for (const auto& [group_key, sites] : groups) {
     const auto& [rid, family] = group_key;
     if (sites.size() < k) continue;  // some dispersal site did not match
@@ -198,16 +216,14 @@ Result<EncryptedStore::SearchOutcome> EncryptedStore::SearchDetailed(
     std::set<int64_t> family_positions;
     bool first_site = true;
     for (const auto& [site, payload] : sites) {
-      auto stream = pipeline_->DeserializeStream(payload);
-      if (!stream.ok()) return stream.status();
+      ESSDDS_RETURN_IF_ERROR(
+          pipeline_->DeserializeStreamInto(payload, &stream));
       std::set<int64_t> site_positions;
-      for (const QuerySeries& s : query.SeriesFor(family)) {
-        const std::vector<uint64_t>& pattern = query.PatternFor(s, site);
-        for (size_t c : FindOccurrences(*stream, pattern)) {
-          site_positions.insert(
-              ImpliedPosition(family_offset, c, symbols, s.alignment));
-        }
-      }
+      compiled.ForEachOccurrence(
+          family, site, stream, [&](uint32_t alignment, size_t c) {
+            site_positions.insert(
+                ImpliedPosition(family_offset, c, symbols, alignment));
+          });
       if (first_site) {
         family_positions = std::move(site_positions);
         first_site = false;
@@ -229,7 +245,7 @@ Result<EncryptedStore::SearchOutcome> EncryptedStore::SearchDetailed(
 
   // Cross-family combination.
   std::set<uint32_t> available_alignments;
-  for (const QuerySeries& s : query.SeriesFor(0)) {
+  for (const QuerySeries& s : compiled.query().SeriesFor(0)) {
     available_alignments.insert(s.alignment);
   }
   for (const auto& [rid, families] : confirmed) {

@@ -18,6 +18,18 @@ std::vector<size_t> FindOccurrences(std::span<const uint64_t> stream,
 std::vector<size_t> FindOccurrences(std::span<const uint32_t> stream,
                                     std::span<const uint32_t> pattern);
 
+/// Precomputes the KMP failure function of `pattern`. Compiling the table
+/// once and reusing it across records is what makes a scan O(stream) per
+/// record instead of O(stream + pattern) with an allocation each time.
+std::vector<uint32_t> KmpFailureTable(std::span<const uint64_t> pattern);
+
+/// True when `pattern` (with its precomputed failure table) occurs in
+/// `stream`. Early-exits on the first match; allocates nothing. An empty
+/// pattern never matches (it carries no query content).
+bool KmpContains(std::span<const uint64_t> stream,
+                 std::span<const uint64_t> pattern,
+                 std::span<const uint32_t> fail);
+
 }  // namespace essdds::core
 
 #endif  // ESSDDS_CORE_MATCHER_H_

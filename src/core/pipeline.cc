@@ -323,6 +323,14 @@ Bytes IndexPipeline::SerializeStream(
 
 Result<std::vector<uint64_t>> IndexPipeline::DeserializeStream(
     ByteSpan data) const {
+  std::vector<uint64_t> out;
+  ESSDDS_RETURN_IF_ERROR(DeserializeStreamInto(data, &out));
+  return out;
+}
+
+Status IndexPipeline::DeserializeStreamInto(ByteSpan data,
+                                            std::vector<uint64_t>* out) const {
+  out->clear();
   BitReader r(data);
   ESSDDS_ASSIGN_OR_RETURN(uint64_t count, r.Read(32));
   const int bits = stream_value_bits();
@@ -332,13 +340,12 @@ Result<std::vector<uint64_t>> IndexPipeline::DeserializeStream(
   if (r.remaining_bits() < count * static_cast<uint64_t>(bits)) {
     return Status::Corruption("stream payload truncated");
   }
-  std::vector<uint64_t> out;
-  out.reserve(count);
+  out->reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     ESSDDS_ASSIGN_OR_RETURN(uint64_t v, r.Read(bits));
-    out.push_back(v);
+    out->push_back(v);
   }
-  return out;
+  return Status::OK();
 }
 
 int IndexPipeline::stream_value_bits() const {

@@ -114,6 +114,9 @@ class IndexPipeline {
   /// Serializes a stream for storage as an LH* record value.
   Bytes SerializeStream(const std::vector<uint64_t>& stream) const;
   Result<std::vector<uint64_t>> DeserializeStream(ByteSpan data) const;
+  /// Allocation-reusing variant for hot scan loops: clears `*out` and
+  /// decodes into it, keeping its capacity across records.
+  Status DeserializeStreamInto(ByteSpan data, std::vector<uint64_t>* out) const;
 
   const SchemeParams& params() const { return params_; }
   const codec::SymbolEncoder& encoder() const { return *encoder_; }

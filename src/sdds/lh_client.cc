@@ -1,5 +1,6 @@
 #include "sdds/lh_client.h"
 
+#include <algorithm>
 #include <set>
 #include <utility>
 
@@ -22,9 +23,9 @@ uint64_t LhClient::AddressFor(uint64_t key) const {
   return a;
 }
 
-void LhClient::OnMessage(const Message& msg, SimNetwork& net) {
+void LhClient::OnMessage(Message& msg, SimNetwork& net) {
   (void)net;
-  pending_[msg.request_id].push_back(msg);
+  pending_[msg.request_id].push_back(std::move(msg));
 }
 
 void LhClient::ApplyIam(const Message& reply) {
@@ -106,10 +107,20 @@ LhClient::ScanResult LhClient::Scan(uint64_t filter_id, Bytes filter_arg) {
     req.to = runtime_->SiteOfBucket(a);
     net_->Send(std::move(req));
   }
+  // In thread-pool scan mode the buckets deferred their evaluations; run
+  // the batch now (no-op in serial mode, where replies already arrived).
+  net_->DrainDeferredScans();
 
   ScanResult result;
   auto it = pending_.find(id);
   if (it != pending_.end()) {
+    // Collect in ascending bucket order: the serial mode's depth-first
+    // arrival order and the parallel mode's drain order then produce
+    // byte-identical results.
+    std::stable_sort(it->second.begin(), it->second.end(),
+                     [](const Message& a, const Message& b) {
+                       return a.key < b.key;
+                     });
     // A stale-ahead image (possible after merges) can deliver the scan to a
     // folded bucket more than once; keep one reply per bucket.
     std::set<uint64_t> buckets_seen;

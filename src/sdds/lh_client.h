@@ -18,7 +18,9 @@ namespace essdds::sdds {
 /// coordinator — that is the SDDS autonomy property.
 class LhClient : public Site {
  public:
-  /// Result of a parallel scan.
+  /// Result of a parallel scan. Hits are in ascending (bucket, key) order —
+  /// deterministic and identical between the serial and thread-pool scan
+  /// modes.
   struct ScanResult {
     std::vector<WireRecord> hits;
     /// Number of buckets that answered (== true file extent at scan time).
@@ -27,7 +29,7 @@ class LhClient : public Site {
 
   LhClient(LhRuntime* runtime, SimNetwork* net);
 
-  void OnMessage(const Message& msg, SimNetwork& net) override;
+  void OnMessage(Message& msg, SimNetwork& net) override;
 
   /// Inserts or overwrites; returns true when an existing record was
   /// replaced.

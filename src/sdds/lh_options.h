@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "sdds/message.h"
 #include "util/bytes.h"
@@ -31,6 +32,14 @@ struct LhOptions {
   /// otherwise collapse onto a handful of addresses and thrash the split
   /// chain. Disable only for tests that reason about raw key placement.
   bool hash_keys = true;
+
+  /// Worker threads for parallel scan evaluation. With a value > 1, bucket
+  /// scans are deferred off the messaging path and evaluated concurrently
+  /// (each bucket on one worker), then replied in ascending bucket order —
+  /// results and message/byte accounting are identical to the serial mode.
+  /// 0 (the default) and 1 keep the single-threaded deterministic delivery
+  /// where each bucket evaluates inline on message receipt.
+  size_t scan_threads = 0;
 };
 
 /// The key mixer used when LhOptions::hash_keys is set (splitmix64
@@ -42,11 +51,39 @@ inline uint64_t LhKeyImage(uint64_t key, const LhOptions& options) {
   return options.hash_keys ? LhKeyHash(key) : key;
 }
 
-/// Site-side scan predicate: runs "at the bucket" against each local record;
-/// returns true when the record is a hit. `arg` is the opaque query payload
-/// shipped in the scan message (its bytes are charged to network traffic).
-using ScanFilter =
-    std::function<bool(uint64_t key, ByteSpan value, ByteSpan arg)>;
+/// Site-side scan predicate, deployed at every bucket (stands in for query
+/// code shipped to the sites). A scan delivers its opaque wire argument
+/// once per bucket via Prepare(), which compiles it into an immutable
+/// per-scan state; Matches() then runs per record against that state.
+///
+/// Lifecycle: Prepare() is called once per (scan, bucket) with the scan
+/// message's argument bytes and must be thread-safe (parallel scan mode
+/// prepares different buckets concurrently). The returned Prepared instance
+/// is used by a single bucket evaluation at a time, so it may carry mutable
+/// scratch space; it never outlives the scan.
+class ScanFilter {
+ public:
+  class Prepared {
+   public:
+    virtual ~Prepared() = default;
+
+    /// True when the record is a hit. Called once per record of the bucket;
+    /// implementations should avoid per-record allocation.
+    virtual bool Matches(uint64_t key, ByteSpan value) const = 0;
+  };
+
+  virtual ~ScanFilter() = default;
+
+  /// Compiles `arg` into per-scan state. Returning nullptr (e.g. for a
+  /// malformed argument) makes the scan match nothing at this bucket.
+  virtual std::unique_ptr<Prepared> Prepare(ByteSpan arg) const = 0;
+};
+
+/// Adapts a stateless predicate to the ScanFilter interface, for filters
+/// with no per-scan compilation step (tests, simple selections). The
+/// predicate receives the scan argument on every call.
+std::unique_ptr<ScanFilter> MakeScanFilter(
+    std::function<bool(uint64_t key, ByteSpan value, ByteSpan arg)> predicate);
 
 /// Services that bucket servers and the coordinator obtain from the hosting
 /// LhSystem: logical-bucket-to-site routing, bucket creation during splits,
@@ -55,8 +92,8 @@ class LhRuntime {
  public:
   virtual ~LhRuntime() = default;
 
-  /// Site serving logical bucket `bucket`; aborts if the bucket does not
-  /// exist (a protocol violation in the simulation).
+  /// Site serving logical bucket `bucket`; addresses beyond the current
+  /// extent fold onto the parent chain (merge forwarding stubs).
   virtual SiteId SiteOfBucket(uint64_t bucket) const = 0;
 
   /// True when the logical bucket exists.

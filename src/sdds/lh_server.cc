@@ -2,7 +2,22 @@
 
 #include <utility>
 
+#include "sdds/scan_executor.h"
+
 namespace essdds::sdds {
+
+namespace {
+
+/// The bucket a dissolved (or never-created) bucket folds onto: clearing
+/// the top set bit is exactly the parent relation of linear hashing.
+uint64_t ParentBucket(uint64_t bucket) {
+  ESSDDS_CHECK(bucket != 0) << "bucket 0 has no parent";
+  uint64_t top = uint64_t{1} << 63;
+  while ((bucket & top) == 0) top >>= 1;
+  return bucket & ~top;
+}
+
+}  // namespace
 
 LhBucketServer::LhBucketServer(LhRuntime* runtime, const LhOptions& options,
                                uint64_t bucket_number, uint32_t level)
@@ -28,7 +43,7 @@ uint64_t LhBucketServer::RouteFor(uint64_t key) const {
   return a_prime;
 }
 
-void LhBucketServer::OnMessage(const Message& msg, SimNetwork& net) {
+void LhBucketServer::OnMessage(Message& msg, SimNetwork& net) {
   switch (msg.type) {
     case MsgType::kInsert:
     case MsgType::kLookup:
@@ -56,11 +71,17 @@ void LhBucketServer::OnMessage(const Message& msg, SimNetwork& net) {
   }
 }
 
-void LhBucketServer::HandleKeyOp(const Message& msg, SimNetwork& net) {
-  const uint64_t route = RouteFor(msg.key);
+void LhBucketServer::HandleKeyOp(Message& msg, SimNetwork& net) {
+  // A retired bucket was dissolved into its parent by a merge; a stale
+  // client whose image is ahead of the file can still address it. Its
+  // records live at the parent now — forward there instead of serving a
+  // wrong answer from the empty local map.
+  uint64_t route = retired_ ? ParentBucket(bucket_number_) : RouteFor(msg.key);
   if (route != bucket_number_) {
-    ESSDDS_CHECK(runtime_->BucketExists(route))
-        << "LH* forwarding target " << route << " does not exist";
+    // Address verification ran under this bucket's level; after a merge the
+    // computed bucket may no longer exist. Fold onto the parent chain (the
+    // bucket that absorbed its records) rather than aborting.
+    while (!runtime_->BucketExists(route)) route = ParentBucket(route);
     Message fwd = msg;
     fwd.from = site_;
     fwd.to = runtime_->SiteOfBucket(route);
@@ -89,7 +110,8 @@ void LhBucketServer::HandleKeyOp(const Message& msg, SimNetwork& net) {
 
   switch (msg.type) {
     case MsgType::kInsert: {
-      auto [it, inserted] = records_.insert_or_assign(msg.key, msg.value);
+      auto [it, inserted] =
+          records_.insert_or_assign(msg.key, std::move(msg.value));
       (void)it;
       reply.type = MsgType::kInsertAck;
       reply.found = !inserted;  // true when an existing record was replaced
@@ -117,15 +139,27 @@ void LhBucketServer::HandleKeyOp(const Message& msg, SimNetwork& net) {
   }
 }
 
-void LhBucketServer::HandleScan(const Message& msg, SimNetwork& net) {
+void LhBucketServer::HandleScan(Message& msg, SimNetwork& net) {
+  if (retired_) {
+    // Dissolved by a merge: the parent owns the records now (and answers
+    // under its own bucket number, so the client's per-bucket dedup still
+    // sees one live reply per bucket).
+    Message fwd = msg;
+    fwd.from = site_;
+    fwd.to = runtime_->SiteOfBucket(ParentBucket(bucket_number_));
+    fwd.hops = msg.hops + 1;
+    net.Send(std::move(fwd));
+    return;
+  }
+
   // Propagate to every split descendant the sender's image did not cover.
   // Each existing bucket receives the scan exactly once: the client covers
   // its image, and each bucket covers the children created by its own
-  // splits past the level the sender assumed.
+  // splits past the level the sender assumed. A child dissolved by a
+  // concurrent merge no longer holds records — skip it.
   for (uint32_t l = msg.assumed_level; l < level_; ++l) {
     const uint64_t child = bucket_number_ + (uint64_t{1} << l);
-    ESSDDS_CHECK(runtime_->BucketExists(child))
-        << "scan child " << child << " missing";
+    if (!runtime_->BucketExists(child)) continue;
     Message fwd = msg;
     fwd.from = site_;
     fwd.to = runtime_->SiteOfBucket(child);
@@ -134,19 +168,24 @@ void LhBucketServer::HandleScan(const Message& msg, SimNetwork& net) {
     net.Send(std::move(fwd));
   }
 
-  const ScanFilter& filter = runtime_->FilterById(msg.filter_id);
-  Message reply;
-  reply.type = MsgType::kScanReply;
-  reply.from = site_;
-  reply.to = msg.reply_to;
-  reply.request_id = msg.request_id;
-  reply.key = bucket_number_;  // lets the client attribute hits to buckets
-  for (const auto& [key, value] : records_) {
-    if (filter(key, value, msg.filter_arg)) {
-      reply.records.push_back(WireRecord{key, value});
-    }
+  ScanTask task;
+  task.bucket = bucket_number_;
+  task.records = &records_;
+  task.filter = &runtime_->FilterById(msg.filter_id);
+  task.arg = Bytes(msg.filter_arg.begin(), msg.filter_arg.end());
+  task.reply.type = MsgType::kScanReply;
+  task.reply.from = site_;
+  task.reply.to = msg.reply_to;
+  task.reply.request_id = msg.request_id;
+  task.reply.key = bucket_number_;  // lets the client attribute hits to buckets
+  if (net.deferred_scan_mode()) {
+    // Parallel scan mode: evaluation runs off the messaging path once the
+    // initiator drains the batch; the reply is sent then.
+    net.EnqueueScanTask(std::move(task));
+  } else {
+    ExecuteScanTask(task);
+    net.Send(std::move(task.reply));
   }
-  net.Send(std::move(reply));
 }
 
 void LhBucketServer::HandleSplit(const Message& msg, SimNetwork& net) {
@@ -180,11 +219,12 @@ void LhBucketServer::HandleSplit(const Message& msg, SimNetwork& net) {
   net.Send(std::move(done));
 }
 
-void LhBucketServer::HandleMoveRecords(const Message& msg) {
+void LhBucketServer::HandleMoveRecords(Message& msg) {
   // Bulk load during a split: records arrive pre-addressed, no overflow
-  // report (a subsequent regular insert re-checks capacity).
-  for (const WireRecord& r : msg.records) {
-    records_[r.key] = r.value;
+  // report (a subsequent regular insert re-checks capacity). The message is
+  // ours to cannibalize — adopt the values instead of deep-copying them.
+  for (WireRecord& r : msg.records) {
+    records_[r.key] = std::move(r.value);
   }
 }
 
@@ -211,12 +251,12 @@ void LhBucketServer::HandleMerge(const Message& msg, SimNetwork& net) {
   net.Send(std::move(done));
 }
 
-void LhBucketServer::HandleMergeRecords(const Message& msg) {
+void LhBucketServer::HandleMergeRecords(Message& msg) {
   ESSDDS_CHECK(msg.new_level == level_ - 1)
       << "merge level mismatch at bucket " << bucket_number_;
   level_ = msg.new_level;
-  for (const WireRecord& r : msg.records) {
-    records_[r.key] = r.value;
+  for (WireRecord& r : msg.records) {
+    records_[r.key] = std::move(r.value);
   }
 }
 
@@ -243,7 +283,7 @@ void LhBucketServer::MaybeReportUnderflow(SimNetwork& net) {
   net.Send(std::move(underflow));
 }
 
-void LhCoordinator::OnMessage(const Message& msg, SimNetwork& net) {
+void LhCoordinator::OnMessage(Message& msg, SimNetwork& net) {
   switch (msg.type) {
     case MsgType::kOverflow:
       // Uncontrolled splitting: every collision report triggers one split of
@@ -310,8 +350,12 @@ void LhCoordinator::PerformMerge(SimNetwork& net) {
 }
 
 void LhCoordinator::PerformSplit(SimNetwork& net) {
-  ESSDDS_CHECK(!split_in_progress_) << "re-entrant split";
-  if (merge_in_progress_) return;
+  // An overflow report can arrive while a split (or merge) is already in
+  // flight — on a real network the reports race the kSplitDone ack. The
+  // report is then already served by the in-flight restructuring: drop it,
+  // exactly as PerformMerge drops concurrent underflow reports. (A bucket
+  // still overflowing afterwards reports again on its next insert.)
+  if (split_in_progress_ || merge_in_progress_) return;
   split_in_progress_ = true;
   const uint64_t old_bucket = split_pointer_;
   const uint64_t new_bucket = split_pointer_ + (uint64_t{1} << level_);

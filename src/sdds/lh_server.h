@@ -18,7 +18,7 @@ class LhBucketServer : public Site {
   LhBucketServer(LhRuntime* runtime, const LhOptions& options,
                  uint64_t bucket_number, uint32_t level);
 
-  void OnMessage(const Message& msg, SimNetwork& net) override;
+  void OnMessage(Message& msg, SimNetwork& net) override;
 
   uint64_t bucket_number() const { return bucket_number_; }
   uint32_t level() const { return level_; }
@@ -32,17 +32,25 @@ class LhBucketServer : public Site {
   void set_site(SiteId site) { site_ = site; }
   SiteId site() const { return site_; }
 
+  /// Marks this bucket as dissolved by a merge (set by the hosting system
+  /// when the bucket is retired from the routing directory). A retired
+  /// bucket no longer owns records: requests that still reach it — a stale
+  /// client whose image is ahead of the file — are forwarded to the parent
+  /// that absorbed them, never served from the empty local map.
+  void Retire() { retired_ = true; }
+  bool retired() const { return retired_; }
+
  private:
   /// LH* server address verification: returns the bucket this request should
   /// go to next, or bucket_number_ when it belongs here.
   uint64_t RouteFor(uint64_t key) const;
 
-  void HandleKeyOp(const Message& msg, SimNetwork& net);
-  void HandleScan(const Message& msg, SimNetwork& net);
+  void HandleKeyOp(Message& msg, SimNetwork& net);
+  void HandleScan(Message& msg, SimNetwork& net);
   void HandleSplit(const Message& msg, SimNetwork& net);
-  void HandleMoveRecords(const Message& msg);
+  void HandleMoveRecords(Message& msg);
   void HandleMerge(const Message& msg, SimNetwork& net);
-  void HandleMergeRecords(const Message& msg);
+  void HandleMergeRecords(Message& msg);
 
   void MaybeReportOverflow(SimNetwork& net);
   void MaybeReportUnderflow(SimNetwork& net);
@@ -52,7 +60,7 @@ class LhBucketServer : public Site {
   uint64_t bucket_number_;
   uint32_t level_;
   SiteId site_ = kInvalidSite;
-  bool overflow_reported_ = false;
+  bool retired_ = false;
   std::map<uint64_t, Bytes> records_;
 };
 
@@ -63,7 +71,7 @@ class LhCoordinator : public Site {
  public:
   explicit LhCoordinator(LhRuntime* runtime) : runtime_(runtime) {}
 
-  void OnMessage(const Message& msg, SimNetwork& net) override;
+  void OnMessage(Message& msg, SimNetwork& net) override;
 
   uint32_t level() const { return level_; }
   uint64_t split_pointer() const { return split_pointer_; }

@@ -5,8 +5,9 @@
 namespace essdds::sdds {
 
 LhSystem::LhSystem(LhOptions options)
-    : options_(options), coordinator_(this) {
+    : options_(std::move(options)), coordinator_(this) {
   ESSDDS_CHECK(options_.bucket_capacity > 0);
+  network_.set_scan_threads(options_.scan_threads);
   coordinator_site_ = network_.Register(&coordinator_);
   coordinator_.set_site(coordinator_site_);
   CreateBucket(0, 0);
@@ -17,10 +18,16 @@ LhClient* LhSystem::NewClient() {
   return clients_.back().get();
 }
 
-uint64_t LhSystem::InstallFilter(ScanFilter filter) {
+uint64_t LhSystem::InstallFilter(std::unique_ptr<ScanFilter> filter) {
   ESSDDS_CHECK(filter != nullptr);
   filters_.push_back(std::move(filter));
   return filters_.size() - 1;
+}
+
+uint64_t LhSystem::InstallFilter(
+    std::function<bool(uint64_t key, ByteSpan value, ByteSpan arg)>
+        predicate) {
+  return InstallFilter(MakeScanFilter(std::move(predicate)));
 }
 
 SiteId LhSystem::SiteOfBucket(uint64_t bucket) const {
@@ -59,6 +66,7 @@ void LhSystem::RetireLastBucket() {
   ESSDDS_CHECK(servers_.size() > 1) << "cannot retire the root bucket";
   ESSDDS_CHECK(servers_.back()->record_count() == 0)
       << "retiring a non-empty bucket";
+  servers_.back()->Retire();
   retired_servers_.push_back(std::move(servers_.back()));
   servers_.pop_back();
 }
@@ -66,7 +74,7 @@ void LhSystem::RetireLastBucket() {
 const ScanFilter& LhSystem::FilterById(uint64_t filter_id) const {
   ESSDDS_CHECK(filter_id < filters_.size())
       << "unknown scan filter " << filter_id;
-  return filters_[filter_id];
+  return *filters_[filter_id];
 }
 
 const LhBucketServer& LhSystem::bucket(uint64_t b) const {

@@ -2,6 +2,7 @@
 #define ESSDDS_SDDS_LH_SYSTEM_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -34,9 +35,18 @@ class LhSystem : public LhRuntime {
   /// Creates a client with a fresh (minimal) image of the file.
   LhClient* NewClient();
 
-  /// Installs a site-side scan predicate, returning its id for
-  /// LhClient::Scan. Stands in for query code deployed at the sites.
-  uint64_t InstallFilter(ScanFilter filter);
+  /// Installs a site-side scan filter, returning its id for LhClient::Scan.
+  /// Stands in for query code deployed at the sites. The filter's Prepare()
+  /// hook runs once per bucket per scan (possibly from a worker thread when
+  /// scan_threads > 1), so per-scan state lives in the Prepared instance,
+  /// never in the filter itself.
+  uint64_t InstallFilter(std::unique_ptr<ScanFilter> filter);
+
+  /// Convenience for stateless predicates (tests, benches): wraps the
+  /// callable in a ScanFilter whose Prepare() just captures the argument.
+  uint64_t InstallFilter(
+      std::function<bool(uint64_t key, ByteSpan value, ByteSpan arg)>
+          predicate);
 
   // --- LhRuntime ---
   SiteId SiteOfBucket(uint64_t bucket) const override;
@@ -68,7 +78,7 @@ class LhSystem : public LhRuntime {
   // but no longer routed to.
   std::vector<std::unique_ptr<LhBucketServer>> retired_servers_;
   std::vector<std::unique_ptr<LhClient>> clients_;
-  std::vector<ScanFilter> filters_;
+  std::vector<std::unique_ptr<ScanFilter>> filters_;
 };
 
 }  // namespace essdds::sdds

@@ -1,5 +1,6 @@
 #include "sdds/network.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -35,6 +36,24 @@ void SimNetwork::Send(Message msg) {
   Site* dest = sites_[msg.to];
   dest->OnMessage(msg, *this);
   --delivery_depth_;
+}
+
+void SimNetwork::EnqueueScanTask(ScanTask task) {
+  pending_scans_.push_back(std::move(task));
+}
+
+void SimNetwork::DrainDeferredScans() {
+  if (pending_scans_.empty()) return;
+  std::vector<ScanTask> batch = std::move(pending_scans_);
+  pending_scans_.clear();
+  RunScanTasks(batch, scan_threads_);
+  // Replies go out in ascending bucket order: the one deterministic order
+  // independent of worker scheduling (and of the serial delivery order).
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const ScanTask& a, const ScanTask& b) {
+                     return a.bucket < b.bucket;
+                   });
+  for (ScanTask& task : batch) Send(std::move(task.reply));
 }
 
 }  // namespace essdds::sdds

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sdds/message.h"
+#include "sdds/scan_executor.h"
 #include "util/logging.h"
 
 namespace essdds::sdds {
@@ -20,8 +21,11 @@ class Site {
   virtual ~Site() = default;
 
   /// Handles one delivered message. The site may send further messages
-  /// through `net` (delivery is synchronous and re-entrant).
-  virtual void OnMessage(const Message& msg, SimNetwork& net) = 0;
+  /// through `net` (delivery is synchronous and re-entrant). The network
+  /// owns `msg` for the duration of the delivery: the handler may move out
+  /// of its payload fields (bulk record transfers do, to avoid deep
+  /// copies).
+  virtual void OnMessage(Message& msg, SimNetwork& net) = 0;
 };
 
 /// Per-network traffic statistics. The paper's performance story for SDDS
@@ -34,12 +38,21 @@ struct NetworkStats {
   std::map<MsgType, uint64_t> per_type;
 
   std::string ToString() const;
+
+  friend bool operator==(const NetworkStats&, const NetworkStats&) = default;
 };
 
 /// Single-process simulation of a multicomputer: every site has an id;
 /// Send() delivers synchronously to the destination's OnMessage and accounts
-/// the traffic. Not thread-safe; the simulation is single-threaded by
-/// design (determinism).
+/// the traffic.
+///
+/// The messaging path is single-threaded by design (determinism). The one
+/// concession to parallelism is the deferred scan mode: with scan_threads
+/// set above 1, bucket servers enqueue their scan evaluations here instead
+/// of evaluating inline, DrainDeferredScans() runs the batch on a worker
+/// pool, and the completed replies are then sent serially in ascending
+/// bucket order — so results and traffic accounting are identical to the
+/// serial mode.
 class SimNetwork {
  public:
   SimNetwork() = default;
@@ -61,10 +74,30 @@ class SimNetwork {
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }
 
+  // --- deferred (parallel) scan mode ---
+
+  /// Worker threads for scan evaluation; values <= 1 keep scans inline.
+  void set_scan_threads(size_t threads) { scan_threads_ = threads; }
+  size_t scan_threads() const { return scan_threads_; }
+
+  /// True when bucket servers should defer scan evaluation to the batch.
+  bool deferred_scan_mode() const { return scan_threads_ > 1; }
+
+  /// Queues one bucket's scan evaluation (bucket servers, deferred mode).
+  void EnqueueScanTask(ScanTask task);
+
+  /// Evaluates all queued scan tasks (in parallel when configured) and
+  /// sends their replies in ascending bucket order. Scan initiators call
+  /// this after fanning out their kScan messages; a no-op when nothing is
+  /// queued.
+  void DrainDeferredScans();
+
  private:
   std::vector<Site*> sites_;
   NetworkStats stats_;
   int delivery_depth_ = 0;
+  size_t scan_threads_ = 0;
+  std::vector<ScanTask> pending_scans_;
 };
 
 }  // namespace essdds::sdds

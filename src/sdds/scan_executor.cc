@@ -1,0 +1,48 @@
+#include "sdds/scan_executor.h"
+
+#include <algorithm>
+#include <memory>
+
+#if ESSDDS_THREADS
+#include <atomic>
+#include <thread>
+#endif
+
+namespace essdds::sdds {
+
+void ExecuteScanTask(ScanTask& task) {
+  std::unique_ptr<ScanFilter::Prepared> prepared = task.filter->Prepare(task.arg);
+  if (prepared == nullptr) return;  // malformed argument: empty reply
+  for (const auto& [key, value] : *task.records) {
+    if (prepared->Matches(key, value)) {
+      task.reply.records.push_back(WireRecord{key, value});
+    }
+  }
+}
+
+void RunScanTasks(std::vector<ScanTask>& tasks, size_t threads) {
+#if ESSDDS_THREADS
+  const size_t workers = std::min(threads, tasks.size());
+  if (workers > 1) {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&tasks, &next] {
+        for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+             i < tasks.size();
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+          ExecuteScanTask(tasks[i]);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    return;
+  }
+#else
+  (void)threads;
+#endif
+  for (ScanTask& task : tasks) ExecuteScanTask(task);
+}
+
+}  // namespace essdds::sdds

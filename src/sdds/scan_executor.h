@@ -1,0 +1,44 @@
+#ifndef ESSDDS_SDDS_SCAN_EXECUTOR_H_
+#define ESSDDS_SDDS_SCAN_EXECUTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sdds/lh_options.h"
+#include "sdds/message.h"
+
+namespace essdds::sdds {
+
+/// One deferred bucket-scan evaluation. In parallel scan mode a bucket
+/// server answers a kScan message by enqueueing this task instead of
+/// evaluating inline; the filter work then runs off the messaging path so
+/// a worker pool can evaluate buckets concurrently. The reply message is
+/// pre-filled with everything except the hit records.
+///
+/// `records` points at the bucket's live record map: safe because the
+/// initiating client is blocked until the batch drains, and nothing else
+/// mutates buckets while a scan is outstanding.
+struct ScanTask {
+  uint64_t bucket = 0;
+  const std::map<uint64_t, Bytes>* records = nullptr;
+  const ScanFilter* filter = nullptr;
+  Bytes arg;      // owned copy of the scan argument (workers never touch
+                  // the originating message)
+  Message reply;  // header pre-filled; `records` appended by the worker
+};
+
+/// Evaluates one task: prepares the filter from the task's argument and
+/// fills task.reply.records with the hits, in ascending key order (the
+/// bucket's map order — deterministic regardless of execution order).
+void ExecuteScanTask(ScanTask& task);
+
+/// Runs every task, on `threads` workers when threads > 1 and the build has
+/// thread support (ESSDDS_THREADS), serially otherwise. Each task is
+/// evaluated exactly once by exactly one worker; task results are
+/// independent of the execution schedule.
+void RunScanTasks(std::vector<ScanTask>& tasks, size_t threads);
+
+}  // namespace essdds::sdds
+
+#endif  // ESSDDS_SDDS_SCAN_EXECUTOR_H_

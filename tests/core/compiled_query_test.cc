@@ -1,0 +1,235 @@
+#include "core/compiled_query.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/matcher.h"
+#include "util/random.h"
+
+namespace essdds::core {
+namespace {
+
+/// Reference matcher: the obvious O(n*m) scan, overlapping occurrences
+/// included. Everything faster must agree with this.
+std::vector<size_t> NaiveOccurrences(const std::vector<uint64_t>& stream,
+                                     const std::vector<uint64_t>& pattern) {
+  std::vector<size_t> out;
+  if (pattern.empty() || pattern.size() > stream.size()) return out;
+  for (size_t i = 0; i + pattern.size() <= stream.size(); ++i) {
+    if (std::equal(pattern.begin(), pattern.end(), stream.begin() + i)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> RandomStream(Rng& rng, size_t len, uint64_t alphabet) {
+  std::vector<uint64_t> v(len);
+  for (auto& x : v) x = rng.Uniform(alphabet);
+  return v;
+}
+
+TEST(KmpTest, FailureTableMatchesDefinition) {
+  // fail[i] = length of the longest proper prefix of pattern[0..i] that is
+  // also a suffix — checked against the quadratic definition.
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto pattern = RandomStream(rng, 1 + rng.Uniform(12), 3);
+    const auto fail = KmpFailureTable(pattern);
+    ASSERT_EQ(fail.size(), pattern.size());
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      uint32_t expected = 0;
+      for (size_t len = 1; len < i + 1; ++len) {
+        if (std::equal(pattern.begin(), pattern.begin() + len,
+                       pattern.begin() + (i + 1 - len))) {
+          expected = static_cast<uint32_t>(len);
+        }
+      }
+      EXPECT_EQ(fail[i], expected) << "trial " << trial << " i " << i;
+    }
+  }
+}
+
+TEST(KmpTest, ContainsAgreesWithNaiveMatcher) {
+  Rng rng(12);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Alphabet of 2: self-overlapping patterns (AAAB, ABAB...) are the norm,
+    // which is exactly where hand-rolled matchers go wrong.
+    const auto stream = RandomStream(rng, rng.Uniform(40), 2);
+    const auto pattern = RandomStream(rng, 1 + rng.Uniform(6), 2);
+    const auto fail = KmpFailureTable(pattern);
+    EXPECT_EQ(KmpContains(stream, pattern, fail),
+              !NaiveOccurrences(stream, pattern).empty())
+        << "trial " << trial;
+  }
+}
+
+TEST(KmpTest, FindOccurrencesAgreesWithNaiveMatcher) {
+  Rng rng(13);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto stream = RandomStream(rng, rng.Uniform(60), 3);
+    // Mix random patterns with substrings of the stream (guaranteed hits).
+    std::vector<uint64_t> pattern;
+    if (rng.Bernoulli(0.5) && stream.size() >= 2) {
+      const size_t len = 1 + rng.Uniform(std::min<size_t>(stream.size(), 5));
+      const size_t at = rng.Uniform(stream.size() - len + 1);
+      pattern.assign(stream.begin() + at, stream.begin() + at + len);
+    } else {
+      pattern = RandomStream(rng, 1 + rng.Uniform(5), 3);
+    }
+    EXPECT_EQ(FindOccurrences(stream, pattern),
+              NaiveOccurrences(stream, pattern))
+        << "trial " << trial;
+  }
+}
+
+/// Builds a single-codebook query whose series carry the given chunk
+/// patterns (dispersal off).
+SearchQuery PlainQuery(std::vector<std::vector<uint64_t>> patterns) {
+  SearchQuery q;
+  q.symbols_per_chunk = 4;
+  q.chunking_stride = 1;
+  q.dispersal_sites = 1;
+  q.query_symbols = 8;
+  uint32_t alignment = 0;
+  for (auto& p : patterns) {
+    QuerySeries s;
+    s.alignment = alignment++;
+    s.chunks = std::move(p);
+    q.series.push_back(std::move(s));
+  }
+  return q;
+}
+
+TEST(CompiledQueryTest, MatchesAgreesWithNaivePerSeries) {
+  Rng rng(14);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::vector<uint64_t>> patterns;
+    const size_t num_series = 1 + rng.Uniform(3);
+    for (size_t s = 0; s < num_series; ++s) {
+      patterns.push_back(RandomStream(rng, 1 + rng.Uniform(4), 2));
+    }
+    const auto stream = RandomStream(rng, rng.Uniform(30), 2);
+
+    bool naive = false;
+    for (const auto& p : patterns) {
+      naive = naive || !NaiveOccurrences(stream, p).empty();
+    }
+    const CompiledQuery compiled(PlainQuery(patterns));
+    EXPECT_EQ(compiled.Matches(0, 0, stream), naive) << "trial " << trial;
+    // Without per-family series the compiled set is shared by every family.
+    EXPECT_EQ(compiled.Matches(7, 0, stream), naive) << "trial " << trial;
+  }
+}
+
+TEST(CompiledQueryTest, ForEachOccurrenceReportsEveryNaivePosition) {
+  Rng rng(15);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::vector<uint64_t>> patterns;
+    const size_t num_series = 1 + rng.Uniform(3);
+    for (size_t s = 0; s < num_series; ++s) {
+      patterns.push_back(RandomStream(rng, 1 + rng.Uniform(4), 2));
+    }
+    const auto stream = RandomStream(rng, rng.Uniform(30), 2);
+
+    std::set<std::pair<uint32_t, size_t>> naive;
+    for (uint32_t s = 0; s < patterns.size(); ++s) {
+      for (size_t at : NaiveOccurrences(stream, patterns[s])) {
+        naive.insert({s, at});  // series alignment == series index here
+      }
+    }
+    const CompiledQuery compiled(PlainQuery(patterns));
+    std::set<std::pair<uint32_t, size_t>> got;
+    compiled.ForEachOccurrence(0, 0, stream,
+                               [&](uint32_t alignment, size_t chunk) {
+                                 EXPECT_TRUE(got.insert({alignment, chunk}).second)
+                                     << "duplicate report";
+                               });
+    EXPECT_EQ(got, naive) << "trial " << trial;
+  }
+}
+
+TEST(CompiledQueryTest, DispersedQueryMatchesPerSite) {
+  // k = 3: each series carries one piece stream per dispersal site, and a
+  // site only ever sees (and must only ever match) its own stream.
+  SearchQuery q;
+  q.symbols_per_chunk = 4;
+  q.chunking_stride = 2;
+  q.dispersal_sites = 3;
+  q.query_symbols = 8;
+  QuerySeries s;
+  s.alignment = 1;
+  s.pieces = {{1, 2}, {3, 4}, {5, 6}};
+  q.series.push_back(s);
+  const CompiledQuery compiled(std::move(q));
+
+  EXPECT_TRUE(compiled.Matches(0, 0, std::vector<uint64_t>{9, 1, 2, 9}));
+  EXPECT_FALSE(compiled.Matches(0, 0, std::vector<uint64_t>{9, 3, 4, 9}));
+  EXPECT_TRUE(compiled.Matches(0, 1, std::vector<uint64_t>{3, 4}));
+  EXPECT_TRUE(compiled.Matches(0, 2, std::vector<uint64_t>{5, 6}));
+  // A site index the query has no piece stream for cannot match (the seed
+  // matcher indexed past the pieces array here).
+  EXPECT_FALSE(compiled.Matches(0, 3, std::vector<uint64_t>{1, 2}));
+  EXPECT_FALSE(compiled.Matches(0, 1000, std::vector<uint64_t>{1, 2}));
+}
+
+TEST(CompiledQueryTest, PerFamilyQueryIsolatesFamilies) {
+  SearchQuery q;
+  q.symbols_per_chunk = 4;
+  q.chunking_stride = 1;
+  q.dispersal_sites = 1;
+  q.query_symbols = 8;
+  q.per_family = true;
+  QuerySeries f0, f1;
+  f0.alignment = 0;
+  f0.chunks = {10, 11};
+  f1.alignment = 0;
+  f1.chunks = {20, 21};
+  q.family_series = {{f0}, {f1}};
+  const CompiledQuery compiled(std::move(q));
+
+  const std::vector<uint64_t> stream0 = {10, 11};
+  const std::vector<uint64_t> stream1 = {20, 21};
+  EXPECT_TRUE(compiled.Matches(0, 0, stream0));
+  EXPECT_FALSE(compiled.Matches(0, 0, stream1));
+  EXPECT_TRUE(compiled.Matches(1, 0, stream1));
+  EXPECT_FALSE(compiled.Matches(1, 0, stream0));
+  // A family beyond the query's series lists cannot match.
+  EXPECT_FALSE(compiled.Matches(2, 0, stream0));
+  EXPECT_FALSE(compiled.Matches(1000, 0, stream0));
+}
+
+TEST(CompiledQueryTest, FromWireEqualsDirectCompilation) {
+  Rng rng(16);
+  std::vector<std::vector<uint64_t>> patterns = {
+      RandomStream(rng, 3, 4), RandomStream(rng, 2, 4)};
+  SearchQuery q = PlainQuery(patterns);
+  const Bytes wire = q.Serialize();
+
+  auto from_wire = CompiledQuery::FromWire(wire);
+  ASSERT_TRUE(from_wire.ok()) << from_wire.status().ToString();
+  const CompiledQuery direct(std::move(q));
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto stream = RandomStream(rng, rng.Uniform(20), 4);
+    EXPECT_EQ(from_wire->Matches(0, 0, stream), direct.Matches(0, 0, stream));
+  }
+}
+
+TEST(CompiledQueryTest, FromWireRejectsGarbage) {
+  const Bytes garbage = ToBytes("not a query");
+  EXPECT_FALSE(CompiledQuery::FromWire(garbage).ok());
+  EXPECT_FALSE(CompiledQuery::FromWire({}).ok());
+}
+
+TEST(CompiledQueryTest, EmptySeriesNeverMatch) {
+  const CompiledQuery compiled(PlainQuery({{}}));
+  EXPECT_FALSE(compiled.Matches(0, 0, std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_FALSE(compiled.Matches(0, 0, std::vector<uint64_t>{}));
+}
+
+}  // namespace
+}  // namespace essdds::core

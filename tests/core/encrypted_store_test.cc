@@ -314,6 +314,57 @@ TEST(EncryptedStoreTest, RejectsOversizedRid) {
   EXPECT_FALSE(store->Insert(~uint64_t{0}, "X").ok());
 }
 
+TEST(EncryptedStoreTest, ParallelIndexScanMatchesSerialOnPhonebook) {
+  // The full scheme with thread-pool index scans must be indistinguishable
+  // from the serial build: same rids, same per-stage stats, same network
+  // accounting. This is the workload the paper evaluates.
+  auto run = [](size_t scan_threads) {
+    SchemeParams p{.codes_per_chunk = 4, .dispersal_sites = 2};
+    EncryptedStore::Options opts;
+    opts.params = p;
+    opts.record_file.bucket_capacity = 16;
+    opts.index_file.bucket_capacity = 32;
+    opts.index_file.scan_threads = scan_threads;
+    auto store = EncryptedStore::Create(opts, Master(), {});
+    EXPECT_TRUE(store.ok()) << store.status();
+
+    workload::PhonebookGenerator gen(77);
+    auto corpus = gen.Generate(300);
+    for (const auto& r : corpus) {
+      EXPECT_TRUE((*store)->Insert(r.rid, r.name).ok());
+    }
+    (*store)->index_file().network().ResetStats();
+
+    struct Outcome {
+      std::vector<uint64_t> rids;
+      EncryptedStore::SearchStats stats;
+      sdds::NetworkStats net;
+    } out;
+    for (const char* q : {"SCHWARZ", "MARIA", "ER J", "ZZZZQQ"}) {
+      auto found = (*store)->SearchDetailed(q);
+      EXPECT_TRUE(found.ok()) << q;
+      out.rids.insert(out.rids.end(), found->rids.begin(), found->rids.end());
+      out.stats.candidate_index_records +=
+          found->stats.candidate_index_records;
+      out.stats.families_confirmed += found->stats.families_confirmed;
+      out.stats.rids_final += found->stats.rids_final;
+    }
+    out.net = (*store)->index_file().network().stats();
+    return out;
+  };
+
+  const auto serial = run(0);
+  const auto parallel = run(4);
+  EXPECT_EQ(serial.rids, parallel.rids);
+  EXPECT_EQ(serial.stats.candidate_index_records,
+            parallel.stats.candidate_index_records);
+  EXPECT_EQ(serial.stats.families_confirmed,
+            parallel.stats.families_confirmed);
+  EXPECT_EQ(serial.stats.rids_final, parallel.stats.rids_final);
+  EXPECT_EQ(serial.net, parallel.net);
+  EXPECT_GT(serial.stats.rids_final, 0u) << "queries matched nothing";
+}
+
 TEST(EncryptedStoreTest, SearchMessageTrafficIsBounded) {
   auto store = MakeStore(SchemeParams{});
   workload::PhonebookGenerator gen(55);

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sdds/lh_server.h"
+
+namespace essdds::sdds {
+namespace {
+
+/// A bucket stand-in that swallows everything it receives. Because it never
+/// acks, a split or merge sent to it stays in flight — which is how a real
+/// network looks to the coordinator between dispatching kSplit and hearing
+/// kSplitDone. The synchronous LhSystem can never produce that window, so
+/// this harness drives the coordinator directly.
+class SinkSite : public Site {
+ public:
+  void OnMessage(Message& msg, SimNetwork& net) override {
+    (void)net;
+    received.push_back(std::move(msg));
+  }
+
+  std::vector<Message> received;
+};
+
+class FakeRuntime : public LhRuntime {
+ public:
+  explicit FakeRuntime(SimNetwork* net) : net_(net) { CreateBucket(0, 0); }
+
+  void set_coordinator_site(SiteId site) { coordinator_site_ = site; }
+  SinkSite& sink(uint64_t bucket) { return *sinks_.at(bucket); }
+  size_t bucket_count() const { return sinks_.size(); }
+
+  SiteId SiteOfBucket(uint64_t bucket) const override {
+    return sites_.at(static_cast<size_t>(bucket));
+  }
+  bool BucketExists(uint64_t bucket) const override {
+    return bucket < sites_.size();
+  }
+  SiteId CoordinatorSite() const override { return coordinator_site_; }
+  SiteId CreateBucket(uint64_t bucket, uint32_t level) override {
+    (void)level;
+    EXPECT_EQ(bucket, sinks_.size()) << "bucket creation out of order";
+    sinks_.push_back(std::make_unique<SinkSite>());
+    sites_.push_back(net_->Register(sinks_.back().get()));
+    return sites_.back();
+  }
+  const ScanFilter& FilterById(uint64_t) const override { return *no_filter_; }
+  const LhOptions& options() const override { return options_; }
+  void RetireLastBucket() override { sites_.pop_back(); }
+
+ private:
+  SimNetwork* net_;
+  SiteId coordinator_site_ = kInvalidSite;
+  LhOptions options_;
+  std::vector<std::unique_ptr<SinkSite>> sinks_;
+  std::vector<SiteId> sites_;
+  std::unique_ptr<ScanFilter> no_filter_ =
+      MakeScanFilter([](uint64_t, ByteSpan, ByteSpan) { return false; });
+};
+
+struct CoordinatorHarness {
+  CoordinatorHarness() : runtime(&net), coordinator(&runtime) {
+    const SiteId site = net.Register(&coordinator);
+    coordinator.set_site(site);
+    runtime.set_coordinator_site(site);
+  }
+
+  void Report(MsgType type, uint64_t bucket) {
+    Message m;
+    m.type = type;
+    m.from = runtime.SiteOfBucket(bucket);
+    m.to = runtime.CoordinatorSite();
+    m.key = bucket;
+    net.Send(std::move(m));
+  }
+
+  SimNetwork net;
+  FakeRuntime runtime;
+  LhCoordinator coordinator;
+};
+
+TEST(LhCoordinatorTest, OverflowDuringInFlightSplitIsDropped) {
+  CoordinatorHarness h;
+
+  h.Report(MsgType::kOverflow, 0);
+  // The split of bucket 0 is now in flight: bucket 1 was allocated and the
+  // kSplit dispatched, but the sink never acks.
+  ASSERT_EQ(h.runtime.bucket_count(), 2u);
+  ASSERT_EQ(h.runtime.sink(0).received.size(), 1u);
+  EXPECT_EQ(h.runtime.sink(0).received[0].type, MsgType::kSplit);
+
+  // A second overflow report racing the ack must be dropped — the seed
+  // coordinator aborted the process here.
+  h.Report(MsgType::kOverflow, 0);
+  EXPECT_EQ(h.runtime.bucket_count(), 2u) << "no second bucket allocated";
+  EXPECT_EQ(h.runtime.sink(0).received.size(), 1u) << "no second kSplit";
+
+  // Once the in-flight split acks, the pointer advances and the coordinator
+  // serves overflow reports again.
+  h.Report(MsgType::kSplitDone, 0);
+  EXPECT_EQ(h.coordinator.level(), 1u);
+  EXPECT_EQ(h.coordinator.split_pointer(), 0u);
+
+  h.Report(MsgType::kOverflow, 1);
+  EXPECT_EQ(h.runtime.bucket_count(), 3u);
+  ASSERT_EQ(h.runtime.sink(0).received.size(), 2u);
+  EXPECT_EQ(h.runtime.sink(0).received[1].type, MsgType::kSplit);
+}
+
+TEST(LhCoordinatorTest, OverflowDuringInFlightMergeIsDropped) {
+  CoordinatorHarness h;
+  // Grow to two buckets (completing the split), then start a merge that
+  // never acks.
+  h.Report(MsgType::kOverflow, 0);
+  h.Report(MsgType::kSplitDone, 0);
+  ASSERT_EQ(h.runtime.bucket_count(), 2u);
+
+  h.Report(MsgType::kUnderflow, 0);
+  ASSERT_EQ(h.runtime.sink(1).received.size(), 1u);
+  EXPECT_EQ(h.runtime.sink(1).received[0].type, MsgType::kMerge);
+
+  // An overflow racing the in-flight merge must be dropped, not crash and
+  // not allocate a bucket while the file is shrinking.
+  h.Report(MsgType::kOverflow, 0);
+  EXPECT_EQ(h.runtime.bucket_count(), 2u);
+  EXPECT_EQ(h.runtime.sink(0).received.size(), 1u)
+      << "only the original kSplit";
+}
+
+}  // namespace
+}  // namespace essdds::sdds

@@ -130,6 +130,113 @@ TEST(LhShrinkTest, StaleAheadClientStillReachesEverything) {
   EXPECT_EQ(result.buckets_answered, sys.bucket_count());
 }
 
+class ProbeSite : public Site {
+ public:
+  void OnMessage(Message& msg, SimNetwork& net) override {
+    (void)net;
+    received.push_back(std::move(msg));
+  }
+  std::vector<Message> received;
+};
+
+TEST(LhShrinkTest, RetiredBucketForwardsStaleKeyRequests) {
+  LhSystem sys(ShrinkingOptions());
+  LhClient* c = sys.NewClient();
+  Rng rng(7);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 1500; ++i) {
+    keys.push_back(rng.Next());
+    c->Insert(keys.back(), Val(keys.back()));
+  }
+  const size_t peak = sys.bucket_count();
+  ASSERT_GT(peak, 2u);
+  // The highest-numbered bucket at peak is retired first by the merges.
+  const SiteId retired_site = sys.bucket(peak - 1).site();
+
+  for (size_t i = 100; i < keys.size(); ++i) {
+    ASSERT_TRUE(c->Delete(keys[i]).ok());
+  }
+  ASSERT_LT(sys.bucket_count(), peak - 1)
+      << "test needs bucket " << peak - 1 << " to be retired";
+
+  // A maximally stale client addresses the retired bucket directly: the
+  // request must be forwarded along the parent chain and answered from
+  // wherever the record lives now — never served from the retired bucket's
+  // empty map (and never crash the server).
+  ProbeSite probe;
+  const SiteId probe_site = sys.network().Register(&probe);
+  Message req;
+  req.type = MsgType::kLookup;
+  req.from = probe_site;
+  req.reply_to = probe_site;
+  req.request_id = 77;
+  req.key = keys[0];
+  req.to = retired_site;
+  sys.network().Send(std::move(req));
+
+  ASSERT_EQ(probe.received.size(), 1u);
+  const Message& reply = probe.received[0];
+  EXPECT_EQ(reply.type, MsgType::kLookupReply);
+  EXPECT_TRUE(reply.found) << "record lost behind the retired bucket";
+  EXPECT_EQ(reply.value, Val(keys[0]));
+
+  // Same for a delete of a key that never existed: routed, answered, no
+  // phantom state.
+  Message del;
+  del.type = MsgType::kDelete;
+  del.from = probe_site;
+  del.reply_to = probe_site;
+  del.request_id = 78;
+  del.key = keys[0] ^ 0x5a5a5a5a5a5a5a5aull;
+  del.to = retired_site;
+  sys.network().Send(std::move(del));
+  ASSERT_EQ(probe.received.size(), 2u);
+  EXPECT_EQ(probe.received[1].type, MsgType::kDeleteAck);
+  EXPECT_FALSE(probe.received[1].found);
+}
+
+TEST(LhShrinkTest, RetiredBucketForwardsStaleScans) {
+  LhSystem sys(ShrinkingOptions());
+  LhClient* c = sys.NewClient();
+  Rng rng(8);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 1200; ++i) {
+    keys.push_back(rng.Next());
+    c->Insert(keys.back(), Val(keys.back()));
+  }
+  const size_t peak = sys.bucket_count();
+  ASSERT_GT(peak, 2u);
+  const SiteId retired_site = sys.bucket(peak - 1).site();
+  for (size_t i = 50; i < keys.size(); ++i) {
+    ASSERT_TRUE(c->Delete(keys[i]).ok());
+  }
+  ASSERT_LT(sys.bucket_count(), peak - 1);
+
+  const uint64_t match_all =
+      sys.InstallFilter([](uint64_t, ByteSpan, ByteSpan) { return true; });
+  ProbeSite probe;
+  const SiteId probe_site = sys.network().Register(&probe);
+  Message scan;
+  scan.type = MsgType::kScan;
+  scan.from = probe_site;
+  scan.reply_to = probe_site;
+  scan.request_id = 79;
+  scan.filter_id = match_all;
+  // A level high enough that the serving bucket propagates to no children:
+  // the probe expects exactly the one reply from wherever the scan folds.
+  scan.assumed_level = 31;
+  scan.to = retired_site;
+  sys.network().Send(std::move(scan));
+
+  ASSERT_EQ(probe.received.size(), 1u);
+  const Message& reply = probe.received[0];
+  EXPECT_EQ(reply.type, MsgType::kScanReply);
+  // The reply comes from a live bucket (under its own bucket number) and
+  // carries that bucket's records — not the retired bucket's empty map.
+  ASSERT_LT(reply.key, sys.bucket_count());
+  EXPECT_EQ(reply.records.size(), sys.bucket(reply.key).record_count());
+}
+
 TEST(LhShrinkTest, NeverShrinksBelowOneBucket) {
   LhSystem sys(ShrinkingOptions());
   LhClient* c = sys.NewClient();

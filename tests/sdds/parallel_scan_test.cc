@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sdds/lh_system.h"
+#include "util/random.h"
+
+namespace essdds::sdds {
+namespace {
+
+Bytes Val(uint64_t k) { return ToBytes("value-" + std::to_string(k)); }
+
+/// One LH* file plus a selective filter and a deterministic workload,
+/// parameterized only by the scan thread count.
+struct Workload {
+  explicit Workload(size_t scan_threads, double merge_threshold = 0.0)
+      : sys(LhOptions{.bucket_capacity = 8,
+                      .merge_threshold = merge_threshold,
+                      .scan_threads = scan_threads}),
+        client(sys.NewClient()) {
+    filter_id = sys.InstallFilter([](uint64_t key, ByteSpan value, ByteSpan arg) {
+      if (arg.empty()) return true;
+      return !value.empty() &&
+             (key % arg.size()) == static_cast<uint64_t>(arg[0] % 7);
+    });
+  }
+
+  void Fill(int n, uint64_t seed) {
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+      const uint64_t k = rng.Next();
+      keys.push_back(k);
+      client->Insert(k, Val(k));
+    }
+  }
+
+  LhSystem sys;
+  LhClient* client;
+  uint64_t filter_id = 0;
+  std::vector<uint64_t> keys;
+};
+
+TEST(ParallelScanTest, ResultsAndAccountingIdenticalToSerial) {
+  Workload serial(0), parallel(4);
+  serial.Fill(2000, 42);
+  parallel.Fill(2000, 42);
+  ASSERT_EQ(serial.sys.bucket_count(), parallel.sys.bucket_count());
+
+  const Bytes arg = ToBytes("selective-arg");
+  serial.sys.network().ResetStats();
+  parallel.sys.network().ResetStats();
+  auto serial_result = serial.client->Scan(serial.filter_id, arg);
+  auto parallel_result = parallel.client->Scan(parallel.filter_id, arg);
+
+  EXPECT_GT(serial_result.hits.size(), 0u) << "filter selected nothing";
+  EXPECT_LT(serial_result.hits.size(), serial.keys.size())
+      << "filter not selective";
+  // Byte-identical hits in identical order.
+  EXPECT_EQ(serial_result.hits, parallel_result.hits);
+  EXPECT_EQ(serial_result.buckets_answered, parallel_result.buckets_answered);
+  // And the exact same message/byte/per-type accounting: deferring the
+  // evaluations must not change what crosses the simulated wire.
+  EXPECT_EQ(serial.sys.network().stats(), parallel.sys.network().stats());
+}
+
+TEST(ParallelScanTest, MatchAllScanIdenticalAcrossThreadCounts) {
+  Workload baseline(0);
+  baseline.Fill(1200, 7);
+  baseline.sys.network().ResetStats();
+  const auto expected = baseline.client->Scan(baseline.filter_id, {});
+  EXPECT_EQ(expected.hits.size(), baseline.keys.size());
+  const NetworkStats expected_stats = baseline.sys.network().stats();
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}, size_t{32}}) {
+    Workload w(threads);
+    w.Fill(1200, 7);
+    w.sys.network().ResetStats();
+    const auto got = w.client->Scan(w.filter_id, {});
+    EXPECT_EQ(got.hits, expected.hits) << "threads=" << threads;
+    EXPECT_EQ(got.buckets_answered, expected.buckets_answered)
+        << "threads=" << threads;
+    EXPECT_EQ(w.sys.network().stats(), expected_stats)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelScanTest, StaleAheadClientScanIdenticalToSerial) {
+  // Shrink the file under a client whose image is ahead: retired-bucket
+  // forwarding plus per-bucket dedup must behave identically in both modes.
+  auto run = [](size_t threads) {
+    Workload w(threads, /*merge_threshold=*/0.25);
+    w.Fill(1500, 99);
+    // Warm the image at peak, then delete most records via a second client.
+    for (uint64_t k : w.keys) EXPECT_TRUE(w.client->Lookup(k).ok());
+    LhClient* deleter = w.sys.NewClient();
+    for (size_t i = 100; i < w.keys.size(); ++i) {
+      EXPECT_TRUE(deleter->Delete(w.keys[i]).ok());
+    }
+    EXPECT_LT(w.sys.bucket_count(), w.client->image().BucketCount());
+    auto result = w.client->Scan(w.filter_id, {});
+    EXPECT_EQ(result.hits.size(), w.sys.TotalRecords());
+    return result;
+  };
+  const auto serial = run(0);
+  const auto parallel = run(4);
+  EXPECT_EQ(serial.hits, parallel.hits);
+  EXPECT_EQ(serial.buckets_answered, parallel.buckets_answered);
+}
+
+TEST(ParallelScanTest, RepeatedParallelScansAreStable) {
+  Workload w(8);
+  w.Fill(800, 3);
+  const auto first = w.client->Scan(w.filter_id, {});
+  for (int i = 0; i < 5; ++i) {
+    const auto again = w.client->Scan(w.filter_id, {});
+    EXPECT_EQ(again.hits, first.hits) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace essdds::sdds
