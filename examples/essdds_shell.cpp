@@ -8,9 +8,21 @@
 //   stats
 //   EOF
 //
-// A second argument sets the index scan thread count (0 = serial):
+// A second positional argument sets the index scan thread count (0 =
+// serial). Flags select and tune the network simulation carrying both LH*
+// files:
 //
-//   ./build/examples/essdds_shell 5000 8
+//   --net=event        discrete-event network (latency, reordering, retries)
+//   --net-seed=N       event schedule seed (default 1)
+//   --latency=MIN:MAX  per-message latency range, microseconds of virtual time
+//   --drop=P           drop probability for client key traffic (0..1)
+//   --dup=P            duplicate probability for client key traffic (0..1)
+//
+//   ./build/examples/essdds_shell 5000 8 --net=event --net-seed=7 --drop=0.05
+//
+// Any client-visible failure prints a replay line with the full network
+// configuration; re-running the same script with those flags reproduces the
+// run schedule bit-for-bit.
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,12 +52,88 @@ void PrintHelp() {
       "  quit\n");
 }
 
+struct NetConfig {
+  essdds::sdds::NetworkMode mode = essdds::sdds::NetworkMode::kSync;
+  essdds::sdds::EventNetworkOptions event;
+
+  /// The flag string that reproduces this configuration (the event schedule
+  /// is a pure function of these knobs — no wall-clock time is involved).
+  std::string ReplayFlags() const {
+    if (mode != essdds::sdds::NetworkMode::kEvent) return "--net=sync";
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "--net=event --net-seed=%llu --latency=%u:%u --drop=%g "
+                  "--dup=%g",
+                  static_cast<unsigned long long>(event.seed),
+                  event.min_latency_us, event.max_latency_us, event.drop_prob,
+                  event.duplicate_prob);
+    return buf;
+  }
+};
+
+bool ParseNetFlag(const std::string& arg, NetConfig* net) {
+  auto value = [&](const char* prefix) -> const char* {
+    const size_t len = std::string(prefix).size();
+    return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+  };
+  if (const char* v = value("--net=")) {
+    if (std::string(v) == "event") {
+      net->mode = essdds::sdds::NetworkMode::kEvent;
+    } else if (std::string(v) == "sync") {
+      net->mode = essdds::sdds::NetworkMode::kSync;
+    } else {
+      std::fprintf(stderr, "unknown --net mode '%s' (sync|event)\n", v);
+      return false;
+    }
+  } else if (const char* seed = value("--net-seed=")) {
+    net->event.seed = static_cast<uint64_t>(std::strtoull(seed, nullptr, 10));
+  } else if (const char* range = value("--latency=")) {
+    unsigned lo = 0, hi = 0;
+    if (std::sscanf(range, "%u:%u", &lo, &hi) != 2 || lo > hi) {
+      std::fprintf(stderr, "--latency wants MIN:MAX microseconds\n");
+      return false;
+    }
+    net->event.min_latency_us = lo;
+    net->event.max_latency_us = hi;
+  } else if (const char* drop = value("--drop=")) {
+    net->event.drop_prob = std::atof(drop);
+  } else if (const char* dup = value("--dup=")) {
+    net->event.duplicate_prob = std::atof(dup);
+  } else {
+    std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const size_t n = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 2000;
-  const size_t scan_threads =
-      argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 0;
+  size_t n = 2000;
+  size_t scan_threads = 0;
+  NetConfig net;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      if (!ParseNetFlag(arg, &net)) return 2;
+    } else if (positional == 0) {
+      n = static_cast<size_t>(std::atoll(arg.c_str()));
+      ++positional;
+    } else if (positional == 1) {
+      scan_threads = static_cast<size_t>(std::atoll(arg.c_str()));
+      ++positional;
+    } else {
+      std::fprintf(stderr, "too many positional arguments\n");
+      return 2;
+    }
+  }
+
+  // On any client-visible failure, print how to reproduce the exact run.
+  const std::string replay = "replay: " + net.ReplayFlags();
+  auto report_failure = [&replay](const std::string& what) {
+    std::printf("error: %s\n%s\n", what.c_str(), replay.c_str());
+  };
 
   essdds::workload::PhonebookGenerator gen(20060401);
   auto corpus = gen.Generate(n);
@@ -58,6 +146,14 @@ int main(int argc, char** argv) {
   options.record_file.bucket_capacity = 128;
   options.index_file.bucket_capacity = 512;
   options.index_file.scan_threads = scan_threads;
+  for (essdds::sdds::LhOptions* file :
+       {&options.record_file, &options.index_file}) {
+    file->network_mode = net.mode;
+    file->event_net = net.event;
+  }
+  // Distinct seeds so the two files do not replay each other's schedule.
+  options.index_file.event_net.seed = net.event.seed * 2 + 1;
+
   auto store = essdds::core::EncryptedStore::Create(
       options, ToBytes("shell master key"), training);
   if (!store.ok()) {
@@ -65,9 +161,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   for (const auto& r : corpus) {
-    if (!(*store)->Insert(r.rid, r.name).ok()) return 1;
+    auto st = (*store)->Insert(r.rid, r.name);
+    if (!st.ok()) {
+      report_failure("load: " + st.ToString());
+      return 1;
+    }
   }
-  std::printf("loaded %zu records; type 'help' for commands\n", n);
+  std::printf("loaded %zu records (%s); type 'help' for commands\n", n,
+              net.ReplayFlags().c_str());
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -96,7 +197,7 @@ int main(int argc, char** argv) {
                       : (*store)->SearchWithExpansion(
                             query, "ABCDEFGHIJKLMNOPQRSTUVWXYZ &'-");
       if (!rids.ok()) {
-        std::printf("error: %s\n", rids.status().ToString().c_str());
+        report_failure(rids.status().ToString());
         continue;
       }
       std::printf("%zu hit(s)\n", rids->size());
@@ -114,8 +215,13 @@ int main(int argc, char** argv) {
       uint64_t rid = 0;
       in >> rid;
       auto content = (*store)->Get(rid);
-      std::printf("%s\n", content.ok() ? content->c_str()
-                                       : content.status().ToString().c_str());
+      if (content.ok()) {
+        std::printf("%s\n", content->c_str());
+      } else if (content.status().IsNotFound()) {
+        std::printf("%s\n", content.status().ToString().c_str());
+      } else {
+        report_failure(content.status().ToString());
+      }
     } else if (cmd == "insert") {
       uint64_t rid = 0;
       std::string name;
@@ -123,11 +229,20 @@ int main(int argc, char** argv) {
       std::getline(in, name);
       if (!name.empty() && name[0] == ' ') name.erase(0, 1);
       auto st = (*store)->Insert(rid, name);
-      std::printf("%s\n", st.ToString().c_str());
+      if (!st.ok()) {
+        report_failure(st.ToString());
+      } else {
+        std::printf("%s\n", st.ToString().c_str());
+      }
     } else if (cmd == "delete") {
       uint64_t rid = 0;
       in >> rid;
-      std::printf("%s\n", (*store)->Delete(rid).ToString().c_str());
+      auto st = (*store)->Delete(rid);
+      if (!st.ok() && !st.IsNotFound()) {
+        report_failure(st.ToString());
+      } else {
+        std::printf("%s\n", st.ToString().c_str());
+      }
     } else {
       std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
     }

@@ -51,18 +51,19 @@ class MatchScanFilter : public sdds::ScanFilter {
       uint64_t rid;
       uint32_t family, site;
       ParseIndexKey(key, pipeline_->params(), &rid, &family, &site);
-      if (!pipeline_->DeserializeStreamInto(value, &scratch_).ok()) {
+      // Decode buffer reused across records. One Prepared is shared by all
+      // buckets of a scan and driven concurrently in thread-pool mode, so
+      // the scratch is per worker thread, not per instance.
+      static thread_local std::vector<uint64_t> scratch;
+      if (!pipeline_->DeserializeStreamInto(value, &scratch).ok()) {
         return false;
       }
-      return compiled_.Matches(family, site, scratch_);
+      return compiled_.Matches(family, site, scratch);
     }
 
    private:
     const IndexPipeline* pipeline_;
     CompiledQuery compiled_;
-    // Decode buffer reused across the bucket's records (a Prepared instance
-    // is driven by one thread).
-    mutable std::vector<uint64_t> scratch_;
   };
 
   const IndexPipeline* pipeline_;

@@ -1,0 +1,150 @@
+#include "sdds/event_network.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace essdds::sdds {
+
+bool FaultEligible(MsgType type) {
+  switch (type) {
+    case MsgType::kInsert:
+    case MsgType::kLookup:
+    case MsgType::kDelete:
+    case MsgType::kInsertAck:
+    case MsgType::kLookupReply:
+    case MsgType::kDeleteAck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+EventNetwork::EventNetwork(EventNetworkOptions options)
+    : options_(options), rng_(options.seed) {
+  ESSDDS_CHECK(options_.min_latency_us <= options_.max_latency_us)
+      << "latency range inverted";
+  ESSDDS_CHECK(options_.drop_prob >= 0.0 && options_.drop_prob < 1.0)
+      << "drop probability must be in [0, 1)";
+  ESSDDS_CHECK(options_.duplicate_prob >= 0.0 && options_.duplicate_prob <= 1.0)
+      << "duplicate probability must be in [0, 1]";
+}
+
+SiteId EventNetwork::Register(Site* site) {
+  ESSDDS_CHECK(site != nullptr);
+  sites_.push_back(site);
+  paused_.push_back(false);
+  parked_.emplace_back();
+  return static_cast<SiteId>(sites_.size() - 1);
+}
+
+uint64_t EventNetwork::DeliveryTime(SiteId from, SiteId to) {
+  const uint64_t span =
+      uint64_t{options_.max_latency_us} - options_.min_latency_us;
+  uint64_t t = now_us_ + options_.min_latency_us +
+               (span > 0 ? rng_.Uniform(span + 1) : 0);
+  if (options_.fifo_links) {
+    uint64_t& clock = link_clock_[{from, to}];
+    t = std::max(t, clock);
+    clock = t;
+  }
+  return t;
+}
+
+void EventNetwork::PushEvent(Event ev) {
+  ev.seq = next_seq_++;
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+}
+
+void EventNetwork::ScheduleMessage(Message msg) {
+  Event ev;
+  ev.time_us = DeliveryTime(msg.from, msg.to);
+  ev.msg = std::move(msg);
+  PushEvent(std::move(ev));
+}
+
+void EventNetwork::Send(Message msg) {
+  ESSDDS_CHECK(msg.to < sites_.size())
+      << "send to unregistered site " << msg.to;
+  Account(msg);
+
+  const uint64_t ordinal = ++sends_of_type_[msg.type];
+  auto scripted = scripted_drops_.find(msg.type);
+  if (scripted != scripted_drops_.end()) {
+    auto& ordinals = scripted->second;
+    auto hit = std::find(ordinals.begin(), ordinals.end(), ordinal);
+    if (hit != ordinals.end()) {
+      ordinals.erase(hit);
+      ++stats_.dropped_messages;
+      return;
+    }
+  }
+
+  const bool eligible = FaultEligible(msg.type);
+  if (eligible && options_.drop_prob > 0.0 &&
+      rng_.Bernoulli(options_.drop_prob)) {
+    ++stats_.dropped_messages;
+    return;
+  }
+  if (eligible && options_.duplicate_prob > 0.0 &&
+      rng_.Bernoulli(options_.duplicate_prob)) {
+    ++stats_.duplicated_messages;
+    ScheduleMessage(msg);  // the extra copy; charged only to duplicated_
+  }
+  ScheduleMessage(std::move(msg));
+}
+
+bool EventNetwork::Pump() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  now_us_ = std::max(now_us_, ev.time_us);
+
+  if (ev.is_resume) {
+    ResumeSite(ev.resume_site);
+    return true;
+  }
+  const SiteId dest = ev.msg.to;
+  if (paused_[dest]) {
+    parked_[dest].push_back(std::move(ev.msg));
+    return true;
+  }
+  sites_[dest]->OnMessage(ev.msg, *this);
+  return true;
+}
+
+size_t EventNetwork::parked_messages() const {
+  size_t n = 0;
+  for (const auto& p : parked_) n += p.size();
+  return n;
+}
+
+void EventNetwork::PauseSite(SiteId site) {
+  ESSDDS_CHECK(site < sites_.size());
+  paused_[site] = true;
+}
+
+void EventNetwork::PauseSite(SiteId site, uint64_t duration_us) {
+  PauseSite(site);
+  Event resume;
+  resume.time_us = now_us_ + duration_us;
+  resume.is_resume = true;
+  resume.resume_site = site;
+  PushEvent(std::move(resume));
+}
+
+void EventNetwork::ResumeSite(SiteId site) {
+  ESSDDS_CHECK(site < sites_.size());
+  paused_[site] = false;
+  std::vector<Message> held = std::move(parked_[site]);
+  parked_[site].clear();
+  for (Message& msg : held) ScheduleMessage(std::move(msg));
+}
+
+void EventNetwork::ScriptDrop(MsgType type, uint64_t occurrence) {
+  ESSDDS_CHECK(occurrence > 0) << "occurrences are 1-based";
+  scripted_drops_[type].push_back(sends_of_type_[type] + occurrence);
+}
+
+}  // namespace essdds::sdds

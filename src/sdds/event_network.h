@@ -1,0 +1,121 @@
+#ifndef ESSDDS_SDDS_EVENT_NETWORK_H_
+#define ESSDDS_SDDS_EVENT_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sdds/lh_options.h"
+#include "sdds/network.h"
+#include "util/random.h"
+
+namespace essdds::sdds {
+
+/// True for the message types the fault knobs may drop or duplicate:
+/// client key requests and their replies, which the LhClient retry
+/// machinery recovers (idempotent retransmission, stale-reply discard).
+/// Everything else — split/merge transfers, coordinator control traffic,
+/// scans — has no retransmission layer and is always delivered.
+bool FaultEligible(MsgType type);
+
+/// Discrete-event simulation of the multicomputer: Send() draws a latency
+/// from a seeded generator and schedules the delivery; Pump() pops the
+/// earliest scheduled event, advances the virtual clock, and runs the
+/// destination's OnMessage. Messages on different links overtake each
+/// other, so splits, merges, image adjustments, and forwards genuinely race
+/// in-flight client operations — the interleavings the synchronous
+/// SimNetwork can never produce.
+///
+/// Determinism and replay: every random choice comes from one xoshiro
+/// generator seeded with EventNetworkOptions::seed, ties in the event queue
+/// break by submission order, and virtual time is decoupled from wall
+/// clock. A run is therefore reproducible bit-for-bit from its options —
+/// a failing interleaving is a seed, not a heisenbug.
+///
+/// Fault injection:
+///  - drop_prob / duplicate_prob: per-send Bernoulli faults on
+///    fault-eligible messages (see FaultEligible).
+///  - ScriptDrop(type, n): deterministically discard the n-th future send
+///    of `type` (any type — scripted tests own the consequences).
+///  - PauseSite / ResumeSite: a paused site receives nothing; deliveries
+///    addressed to it park until resume. The timed overload schedules the
+///    resume as an event, modelling a site that stalls and recovers.
+class EventNetwork final : public Network {
+ public:
+  explicit EventNetwork(EventNetworkOptions options = {});
+
+  SiteId Register(Site* site) override;
+  void Send(Message msg) override;
+  bool Pump() override;
+  uint64_t now_us() const override { return now_us_; }
+  bool asynchronous() const override { return true; }
+  size_t site_count() const override { return sites_.size(); }
+
+  const EventNetworkOptions& options() const { return options_; }
+
+  /// Scheduled (not yet delivered) events, including pending resumes.
+  size_t queued_events() const { return heap_.size(); }
+
+  /// Messages currently parked at paused sites.
+  size_t parked_messages() const;
+
+  /// Stops delivery to `site`: subsequent deliveries park until resume.
+  void PauseSite(SiteId site);
+
+  /// Pauses and schedules an automatic resume `duration_us` of virtual time
+  /// from now (the resume is an event, so the network never looks idle
+  /// while a timed pause is active — client timeouts keep firing).
+  void PauseSite(SiteId site, uint64_t duration_us);
+
+  /// Delivers everything parked at `site` (rescheduled with fresh
+  /// latencies) and resumes normal delivery.
+  void ResumeSite(SiteId site);
+
+  /// Scripted fault: discards the `occurrence`-th (1-based, counted from
+  /// now) send of `type`. Repeatable; each call arms one drop.
+  void ScriptDrop(MsgType type, uint64_t occurrence);
+
+ private:
+  struct Event {
+    uint64_t time_us = 0;
+    uint64_t seq = 0;  // tie-break: equal times deliver in submission order
+    bool is_resume = false;
+    SiteId resume_site = kInvalidSite;
+    Message msg;
+  };
+
+  /// std::push_heap builds a max-heap; order events "after" each other so
+  /// the top is the earliest (time, seq).
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time_us != b.time_us) return a.time_us > b.time_us;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Delivery time for a message sent now on (from -> to): now + uniform
+  /// latency, pushed past the link's previous delivery when FIFO links are
+  /// on.
+  uint64_t DeliveryTime(SiteId from, SiteId to);
+
+  void PushEvent(Event ev);
+  void ScheduleMessage(Message msg);
+
+  EventNetworkOptions options_;
+  Rng rng_;
+  uint64_t now_us_ = 0;
+  uint64_t next_seq_ = 0;
+  std::vector<Site*> sites_;
+  std::vector<Event> heap_;
+  std::vector<bool> paused_;
+  std::vector<std::vector<Message>> parked_;  // per site, arrival order
+  std::map<std::pair<SiteId, SiteId>, uint64_t> link_clock_;
+  std::map<MsgType, uint64_t> sends_of_type_;
+  // Armed scripted drops: absolute per-type send ordinals to discard.
+  std::map<MsgType, std::vector<uint64_t>> scripted_drops_;
+};
+
+}  // namespace essdds::sdds
+
+#endif  // ESSDDS_SDDS_EVENT_NETWORK_H_

@@ -1,12 +1,11 @@
 #include "sdds/lh_client.h"
 
 #include <algorithm>
-#include <set>
 #include <utility>
 
 namespace essdds::sdds {
 
-LhClient::LhClient(LhRuntime* runtime, SimNetwork* net)
+LhClient::LhClient(LhRuntime* runtime, Network* net)
     : runtime_(runtime), net_(net) {
   ESSDDS_CHECK(runtime != nullptr && net != nullptr);
   site_ = net_->Register(this);
@@ -23,8 +22,15 @@ uint64_t LhClient::AddressFor(uint64_t key) const {
   return a;
 }
 
-void LhClient::OnMessage(Message& msg, SimNetwork& net) {
+void LhClient::OnMessage(Message& msg, Network& net) {
   (void)net;
+  if (outstanding_.find(msg.request_id) == outstanding_.end()) {
+    // A reply for a request that already completed: the late original of a
+    // retried request, or a fault-injected duplicate. Idempotent servers
+    // make re-execution harmless; the straggler reply is just noise.
+    ++stale_reply_count_;
+    return;
+  }
   pending_[msg.request_id].push_back(std::move(msg));
 }
 
@@ -55,17 +61,58 @@ Message LhClient::RoundTrip(MsgType type, uint64_t key, Bytes value) {
   req.request_id = next_request_id_++;
   req.key = key;
   req.value = std::move(value);
-  req.to = runtime_->SiteOfBucket(AddressFor(key));
   const uint64_t id = req.request_id;
+  outstanding_.insert(id);
+
+  const bool async = net_->asynchronous();
+  Message resend;
+  if (async) resend = req;  // retransmission copy (payload included)
+  req.to = runtime_->SiteOfBucket(AddressFor(key));
+
+  const uint64_t timeout = runtime_->options().request_timeout_us;
+  uint64_t deadline = net_->now_us() + timeout;
   net_->Send(std::move(req));
 
-  auto it = pending_.find(id);
-  ESSDDS_CHECK(it != pending_.end() && it->second.size() == 1)
-      << "expected exactly one reply for request " << id;
-  Message reply = std::move(it->second.front());
-  pending_.erase(it);
-  ApplyIam(reply);
-  return reply;
+  uint32_t attempts = 0;
+  for (;;) {
+    auto it = pending_.find(id);
+    if (it != pending_.end() && !it->second.empty()) {
+      Message reply = std::move(it->second.front());
+      pending_.erase(it);
+      outstanding_.erase(id);
+      ApplyIam(reply);
+      return reply;
+    }
+
+    const bool progressed = net_->Pump();
+    // The pump that crossed the deadline may be the one that delivered the
+    // reply — take it before considering a retry.
+    if (pending_.find(id) != pending_.end()) continue;
+    if (progressed && net_->now_us() <= deadline) continue;
+    if (!progressed) {
+      // Idle without a reply: on a synchronous network that is a protocol
+      // bug (the reply arrives inside Send); on an event network the
+      // request or its reply was provably lost.
+      ESSDDS_CHECK(async)
+          << "no reply for request " << id << " on a synchronous network";
+    }
+    // Otherwise: past the deadline with traffic still flowing — retry.
+
+    ++attempts;
+    ESSDDS_CHECK(attempts <= runtime_->options().max_request_retries)
+        << "request " << id << " (" << MsgTypeToString(type) << " key " << key
+        << ") unanswered after " << attempts << " attempts at t="
+        << net_->now_us() << "us";
+    ++retry_count_;
+    net_->NoteRetry();
+    Message again = resend;
+    again.to = runtime_->SiteOfBucket(AddressFor(key));
+    // Bounded exponential backoff: double the patience each attempt, up to
+    // 2^6 timeouts.
+    deadline =
+        net_->now_us() + (timeout << std::min<uint32_t>(attempts, 6));
+    net_->Send(std::move(again));
+  }
 }
 
 bool LhClient::Insert(uint64_t key, Bytes value) {
@@ -93,7 +140,14 @@ Status LhClient::Delete(uint64_t key) {
 }
 
 LhClient::ScanResult LhClient::Scan(uint64_t filter_id, Bytes filter_arg) {
+  // Quiescence barrier (event networks; no-op synchronously): complete any
+  // in-flight splits/merges so the fan-out sees a stable extent. Without
+  // it a split racing the scan can move records from an already-scanned
+  // bucket into a not-yet-created one — hits lost with no fault injected.
+  net_->PumpUntilIdle();
+
   const uint64_t id = next_request_id_++;
+  outstanding_.insert(id);
   const uint64_t extent = image_.BucketCount();
   for (uint64_t a = 0; a < extent; ++a) {
     Message req;
@@ -107,9 +161,16 @@ LhClient::ScanResult LhClient::Scan(uint64_t filter_id, Bytes filter_arg) {
     req.to = runtime_->SiteOfBucket(a);
     net_->Send(std::move(req));
   }
+  // Deliver the fan-out (and any forwards to buckets the image missed);
+  // scan traffic is never dropped, so idleness means every bucket has
+  // either answered or deferred its evaluation.
+  net_->PumpUntilIdle();
   // In thread-pool scan mode the buckets deferred their evaluations; run
   // the batch now (no-op in serial mode, where replies already arrived).
   net_->DrainDeferredScans();
+  // Event network: the drained replies were scheduled, not delivered.
+  net_->PumpUntilIdle();
+  outstanding_.erase(id);
 
   ScanResult result;
   auto it = pending_.find(id);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "sdds/lh_options.h"
@@ -16,6 +17,14 @@ namespace essdds::sdds {
 /// the servers (at most two hops) and the client's image is repaired by the
 /// piggybacked image adjustment messages (IAM). Clients never talk to the
 /// coordinator — that is the SDDS autonomy property.
+///
+/// On an asynchronous (event) network the client additionally owns request
+/// robustness: every key operation keeps a retransmission copy, pumps the
+/// network until its reply arrives, and resends on timeout with bounded
+/// exponential backoff. Retransmitted requests reuse their request id, so
+/// whichever delivery answers first wins; late or duplicated replies to a
+/// request already completed are discarded as stale (the operations are
+/// idempotent at the servers, so re-execution is harmless).
 class LhClient : public Site {
  public:
   /// Result of a parallel scan. Hits are in ascending (bucket, key) order —
@@ -27,9 +36,9 @@ class LhClient : public Site {
     size_t buckets_answered = 0;
   };
 
-  LhClient(LhRuntime* runtime, SimNetwork* net);
+  LhClient(LhRuntime* runtime, Network* net);
 
-  void OnMessage(Message& msg, SimNetwork& net) override;
+  void OnMessage(Message& msg, Network& net) override;
 
   /// Inserts or overwrites; returns true when an existing record was
   /// replaced.
@@ -43,7 +52,11 @@ class LhClient : public Site {
 
   /// Parallel scan: ships (filter_id, arg) to every bucket; each bucket
   /// evaluates the installed filter against its local records in parallel
-  /// (simulated) and replies with its hits.
+  /// (simulated) and replies with its hits. On an event network the scan
+  /// first quiesces in-flight restructuring (a split racing the fan-out
+  /// could otherwise move records between two buckets after one was scanned
+  /// and before the other), then pumps to completion; scan traffic itself
+  /// is never dropped (see FaultEligible), so every live bucket answers.
   ScanResult Scan(uint64_t filter_id, Bytes filter_arg);
 
   const FileImage& image() const { return image_; }
@@ -53,24 +66,38 @@ class LhClient : public Site {
   /// often it was stale).
   uint64_t iam_count() const { return iam_count_; }
 
+  /// Requests this client retransmitted after a timeout or a detected loss.
+  uint64_t retry_count() const { return retry_count_; }
+
+  /// Replies discarded because their request had already completed (late
+  /// originals overtaken by a retry, or fault-injected duplicates).
+  uint64_t stale_reply_count() const { return stale_reply_count_; }
+
  private:
   /// LH* client addressing with the local image.
   uint64_t AddressFor(uint64_t key) const;
 
-  /// Sends a key request and returns the (synchronously delivered) reply.
+  /// Sends a key request and pumps the network until its reply arrives,
+  /// retransmitting on timeout/loss (asynchronous networks). On a
+  /// synchronous network the reply is already waiting when Send returns.
   Message RoundTrip(MsgType type, uint64_t key, Bytes value);
 
   void ApplyIam(const Message& reply);
 
   LhRuntime* runtime_;
-  SimNetwork* net_;
+  Network* net_;
   SiteId site_;
   FileImage image_;
   uint64_t next_request_id_ = 1;
   uint64_t iam_count_ = 0;
+  uint64_t retry_count_ = 0;
+  uint64_t stale_reply_count_ = 0;
 
-  // Synchronous delivery parks replies here until the requester picks them
-  // up; scans accumulate several replies under one request id.
+  /// Request ids awaiting replies; anything else delivered here is stale.
+  std::set<uint64_t> outstanding_;
+
+  // Delivered replies park here until the requester picks them up; scans
+  // accumulate several replies under one request id.
   std::map<uint64_t, std::vector<Message>> pending_;
 };
 

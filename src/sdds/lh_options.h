@@ -10,6 +10,51 @@
 
 namespace essdds::sdds {
 
+/// Which multicomputer simulation carries an LH* file's traffic.
+enum class NetworkMode : uint8_t {
+  /// SimNetwork: zero-latency, synchronous, re-entrant delivery. Fully
+  /// deterministic; splits and merges complete inside the client call that
+  /// triggered them.
+  kSync = 0,
+  /// EventNetwork: discrete-event schedule with seeded per-message latency,
+  /// cross-link reordering, and optional fault injection. Restructuring
+  /// traffic stays in flight across client operations, so the protocol runs
+  /// under real interleavings; clients keep retransmission state.
+  kEvent,
+};
+
+/// Knobs of the discrete-event network simulation (NetworkMode::kEvent).
+/// Every random choice — latency draws, drop/duplicate rolls — comes from
+/// one generator seeded with `seed`, so a run is replayable from the seed
+/// alone.
+struct EventNetworkOptions {
+  uint64_t seed = 1;
+
+  /// Per-message latency, drawn uniformly from [min, max] microseconds of
+  /// virtual time. Distinct latencies are what reorder messages on
+  /// different links.
+  uint32_t min_latency_us = 20;
+  uint32_t max_latency_us = 2000;
+
+  /// Keep each (sender, receiver) link first-in-first-out (TCP-like): a
+  /// message never overtakes an earlier one on the same link. Cross-link
+  /// reordering still happens. Setting this false reorders within links
+  /// too (UDP-like) — the protocol survives it, at the cost of extra
+  /// forwarding chatter during merges.
+  bool fifo_links = true;
+
+  /// Fault injection, applied only to fault-eligible messages — client key
+  /// requests and their replies (kInsert/kLookup/kDelete and acks), which
+  /// the client retry machinery recovers. Protocol-internal transfers
+  /// (splits, merges, bulk moves) and scans have no retransmission layer
+  /// and are never dropped or duplicated by these knobs.
+  double drop_prob = 0.0;
+  double duplicate_prob = 0.0;
+
+  friend bool operator==(const EventNetworkOptions&,
+                         const EventNetworkOptions&) = default;
+};
+
 /// Tuning knobs of an LH* file.
 struct LhOptions {
   /// Records per bucket before the bucket reports an overflow to the split
@@ -40,6 +85,26 @@ struct LhOptions {
   /// 0 (the default) and 1 keep the single-threaded deterministic delivery
   /// where each bucket evaluates inline on message receipt.
   size_t scan_threads = 0;
+
+  /// Which network simulation carries the file's messages (see
+  /// NetworkMode). kSync keeps the seed behaviour bit-for-bit.
+  NetworkMode network_mode = NetworkMode::kSync;
+
+  /// Event-network schedule and fault knobs; read only under
+  /// NetworkMode::kEvent.
+  EventNetworkOptions event_net = {};
+
+  /// Client request timeout in virtual microseconds (event network only):
+  /// a request unanswered past the deadline is retransmitted with the same
+  /// request id. The default sits far above max_latency_us so fault-free
+  /// runs never retry spuriously; an idle network without a reply
+  /// retransmits immediately (the request was provably lost).
+  uint64_t request_timeout_us = 10'000'000;
+
+  /// Retransmissions per request before the client gives up (aborts with a
+  /// diagnostic). Bounded exponential backoff doubles the timeout each
+  /// attempt up to 2^6.
+  uint32_t max_request_retries = 16;
 };
 
 /// The key mixer used when LhOptions::hash_keys is set (splitmix64
@@ -56,11 +121,14 @@ inline uint64_t LhKeyImage(uint64_t key, const LhOptions& options) {
 /// once per bucket via Prepare(), which compiles it into an immutable
 /// per-scan state; Matches() then runs per record against that state.
 ///
-/// Lifecycle: Prepare() is called once per (scan, bucket) with the scan
-/// message's argument bytes and must be thread-safe (parallel scan mode
-/// prepares different buckets concurrently). The returned Prepared instance
-/// is used by a single bucket evaluation at a time, so it may carry mutable
-/// scratch space; it never outlives the scan.
+/// Lifecycle: Prepare() is thread-safe and called with the scan message's
+/// argument bytes — once per (scan, bucket) in the serial inline mode, but
+/// only once per scan in deferred (thread-pool) mode, where the single
+/// returned Prepared instance is shared by every bucket of that scan and
+/// its Matches() runs concurrently from several workers. Matches() must
+/// therefore be const and thread-safe: no unsynchronized mutable members —
+/// per-thread scratch buffers belong in thread_local storage. A Prepared
+/// never outlives its scan.
 class ScanFilter {
  public:
   class Prepared {

@@ -24,7 +24,10 @@ LhBucketServer::LhBucketServer(LhRuntime* runtime, const LhOptions& options,
     : runtime_(runtime),
       options_(options),
       bucket_number_(bucket_number),
-      level_(level) {
+      level_(level),
+      // Every bucket but the root is born of a split: it owns nothing until
+      // its kMoveRecords bulk load lands, and must not serve before then.
+      loading_(bucket_number != 0) {
   ESSDDS_CHECK(runtime != nullptr);
 }
 
@@ -43,7 +46,15 @@ uint64_t LhBucketServer::RouteFor(uint64_t key) const {
   return a_prime;
 }
 
-void LhBucketServer::OnMessage(Message& msg, SimNetwork& net) {
+void LhBucketServer::OnMessage(Message& msg, Network& net) {
+  if (loading_ && msg.type != MsgType::kMoveRecords) {
+    // The split that created this bucket hasn't delivered its records yet:
+    // serving now would answer from an empty map, and a racing merge would
+    // dissolve the bucket around the in-flight transfer. Park everything
+    // until the load lands, then replay in arrival order.
+    parked_.push_back(std::move(msg));
+    return;
+  }
   switch (msg.type) {
     case MsgType::kInsert:
     case MsgType::kLookup:
@@ -57,13 +68,13 @@ void LhBucketServer::OnMessage(Message& msg, SimNetwork& net) {
       HandleSplit(msg, net);
       return;
     case MsgType::kMoveRecords:
-      HandleMoveRecords(msg);
+      HandleMoveRecords(msg, net);
       return;
     case MsgType::kMerge:
       HandleMerge(msg, net);
       return;
     case MsgType::kMergeRecords:
-      HandleMergeRecords(msg);
+      HandleMergeRecords(msg, net);
       return;
     default:
       ESSDDS_CHECK(false) << "bucket server got unexpected message "
@@ -71,7 +82,7 @@ void LhBucketServer::OnMessage(Message& msg, SimNetwork& net) {
   }
 }
 
-void LhBucketServer::HandleKeyOp(Message& msg, SimNetwork& net) {
+void LhBucketServer::HandleKeyOp(Message& msg, Network& net) {
   // A retired bucket was dissolved into its parent by a merge; a stale
   // client whose image is ahead of the file can still address it. Its
   // records live at the parent now — forward there instead of serving a
@@ -139,7 +150,7 @@ void LhBucketServer::HandleKeyOp(Message& msg, SimNetwork& net) {
   }
 }
 
-void LhBucketServer::HandleScan(Message& msg, SimNetwork& net) {
+void LhBucketServer::HandleScan(Message& msg, Network& net) {
   if (retired_) {
     // Dissolved by a merge: the parent owns the records now (and answers
     // under its own bucket number, so the client's per-bucket dedup still
@@ -188,11 +199,20 @@ void LhBucketServer::HandleScan(Message& msg, SimNetwork& net) {
   }
 }
 
-void LhBucketServer::HandleSplit(const Message& msg, SimNetwork& net) {
+void LhBucketServer::HandleSplit(const Message& msg, Network& net) {
   ESSDDS_CHECK(msg.bucket_to_split == bucket_number_);
-  ESSDDS_CHECK(msg.new_level == level_ + 1)
-      << "split level mismatch: coordinator " << msg.new_level << " vs local "
-      << level_ + 1;
+  if (msg.new_level != level_ + 1) {
+    // The coordinator computed this split against a level this bucket has
+    // not reached yet: the merge record transfer that steps the level down
+    // (sent by the dissolving child, on a different link than the
+    // coordinator's order) is still in flight. Hold the split until it
+    // lands — splitting now would move the wrong key range.
+    ESSDDS_CHECK(msg.new_level <= level_)
+        << "split level mismatch: coordinator " << msg.new_level
+        << " vs local " << level_ + 1;
+    stashed_control_.push_back(msg);
+    return;
+  }
   const uint64_t new_bucket = msg.key;
   level_ = msg.new_level;
 
@@ -219,16 +239,36 @@ void LhBucketServer::HandleSplit(const Message& msg, SimNetwork& net) {
   net.Send(std::move(done));
 }
 
-void LhBucketServer::HandleMoveRecords(Message& msg) {
+void LhBucketServer::HandleMoveRecords(Message& msg, Network& net) {
   // Bulk load during a split: records arrive pre-addressed, no overflow
   // report (a subsequent regular insert re-checks capacity). The message is
   // ours to cannibalize — adopt the values instead of deep-copying them.
   for (WireRecord& r : msg.records) {
     records_[r.key] = std::move(r.value);
   }
+  if (loading_) {
+    loading_ = false;
+    // Replay whatever raced the bulk load, in arrival order. Replays may
+    // send (replies, forwards, even a parked kMerge's transfer), which the
+    // network schedules as usual.
+    std::vector<Message> replay = std::move(parked_);
+    parked_.clear();
+    for (Message& m : replay) OnMessage(m, net);
+  }
 }
 
-void LhBucketServer::HandleMerge(const Message& msg, SimNetwork& net) {
+void LhBucketServer::HandleMerge(const Message& msg, Network& net) {
+  if (msg.new_level + 1 != level_) {
+    // The coordinator dissolves this bucket assuming level new_level + 1,
+    // but a merge record transfer INTO this bucket (it was the parent of an
+    // earlier merge) is still in flight. Dissolving now would strand that
+    // transfer at a retired bucket; wait for the level to step down first.
+    ESSDDS_CHECK(msg.new_level + 1 < level_)
+        << "merge level mismatch: coordinator " << msg.new_level + 1
+        << " vs local " << level_;
+    stashed_control_.push_back(msg);
+    return;
+  }
   // This bucket dissolves: every record returns to the parent it split off
   // from, and the parent's level steps back down.
   const uint64_t parent = msg.key;
@@ -241,6 +281,10 @@ void LhBucketServer::HandleMerge(const Message& msg, SimNetwork& net) {
     move.records.push_back(WireRecord{key, std::move(value)});
   }
   records_.clear();
+  // Dissolved from this moment: an op that reaches this bucket before the
+  // coordinator retires it from the directory must chase the records to
+  // the parent, not read the empty map.
+  retired_ = true;
   net.Send(std::move(move));
 
   Message done;
@@ -251,16 +295,48 @@ void LhBucketServer::HandleMerge(const Message& msg, SimNetwork& net) {
   net.Send(std::move(done));
 }
 
-void LhBucketServer::HandleMergeRecords(Message& msg) {
-  ESSDDS_CHECK(msg.new_level == level_ - 1)
+void LhBucketServer::HandleMergeRecords(Message& msg, Network& net) {
+  // Merges are serialized at the coordinator, but their record transfers
+  // travel on different links: a later merge's transfer (lower new_level)
+  // can overtake an earlier one's. Apply transfers strictly in level
+  // order — each step takes the level down by exactly one — and stash any
+  // that arrive early.
+  ESSDDS_CHECK(msg.new_level < level_)
       << "merge level mismatch at bucket " << bucket_number_;
+  if (msg.new_level != level_ - 1) {
+    stashed_merge_records_.push_back(std::move(msg));
+    return;
+  }
   level_ = msg.new_level;
   for (WireRecord& r : msg.records) {
     records_[r.key] = std::move(r.value);
   }
+  // The step down may unblock a stashed transfer (and that one the next).
+  for (bool applied = true; applied;) {
+    applied = false;
+    for (auto it = stashed_merge_records_.begin();
+         it != stashed_merge_records_.end(); ++it) {
+      if (it->new_level + 1 != level_) continue;
+      Message next = std::move(*it);
+      stashed_merge_records_.erase(it);
+      level_ = next.new_level;
+      for (WireRecord& r : next.records) {
+        records_[r.key] = std::move(r.value);
+      }
+      applied = true;
+      break;
+    }
+  }
+  // The level came down: a split or merge order stashed while this transfer
+  // was in flight may be runnable now (it re-stashes if still early).
+  if (!stashed_control_.empty()) {
+    std::vector<Message> replay = std::move(stashed_control_);
+    stashed_control_.clear();
+    for (Message& m : replay) OnMessage(m, net);
+  }
 }
 
-void LhBucketServer::MaybeReportOverflow(SimNetwork& net) {
+void LhBucketServer::MaybeReportOverflow(Network& net) {
   if (records_.size() <= options_.bucket_capacity) return;
   Message overflow;
   overflow.type = MsgType::kOverflow;
@@ -270,7 +346,7 @@ void LhBucketServer::MaybeReportOverflow(SimNetwork& net) {
   net.Send(std::move(overflow));
 }
 
-void LhBucketServer::MaybeReportUnderflow(SimNetwork& net) {
+void LhBucketServer::MaybeReportUnderflow(Network& net) {
   if (options_.merge_threshold <= 0.0) return;
   const double low_water =
       options_.merge_threshold * static_cast<double>(options_.bucket_capacity);
@@ -283,7 +359,7 @@ void LhBucketServer::MaybeReportUnderflow(SimNetwork& net) {
   net.Send(std::move(underflow));
 }
 
-void LhCoordinator::OnMessage(Message& msg, SimNetwork& net) {
+void LhCoordinator::OnMessage(Message& msg, Network& net) {
   switch (msg.type) {
     case MsgType::kOverflow:
       // Uncontrolled splitting: every collision report triggers one split of
@@ -323,7 +399,7 @@ void LhCoordinator::OnMessage(Message& msg, SimNetwork& net) {
   }
 }
 
-void LhCoordinator::PerformMerge(SimNetwork& net) {
+void LhCoordinator::PerformMerge(Network& net) {
   if (merge_in_progress_ || split_in_progress_ || extent_ <= 1) return;
   merge_in_progress_ = true;
   // Inverse of the split order: dissolve the most recently created bucket
@@ -349,7 +425,7 @@ void LhCoordinator::PerformMerge(SimNetwork& net) {
   net.Send(std::move(merge));
 }
 
-void LhCoordinator::PerformSplit(SimNetwork& net) {
+void LhCoordinator::PerformSplit(Network& net) {
   // An overflow report can arrive while a split (or merge) is already in
   // flight — on a real network the reports race the kSplitDone ack. The
   // report is then already served by the in-flight restructuring: drop it,

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "sdds/lh_options.h"
 #include "sdds/network.h"
@@ -13,12 +14,20 @@ namespace essdds::sdds {
 /// this bucket's number, verifies incoming addresses against its own level
 /// (forwarding mis-addressed requests, at most twice per the LH* guarantee),
 /// answers scans, and executes its half of the split protocol.
+///
+/// Reordering robustness (event networks): a bucket born of a split starts
+/// in a loading state and parks every message until its kMoveRecords bulk
+/// transfer lands — requests racing the transfer would otherwise be served
+/// from an empty map, and a merge racing it would dissolve the bucket with
+/// its records still in flight. Merge record transfers arriving out of
+/// order (a later merge's records overtaking an earlier merge's on a
+/// different link) are stashed until the level sequence catches up.
 class LhBucketServer : public Site {
  public:
   LhBucketServer(LhRuntime* runtime, const LhOptions& options,
                  uint64_t bucket_number, uint32_t level);
 
-  void OnMessage(Message& msg, SimNetwork& net) override;
+  void OnMessage(Message& msg, Network& net) override;
 
   uint64_t bucket_number() const { return bucket_number_; }
   uint32_t level() const { return level_; }
@@ -33,27 +42,33 @@ class LhBucketServer : public Site {
   SiteId site() const { return site_; }
 
   /// Marks this bucket as dissolved by a merge (set by the hosting system
-  /// when the bucket is retired from the routing directory). A retired
-  /// bucket no longer owns records: requests that still reach it — a stale
-  /// client whose image is ahead of the file — are forwarded to the parent
-  /// that absorbed them, never served from the empty local map.
+  /// when the bucket is retired from the routing directory, and by the
+  /// bucket itself the moment it ships its records to the parent). A
+  /// retired bucket no longer owns records: requests that still reach it —
+  /// a stale client whose image is ahead of the file, or an op that raced
+  /// the merge — are forwarded to the parent that absorbed them, never
+  /// served from the empty local map.
   void Retire() { retired_ = true; }
   bool retired() const { return retired_; }
+
+  /// True while this bucket awaits its kMoveRecords transfer (split target
+  /// whose bulk load is still in flight).
+  bool loading() const { return loading_; }
 
  private:
   /// LH* server address verification: returns the bucket this request should
   /// go to next, or bucket_number_ when it belongs here.
   uint64_t RouteFor(uint64_t key) const;
 
-  void HandleKeyOp(Message& msg, SimNetwork& net);
-  void HandleScan(Message& msg, SimNetwork& net);
-  void HandleSplit(const Message& msg, SimNetwork& net);
-  void HandleMoveRecords(Message& msg);
-  void HandleMerge(const Message& msg, SimNetwork& net);
-  void HandleMergeRecords(Message& msg);
+  void HandleKeyOp(Message& msg, Network& net);
+  void HandleScan(Message& msg, Network& net);
+  void HandleSplit(const Message& msg, Network& net);
+  void HandleMoveRecords(Message& msg, Network& net);
+  void HandleMerge(const Message& msg, Network& net);
+  void HandleMergeRecords(Message& msg, Network& net);
 
-  void MaybeReportOverflow(SimNetwork& net);
-  void MaybeReportUnderflow(SimNetwork& net);
+  void MaybeReportOverflow(Network& net);
+  void MaybeReportUnderflow(Network& net);
 
   LhRuntime* runtime_;
   LhOptions options_;
@@ -61,6 +76,20 @@ class LhBucketServer : public Site {
   uint32_t level_;
   SiteId site_ = kInvalidSite;
   bool retired_ = false;
+  /// Every bucket except the root is created by a split and must absorb its
+  /// kMoveRecords transfer before serving; messages that arrive earlier
+  /// park in `parked_` and replay in arrival order once the load lands.
+  bool loading_;
+  std::vector<Message> parked_;
+  /// kMergeRecords transfers that overtook an earlier merge's (their level
+  /// step doesn't yet fit); applied once the level sequence catches up.
+  std::vector<Message> stashed_merge_records_;
+  /// Restructuring orders (kSplit / kMerge) that overtook the merge record
+  /// transfer which steps this bucket's level down to the level the
+  /// coordinator computed them against. The coordinator serializes
+  /// restructurings, so at most one order can wait here; it replays once
+  /// the pending transfer lands.
+  std::vector<Message> stashed_control_;
   std::map<uint64_t, Bytes> records_;
 };
 
@@ -71,7 +100,7 @@ class LhCoordinator : public Site {
  public:
   explicit LhCoordinator(LhRuntime* runtime) : runtime_(runtime) {}
 
-  void OnMessage(Message& msg, SimNetwork& net) override;
+  void OnMessage(Message& msg, Network& net) override;
 
   uint32_t level() const { return level_; }
   uint64_t split_pointer() const { return split_pointer_; }
@@ -82,11 +111,11 @@ class LhCoordinator : public Site {
   void set_site(SiteId site) { site_ = site; }
 
  private:
-  void PerformSplit(SimNetwork& net);
+  void PerformSplit(Network& net);
 
   LhRuntime* runtime_;
   SiteId site_ = kInvalidSite;
-  void PerformMerge(SimNetwork& net);
+  void PerformMerge(Network& net);
 
   uint32_t level_ = 0;          // i
   uint64_t split_pointer_ = 0;  // n

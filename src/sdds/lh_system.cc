@@ -7,14 +7,21 @@ namespace essdds::sdds {
 LhSystem::LhSystem(LhOptions options)
     : options_(std::move(options)), coordinator_(this) {
   ESSDDS_CHECK(options_.bucket_capacity > 0);
-  network_.set_scan_threads(options_.scan_threads);
-  coordinator_site_ = network_.Register(&coordinator_);
+  if (options_.network_mode == NetworkMode::kEvent) {
+    auto event_net = std::make_unique<EventNetwork>(options_.event_net);
+    event_network_ = event_net.get();
+    network_ = std::move(event_net);
+  } else {
+    network_ = std::make_unique<SimNetwork>();
+  }
+  network_->set_scan_threads(options_.scan_threads);
+  coordinator_site_ = network_->Register(&coordinator_);
   coordinator_.set_site(coordinator_site_);
   CreateBucket(0, 0);
 }
 
 LhClient* LhSystem::NewClient() {
-  clients_.push_back(std::make_unique<LhClient>(this, &network_));
+  clients_.push_back(std::make_unique<LhClient>(this, network_.get()));
   return clients_.back().get();
 }
 
@@ -57,7 +64,7 @@ SiteId LhSystem::CreateBucket(uint64_t bucket, uint32_t level) {
       << "bucket creation out of order: " << bucket;
   servers_.push_back(
       std::make_unique<LhBucketServer>(this, options_, bucket, level));
-  const SiteId site = network_.Register(servers_.back().get());
+  const SiteId site = network_->Register(servers_.back().get());
   servers_.back()->set_site(site);
   return site;
 }

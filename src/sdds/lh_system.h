@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "sdds/event_network.h"
 #include "sdds/lh_client.h"
 #include "sdds/lh_options.h"
 #include "sdds/lh_server.h"
@@ -58,8 +59,12 @@ class LhSystem : public LhRuntime {
   void RetireLastBucket() override;
 
   // --- introspection for tests, benches and recovery tooling ---
-  SimNetwork& network() { return network_; }
-  const SimNetwork& network() const { return network_; }
+  Network& network() { return *network_; }
+  const Network& network() const { return *network_; }
+
+  /// The event simulator when options().network_mode == kEvent (fault
+  /// scripting, pause/resume, virtual clock); nullptr in synchronous mode.
+  EventNetwork* event_network() { return event_network_; }
   size_t bucket_count() const { return servers_.size(); }
   const LhCoordinator& coordinator() const { return coordinator_; }
   const LhBucketServer& bucket(uint64_t b) const;
@@ -70,7 +75,8 @@ class LhSystem : public LhRuntime {
 
  private:
   LhOptions options_;
-  SimNetwork network_;
+  std::unique_ptr<Network> network_;
+  EventNetwork* event_network_ = nullptr;  // network_ downcast (kEvent only)
   LhCoordinator coordinator_;
   SiteId coordinator_site_;
   std::vector<std::unique_ptr<LhBucketServer>> servers_;  // by bucket number

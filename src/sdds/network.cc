@@ -1,6 +1,7 @@
 #include "sdds/network.h"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -10,10 +11,53 @@ std::string NetworkStats::ToString() const {
   std::ostringstream os;
   os << "messages=" << total_messages << " bytes=" << total_bytes
      << " forwarded=" << forwarded_messages;
+  if (dropped_messages || duplicated_messages || retried_messages) {
+    os << " dropped=" << dropped_messages
+       << " duplicated=" << duplicated_messages
+       << " retried=" << retried_messages;
+  }
   for (const auto& [type, count] : per_type) {
     os << " " << MsgTypeToString(type) << "=" << count;
   }
   return os.str();
+}
+
+void Network::EnqueueScanTask(ScanTask task) {
+  pending_scans_.push_back(std::move(task));
+}
+
+void Network::DrainDeferredScans() {
+  if (pending_scans_.empty()) return;
+  std::vector<ScanTask> batch = std::move(pending_scans_);
+  pending_scans_.clear();
+
+  // One Prepare() per scan, not per bucket: tasks with the same filter and
+  // the same argument belong to the same scan, so they share one compiled
+  // filter instance (Prepared::Matches is const and thread-safe; see the
+  // ScanFilter contract). A scan whose argument fails to compile shares the
+  // nullptr — every one of its buckets answers empty.
+  std::vector<std::unique_ptr<ScanFilter::Prepared>> prepared_pool;
+  std::map<std::pair<const ScanFilter*, Bytes>, const ScanFilter::Prepared*>
+      by_scan;
+  for (ScanTask& task : batch) {
+    auto key = std::make_pair(task.filter, task.arg);
+    auto it = by_scan.find(key);
+    if (it == by_scan.end()) {
+      prepared_pool.push_back(task.filter->Prepare(task.arg));
+      it = by_scan.emplace(std::move(key), prepared_pool.back().get()).first;
+    }
+    task.shared_prepared = it->second;
+    task.has_shared_prepared = true;
+  }
+
+  RunScanTasks(batch, scan_threads());
+  // Replies go out in ascending bucket order: the one deterministic order
+  // independent of worker scheduling (and of the serial delivery order).
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const ScanTask& a, const ScanTask& b) {
+                     return a.bucket < b.bucket;
+                   });
+  for (ScanTask& task : batch) Send(std::move(task.reply));
 }
 
 SiteId SimNetwork::Register(Site* site) {
@@ -25,10 +69,7 @@ SiteId SimNetwork::Register(Site* site) {
 void SimNetwork::Send(Message msg) {
   ESSDDS_CHECK(msg.to < sites_.size())
       << "send to unregistered site " << msg.to;
-  stats_.total_messages++;
-  stats_.total_bytes += msg.AccountedBytes();
-  stats_.per_type[msg.type]++;
-  if (msg.hops > 0) stats_.forwarded_messages++;
+  Account(msg);
 
   // Guard against protocol bugs that would recurse unboundedly.
   ++delivery_depth_;
@@ -36,24 +77,6 @@ void SimNetwork::Send(Message msg) {
   Site* dest = sites_[msg.to];
   dest->OnMessage(msg, *this);
   --delivery_depth_;
-}
-
-void SimNetwork::EnqueueScanTask(ScanTask task) {
-  pending_scans_.push_back(std::move(task));
-}
-
-void SimNetwork::DrainDeferredScans() {
-  if (pending_scans_.empty()) return;
-  std::vector<ScanTask> batch = std::move(pending_scans_);
-  pending_scans_.clear();
-  RunScanTasks(batch, scan_threads_);
-  // Replies go out in ascending bucket order: the one deterministic order
-  // independent of worker scheduling (and of the serial delivery order).
-  std::stable_sort(batch.begin(), batch.end(),
-                   [](const ScanTask& a, const ScanTask& b) {
-                     return a.bucket < b.bucket;
-                   });
-  for (ScanTask& task : batch) Send(std::move(task.reply));
 }
 
 }  // namespace essdds::sdds

@@ -12,7 +12,7 @@
 
 namespace essdds::sdds {
 
-class SimNetwork;
+class Network;
 
 /// A node of the simulated multicomputer. Concrete sites are LH* bucket
 /// servers, the split coordinator, and clients.
@@ -21,20 +21,34 @@ class Site {
   virtual ~Site() = default;
 
   /// Handles one delivered message. The site may send further messages
-  /// through `net` (delivery is synchronous and re-entrant). The network
-  /// owns `msg` for the duration of the delivery: the handler may move out
-  /// of its payload fields (bulk record transfers do, to avoid deep
-  /// copies).
-  virtual void OnMessage(Message& msg, SimNetwork& net) = 0;
+  /// through `net` (on a synchronous network delivery is re-entrant; on an
+  /// event network the sends are scheduled and delivered by later Pump()
+  /// calls). The network owns `msg` for the duration of the delivery: the
+  /// handler may move out of its payload fields (bulk record transfers do,
+  /// to avoid deep copies).
+  virtual void OnMessage(Message& msg, Network& net) = 0;
 };
 
 /// Per-network traffic statistics. The paper's performance story for SDDS
 /// is counted in messages, not wall-clock time; this is what the simulator
 /// measures.
+///
+/// Accounting under fault injection: `total_messages`/`total_bytes`/
+/// `per_type` count every protocol send exactly once — a message the
+/// network then drops stays counted (it was sent; `dropped_messages` says
+/// what never arrived), while the extra copy of a duplicated message is
+/// counted ONLY in `duplicated_messages` (a simulator artifact, not a
+/// protocol send). Client retransmissions are real protocol sends: they
+/// appear in the totals and additionally in `retried_messages`, so
+/// `total_messages - retried_messages` stays comparable to a fault-free
+/// run.
 struct NetworkStats {
   uint64_t total_messages = 0;
   uint64_t total_bytes = 0;
   uint64_t forwarded_messages = 0;  // messages with hops > 0
+  uint64_t dropped_messages = 0;     // sends the network discarded (faults)
+  uint64_t duplicated_messages = 0;  // extra fault copies (not in totals)
+  uint64_t retried_messages = 0;     // client retransmissions (in totals)
   std::map<MsgType, uint64_t> per_type;
 
   std::string ToString() const;
@@ -42,37 +56,60 @@ struct NetworkStats {
   friend bool operator==(const NetworkStats&, const NetworkStats&) = default;
 };
 
-/// Single-process simulation of a multicomputer: every site has an id;
-/// Send() delivers synchronously to the destination's OnMessage and accounts
-/// the traffic.
-///
-/// The messaging path is single-threaded by design (determinism). The one
-/// concession to parallelism is the deferred scan mode: with scan_threads
-/// set above 1, bucket servers enqueue their scan evaluations here instead
-/// of evaluating inline, DrainDeferredScans() runs the batch on a worker
-/// pool, and the completed replies are then sent serially in ascending
-/// bucket order — so results and traffic accounting are identical to the
-/// serial mode.
-class SimNetwork {
+/// The delivery contract every simulated multicomputer implements: sites
+/// register, Send() accounts the traffic and (eventually) invokes the
+/// destination's OnMessage, and the deferred scan batch runs off the
+/// messaging path. Two implementations exist: the synchronous SimNetwork
+/// below (Send delivers re-entrantly before returning — deterministic,
+/// zero-latency) and the discrete-event EventNetwork (event_network.h:
+/// seeded latency schedule, reordering, fault injection; deliveries happen
+/// when the requester pumps).
+class Network {
  public:
-  SimNetwork() = default;
+  Network() = default;
+  virtual ~Network() = default;
 
-  SimNetwork(const SimNetwork&) = delete;
-  SimNetwork& operator=(const SimNetwork&) = delete;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   /// Registers a site and returns its id. The site must outlive the
   /// network.
-  SiteId Register(Site* site);
+  virtual SiteId Register(Site* site) = 0;
 
-  /// Delivers `msg` to msg.to, charging the traffic counters. Delivery is
-  /// synchronous: the destination's OnMessage runs before Send returns.
-  void Send(Message msg);
+  /// Accepts `msg` for delivery to msg.to, charging the traffic counters.
+  /// Synchronous networks run the destination's OnMessage before returning;
+  /// event networks schedule it.
+  virtual void Send(Message msg) = 0;
+
+  /// Delivers the next pending event, advancing virtual time; false when
+  /// nothing is in flight. Synchronous networks are always idle: a request
+  /// sender finds its reply waiting the moment Send returns.
+  virtual bool Pump() { return false; }
+
+  /// Delivers everything in flight (a quiescence barrier). No-op on
+  /// synchronous networks.
+  void PumpUntilIdle() {
+    while (Pump()) {
+    }
+  }
+
+  /// Virtual clock in microseconds; synchronous networks stay at 0.
+  virtual uint64_t now_us() const { return 0; }
+
+  /// True when delivery is scheduled rather than re-entrant — i.e. replies
+  /// can be late, lost, or duplicated, and clients must keep retransmission
+  /// state.
+  virtual bool asynchronous() const { return false; }
 
   /// Number of registered sites.
-  size_t site_count() const { return sites_.size(); }
+  virtual size_t site_count() const = 0;
 
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }
+
+  /// Called by clients when they retransmit a timed-out request (the resend
+  /// itself goes through Send and is charged there).
+  void NoteRetry() { ++stats_.retried_messages; }
 
   // --- deferred (parallel) scan mode ---
 
@@ -87,17 +124,55 @@ class SimNetwork {
   void EnqueueScanTask(ScanTask task);
 
   /// Evaluates all queued scan tasks (in parallel when configured) and
-  /// sends their replies in ascending bucket order. Scan initiators call
-  /// this after fanning out their kScan messages; a no-op when nothing is
-  /// queued.
+  /// sends their replies in ascending bucket order. Tasks belonging to the
+  /// same scan — same filter, same argument — share one Prepare()d filter
+  /// instance across all their buckets. Scan initiators call this after
+  /// fanning out their kScan messages; a no-op when nothing is queued.
   void DrainDeferredScans();
+
+ protected:
+  /// Charges one protocol send to the counters (every implementation calls
+  /// this exactly once per Send, before any fault decision).
+  void Account(const Message& msg) {
+    stats_.total_messages++;
+    stats_.total_bytes += msg.AccountedBytes();
+    stats_.per_type[msg.type]++;
+    if (msg.hops > 0) stats_.forwarded_messages++;
+  }
+
+  NetworkStats stats_;
+
+ private:
+  size_t scan_threads_ = 0;
+  std::vector<ScanTask> pending_scans_;
+};
+
+/// Single-process simulation of a multicomputer: every site has an id;
+/// Send() delivers synchronously to the destination's OnMessage and accounts
+/// the traffic.
+///
+/// The messaging path is single-threaded by design (determinism). The one
+/// concession to parallelism is the deferred scan mode: with scan_threads
+/// set above 1, bucket servers enqueue their scan evaluations here instead
+/// of evaluating inline, DrainDeferredScans() runs the batch on a worker
+/// pool, and the completed replies are then sent serially in ascending
+/// bucket order — so results and traffic accounting are identical to the
+/// serial mode.
+class SimNetwork final : public Network {
+ public:
+  SimNetwork() = default;
+
+  SiteId Register(Site* site) override;
+
+  /// Delivers `msg` to msg.to, charging the traffic counters. Delivery is
+  /// synchronous: the destination's OnMessage runs before Send returns.
+  void Send(Message msg) override;
+
+  size_t site_count() const override { return sites_.size(); }
 
  private:
   std::vector<Site*> sites_;
-  NetworkStats stats_;
   int delivery_depth_ = 0;
-  size_t scan_threads_ = 0;
-  std::vector<ScanTask> pending_scans_;
 };
 
 }  // namespace essdds::sdds

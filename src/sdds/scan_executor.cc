@@ -11,7 +11,12 @@
 namespace essdds::sdds {
 
 void ExecuteScanTask(ScanTask& task) {
-  std::unique_ptr<ScanFilter::Prepared> prepared = task.filter->Prepare(task.arg);
+  std::unique_ptr<ScanFilter::Prepared> local;
+  const ScanFilter::Prepared* prepared = task.shared_prepared;
+  if (!task.has_shared_prepared) {
+    local = task.filter->Prepare(task.arg);
+    prepared = local.get();
+  }
   if (prepared == nullptr) return;  // malformed argument: empty reply
   for (const auto& [key, value] : *task.records) {
     if (prepared->Matches(key, value)) {

@@ -26,6 +26,13 @@ struct ScanTask {
   Bytes arg;      // owned copy of the scan argument (workers never touch
                   // the originating message)
   Message reply;  // header pre-filled; `records` appended by the worker
+
+  /// When `has_shared_prepared` is set, the drain already compiled the scan
+  /// argument once for every bucket of this scan; the worker uses
+  /// `shared_prepared` (nullptr = malformed argument, empty reply) instead
+  /// of running Prepare() itself.
+  const ScanFilter::Prepared* shared_prepared = nullptr;
+  bool has_shared_prepared = false;
 };
 
 /// Evaluates one task: prepares the filter from the task's argument and

@@ -16,7 +16,7 @@ namespace {
 /// this harness drives the coordinator directly.
 class SinkSite : public Site {
  public:
-  void OnMessage(Message& msg, SimNetwork& net) override {
+  void OnMessage(Message& msg, Network& net) override {
     (void)net;
     received.push_back(std::move(msg));
   }

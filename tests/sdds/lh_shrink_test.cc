@@ -132,7 +132,7 @@ TEST(LhShrinkTest, StaleAheadClientStillReachesEverything) {
 
 class ProbeSite : public Site {
  public:
-  void OnMessage(Message& msg, SimNetwork& net) override {
+  void OnMessage(Message& msg, Network& net) override {
     (void)net;
     received.push_back(std::move(msg));
   }

@@ -12,7 +12,7 @@ namespace {
 
 class RecordingSite : public Site {
  public:
-  void OnMessage(Message& msg, SimNetwork& net) override {
+  void OnMessage(Message& msg, Network& net) override {
     received.push_back(msg);
     if (bounce_to != kInvalidSite && msg.hops < 3) {
       Message fwd = msg;
