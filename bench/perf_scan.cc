@@ -1,18 +1,25 @@
 // Scan-engine benchmark: (1) the site-side matcher — seed-style naive
 // matching (per-record failure-table construction via FindOccurrences)
-// against the compiled query (tables built once per scan); (2) end-to-end
-// encrypted search on the phonebook workload, serial vs thread-pool index
-// scans. Emits one JSON object so CI can track the numbers.
+// against the compiled query (tables built once per scan); (2) the scan
+// executor itself — the old spawn-threads-per-batch scheme against the
+// persistent ScanWorkerPool, with and without intra-bucket sharding;
+// (3) end-to-end encrypted search on the phonebook workload, serial vs
+// pooled vs pooled+sharded index scans. Emits one JSON object so CI can
+// track the numbers.
 //
 // Scale with ESSDDS_RECORDS=<n> (default 20,000 — the matcher contrast is
-// size-independent, the end-to-end part is wall-clock bound).
+// size-independent, the executor and end-to-end parts are wall-clock
+// bound).
 
 #include <chrono>
 #include <cstdio>
+#include <limits>
+#include <map>
 #include <string>
 #include <vector>
 
 #if ESSDDS_THREADS
+#include <atomic>
 #include <thread>
 #endif
 
@@ -21,6 +28,8 @@
 #include "core/encrypted_store.h"
 #include "core/matcher.h"
 #include "core/pipeline.h"
+#include "sdds/scan_executor.h"
+#include "util/random.h"
 
 namespace essdds::bench {
 namespace {
@@ -111,18 +120,130 @@ MatcherNumbers RunMatcherContrast(size_t corpus_size) {
   return out;
 }
 
+// --- scan executor: spawn-per-batch vs persistent pool vs sharding ---
+
+struct ExecutorNumbers {
+  size_t buckets = 0;
+  size_t records_per_bucket = 0;
+  size_t batches = 0;
+  double spawn_batches_per_sec = 0;
+  double pool_batches_per_sec = 0;
+  double sharded_batches_per_sec = 0;
+  size_t hits = 0;  // per batch, identical across executors (checked)
+};
+
+#if ESSDDS_THREADS
+
+/// Synthetic scan batch over `buckets`; fresh tasks each call (a real drain
+/// rebuilds its batch too), the record maps are shared and read-only.
+std::vector<sdds::ScanTask> MakeExecutorBatch(
+    const std::vector<std::map<uint64_t, Bytes>>& buckets,
+    const sdds::ScanFilter& filter) {
+  std::vector<sdds::ScanTask> tasks;
+  tasks.reserve(buckets.size());
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    sdds::ScanTask task;
+    task.bucket = b;
+    task.records = &buckets[b];
+    task.filter = &filter;
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+/// The pre-pool executor, reproduced for the contrast: spawn `threads`
+/// threads for every batch, pull tasks off a shared atomic index, join.
+void SpawnPerBatch(std::vector<sdds::ScanTask>& tasks, size_t threads) {
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < tasks.size();
+           i = next.fetch_add(1)) {
+        sdds::ExecuteScanTask(tasks[i]);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+ExecutorNumbers RunExecutorContrast(size_t threads) {
+  ExecutorNumbers out;
+  out.buckets = 8;
+  out.records_per_bucket = 4096;
+  out.batches = 300;
+
+  Rng rng(20060401);
+  std::vector<std::map<uint64_t, Bytes>> buckets(out.buckets);
+  for (auto& bucket : buckets) {
+    while (bucket.size() < out.records_per_bucket) {
+      const uint64_t k = rng.Next();
+      bucket[k] = ToBytes("record-" + std::to_string(k));
+    }
+  }
+  // Representative per-record work: touch every value byte (a checksum
+  // standing in for substring evaluation), hit on the low bits.
+  auto filter = sdds::MakeScanFilter([](uint64_t, ByteSpan value, ByteSpan) {
+    uint32_t sum = 0;
+    for (uint8_t byte : value) sum = sum * 31 + byte;
+    return (sum & 7) == 0;
+  });
+
+  auto count_hits = [](const std::vector<sdds::ScanTask>& tasks) {
+    size_t hits = 0;
+    for (const sdds::ScanTask& t : tasks) hits += t.reply.records.size();
+    return hits;
+  };
+
+  auto time_executor = [&](auto&& run_batch) {
+    // One warm-up batch (first pool batch starts the workers), then timed.
+    auto warm = MakeExecutorBatch(buckets, *filter);
+    run_batch(warm);
+    const size_t hits = count_hits(warm);
+    ESSDDS_CHECK(out.hits == 0 || hits == out.hits)
+        << "executor disagreement: " << hits << " vs " << out.hits;
+    out.hits = hits;
+    auto t0 = Clock::now();
+    for (size_t i = 0; i < out.batches; ++i) {
+      auto batch = MakeExecutorBatch(buckets, *filter);
+      run_batch(batch);
+    }
+    return static_cast<double>(out.batches) / SecondsSince(t0);
+  };
+
+  out.spawn_batches_per_sec = time_executor(
+      [&](std::vector<sdds::ScanTask>& b) { SpawnPerBatch(b, threads); });
+  sdds::ScanWorkerPool pool(threads);
+  out.pool_batches_per_sec = time_executor([&](std::vector<sdds::ScanTask>& b) {
+    pool.Run(b, std::numeric_limits<size_t>::max());
+  });
+  out.sharded_batches_per_sec = time_executor(
+      [&](std::vector<sdds::ScanTask>& b) { pool.Run(b, 256); });
+  return out;
+}
+
+#else  // !ESSDDS_THREADS
+
+ExecutorNumbers RunExecutorContrast(size_t) { return {}; }
+
+#endif  // ESSDDS_THREADS
+
 struct ScanNumbers {
   double ms_per_search = 0;
   double index_records_per_sec = 0;
   size_t hits = 0;
 };
 
-ScanNumbers RunStoreSearches(size_t corpus_size, size_t scan_threads) {
+ScanNumbers RunStoreSearches(size_t corpus_size, size_t scan_threads,
+                             size_t shard_min_records =
+                                 sdds::LhOptions{}.scan_shard_min_records) {
   core::EncryptedStore::Options opts;
   opts.params = core::SchemeParams{.codes_per_chunk = 4, .dispersal_sites = 2};
   opts.record_file.bucket_capacity = 64;
   opts.index_file.bucket_capacity = 128;
   opts.index_file.scan_threads = scan_threads;
+  opts.index_file.scan_shard_min_records = shard_min_records;
   auto store =
       core::EncryptedStore::Create(opts, ToBytes("perf-scan-key"), {});
   ESSDDS_CHECK(store.ok()) << store.status();
@@ -162,9 +283,19 @@ int Main() {
   const size_t threads = 0;  // thread support compiled out
 #endif
 
+  // Shard threshold for the sharded legs: low enough that the 128-capacity
+  // index buckets actually shard.
+  const size_t shard_min = 32;
+
   const MatcherNumbers m = RunMatcherContrast(corpus_size);
+  const ExecutorNumbers ex = RunExecutorContrast(threads > 0 ? threads : 2);
   const ScanNumbers serial = RunStoreSearches(corpus_size, 0);
   const ScanNumbers parallel = RunStoreSearches(corpus_size, threads);
+  const ScanNumbers sharded =
+      RunStoreSearches(corpus_size, threads, shard_min);
+
+  const bool hits_agree =
+      serial.hits == parallel.hits && serial.hits == sharded.hits;
 
   std::printf("{\n");
   std::printf("  \"corpus_records\": %zu,\n", corpus_size);
@@ -178,20 +309,43 @@ int Main() {
   std::printf("    \"speedup\": %.2f\n",
               m.compiled_records_per_sec / m.naive_records_per_sec);
   std::printf("  },\n");
+  std::printf("  \"executor\": {\n");
+  std::printf("    \"threads\": %zu,\n", threads);
+  std::printf("    \"buckets\": %zu,\n", ex.buckets);
+  std::printf("    \"records_per_bucket\": %zu,\n", ex.records_per_bucket);
+  std::printf("    \"batches\": %zu,\n", ex.batches);
+  std::printf("    \"hits_per_batch\": %zu,\n", ex.hits);
+  std::printf("    \"spawn_per_batch_batches_per_sec\": %.1f,\n",
+              ex.spawn_batches_per_sec);
+  std::printf("    \"pool_batches_per_sec\": %.1f,\n", ex.pool_batches_per_sec);
+  std::printf("    \"pool_sharded_batches_per_sec\": %.1f,\n",
+              ex.sharded_batches_per_sec);
+  std::printf("    \"pool_speedup_vs_spawn\": %.2f,\n",
+              ex.spawn_batches_per_sec > 0
+                  ? ex.pool_batches_per_sec / ex.spawn_batches_per_sec
+                  : 0.0);
+  std::printf("    \"sharded_speedup_vs_spawn\": %.2f\n",
+              ex.spawn_batches_per_sec > 0
+                  ? ex.sharded_batches_per_sec / ex.spawn_batches_per_sec
+                  : 0.0);
+  std::printf("  },\n");
   std::printf("  \"search\": {\n");
   std::printf("    \"scan_threads\": %zu,\n", threads);
+  std::printf("    \"shard_min_records\": %zu,\n", shard_min);
   std::printf("    \"serial_ms_per_search\": %.2f,\n", serial.ms_per_search);
   std::printf("    \"parallel_ms_per_search\": %.2f,\n",
               parallel.ms_per_search);
+  std::printf("    \"sharded_ms_per_search\": %.2f,\n", sharded.ms_per_search);
   std::printf("    \"serial_index_records_per_sec\": %.0f,\n",
               serial.index_records_per_sec);
   std::printf("    \"parallel_index_records_per_sec\": %.0f,\n",
               parallel.index_records_per_sec);
-  std::printf("    \"hits_agree\": %s\n",
-              serial.hits == parallel.hits ? "true" : "false");
+  std::printf("    \"sharded_index_records_per_sec\": %.0f,\n",
+              sharded.index_records_per_sec);
+  std::printf("    \"hits_agree\": %s\n", hits_agree ? "true" : "false");
   std::printf("  }\n");
   std::printf("}\n");
-  return serial.hits == parallel.hits ? 0 : 1;
+  return hits_agree ? 0 : 1;
 }
 
 }  // namespace

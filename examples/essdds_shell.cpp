@@ -17,6 +17,8 @@
 //   --latency=MIN:MAX  per-message latency range, microseconds of virtual time
 //   --drop=P           drop probability for client key traffic (0..1)
 //   --dup=P            duplicate probability for client key traffic (0..1)
+//   --shard-min=N      bucket record count above which index scans shard the
+//                      bucket across the worker pool (needs scan threads > 1)
 //
 //   ./build/examples/essdds_shell 5000 8 --net=event --net-seed=7 --drop=0.05
 //
@@ -111,11 +113,15 @@ bool ParseNetFlag(const std::string& arg, NetConfig* net) {
 int main(int argc, char** argv) {
   size_t n = 2000;
   size_t scan_threads = 0;
+  size_t shard_min = essdds::sdds::LhOptions{}.scan_shard_min_records;
   NetConfig net;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--", 0) == 0) {
+    if (arg.rfind("--shard-min=", 0) == 0) {
+      shard_min = static_cast<size_t>(
+          std::strtoull(arg.c_str() + sizeof("--shard-min=") - 1, nullptr, 10));
+    } else if (arg.rfind("--", 0) == 0) {
       if (!ParseNetFlag(arg, &net)) return 2;
     } else if (positional == 0) {
       n = static_cast<size_t>(std::atoll(arg.c_str()));
@@ -146,6 +152,7 @@ int main(int argc, char** argv) {
   options.record_file.bucket_capacity = 128;
   options.index_file.bucket_capacity = 512;
   options.index_file.scan_threads = scan_threads;
+  options.index_file.scan_shard_min_records = shard_min;
   for (essdds::sdds::LhOptions* file :
        {&options.record_file, &options.index_file}) {
     file->network_mode = net.mode;

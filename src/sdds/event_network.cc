@@ -110,6 +110,13 @@ bool EventNetwork::Pump() {
     parked_[dest].push_back(std::move(ev.msg));
     return true;
   }
+  // Deferred scan mode: a delivery may enqueue a ScanTask instead of
+  // answering inline. A kScan parked at a paused bucket can replay here
+  // long after its initiator drained the batch — the task then waits in
+  // the pending queue until the next drain, and the bucket resolves it
+  // against pre-mutation content before any record-map change, so the
+  // (eventually stale) reply still carries the hits the serial mode would
+  // have produced at this delivery.
   sites_[dest]->OnMessage(ev.msg, *this);
   return true;
 }

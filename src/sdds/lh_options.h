@@ -80,11 +80,22 @@ struct LhOptions {
 
   /// Worker threads for parallel scan evaluation. With a value > 1, bucket
   /// scans are deferred off the messaging path and evaluated concurrently
-  /// (each bucket on one worker), then replied in ascending bucket order —
-  /// results and message/byte accounting are identical to the serial mode.
-  /// 0 (the default) and 1 keep the single-threaded deterministic delivery
-  /// where each bucket evaluates inline on message receipt.
+  /// on the network's persistent ScanWorkerPool (started lazily on the
+  /// first parallel scan, reused for every batch), then replied in
+  /// ascending bucket order — results and message/byte accounting are
+  /// identical to the serial mode. 0 (the default) and 1 keep the
+  /// single-threaded deterministic delivery where each bucket evaluates
+  /// inline on message receipt.
   size_t scan_threads = 0;
+
+  /// Intra-bucket parallelism threshold: a deferred scan task whose bucket
+  /// holds more than this many records is split into up to scan_threads
+  /// contiguous key-range shards evaluated concurrently, with shard hits
+  /// spliced back in ascending key order — results stay byte-identical to
+  /// the unsharded (and serial) evaluation. 0 shards every bucket with
+  /// more than one record; SIZE_MAX disables sharding. Only read when
+  /// scan_threads > 1.
+  size_t scan_shard_min_records = 1024;
 
   /// Which network simulation carries the file's messages (see
   /// NetworkMode). kSync keeps the seed behaviour bit-for-bit.

@@ -121,6 +121,7 @@ void LhBucketServer::HandleKeyOp(Message& msg, Network& net) {
 
   switch (msg.type) {
     case MsgType::kInsert: {
+      AboutToMutateRecords(net);
       auto [it, inserted] =
           records_.insert_or_assign(msg.key, std::move(msg.value));
       (void)it;
@@ -139,6 +140,7 @@ void LhBucketServer::HandleKeyOp(Message& msg, Network& net) {
       return;
     }
     case MsgType::kDelete: {
+      AboutToMutateRecords(net);
       reply.type = MsgType::kDeleteAck;
       reply.found = records_.erase(msg.key) > 0;
       net.Send(std::move(reply));
@@ -184,6 +186,8 @@ void LhBucketServer::HandleScan(Message& msg, Network& net) {
   task.records = &records_;
   task.filter = &runtime_->FilterById(msg.filter_id);
   task.arg = Bytes(msg.filter_arg.begin(), msg.filter_arg.end());
+  task.live_generation = &mutation_generation_;
+  task.enqueue_generation = mutation_generation_;
   task.reply.type = MsgType::kScanReply;
   task.reply.from = site_;
   task.reply.to = msg.reply_to;
@@ -215,6 +219,7 @@ void LhBucketServer::HandleSplit(const Message& msg, Network& net) {
   }
   const uint64_t new_bucket = msg.key;
   level_ = msg.new_level;
+  AboutToMutateRecords(net);
 
   Message move;
   move.type = MsgType::kMoveRecords;
@@ -243,6 +248,7 @@ void LhBucketServer::HandleMoveRecords(Message& msg, Network& net) {
   // Bulk load during a split: records arrive pre-addressed, no overflow
   // report (a subsequent regular insert re-checks capacity). The message is
   // ours to cannibalize — adopt the values instead of deep-copying them.
+  AboutToMutateRecords(net);
   for (WireRecord& r : msg.records) {
     records_[r.key] = std::move(r.value);
   }
@@ -271,6 +277,7 @@ void LhBucketServer::HandleMerge(const Message& msg, Network& net) {
   }
   // This bucket dissolves: every record returns to the parent it split off
   // from, and the parent's level steps back down.
+  AboutToMutateRecords(net);
   const uint64_t parent = msg.key;
   Message move;
   move.type = MsgType::kMergeRecords;
@@ -307,6 +314,10 @@ void LhBucketServer::HandleMergeRecords(Message& msg, Network& net) {
     stashed_merge_records_.push_back(std::move(msg));
     return;
   }
+  // One resolution covers the whole handler, including stashed transfers
+  // applied below: no message delivery happens in between, so no new scan
+  // task can be enqueued mid-application.
+  AboutToMutateRecords(net);
   level_ = msg.new_level;
   for (WireRecord& r : msg.records) {
     records_[r.key] = std::move(r.value);
@@ -334,6 +345,17 @@ void LhBucketServer::HandleMergeRecords(Message& msg, Network& net) {
     stashed_control_.clear();
     for (Message& m : replay) OnMessage(m, net);
   }
+}
+
+void LhBucketServer::AboutToMutateRecords(Network& net) {
+  // A deferred scan task holds a pointer into records_ until the batch
+  // drains; evaluate any queued for this bucket now, against the
+  // pre-mutation content — exactly what the serial inline mode returned at
+  // kScan delivery, so deferred results stay byte-identical. The generation
+  // step arms the snapshot assert for any mutation path that skips this
+  // call.
+  if (net.deferred_scan_mode()) net.ResolveDeferredScans(bucket_number_);
+  ++mutation_generation_;
 }
 
 void LhBucketServer::MaybeReportOverflow(Network& net) {

@@ -55,6 +55,12 @@ class LhBucketServer : public Site {
   /// whose bulk load is still in flight).
   bool loading() const { return loading_; }
 
+  /// Number of record-map mutations this bucket has performed. Deferred
+  /// scan tasks snapshot this at enqueue and assert it unchanged at
+  /// evaluation — the dangling-snapshot guard for the pointer they hold
+  /// into records_.
+  uint64_t mutation_generation() const { return mutation_generation_; }
+
  private:
   /// LH* server address verification: returns the bucket this request should
   /// go to next, or bucket_number_ when it belongs here.
@@ -69,6 +75,13 @@ class LhBucketServer : public Site {
 
   void MaybeReportOverflow(Network& net);
   void MaybeReportUnderflow(Network& net);
+
+  /// Must run before every mutation of records_: deferred scan tasks hold a
+  /// pointer into the map, so any still queued are evaluated now — against
+  /// exactly the content the serial inline mode saw at kScan delivery —
+  /// and the mutation generation steps so a missed call trips the
+  /// snapshot assert instead of silently corrupting a scan.
+  void AboutToMutateRecords(Network& net);
 
   LhRuntime* runtime_;
   LhOptions options_;
@@ -91,6 +104,9 @@ class LhBucketServer : public Site {
   /// the pending transfer lands.
   std::vector<Message> stashed_control_;
   std::map<uint64_t, Bytes> records_;
+  /// Bumped by AboutToMutateRecords on every records_ change; deferred scan
+  /// tasks carry a pointer to it (see ScanTask::live_generation).
+  uint64_t mutation_generation_ = 0;
 };
 
 /// The LH* split coordinator: receives overflow notifications and drives the

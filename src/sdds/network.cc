@@ -26,6 +26,20 @@ void Network::EnqueueScanTask(ScanTask task) {
   pending_scans_.push_back(std::move(task));
 }
 
+ScanWorkerPool& Network::scan_pool() {
+  if (!scan_pool_) scan_pool_ = std::make_unique<ScanWorkerPool>(scan_threads_);
+  return *scan_pool_;
+}
+
+void Network::ResolveDeferredScans(uint64_t bucket) {
+  // Inline, on the calling thread: this runs from a bucket server about to
+  // mutate its record map, mid-message-delivery — the pool is reserved for
+  // the batch drain. ExecuteScanTask skips tasks already evaluated.
+  for (ScanTask& task : pending_scans_) {
+    if (task.bucket == bucket) ExecuteScanTask(task);
+  }
+}
+
 void Network::DrainDeferredScans() {
   if (pending_scans_.empty()) return;
   std::vector<ScanTask> batch = std::move(pending_scans_);
@@ -35,11 +49,13 @@ void Network::DrainDeferredScans() {
   // the same argument belong to the same scan, so they share one compiled
   // filter instance (Prepared::Matches is const and thread-safe; see the
   // ScanFilter contract). A scan whose argument fails to compile shares the
-  // nullptr — every one of its buckets answers empty.
+  // nullptr — every one of its buckets answers empty. Tasks a bucket
+  // already resolved ahead of a mutation carry their hits and are skipped.
   std::vector<std::unique_ptr<ScanFilter::Prepared>> prepared_pool;
   std::map<std::pair<const ScanFilter*, Bytes>, const ScanFilter::Prepared*>
       by_scan;
   for (ScanTask& task : batch) {
+    if (task.evaluated) continue;
     auto key = std::make_pair(task.filter, task.arg);
     auto it = by_scan.find(key);
     if (it == by_scan.end()) {
@@ -50,7 +66,7 @@ void Network::DrainDeferredScans() {
     task.has_shared_prepared = true;
   }
 
-  RunScanTasks(batch, scan_threads());
+  scan_pool().Run(batch, scan_shard_min_records_);
   // Replies go out in ascending bucket order: the one deterministic order
   // independent of worker scheduling (and of the serial delivery order).
   std::stable_sort(batch.begin(), batch.end(),

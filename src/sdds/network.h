@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -114,8 +115,18 @@ class Network {
   // --- deferred (parallel) scan mode ---
 
   /// Worker threads for scan evaluation; values <= 1 keep scans inline.
-  void set_scan_threads(size_t threads) { scan_threads_ = threads; }
+  /// Resizing discards the current pool (workers join); the next parallel
+  /// scan starts a fresh one at the new size.
+  void set_scan_threads(size_t threads) {
+    scan_threads_ = threads;
+    scan_pool_.reset();
+  }
   size_t scan_threads() const { return scan_threads_; }
+
+  /// Bucket record count above which a scan task is split into contiguous
+  /// key-range shards evaluated concurrently (see LhOptions).
+  void set_scan_shard_min_records(size_t n) { scan_shard_min_records_ = n; }
+  size_t scan_shard_min_records() const { return scan_shard_min_records_; }
 
   /// True when bucket servers should defer scan evaluation to the batch.
   bool deferred_scan_mode() const { return scan_threads_ > 1; }
@@ -123,12 +134,24 @@ class Network {
   /// Queues one bucket's scan evaluation (bucket servers, deferred mode).
   void EnqueueScanTask(ScanTask task);
 
-  /// Evaluates all queued scan tasks (in parallel when configured) and
+  /// Evaluates all queued scan tasks on the persistent worker pool and
   /// sends their replies in ascending bucket order. Tasks belonging to the
   /// same scan — same filter, same argument — share one Prepare()d filter
   /// instance across all their buckets. Scan initiators call this after
   /// fanning out their kScan messages; a no-op when nothing is queued.
   void DrainDeferredScans();
+
+  /// Evaluates the queued tasks of `bucket` immediately, on the calling
+  /// thread. Bucket servers call this before mutating their record map: a
+  /// queued task points into that map, so it must capture its hits while
+  /// the content still matches what the serial inline mode saw at kScan
+  /// delivery. The reply is kept and sent by the drain as usual, so
+  /// traffic accounting is unchanged.
+  void ResolveDeferredScans(uint64_t bucket);
+
+  /// The network's persistent scan worker pool, created at scan_threads()
+  /// size on first use. Workers start lazily on the first parallel batch.
+  ScanWorkerPool& scan_pool();
 
  protected:
   /// Charges one protocol send to the counters (every implementation calls
@@ -144,7 +167,9 @@ class Network {
 
  private:
   size_t scan_threads_ = 0;
+  size_t scan_shard_min_records_ = 1024;
   std::vector<ScanTask> pending_scans_;
+  std::unique_ptr<ScanWorkerPool> scan_pool_;
 };
 
 /// Single-process simulation of a multicomputer: every site has an id;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <set>
 #include <string>
@@ -363,6 +364,63 @@ TEST(EncryptedStoreTest, ParallelIndexScanMatchesSerialOnPhonebook) {
   EXPECT_EQ(serial.stats.rids_final, parallel.stats.rids_final);
   EXPECT_EQ(serial.net, parallel.net);
   EXPECT_GT(serial.stats.rids_final, 0u) << "queries matched nothing";
+}
+
+TEST(EncryptedStoreTest, ShardedIndexScanThresholdSweepMatchesSerial) {
+  // Full-scheme leg of the shard-threshold sweep: whatever the intra-bucket
+  // sharding threshold, pooled index scans must reproduce the serial build
+  // exactly — rids, per-stage stats, and network accounting.
+  auto run = [](size_t scan_threads, size_t shard_min) {
+    SchemeParams p{.codes_per_chunk = 4, .dispersal_sites = 2};
+    EncryptedStore::Options opts;
+    opts.params = p;
+    opts.record_file.bucket_capacity = 16;
+    opts.index_file.bucket_capacity = 32;
+    opts.index_file.scan_threads = scan_threads;
+    opts.index_file.scan_shard_min_records = shard_min;
+    auto store = EncryptedStore::Create(opts, Master(), {});
+    EXPECT_TRUE(store.ok()) << store.status();
+
+    workload::PhonebookGenerator gen(77);
+    auto corpus = gen.Generate(300);
+    for (const auto& r : corpus) {
+      EXPECT_TRUE((*store)->Insert(r.rid, r.name).ok());
+    }
+    (*store)->index_file().network().ResetStats();
+
+    struct Outcome {
+      std::vector<uint64_t> rids;
+      EncryptedStore::SearchStats stats;
+      sdds::NetworkStats net;
+    } out;
+    for (const char* q : {"SCHWARZ", "MARIA", "ER J", "ZZZZQQ"}) {
+      auto found = (*store)->SearchDetailed(q);
+      EXPECT_TRUE(found.ok()) << q;
+      out.rids.insert(out.rids.end(), found->rids.begin(), found->rids.end());
+      out.stats.candidate_index_records +=
+          found->stats.candidate_index_records;
+      out.stats.families_confirmed += found->stats.families_confirmed;
+      out.stats.rids_final += found->stats.rids_final;
+    }
+    out.net = (*store)->index_file().network().stats();
+    return out;
+  };
+
+  const auto serial = run(0, sdds::LhOptions{}.scan_shard_min_records);
+  EXPECT_GT(serial.stats.rids_final, 0u) << "queries matched nothing";
+  for (size_t shard_min :
+       {size_t{1}, size_t{2}, size_t{7}, size_t{64},
+        std::numeric_limits<size_t>::max()}) {
+    SCOPED_TRACE("shard_min " + std::to_string(shard_min));
+    const auto sharded = run(4, shard_min);
+    EXPECT_EQ(serial.rids, sharded.rids);
+    EXPECT_EQ(serial.stats.candidate_index_records,
+              sharded.stats.candidate_index_records);
+    EXPECT_EQ(serial.stats.families_confirmed,
+              sharded.stats.families_confirmed);
+    EXPECT_EQ(serial.stats.rids_final, sharded.stats.rids_final);
+    EXPECT_EQ(serial.net, sharded.net);
+  }
 }
 
 TEST(EncryptedStoreTest, SearchMessageTrafficIsBounded) {

@@ -186,6 +186,28 @@ TEST(InterleavingTest, NonFifoLinksStillMatchBaseline) {
   }
 }
 
+// Thread-pool scans with intra-bucket sharding (every bucket sharded,
+// threshold 1) riding the event network: splits and merges stay in flight
+// across the scans' deferred tasks, which the buckets resolve before
+// mutating. 20+ seeds must still match the serial synchronous baseline bit
+// for bit — scan hit sets, per-op flags, and final contents.
+TEST(InterleavingTest, ShardedThreadedScansUnderEventNetworkMatchBaseline) {
+  for (uint64_t seed = 700; seed <= 720; ++seed) {
+    SCOPED_TRACE("workload seed " + std::to_string(seed));
+    WorkloadResult sync = RunWorkload(BaseOptions(), seed);
+
+    LhOptions ev = BaseOptions();
+    ev.scan_threads = 4;
+    ev.scan_shard_min_records = 1;
+    ev.network_mode = NetworkMode::kEvent;
+    ev.event_net.seed = seed;
+    WorkloadResult event = RunWorkload(ev, seed);
+
+    ExpectSameResults(sync, event, seed,
+                      "sharded thread-pool scans on the event network");
+  }
+}
+
 // Fault sweep: drops and duplicates on client key traffic. The runs must
 // complete (no CHECK crash, every op eventually answered via retries) and
 // converge to a self-consistent file — RunWorkload itself verifies that a
