@@ -28,7 +28,9 @@
 #include "core/encrypted_store.h"
 #include "core/matcher.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 #include "sdds/scan_executor.h"
+#include "util/json_writer.h"
 #include "util/random.h"
 
 namespace essdds::bench {
@@ -233,7 +235,24 @@ struct ScanNumbers {
   double ms_per_search = 0;
   double index_records_per_sec = 0;
   size_t hits = 0;
+  // Batch-shape histograms from the index network's metric registry
+  // (zero-count with -DESSDDS_METRICS=OFF): tasks per drained batch and
+  // shards those tasks split into. Serial scans never batch, so both stay
+  // empty in the serial leg.
+  obs::Histogram::Summary batch_tasks;
+  obs::Histogram::Summary batch_shards;
 };
+
+/// Emits a Histogram::Summary as the next value (an object).
+void SummaryValue(JsonWriter& w, const obs::Histogram::Summary& s) {
+  w.BeginObject()
+      .KV("count", s.count)
+      .KV("p50", s.p50)
+      .KV("p95", s.p95)
+      .KV("p99", s.p99)
+      .KV("max", s.max)
+      .EndObject();
+}
 
 ScanNumbers RunStoreSearches(size_t corpus_size, size_t scan_threads,
                              size_t shard_min_records =
@@ -258,8 +277,10 @@ ScanNumbers RunStoreSearches(size_t corpus_size, size_t scan_threads,
   const std::vector<std::string> queries = {"SCHWARZ", "MARIA",  "GARCIA",
                                             "JOHNSON", "THOMAS", "NGUYEN"};
   ScanNumbers out;
-  // Warm once (image adjustments, allocator), then measure.
+  // Warm once (image adjustments, allocator), then reset so the reported
+  // metrics cover exactly the measured phase, and measure.
   ESSDDS_CHECK((*store)->Search(queries[0]).ok());
+  (*store)->index_file().network().ResetStats();
   auto t0 = Clock::now();
   for (const std::string& q : queries) {
     auto rids = (*store)->Search(q);
@@ -271,6 +292,9 @@ ScanNumbers RunStoreSearches(size_t corpus_size, size_t scan_threads,
   // Every search evaluates every index record once at its site.
   out.index_records_per_sec =
       index_records * static_cast<double>(queries.size()) / elapsed;
+  obs::MetricRegistry& metrics = (*store)->index_file().network().metrics();
+  out.batch_tasks = metrics.histogram("scan.batch_tasks").Summarize();
+  out.batch_shards = metrics.histogram("scan.batch_shards").Summarize();
   return out;
 }
 
@@ -297,54 +321,57 @@ int Main() {
   const bool hits_agree =
       serial.hits == parallel.hits && serial.hits == sharded.hits;
 
-  std::printf("{\n");
-  std::printf("  \"corpus_records\": %zu,\n", corpus_size);
-  std::printf("  \"matcher\": {\n");
-  std::printf("    \"index_records\": %zu,\n", m.records);
-  std::printf("    \"records_matched\": %zu,\n", m.matched);
-  std::printf("    \"naive_records_per_sec\": %.0f,\n",
-              m.naive_records_per_sec);
-  std::printf("    \"compiled_records_per_sec\": %.0f,\n",
-              m.compiled_records_per_sec);
-  std::printf("    \"speedup\": %.2f\n",
-              m.compiled_records_per_sec / m.naive_records_per_sec);
-  std::printf("  },\n");
-  std::printf("  \"executor\": {\n");
-  std::printf("    \"threads\": %zu,\n", threads);
-  std::printf("    \"buckets\": %zu,\n", ex.buckets);
-  std::printf("    \"records_per_bucket\": %zu,\n", ex.records_per_bucket);
-  std::printf("    \"batches\": %zu,\n", ex.batches);
-  std::printf("    \"hits_per_batch\": %zu,\n", ex.hits);
-  std::printf("    \"spawn_per_batch_batches_per_sec\": %.1f,\n",
-              ex.spawn_batches_per_sec);
-  std::printf("    \"pool_batches_per_sec\": %.1f,\n", ex.pool_batches_per_sec);
-  std::printf("    \"pool_sharded_batches_per_sec\": %.1f,\n",
-              ex.sharded_batches_per_sec);
-  std::printf("    \"pool_speedup_vs_spawn\": %.2f,\n",
-              ex.spawn_batches_per_sec > 0
-                  ? ex.pool_batches_per_sec / ex.spawn_batches_per_sec
-                  : 0.0);
-  std::printf("    \"sharded_speedup_vs_spawn\": %.2f\n",
-              ex.spawn_batches_per_sec > 0
-                  ? ex.sharded_batches_per_sec / ex.spawn_batches_per_sec
-                  : 0.0);
-  std::printf("  },\n");
-  std::printf("  \"search\": {\n");
-  std::printf("    \"scan_threads\": %zu,\n", threads);
-  std::printf("    \"shard_min_records\": %zu,\n", shard_min);
-  std::printf("    \"serial_ms_per_search\": %.2f,\n", serial.ms_per_search);
-  std::printf("    \"parallel_ms_per_search\": %.2f,\n",
-              parallel.ms_per_search);
-  std::printf("    \"sharded_ms_per_search\": %.2f,\n", sharded.ms_per_search);
-  std::printf("    \"serial_index_records_per_sec\": %.0f,\n",
-              serial.index_records_per_sec);
-  std::printf("    \"parallel_index_records_per_sec\": %.0f,\n",
-              parallel.index_records_per_sec);
-  std::printf("    \"sharded_index_records_per_sec\": %.0f,\n",
-              sharded.index_records_per_sec);
-  std::printf("    \"hits_agree\": %s\n", hits_agree ? "true" : "false");
-  std::printf("  }\n");
-  std::printf("}\n");
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("corpus_records", static_cast<uint64_t>(corpus_size));
+  w.Key("matcher").BeginObject();
+  w.KV("index_records", static_cast<uint64_t>(m.records));
+  w.KV("records_matched", static_cast<uint64_t>(m.matched));
+  w.KV("naive_records_per_sec", m.naive_records_per_sec, 0);
+  w.KV("compiled_records_per_sec", m.compiled_records_per_sec, 0);
+  w.KV("speedup", m.compiled_records_per_sec / m.naive_records_per_sec, 2);
+  w.EndObject();
+  w.Key("executor").BeginObject();
+  w.KV("threads", static_cast<uint64_t>(threads));
+  w.KV("buckets", static_cast<uint64_t>(ex.buckets));
+  w.KV("records_per_bucket", static_cast<uint64_t>(ex.records_per_bucket));
+  w.KV("batches", static_cast<uint64_t>(ex.batches));
+  w.KV("hits_per_batch", static_cast<uint64_t>(ex.hits));
+  w.KV("spawn_per_batch_batches_per_sec", ex.spawn_batches_per_sec, 1);
+  w.KV("pool_batches_per_sec", ex.pool_batches_per_sec, 1);
+  w.KV("pool_sharded_batches_per_sec", ex.sharded_batches_per_sec, 1);
+  w.KV("pool_speedup_vs_spawn",
+       ex.spawn_batches_per_sec > 0
+           ? ex.pool_batches_per_sec / ex.spawn_batches_per_sec
+           : 0.0,
+       2);
+  w.KV("sharded_speedup_vs_spawn",
+       ex.spawn_batches_per_sec > 0
+           ? ex.sharded_batches_per_sec / ex.spawn_batches_per_sec
+           : 0.0,
+       2);
+  w.EndObject();
+  w.Key("search").BeginObject();
+  w.KV("scan_threads", static_cast<uint64_t>(threads));
+  w.KV("shard_min_records", static_cast<uint64_t>(shard_min));
+  w.KV("serial_ms_per_search", serial.ms_per_search, 2);
+  w.KV("parallel_ms_per_search", parallel.ms_per_search, 2);
+  w.KV("sharded_ms_per_search", sharded.ms_per_search, 2);
+  w.KV("serial_index_records_per_sec", serial.index_records_per_sec, 0);
+  w.KV("parallel_index_records_per_sec", parallel.index_records_per_sec, 0);
+  w.KV("sharded_index_records_per_sec", sharded.index_records_per_sec, 0);
+  w.KV("hits_agree", hits_agree);
+  // Batch-shape histograms of the measured phase (metrics builds only;
+  // zero-count objects with -DESSDDS_METRICS=OFF).
+  w.Key("parallel_batch_tasks");
+  SummaryValue(w, parallel.batch_tasks);
+  w.Key("sharded_batch_tasks");
+  SummaryValue(w, sharded.batch_tasks);
+  w.Key("sharded_batch_shards");
+  SummaryValue(w, sharded.batch_shards);
+  w.EndObject();
+  w.EndObject();
+  std::printf("%s\n", w.str().c_str());
   return hits_agree ? 0 : 1;
 }
 

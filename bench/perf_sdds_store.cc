@@ -16,14 +16,29 @@
 namespace essdds {
 namespace {
 
+/// Reports the network traffic of the measured phase as per-op rates. Every
+/// benchmark calls ResetStats() after its setup phase, so the counters (and
+/// the metric registry behind them) describe only the iterations — setup
+/// inserts never leak into the numbers.
+void ReportPhaseTraffic(benchmark::State& state, const sdds::Network& net) {
+  state.counters["msgs_per_op"] =
+      benchmark::Counter(static_cast<double>(net.stats().total_messages),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["bytes_per_op"] =
+      benchmark::Counter(static_cast<double>(net.stats().total_bytes),
+                         benchmark::Counter::kAvgIterations);
+}
+
 void BM_LhInsert(benchmark::State& state) {
   sdds::LhSystem sys(sdds::LhOptions{.bucket_capacity = 64});
   sdds::LhClient* client = sys.NewClient();
   Rng rng(1);
+  sys.network().ResetStats();
   for (auto _ : state) {
     client->Insert(rng.Next(), Bytes(32, 'v'));
   }
   state.SetItemsProcessed(state.iterations());
+  ReportPhaseTraffic(state, sys.network());
 }
 BENCHMARK(BM_LhInsert);
 
@@ -37,11 +52,13 @@ void BM_LhLookup(benchmark::State& state) {
     keys.push_back(rng.Next());
     client->Insert(keys.back(), Bytes(32, 'v'));
   }
+  sys.network().ResetStats();
   size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(client->Lookup(keys[i++ % keys.size()]));
   }
   state.SetItemsProcessed(state.iterations());
+  ReportPhaseTraffic(state, sys.network());
 }
 BENCHMARK(BM_LhLookup)->Arg(1000)->Arg(10000)->Arg(100000);
 
@@ -53,11 +70,13 @@ void BM_LhScan(benchmark::State& state) {
   for (size_t i = 0; i < n; ++i) client->Insert(rng.Next(), Bytes(32, 'v'));
   const uint64_t none =
       sys.InstallFilter([](uint64_t, ByteSpan, ByteSpan) { return false; });
+  sys.network().ResetStats();
   for (auto _ : state) {
     auto result = client->Scan(none, {});
     benchmark::DoNotOptimize(result);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  ReportPhaseTraffic(state, sys.network());
 }
 BENCHMARK(BM_LhScan)->Arg(10000);
 
@@ -83,11 +102,14 @@ void BM_StoreInsert(benchmark::State& state) {
                                                  .dispersal_sites = 4});
   workload::PhonebookGenerator gen(8);
   uint64_t seq = 1000000;
+  store->index_file().network().ResetStats();
+  store->record_file().network().ResetStats();
   for (auto _ : state) {
     auto rec = gen.GenerateOne(seq++ % 9000000);
     if (!store->Insert(rec.rid, rec.name).ok()) std::abort();
   }
   state.SetItemsProcessed(state.iterations());
+  ReportPhaseTraffic(state, store->index_file().network());
 }
 BENCHMARK(BM_StoreInsert);
 
@@ -95,12 +117,14 @@ void BM_StoreSearch(benchmark::State& state) {
   auto store = MakeStore(static_cast<size_t>(state.range(0)),
                          core::SchemeParams{.codes_per_chunk = 4,
                                             .dispersal_sites = 4});
+  store->index_file().network().ResetStats();
   for (auto _ : state) {
     auto rids = store->Search("SCHWARZ");
     if (!rids.ok()) std::abort();
     benchmark::DoNotOptimize(rids);
   }
   state.SetItemsProcessed(state.iterations());
+  ReportPhaseTraffic(state, store->index_file().network());
 }
 BENCHMARK(BM_StoreSearch)->Arg(1000)->Arg(5000);
 

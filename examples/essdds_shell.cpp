@@ -20,6 +20,15 @@
 //   --shard-min=N      bucket record count above which index scans shard the
 //                      bucket across the worker pool (needs scan threads > 1)
 //
+// Observability (src/obs; no-ops when built with -DESSDDS_METRICS=OFF):
+//
+//   --metrics          print the full metrics JSON (traffic stats + metric
+//                      registries of both LH* files) to stdout at exit
+//   --metrics=FILE     same, written to FILE instead
+//   --trace=ID         print the causal hop dump for trace id ID at exit
+//                      (the `metrics` and `trace` commands do the same
+//                      interactively)
+//
 //   ./build/examples/essdds_shell 5000 8 --net=event --net-seed=7 --drop=0.05
 //
 // Any client-visible failure prints a replay line with the full network
@@ -34,6 +43,8 @@
 #include <vector>
 
 #include "core/encrypted_store.h"
+#include "obs/trace.h"
+#include "util/json_writer.h"
 #include "workload/phonebook.h"
 
 using essdds::ToBytes;
@@ -49,9 +60,57 @@ void PrintHelp() {
       "  insert <rid> <name>    add or replace a record\n"
       "  delete <rid>           remove a record\n"
       "  stats                  file extents, records, traffic counters\n"
+      "  metrics                full metrics JSON (both LH* files)\n"
+      "  trace <id|last|all>    causal hop dump from the trace rings\n"
       "  params                 scheme parameters\n"
       "  help                   this text\n"
       "  quit\n");
+}
+
+/// One JSON document covering both LH* files: per-file traffic stats plus
+/// the full metric registry (counters, gauges, histogram summaries). This is
+/// what --metrics[=FILE] and the `metrics` command emit.
+std::string MetricsJson(essdds::core::EncryptedStore& store) {
+  essdds::JsonWriter w;
+  w.BeginObject();
+  const std::pair<const char*, essdds::sdds::LhSystem*> files[] = {
+      {"record_file", &store.record_file()},
+      {"index_file", &store.index_file()},
+  };
+  for (const auto& [name, sys] : files) {
+    w.Key(name).BeginObject();
+    w.Key("network").Raw(sys->network().stats().ToJson());
+    w.Key("metrics").Raw(sys->network().metrics().ToJson());
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.str();
+}
+
+/// Most recent trace id either file allocated (0 when nothing was traced):
+/// the target of `trace last`.
+uint64_t LastTraceId(essdds::core::EncryptedStore& store) {
+  uint64_t last = 0;
+  for (essdds::sdds::LhSystem* sys :
+       {&store.record_file(), &store.index_file()}) {
+    for (const essdds::obs::TraceEvent& ev : sys->network().trace().Snapshot()) {
+      if (ev.trace_id > last) last = ev.trace_id;
+    }
+  }
+  return last;
+}
+
+/// Prints the hop dump for `trace_id` (0 = everything) from both files'
+/// rings, labeled per file.
+void PrintTrace(essdds::core::EncryptedStore& store, uint64_t trace_id) {
+  const std::pair<const char*, essdds::sdds::LhSystem*> files[] = {
+      {"record_file", &store.record_file()},
+      {"index_file", &store.index_file()},
+  };
+  for (const auto& [name, sys] : files) {
+    std::printf("--- %s ---\n%s", name,
+                sys->network().TraceDump(trace_id).c_str());
+  }
 }
 
 struct NetConfig {
@@ -115,12 +174,25 @@ int main(int argc, char** argv) {
   size_t scan_threads = 0;
   size_t shard_min = essdds::sdds::LhOptions{}.scan_shard_min_records;
   NetConfig net;
+  bool metrics_at_exit = false;
+  std::string metrics_file;  // empty = stdout
+  bool trace_at_exit = false;
+  uint64_t trace_at_exit_id = 0;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--shard-min=", 0) == 0) {
       shard_min = static_cast<size_t>(
           std::strtoull(arg.c_str() + sizeof("--shard-min=") - 1, nullptr, 10));
+    } else if (arg == "--metrics") {
+      metrics_at_exit = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_at_exit = true;
+      metrics_file = arg.substr(sizeof("--metrics=") - 1);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_at_exit = true;
+      trace_at_exit_id = static_cast<uint64_t>(std::strtoull(
+          arg.c_str() + sizeof("--trace=") - 1, nullptr, 10));
     } else if (arg.rfind("--", 0) == 0) {
       if (!ParseNetFlag(arg, &net)) return 2;
     } else if (positional == 0) {
@@ -195,6 +267,19 @@ int main(int argc, char** argv) {
                   (*store)->index_file().bucket_count());
       std::printf("index traffic: %s\n",
                   (*store)->index_file().network().stats().ToString().c_str());
+    } else if (cmd == "metrics") {
+      std::printf("%s\n", MetricsJson(**store).c_str());
+    } else if (cmd == "trace") {
+      std::string which;
+      in >> which;
+      if (which == "all" || which.empty()) {
+        PrintTrace(**store, 0);
+      } else if (which == "last") {
+        PrintTrace(**store, LastTraceId(**store));
+      } else {
+        PrintTrace(**store, static_cast<uint64_t>(
+                                std::strtoull(which.c_str(), nullptr, 10)));
+      }
     } else if (cmd == "search" || cmd == "short") {
       std::string query;
       std::getline(in, query);
@@ -252,6 +337,24 @@ int main(int argc, char** argv) {
       }
     } else {
       std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+  }
+
+  if (trace_at_exit) PrintTrace(**store, trace_at_exit_id);
+  if (metrics_at_exit) {
+    const std::string json = MetricsJson(**store);
+    if (metrics_file.empty()) {
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::FILE* f = std::fopen(metrics_file.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                     metrics_file.c_str());
+        return 1;
+      }
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+      std::printf("metrics written to %s\n", metrics_file.c_str());
     }
   }
   return 0;

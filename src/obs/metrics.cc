@@ -1,0 +1,126 @@
+#include "obs/metrics.h"
+
+#if ESSDDS_METRICS
+
+#include "util/json_writer.h"
+
+namespace essdds::obs {
+
+uint64_t Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  if (q <= 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample, 1-based; q=0 maps to the first sample.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    cumulative += buckets_[b].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      // The bucket's upper boundary, never above the exact observed max.
+      const uint64_t m = max();
+      const uint64_t upper = UpperBound(b);
+      return upper < m ? upper : m;
+    }
+  }
+  return max();  // concurrent writers mid-update; best effort
+}
+
+Histogram::Summary Histogram::Summarize() const {
+  Summary s;
+  s.count = count();
+  s.sum = sum();
+  s.max = max();
+  s.p50 = Quantile(0.50);
+  s.p95 = Quantile(0.95);
+  s.p99 = Quantile(0.99);
+  return s;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (size_t b = 0; b < kBuckets; ++b) {
+    const uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  uint64_t v = other.max();
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (size_t b = 0; b < kBuckets; ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricRegistry::ResetAll() {
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricRegistry::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, c] : counters_) w.KV(name, c->value());
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, g] : gauges_) w.KV(name, g->value());
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Summary s = h->Summarize();
+    w.Key(name)
+        .BeginObject()
+        .KV("count", s.count)
+        .KV("sum", s.sum)
+        .KV("max", s.max)
+        .KV("p50", s.p50)
+        .KV("p95", s.p95)
+        .KV("p99", s.p99)
+        .EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace essdds::obs
+
+#endif  // ESSDDS_METRICS

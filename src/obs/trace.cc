@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace essdds::obs {
+
+std::string_view HopKindName(HopKind k) {
+  switch (k) {
+    case HopKind::kOpStart:
+      return "op-start";
+    case HopKind::kSend:
+      return "send";
+    case HopKind::kDeliver:
+      return "deliver";
+    case HopKind::kDrop:
+      return "drop";
+    case HopKind::kDuplicate:
+      return "duplicate";
+    case HopKind::kPark:
+      return "park";
+    case HopKind::kReplay:
+      return "replay";
+    case HopKind::kRetry:
+      return "retry";
+    case HopKind::kStale:
+      return "stale-reply";
+    case HopKind::kOpDone:
+      return "op-done";
+  }
+  return "?";
+}
+
+std::string FormatTraceEvent(
+    const TraceEvent& ev,
+    const std::function<std::string_view(uint8_t)>& type_name) {
+  char buf[192];
+  const std::string type =
+      type_name ? std::string(type_name(ev.msg_type))
+                : "type" + std::to_string(ev.msg_type);
+  std::snprintf(buf, sizeof buf,
+                "t=%10lluus trace=%llu req=%llu %-11s %-12s site %u -> %u "
+                "key/bucket=%llu",
+                static_cast<unsigned long long>(ev.time_us),
+                static_cast<unsigned long long>(ev.trace_id),
+                static_cast<unsigned long long>(ev.request_id),
+                std::string(HopKindName(ev.kind)).c_str(), type.c_str(),
+                ev.from, ev.to, static_cast<unsigned long long>(ev.key));
+  return buf;
+}
+
+#if ESSDDS_METRICS
+
+TraceRing::TraceRing(size_t capacity) : events_(capacity ? capacity : 1) {}
+
+void TraceRing::Record(TraceEvent ev) {
+  if (size_ == events_.size()) ++overwritten_;
+  events_[next_] = ev;
+  next_ = (next_ + 1) % events_.size();
+  if (size_ < events_.size()) ++size_;
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot(uint64_t trace_id) const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  const size_t start = (next_ + events_.size() - size_) % events_.size();
+  for (size_t i = 0; i < size_; ++i) {
+    const TraceEvent& ev = events_[(start + i) % events_.size()];
+    if (trace_id == 0 || ev.trace_id == trace_id) out.push_back(ev);
+  }
+  return out;
+}
+
+std::string TraceRing::DumpText(
+    uint64_t trace_id,
+    const std::function<std::string_view(uint8_t)>& type_name) const {
+  std::string out;
+  if (overwritten_ > 0) {
+    out += "(ring overwrote " + std::to_string(overwritten_) +
+           " older hops)\n";
+  }
+  for (const TraceEvent& ev : Snapshot(trace_id)) {
+    out += FormatTraceEvent(ev, type_name);
+    out.push_back('\n');
+  }
+  if (out.empty()) {
+    out = "(no hops recorded for trace " + std::to_string(trace_id) + ")\n";
+  }
+  return out;
+}
+
+std::string TraceRing::ToJson(
+    uint64_t trace_id,
+    const std::function<std::string_view(uint8_t)>& type_name) const {
+  JsonWriter w;
+  w.BeginArray();
+  for (const TraceEvent& ev : Snapshot(trace_id)) {
+    w.BeginObject()
+        .KV("t_us", ev.time_us)
+        .KV("trace", ev.trace_id)
+        .KV("req", ev.request_id)
+        .KV("hop", HopKindName(ev.kind))
+        .KV("msg", type_name ? type_name(ev.msg_type)
+                             : std::string_view("unknown"))
+        .KV("from", static_cast<uint64_t>(ev.from))
+        .KV("to", static_cast<uint64_t>(ev.to))
+        .KV("key", ev.key)
+        .EndObject();
+  }
+  w.EndArray();
+  return w.str();
+}
+
+void TraceRing::Clear() {
+  next_ = 0;
+  size_ = 0;
+  overwritten_ = 0;
+}
+
+#endif  // ESSDDS_METRICS
+
+}  // namespace essdds::obs

@@ -1,0 +1,120 @@
+#ifndef ESSDDS_OBS_TRACE_H_
+#define ESSDDS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace essdds::obs {
+
+/// What happened at one hop of a traced operation's causal path.
+enum class HopKind : uint8_t {
+  kOpStart = 0,  // client began an operation (msg_type = request type)
+  kSend,         // a site handed a message to the network
+  kDeliver,      // the network ran the destination's OnMessage
+  kDrop,         // the network discarded the send (fault injection)
+  kDuplicate,    // the network scheduled an extra fault copy
+  kPark,         // delivery parked at a paused/loading site
+  kReplay,       // a parked message re-entered delivery
+  kRetry,        // the client retransmitted after a timeout/loss
+  kStale,        // the client discarded a reply for a completed request
+  kOpDone,       // client accepted the operation's result
+};
+
+std::string_view HopKindName(HopKind k);
+
+/// One recorded hop. `trace_id` groups the hops of a single client
+/// operation (0 = untraced protocol background, still recorded); `key`
+/// carries the message's key field — the record key for key ops, the bucket
+/// number on scan replies and restructuring orders.
+struct TraceEvent {
+  uint64_t time_us = 0;
+  uint64_t trace_id = 0;
+  uint64_t request_id = 0;
+  uint64_t key = 0;
+  uint32_t from = 0;
+  uint32_t to = 0;
+  uint8_t msg_type = 0;
+  HopKind kind = HopKind::kSend;
+};
+
+#if ESSDDS_METRICS
+
+/// Bounded in-memory hop recorder: a fixed-capacity ring that overwrites
+/// its oldest entries, so tracing every message of a long run costs O(1)
+/// memory and a failing seed still holds the causally relevant recent past.
+///
+/// Recording happens only on the simulator's driver thread (network sends,
+/// deliveries, client/site events); scan workers never trace. The ring is
+/// therefore unsynchronized by design.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 8192);
+
+  void Record(TraceEvent ev);
+
+  /// Events in recording order, optionally filtered to one trace id
+  /// (0 = everything).
+  std::vector<TraceEvent> Snapshot(uint64_t trace_id = 0) const;
+
+  /// Human-readable dump, one hop per line. `type_name` renders the wire
+  /// message type (the ring itself is protocol-agnostic); nullable — raw
+  /// numbers are printed then.
+  std::string DumpText(
+      uint64_t trace_id,
+      const std::function<std::string_view(uint8_t)>& type_name) const;
+
+  /// JSON array of hop objects (same filter semantics as Snapshot).
+  std::string ToJson(
+      uint64_t trace_id,
+      const std::function<std::string_view(uint8_t)>& type_name) const;
+
+  void Clear();
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return events_.size(); }
+  /// Events overwritten since the last Clear() — nonzero means the dump is
+  /// a suffix of the run, not the whole history.
+  uint64_t overwritten() const { return overwritten_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+  size_t next_ = 0;
+  size_t size_ = 0;
+  uint64_t overwritten_ = 0;
+};
+
+#else  // !ESSDDS_METRICS
+
+class TraceRing {
+ public:
+  explicit TraceRing(size_t = 0) {}
+  void Record(const TraceEvent&) {}
+  std::vector<TraceEvent> Snapshot(uint64_t = 0) const { return {}; }
+  std::string DumpText(
+      uint64_t, const std::function<std::string_view(uint8_t)>&) const {
+    return "(tracing compiled out: build with -DESSDDS_METRICS=ON)";
+  }
+  std::string ToJson(uint64_t,
+                     const std::function<std::string_view(uint8_t)>&) const {
+    return "[]";
+  }
+  void Clear() {}
+  size_t size() const { return 0; }
+  size_t capacity() const { return 0; }
+  uint64_t overwritten() const { return 0; }
+};
+
+#endif  // ESSDDS_METRICS
+
+/// Formats one hop as a text line (shared by TraceRing::DumpText and test
+/// failure reporters that hold their own snapshots).
+std::string FormatTraceEvent(
+    const TraceEvent& ev,
+    const std::function<std::string_view(uint8_t)>& type_name);
+
+}  // namespace essdds::obs
+
+#endif  // ESSDDS_OBS_TRACE_H_

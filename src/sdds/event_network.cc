@@ -76,6 +76,7 @@ void EventNetwork::Send(Message msg) {
     if (hit != ordinals.end()) {
       ordinals.erase(hit);
       ++stats_.dropped_messages;
+      TraceHop(obs::HopKind::kDrop, msg);
       return;
     }
   }
@@ -84,11 +85,13 @@ void EventNetwork::Send(Message msg) {
   if (eligible && options_.drop_prob > 0.0 &&
       rng_.Bernoulli(options_.drop_prob)) {
     ++stats_.dropped_messages;
+    TraceHop(obs::HopKind::kDrop, msg);
     return;
   }
   if (eligible && options_.duplicate_prob > 0.0 &&
       rng_.Bernoulli(options_.duplicate_prob)) {
     ++stats_.duplicated_messages;
+    TraceHop(obs::HopKind::kDuplicate, msg);
     ScheduleMessage(msg);  // the extra copy; charged only to duplicated_
   }
   ScheduleMessage(std::move(msg));
@@ -107,6 +110,7 @@ bool EventNetwork::Pump() {
   }
   const SiteId dest = ev.msg.to;
   if (paused_[dest]) {
+    TraceHop(obs::HopKind::kPark, ev.msg);
     parked_[dest].push_back(std::move(ev.msg));
     return true;
   }
@@ -117,6 +121,7 @@ bool EventNetwork::Pump() {
   // against pre-mutation content before any record-map change, so the
   // (eventually stale) reply still carries the hits the serial mode would
   // have produced at this delivery.
+  TraceHop(obs::HopKind::kDeliver, ev.msg);
   sites_[dest]->OnMessage(ev.msg, *this);
   return true;
 }
@@ -146,7 +151,10 @@ void EventNetwork::ResumeSite(SiteId site) {
   paused_[site] = false;
   std::vector<Message> held = std::move(parked_[site]);
   parked_[site].clear();
-  for (Message& msg : held) ScheduleMessage(std::move(msg));
+  for (Message& msg : held) {
+    TraceHop(obs::HopKind::kReplay, msg);
+    ScheduleMessage(std::move(msg));
+  }
 }
 
 void EventNetwork::ScriptDrop(MsgType type, uint64_t occurrence) {

@@ -9,6 +9,26 @@ LhClient::LhClient(LhRuntime* runtime, Network* net)
     : runtime_(runtime), net_(net) {
   ESSDDS_CHECK(runtime != nullptr && net != nullptr);
   site_ = net_->Register(this);
+  obs::MetricRegistry& m = net_->metrics();
+  insert_us_ = &m.histogram("client.insert_us");
+  lookup_us_ = &m.histogram("client.lookup_us");
+  delete_us_ = &m.histogram("client.delete_us");
+  scan_us_ = &m.histogram("client.scan_us");
+  retries_counter_ = &m.counter("client.retries");
+  stale_counter_ = &m.counter("client.stale_replies");
+}
+
+obs::Histogram& LhClient::LatencyHistogramFor(MsgType type) {
+  switch (type) {
+    case MsgType::kInsert:
+      return *insert_us_;
+    case MsgType::kLookup:
+      return *lookup_us_;
+    case MsgType::kDelete:
+      return *delete_us_;
+    default:
+      return *scan_us_;
+  }
 }
 
 uint64_t LhClient::AddressFor(uint64_t key) const {
@@ -29,6 +49,8 @@ void LhClient::OnMessage(Message& msg, Network& net) {
     // retried request, or a fault-injected duplicate. Idempotent servers
     // make re-execution harmless; the straggler reply is just noise.
     ++stale_reply_count_;
+    stale_counter_->Increment();
+    net_->TraceHop(obs::HopKind::kStale, msg);
     return;
   }
   pending_[msg.request_id].push_back(std::move(msg));
@@ -61,6 +83,8 @@ Message LhClient::RoundTrip(MsgType type, uint64_t key, Bytes value) {
   req.request_id = next_request_id_++;
   req.key = key;
   req.value = std::move(value);
+  req.trace_id = net_->NextTraceId();
+  last_trace_id_ = req.trace_id;
   const uint64_t id = req.request_id;
   outstanding_.insert(id);
 
@@ -69,6 +93,10 @@ Message LhClient::RoundTrip(MsgType type, uint64_t key, Bytes value) {
   if (async) resend = req;  // retransmission copy (payload included)
   req.to = runtime_->SiteOfBucket(AddressFor(key));
 
+  // Latency span: first send to accepted reply, in virtual microseconds —
+  // retries, forwards, and parked deliveries all land inside it.
+  const uint64_t op_start_us = net_->now_us();
+  net_->TraceHop(obs::HopKind::kOpStart, req);
   const uint64_t timeout = runtime_->options().request_timeout_us;
   uint64_t deadline = net_->now_us() + timeout;
   net_->Send(std::move(req));
@@ -81,6 +109,8 @@ Message LhClient::RoundTrip(MsgType type, uint64_t key, Bytes value) {
       pending_.erase(it);
       outstanding_.erase(id);
       ApplyIam(reply);
+      LatencyHistogramFor(type).Record(net_->now_us() - op_start_us);
+      net_->TraceHop(obs::HopKind::kOpDone, reply);
       return reply;
     }
 
@@ -105,8 +135,10 @@ Message LhClient::RoundTrip(MsgType type, uint64_t key, Bytes value) {
         << net_->now_us() << "us";
     ++retry_count_;
     net_->NoteRetry();
+    retries_counter_->Increment();
     Message again = resend;
     again.to = runtime_->SiteOfBucket(AddressFor(key));
+    net_->TraceHop(obs::HopKind::kRetry, again);
     // Bounded exponential backoff: double the patience each attempt, up to
     // 2^6 timeouts.
     deadline =
@@ -147,18 +179,23 @@ LhClient::ScanResult LhClient::Scan(uint64_t filter_id, Bytes filter_arg) {
   net_->PumpUntilIdle();
 
   const uint64_t id = next_request_id_++;
+  const uint64_t trace_id = net_->NextTraceId();
+  last_trace_id_ = trace_id;
   outstanding_.insert(id);
   const uint64_t extent = image_.BucketCount();
+  const uint64_t op_start_us = net_->now_us();
   for (uint64_t a = 0; a < extent; ++a) {
     Message req;
     req.type = MsgType::kScan;
     req.from = site_;
     req.reply_to = site_;
     req.request_id = id;
+    req.trace_id = trace_id;
     req.filter_id = filter_id;
     req.filter_arg = filter_arg;
     req.assumed_level = image_.AssumedLevel(a);
     req.to = runtime_->SiteOfBucket(a);
+    if (a == 0) net_->TraceHop(obs::HopKind::kOpStart, req);
     net_->Send(std::move(req));
   }
   // Deliver the fan-out (and any forwards to buckets the image missed);
@@ -195,6 +232,17 @@ LhClient::ScanResult LhClient::Scan(uint64_t filter_id, Bytes filter_arg) {
     result.buckets_answered = buckets_seen.size();
     pending_.erase(it);
   }
+  scan_us_->Record(net_->now_us() - op_start_us);
+  // The scan has no single accepting reply; close the trace with a
+  // summary hop (key = buckets answered).
+  Message done;
+  done.type = MsgType::kScanReply;
+  done.from = site_;
+  done.to = site_;
+  done.request_id = id;
+  done.trace_id = trace_id;
+  done.key = result.buckets_answered;
+  net_->TraceHop(obs::HopKind::kOpDone, done);
   return result;
 }
 

@@ -73,6 +73,11 @@ class LhClient : public Site {
   /// originals overtaken by a retry, or fault-injected duplicates).
   uint64_t stale_reply_count() const { return stale_reply_count_; }
 
+  /// Trace id of the most recently started operation (0 with metrics
+  /// compiled out). Tests use it to pull one op's causal hop chain out of
+  /// the network's trace ring; the shell's `trace last` does the same.
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
  private:
   /// LH* client addressing with the local image.
   uint64_t AddressFor(uint64_t key) const;
@@ -84,6 +89,10 @@ class LhClient : public Site {
 
   void ApplyIam(const Message& reply);
 
+  /// The latency histogram measuring `type` ops (client.{insert,lookup,
+  /// delete}_us).
+  obs::Histogram& LatencyHistogramFor(MsgType type);
+
   LhRuntime* runtime_;
   Network* net_;
   SiteId site_;
@@ -92,6 +101,19 @@ class LhClient : public Site {
   uint64_t iam_count_ = 0;
   uint64_t retry_count_ = 0;
   uint64_t stale_reply_count_ = 0;
+  uint64_t last_trace_id_ = 0;
+
+  // Cached instruments (resolved once at construction; see MetricRegistry's
+  // thread contract). Latencies are in virtual microseconds, spanning first
+  // send to accepted reply — retries, forwards, and parked deliveries all
+  // happen inside the span. Shared registry-wide: several clients on one
+  // network fold into the same distributions.
+  obs::Histogram* insert_us_;
+  obs::Histogram* lookup_us_;
+  obs::Histogram* delete_us_;
+  obs::Histogram* scan_us_;
+  obs::Counter* retries_counter_;
+  obs::Counter* stale_counter_;
 
   /// Request ids awaiting replies; anything else delivered here is stale.
   std::set<uint64_t> outstanding_;

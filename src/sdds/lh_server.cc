@@ -1,5 +1,6 @@
 #include "sdds/lh_server.h"
 
+#include <string>
 #include <utility>
 
 #include "sdds/scan_executor.h"
@@ -112,6 +113,7 @@ void LhBucketServer::HandleKeyOp(Message& msg, Network& net) {
   reply.from = site_;
   reply.to = msg.reply_to;
   reply.request_id = msg.request_id;
+  reply.trace_id = msg.trace_id;
   reply.key = msg.key;
   if (msg.hops > 0) {
     reply.has_iam = true;
@@ -125,10 +127,11 @@ void LhBucketServer::HandleKeyOp(Message& msg, Network& net) {
       auto [it, inserted] =
           records_.insert_or_assign(msg.key, std::move(msg.value));
       (void)it;
+      UpdateRecordGauge(net);
       reply.type = MsgType::kInsertAck;
       reply.found = !inserted;  // true when an existing record was replaced
       net.Send(std::move(reply));
-      MaybeReportOverflow(net);
+      MaybeReportOverflow(net, msg.trace_id);
       return;
     }
     case MsgType::kLookup: {
@@ -143,8 +146,9 @@ void LhBucketServer::HandleKeyOp(Message& msg, Network& net) {
       AboutToMutateRecords(net);
       reply.type = MsgType::kDeleteAck;
       reply.found = records_.erase(msg.key) > 0;
+      UpdateRecordGauge(net);
       net.Send(std::move(reply));
-      MaybeReportUnderflow(net);
+      MaybeReportUnderflow(net, msg.trace_id);
       return;
     }
     default:
@@ -192,6 +196,7 @@ void LhBucketServer::HandleScan(Message& msg, Network& net) {
   task.reply.from = site_;
   task.reply.to = msg.reply_to;
   task.reply.request_id = msg.request_id;
+  task.reply.trace_id = msg.trace_id;
   task.reply.key = bucket_number_;  // lets the client attribute hits to buckets
   if (net.deferred_scan_mode()) {
     // Parallel scan mode: evaluation runs off the messaging path once the
@@ -225,6 +230,7 @@ void LhBucketServer::HandleSplit(const Message& msg, Network& net) {
   move.type = MsgType::kMoveRecords;
   move.from = site_;
   move.to = runtime_->SiteOfBucket(new_bucket);
+  move.trace_id = msg.trace_id;
   const uint64_t mask = (uint64_t{1} << level_) - 1;
   for (auto it = records_.begin(); it != records_.end();) {
     if ((LhKeyImage(it->first, options_) & mask) == new_bucket) {
@@ -234,6 +240,7 @@ void LhBucketServer::HandleSplit(const Message& msg, Network& net) {
       ++it;
     }
   }
+  UpdateRecordGauge(net);
   net.Send(std::move(move));
 
   Message done;
@@ -241,6 +248,7 @@ void LhBucketServer::HandleSplit(const Message& msg, Network& net) {
   done.from = site_;
   done.to = runtime_->CoordinatorSite();
   done.key = bucket_number_;
+  done.trace_id = msg.trace_id;
   net.Send(std::move(done));
 }
 
@@ -252,6 +260,7 @@ void LhBucketServer::HandleMoveRecords(Message& msg, Network& net) {
   for (WireRecord& r : msg.records) {
     records_[r.key] = std::move(r.value);
   }
+  UpdateRecordGauge(net);
   if (loading_) {
     loading_ = false;
     // Replay whatever raced the bulk load, in arrival order. Replays may
@@ -284,10 +293,12 @@ void LhBucketServer::HandleMerge(const Message& msg, Network& net) {
   move.from = site_;
   move.to = runtime_->SiteOfBucket(parent);
   move.new_level = msg.new_level;
+  move.trace_id = msg.trace_id;
   for (auto& [key, value] : records_) {
     move.records.push_back(WireRecord{key, std::move(value)});
   }
   records_.clear();
+  UpdateRecordGauge(net);
   // Dissolved from this moment: an op that reaches this bucket before the
   // coordinator retires it from the directory must chase the records to
   // the parent, not read the empty map.
@@ -299,6 +310,7 @@ void LhBucketServer::HandleMerge(const Message& msg, Network& net) {
   done.from = site_;
   done.to = runtime_->CoordinatorSite();
   done.key = bucket_number_;
+  done.trace_id = msg.trace_id;
   net.Send(std::move(done));
 }
 
@@ -338,6 +350,7 @@ void LhBucketServer::HandleMergeRecords(Message& msg, Network& net) {
       break;
     }
   }
+  UpdateRecordGauge(net);
   // The level came down: a split or merge order stashed while this transfer
   // was in flight may be runnable now (it re-stashes if still early).
   if (!stashed_control_.empty()) {
@@ -358,17 +371,27 @@ void LhBucketServer::AboutToMutateRecords(Network& net) {
   ++mutation_generation_;
 }
 
-void LhBucketServer::MaybeReportOverflow(Network& net) {
+void LhBucketServer::UpdateRecordGauge(Network& net) {
+  if (!obs::kMetricsEnabled) return;
+  if (record_gauge_ == nullptr) {
+    record_gauge_ = &net.metrics().gauge(
+        "bucket." + std::to_string(bucket_number_) + ".records");
+  }
+  record_gauge_->Set(static_cast<int64_t>(records_.size()));
+}
+
+void LhBucketServer::MaybeReportOverflow(Network& net, uint64_t trace_id) {
   if (records_.size() <= options_.bucket_capacity) return;
   Message overflow;
   overflow.type = MsgType::kOverflow;
   overflow.from = site_;
   overflow.to = runtime_->CoordinatorSite();
   overflow.key = bucket_number_;
+  overflow.trace_id = trace_id;
   net.Send(std::move(overflow));
 }
 
-void LhBucketServer::MaybeReportUnderflow(Network& net) {
+void LhBucketServer::MaybeReportUnderflow(Network& net, uint64_t trace_id) {
   if (options_.merge_threshold <= 0.0) return;
   const double low_water =
       options_.merge_threshold * static_cast<double>(options_.bucket_capacity);
@@ -378,6 +401,7 @@ void LhBucketServer::MaybeReportUnderflow(Network& net) {
   underflow.from = site_;
   underflow.to = runtime_->CoordinatorSite();
   underflow.key = bucket_number_;
+  underflow.trace_id = trace_id;
   net.Send(std::move(underflow));
 }
 
@@ -387,7 +411,7 @@ void LhCoordinator::OnMessage(Message& msg, Network& net) {
       // Uncontrolled splitting: every collision report triggers one split of
       // the bucket at the split pointer (which is generally NOT the
       // overflowing bucket — that is the essence of linear hashing).
-      PerformSplit(net);
+      PerformSplit(net, msg.trace_id);
       return;
     case MsgType::kSplitDone:
       ESSDDS_CHECK(split_in_progress_);
@@ -400,7 +424,7 @@ void LhCoordinator::OnMessage(Message& msg, Network& net) {
       }
       return;
     case MsgType::kUnderflow:
-      PerformMerge(net);
+      PerformMerge(net, msg.trace_id);
       return;
     case MsgType::kMergeDone:
       ESSDDS_CHECK(merge_in_progress_);
@@ -421,9 +445,10 @@ void LhCoordinator::OnMessage(Message& msg, Network& net) {
   }
 }
 
-void LhCoordinator::PerformMerge(Network& net) {
+void LhCoordinator::PerformMerge(Network& net, uint64_t trace_id) {
   if (merge_in_progress_ || split_in_progress_ || extent_ <= 1) return;
   merge_in_progress_ = true;
+  net.metrics().counter("coord.merges").Increment();
   // Inverse of the split order: dissolve the most recently created bucket
   // back into its parent.
   uint64_t victim, parent, parent_new_level;
@@ -444,10 +469,11 @@ void LhCoordinator::PerformMerge(Network& net) {
   merge.bucket_to_split = victim;
   merge.key = parent;
   merge.new_level = static_cast<uint32_t>(parent_new_level);
+  merge.trace_id = trace_id;
   net.Send(std::move(merge));
 }
 
-void LhCoordinator::PerformSplit(Network& net) {
+void LhCoordinator::PerformSplit(Network& net, uint64_t trace_id) {
   // An overflow report can arrive while a split (or merge) is already in
   // flight — on a real network the reports race the kSplitDone ack. The
   // report is then already served by the in-flight restructuring: drop it,
@@ -455,6 +481,7 @@ void LhCoordinator::PerformSplit(Network& net) {
   // still overflowing afterwards reports again on its next insert.)
   if (split_in_progress_ || merge_in_progress_) return;
   split_in_progress_ = true;
+  net.metrics().counter("coord.splits").Increment();
   const uint64_t old_bucket = split_pointer_;
   const uint64_t new_bucket = split_pointer_ + (uint64_t{1} << level_);
   runtime_->CreateBucket(new_bucket, level_ + 1);
@@ -466,6 +493,7 @@ void LhCoordinator::PerformSplit(Network& net) {
   split.bucket_to_split = old_bucket;
   split.new_level = level_ + 1;
   split.key = new_bucket;
+  split.trace_id = trace_id;
   net.Send(std::move(split));
 }
 

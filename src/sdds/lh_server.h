@@ -73,8 +73,15 @@ class LhBucketServer : public Site {
   void HandleMerge(const Message& msg, Network& net);
   void HandleMergeRecords(Message& msg, Network& net);
 
-  void MaybeReportOverflow(Network& net);
-  void MaybeReportUnderflow(Network& net);
+  /// `trace_id` ties the report (and the restructuring it triggers) to the
+  /// client op whose mutation crossed the threshold.
+  void MaybeReportOverflow(Network& net, uint64_t trace_id);
+  void MaybeReportUnderflow(Network& net, uint64_t trace_id);
+
+  /// Refreshes this bucket's record-count gauge (bucket.N.records); called
+  /// after every records_ mutation. Resolves the instrument lazily on the
+  /// driver thread, first mutation.
+  void UpdateRecordGauge(Network& net);
 
   /// Must run before every mutation of records_: deferred scan tasks hold a
   /// pointer into the map, so any still queued are evaluated now — against
@@ -107,6 +114,7 @@ class LhBucketServer : public Site {
   /// Bumped by AboutToMutateRecords on every records_ change; deferred scan
   /// tasks carry a pointer to it (see ScanTask::live_generation).
   uint64_t mutation_generation_ = 0;
+  obs::Gauge* record_gauge_ = nullptr;  // bucket.N.records, resolved lazily
 };
 
 /// The LH* split coordinator: receives overflow notifications and drives the
@@ -127,11 +135,13 @@ class LhCoordinator : public Site {
   void set_site(SiteId site) { site_ = site; }
 
  private:
-  void PerformSplit(Network& net);
+  /// `trace_id` of the overflow/underflow report that triggered the
+  /// restructuring; carried on the orders it sends.
+  void PerformSplit(Network& net, uint64_t trace_id);
 
   LhRuntime* runtime_;
   SiteId site_ = kInvalidSite;
-  void PerformMerge(Network& net);
+  void PerformMerge(Network& net, uint64_t trace_id);
 
   uint32_t level_ = 0;          // i
   uint64_t split_pointer_ = 0;  // n

@@ -110,6 +110,7 @@ Bytes Message::Encode() const {
   }
   w.WriteU64(bucket_to_split);
   w.WriteU32(new_level);
+  w.WriteU64(trace_id);
   return w.TakeBuffer();
 }
 
@@ -149,6 +150,12 @@ Result<Message> Message::Decode(ByteSpan data) {
   }
   ESSDDS_ASSIGN_OR_RETURN(m.bucket_to_split, r.ReadU64());
   ESSDDS_ASSIGN_OR_RETURN(m.new_level, r.ReadU32());
+  // Compatible extension: the trace id trails the legacy layout. An
+  // encoding that ends here is the pre-observability format (trace_id 0);
+  // anything else must be exactly the 8-byte id.
+  if (r.remaining() > 0) {
+    ESSDDS_ASSIGN_OR_RETURN(m.trace_id, r.ReadU64());
+  }
   ESSDDS_RETURN_IF_ERROR(r.ExpectEnd());
   return m;
 }

@@ -86,6 +86,15 @@ struct Message {
 
   /// Correlates replies with requests; assigned by the client.
   uint64_t request_id = 0;
+  /// Observability: identifies the client operation this message serves,
+  /// carried across forwards, retransmissions, scan fan-out, and the
+  /// restructuring an op triggers (overflow -> split -> move), so one op's
+  /// full causal path can be reassembled from the trace ring. 0 = untraced
+  /// (metrics compiled out, or protocol background with no triggering op).
+  /// Not charged by AccountedBytes: a production deployment would ship it
+  /// only in a diagnostic header, and message/byte counters must stay
+  /// byte-identical between metrics-ON and -OFF builds.
+  uint64_t trace_id = 0;
   /// Final reply destination: preserved across server-to-server forwards so
   /// the serving bucket answers the originating client directly.
   SiteId reply_to = kInvalidSite;
@@ -123,7 +132,9 @@ struct Message {
 
   /// Real wire encoding (uniform layout: every field serialized). Decode is
   /// the bounds-checked inverse; malformed bytes yield Status::Corruption,
-  /// never an exception or unbounded allocation.
+  /// never an exception or unbounded allocation. The encoding was extended
+  /// compatibly with a trailing trace_id: Decode accepts the legacy layout
+  /// (nothing after new_level, trace_id = 0) as well as the current one.
   Bytes Encode() const;
   static Result<Message> Decode(ByteSpan data);
 

@@ -1,9 +1,13 @@
 #include "sdds/network.h"
 
 #include <algorithm>
+#include <iomanip>
 #include <memory>
 #include <sstream>
+#include <string>
 #include <utility>
+
+#include "util/json_writer.h"
 
 namespace essdds::sdds {
 
@@ -16,10 +20,52 @@ std::string NetworkStats::ToString() const {
        << " duplicated=" << duplicated_messages
        << " retried=" << retried_messages;
   }
+  // Per-type breakdown: one aligned row per type, in wire-enum order (the
+  // map key order — stable across runs and platforms).
   for (const auto& [type, count] : per_type) {
-    os << " " << MsgTypeToString(type) << "=" << count;
+    os << "\n  " << std::left << std::setw(12) << MsgTypeToString(type)
+       << std::right << std::setw(10) << count;
   }
   return os.str();
+}
+
+std::string NetworkStats::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("total_messages", total_messages);
+  w.KV("total_bytes", total_bytes);
+  w.KV("forwarded_messages", forwarded_messages);
+  w.KV("dropped_messages", dropped_messages);
+  w.KV("duplicated_messages", duplicated_messages);
+  w.KV("retried_messages", retried_messages);
+  w.Key("per_type").BeginObject();
+  for (const auto& [type, count] : per_type) {
+    w.KV(MsgTypeToString(type), count);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+void Network::NoteSendMetrics(const Message& msg, uint64_t bytes) {
+  if (!obs::kMetricsEnabled) return;
+  if (msg.from != kInvalidSite) {
+    while (site_msgs_sent_.size() <= msg.from) {
+      const std::string prefix =
+          "net.site." + std::to_string(site_msgs_sent_.size());
+      site_msgs_sent_.push_back(&metrics_.counter(prefix + ".msgs_sent"));
+      site_bytes_sent_.push_back(&metrics_.counter(prefix + ".bytes_sent"));
+    }
+    site_msgs_sent_[msg.from]->Increment();
+    site_bytes_sent_[msg.from]->Increment(bytes);
+  }
+  TraceHop(obs::HopKind::kSend, msg);
+}
+
+std::string Network::TraceDump(uint64_t trace_id) const {
+  return trace_.DumpText(trace_id, [](uint8_t t) {
+    return MsgTypeToString(static_cast<MsgType>(t));
+  });
 }
 
 void Network::EnqueueScanTask(ScanTask task) {
@@ -27,7 +73,9 @@ void Network::EnqueueScanTask(ScanTask task) {
 }
 
 ScanWorkerPool& Network::scan_pool() {
-  if (!scan_pool_) scan_pool_ = std::make_unique<ScanWorkerPool>(scan_threads_);
+  if (!scan_pool_) {
+    scan_pool_ = std::make_unique<ScanWorkerPool>(scan_threads_, &metrics_);
+  }
   return *scan_pool_;
 }
 
@@ -90,6 +138,7 @@ void SimNetwork::Send(Message msg) {
   // Guard against protocol bugs that would recurse unboundedly.
   ++delivery_depth_;
   ESSDDS_CHECK(delivery_depth_ < 256) << "message delivery depth exceeded";
+  TraceHop(obs::HopKind::kDeliver, msg);
   Site* dest = sites_[msg.to];
   dest->OnMessage(msg, *this);
   --delivery_depth_;

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sdds/message.h"
 #include "sdds/scan_executor.h"
 #include "util/logging.h"
@@ -52,7 +54,14 @@ struct NetworkStats {
   uint64_t retried_messages = 0;     // client retransmissions (in totals)
   std::map<MsgType, uint64_t> per_type;
 
+  /// Human-readable report: headline counters on the first line, then the
+  /// per-type breakdown as aligned columns in wire-enum order. Fault
+  /// counters appear only when any fired, so fault-free output stays terse.
   std::string ToString() const;
+
+  /// Machine-readable form of the same numbers (used by the shell's
+  /// --metrics export and the benches).
+  std::string ToJson() const;
 
   friend bool operator==(const NetworkStats&, const NetworkStats&) = default;
 };
@@ -106,7 +115,47 @@ class Network {
   virtual size_t site_count() const = 0;
 
   const NetworkStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = NetworkStats{}; }
+
+  /// The one reset point for every observable number: the flat NetworkStats
+  /// and the whole metric registry (counters, gauges, histograms) zero
+  /// together, and the trace ring restarts, so phase-local measurements
+  /// (e.g. between bench phases) never leak across the boundary. Instrument
+  /// references cached by sites/clients stay valid.
+  void ResetStats() {
+    stats_ = NetworkStats{};
+    metrics_.ResetAll();
+    trace_.Clear();
+  }
+
+  // --- observability (src/obs) ---
+
+  /// The network's metric registry and trace ring: one of each per
+  /// simulated multicomputer, shared by every site, client, and the scan
+  /// pool. Stateless no-op stubs when built with -DESSDDS_METRICS=OFF.
+  obs::MetricRegistry& metrics() { return metrics_; }
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+  obs::TraceRing& trace() { return trace_; }
+  const obs::TraceRing& trace() const { return trace_; }
+
+  /// Allocates the trace id for a new client operation. Always 0 with
+  /// metrics compiled out: the wire field then stays at its untraced
+  /// default, keeping encodings identical across ON/OFF builds.
+  uint64_t NextTraceId() {
+    return obs::kMetricsEnabled ? ++next_trace_id_ : 0;
+  }
+
+  /// Records one hop of `msg` in the trace ring at the current virtual
+  /// time. Called on the driver thread only (network implementations at
+  /// delivery/fault decisions, clients at op boundaries).
+  void TraceHop(obs::HopKind kind, const Message& msg) {
+    if (!obs::kMetricsEnabled) return;
+    trace_.Record({now_us(), msg.trace_id, msg.request_id, msg.key, msg.from,
+                   msg.to, static_cast<uint8_t>(msg.type), kind});
+  }
+
+  /// Human-readable causal dump of the ring, filtered to one trace id
+  /// (0 = everything recorded).
+  std::string TraceDump(uint64_t trace_id = 0) const;
 
   /// Called by clients when they retransmit a timed-out request (the resend
   /// itself goes through Send and is charged there).
@@ -157,19 +206,35 @@ class Network {
   /// Charges one protocol send to the counters (every implementation calls
   /// this exactly once per Send, before any fault decision).
   void Account(const Message& msg) {
+    const uint64_t bytes = msg.AccountedBytes();
     stats_.total_messages++;
-    stats_.total_bytes += msg.AccountedBytes();
+    stats_.total_bytes += bytes;
     stats_.per_type[msg.type]++;
     if (msg.hops > 0) stats_.forwarded_messages++;
+    NoteSendMetrics(msg, bytes);
   }
 
   NetworkStats stats_;
 
  private:
+  /// Metrics-side mirror of Account: per-site sent-message/byte counters
+  /// (instrument references cached per site id, so steady-state sends never
+  /// touch the registry's name map) plus the kSend trace hop. Compiles to
+  /// nothing in an OFF build.
+  void NoteSendMetrics(const Message& msg, uint64_t bytes);
+
   size_t scan_threads_ = 0;
   size_t scan_shard_min_records_ = 1024;
   std::vector<ScanTask> pending_scans_;
   std::unique_ptr<ScanWorkerPool> scan_pool_;
+
+  obs::MetricRegistry metrics_;
+  obs::TraceRing trace_;
+  uint64_t next_trace_id_ = 0;
+  // Cached per-site instruments, indexed by site id and grown lazily on
+  // first send from that site.
+  std::vector<obs::Counter*> site_msgs_sent_;
+  std::vector<obs::Counter*> site_bytes_sent_;
 };
 
 /// Single-process simulation of a multicomputer: every site has an id;

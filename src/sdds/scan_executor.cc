@@ -41,7 +41,13 @@ void ExecuteScanTask(ScanTask& task) {
   }
 }
 
-ScanWorkerPool::ScanWorkerPool(size_t threads) : threads_(threads) {}
+ScanWorkerPool::ScanWorkerPool(size_t threads, obs::MetricRegistry* metrics)
+    : threads_(threads) {
+  if (metrics != nullptr) {
+    batch_tasks_hist_ = &metrics->histogram("scan.batch_tasks");
+    batch_shards_hist_ = &metrics->histogram("scan.batch_shards");
+  }
+}
 
 #if ESSDDS_THREADS
 
@@ -142,7 +148,16 @@ void ScanWorkerPool::RunBatch(std::vector<Shard>& shards) {
 void ScanWorkerPool::Run(std::vector<ScanTask>& tasks,
                          size_t shard_min_records) {
   if (threads_ <= 1) {
-    for (ScanTask& task : tasks) ExecuteScanTask(task);
+    size_t executed = 0;
+    for (ScanTask& task : tasks) {
+      if (!task.evaluated) ++executed;
+      ExecuteScanTask(task);
+    }
+    if (batch_tasks_hist_ != nullptr) {
+      batch_tasks_hist_->Record(executed);
+      // Serial mode: every task is its own (whole-bucket) shard.
+      batch_shards_hist_->Record(executed);
+    }
     return;
   }
   // Shard planning runs on the caller: per-task Prepare (when the drain did
@@ -213,6 +228,10 @@ void ScanWorkerPool::Run(std::vector<ScanTask>& tasks,
     }
     planned.push_back(&task);
   }
+  if (batch_tasks_hist_ != nullptr) {
+    batch_tasks_hist_->Record(planned.size());
+    batch_shards_hist_->Record(shards.size());
+  }
   if (!shards.empty()) {
     if (shards.size() == 1) {
       EvaluateShard(shards.front());
@@ -242,7 +261,15 @@ void ScanWorkerPool::Run(std::vector<ScanTask>& tasks,
   // Thread support compiled out: the pool is the serial path, regardless of
   // its configured size or the shard threshold.
   (void)shard_min_records;
-  for (ScanTask& task : tasks) ExecuteScanTask(task);
+  size_t executed = 0;
+  for (ScanTask& task : tasks) {
+    if (!task.evaluated) ++executed;
+    ExecuteScanTask(task);
+  }
+  if (batch_tasks_hist_ != nullptr) {
+    batch_tasks_hist_->Record(executed);
+    batch_shards_hist_->Record(executed);
+  }
 }
 
 #endif  // ESSDDS_THREADS

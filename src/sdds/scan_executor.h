@@ -13,6 +13,7 @@
 #include <thread>
 #endif
 
+#include "obs/metrics.h"
 #include "sdds/lh_options.h"
 #include "sdds/message.h"
 
@@ -90,7 +91,13 @@ void ExecuteScanTask(ScanTask& task);
 /// them.
 class ScanWorkerPool {
  public:
-  explicit ScanWorkerPool(size_t threads);
+  /// `metrics`, when given, receives the pool's batch-shape histograms
+  /// ("scan.batch_tasks", "scan.batch_shards" — how many buckets each drain
+  /// batched and how finely they sharded); must outlive the pool. The
+  /// instruments are resolved once here, on the driver thread, per the
+  /// registry's thread contract.
+  explicit ScanWorkerPool(size_t threads,
+                          obs::MetricRegistry* metrics = nullptr);
   ~ScanWorkerPool();
 
   ScanWorkerPool(const ScanWorkerPool&) = delete;
@@ -171,6 +178,10 @@ class ScanWorkerPool {
   bool shutdown_ = false;
 #endif
   const size_t threads_;
+  // Batch-shape histograms (null when no registry was attached). Recorded
+  // by Run() on the driver thread.
+  obs::Histogram* batch_tasks_hist_ = nullptr;
+  obs::Histogram* batch_shards_hist_ = nullptr;
 };
 
 }  // namespace essdds::sdds

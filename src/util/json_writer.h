@@ -1,0 +1,73 @@
+#ifndef ESSDDS_UTIL_JSON_WRITER_H_
+#define ESSDDS_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace essdds {
+
+/// Minimal streaming JSON emitter shared by the benches, the shell, and the
+/// observability exports (NetworkStats::ToJson, MetricRegistry::ToJson) —
+/// replaces the hand-rolled printf JSON the benches used to carry. Commas
+/// and nesting are handled automatically; strings are escaped per RFC 8259.
+///
+///   JsonWriter w;
+///   w.BeginObject().Key("hits").Value(7).Key("modes").BeginArray()
+///       .Value("serial").Value("pooled").EndArray().EndObject();
+///   puts(w.str().c_str());
+///
+/// The writer does not validate call order beyond nesting depth; callers
+/// own well-formedness (a Key() must precede every value inside an object).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(bool v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(unsigned v) { return Value(static_cast<uint64_t>(v)); }
+  /// Doubles print with `decimals` fixed digits (throughput numbers), or
+  /// shortest round-trip-ish %.17g when decimals < 0. NaN/Inf emit null
+  /// (JSON has no representation for them).
+  JsonWriter& Value(double v, int decimals = -1);
+
+  /// Splices a pre-rendered JSON fragment (e.g. a nested ToJson() result)
+  /// as the next value, verbatim.
+  JsonWriter& Raw(std::string_view json);
+
+  /// Key(k) + Value(v) in one call.
+  template <typename T>
+  JsonWriter& KV(std::string_view key, T v) {
+    Key(key);
+    return Value(v);
+  }
+  JsonWriter& KV(std::string_view key, double v, int decimals) {
+    Key(key);
+    return Value(v, decimals);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+  void Escape(std::string_view s);
+
+  std::string out_;
+  // One frame per open object/array: whether a value has been emitted at
+  // this level (comma needed before the next one).
+  std::vector<bool> needs_comma_{false};
+};
+
+}  // namespace essdds
+
+#endif  // ESSDDS_UTIL_JSON_WRITER_H_

@@ -1,13 +1,27 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace essdds {
 
 namespace {
 
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+int DefaultMinLevel() {
+  if (const char* env = std::getenv("ESSDDS_LOG_LEVEL")) {
+    if (auto level = ParseLogLevel(env)) return static_cast<int>(*level);
+  }
+  return static_cast<int>(LogLevel::kWarning);
+}
+
+/// Initialized on first use (the first log site or level query), which is
+/// when ESSDDS_LOG_LEVEL is consulted.
+std::atomic<int>& MinLevelStore() {
+  static std::atomic<int> level{DefaultMinLevel()};
+  return level;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -27,12 +41,27 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
 void SetMinLogLevel(LogLevel level) {
-  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  MinLevelStore().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetMinLogLevel() {
-  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(
+      MinLevelStore().load(std::memory_order_relaxed));
 }
 
 namespace internal_logging {

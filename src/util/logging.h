@@ -2,8 +2,10 @@
 #define ESSDDS_UTIL_LOGGING_H_
 
 #include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace essdds {
 
@@ -49,10 +51,18 @@ class NullStream {
 
 }  // namespace internal_logging
 
-/// Minimum level that is actually emitted (default kWarning so tests and
-/// benches stay quiet). Thread-safe to read; set once at startup.
+/// Minimum level that is actually emitted. Defaults to kWarning (tests and
+/// benches stay quiet) unless the ESSDDS_LOG_LEVEL environment variable
+/// names another level — "debug", "info", "warning"/"warn", or "error",
+/// case-insensitive — which is read once, at the first log site, so any
+/// binary's verbosity is switchable without recompiling. SetMinLogLevel
+/// overrides both. Thread-safe to read; set once at startup.
 void SetMinLogLevel(LogLevel level);
 LogLevel GetMinLogLevel();
+
+/// Parses a level name as accepted by ESSDDS_LOG_LEVEL; nullopt for
+/// anything unrecognized (the env hook then keeps the default).
+std::optional<LogLevel> ParseLogLevel(std::string_view name);
 
 #define ESSDDS_LOG(level)                                            \
   ::essdds::internal_logging::LogMessage(::essdds::LogLevel::level,  \

@@ -1,0 +1,236 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#if ESSDDS_THREADS
+#include <thread>
+#endif
+
+namespace essdds::obs {
+namespace {
+
+// Most assertions here exercise the real instruments; in a metrics-OFF
+// build the stubs return zeros by contract, so those tests skip. The
+// API-compiles-either-way property is itself under test: this file builds
+// unmodified on both settings.
+
+TEST(CounterTest, IncrementsAndResets) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Gauge g;
+  g.Set(7);
+  g.Set(-3);
+  EXPECT_EQ(g.value(), -3);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(HistogramTest, ZeroSamplesAreWellDefined) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.Quantile(0.99), 0u);
+  const Histogram::Summary s = h.Summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p99, 0u);
+}
+
+TEST(HistogramTest, SingleSampleIsExactAtEveryQuantile) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  // 5 lands in the [4, 7] bucket whose upper bound is 7; the exact-max
+  // clamp must bring every quantile back down to the observed 5.
+  Histogram h;
+  h.Record(5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 5u);
+  EXPECT_EQ(h.max(), 5u);
+  EXPECT_EQ(h.Quantile(0.0), 5u);  // rank clamps to the first sample
+  EXPECT_EQ(h.Quantile(0.5), 5u);
+  EXPECT_EQ(h.Quantile(0.99), 5u);
+  EXPECT_EQ(h.Quantile(1.0), 5u);
+}
+
+TEST(HistogramTest, ZeroValueLandsInBucketZero) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Histogram h;
+  h.Record(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, ValuesBeyondLastFiniteBoundary) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  // Values at and past 2^63 land in the top bucket; quantiles stay clamped
+  // to the exact max instead of reporting the bucket's UINT64_MAX bound.
+  Histogram h;
+  const uint64_t big = (uint64_t{1} << 63) + 5;
+  h.Record(big);
+  h.Record(~uint64_t{0});
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~uint64_t{0});
+  EXPECT_EQ(h.Quantile(0.01), ~uint64_t{0})
+      << "both samples share the top bucket";
+  EXPECT_EQ(h.Quantile(1.0), ~uint64_t{0});
+}
+
+TEST(HistogramTest, QuantilesOfKnownDistribution) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  // Rank 500 is the value 500, in the [256, 511] bucket -> reported as the
+  // bucket's upper bound 511. Log-scale quantiles are bucket-granular.
+  EXPECT_EQ(h.Quantile(0.5), 511u);
+  // Ranks 950 and 990 both live in [512, 1023], clamped to the exact max.
+  EXPECT_EQ(h.Quantile(0.95), 1000u);
+  EXPECT_EQ(h.Quantile(0.99), 1000u);
+  const Histogram::Summary s = h.Summarize();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.sum, 500500u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+}
+
+TEST(HistogramTest, MergeFromFoldsCountsSumsAndMax) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Histogram a, b;
+  a.Record(2);
+  a.Record(100);
+  b.Record(7);
+  b.Record(5000);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 2u + 100u + 7u + 5000u);
+  EXPECT_EQ(a.max(), 5000u);
+  EXPECT_EQ(a.Quantile(1.0), 5000u);
+  // The source is untouched.
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Histogram h;
+  h.Record(9);
+  h.Record(1 << 20);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Quantile(0.99), 0u);
+}
+
+#if ESSDDS_THREADS
+// The lock-free recording contract, under ThreadSanitizer in the tsan CI
+// leg: scan_threads=8 workers hammer one histogram and one counter
+// concurrently; totals must be exact (every sample counted exactly once)
+// and TSan must see no race.
+TEST(HistogramTest, ConcurrentRecordingIsLossless) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 20'000;
+  Histogram h;
+  Counter c;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, &c, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(t * kPerThread + i);
+        c.Increment();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  const uint64_t n = kThreads * kPerThread;
+  EXPECT_EQ(h.sum(), n * (n - 1) / 2);
+  EXPECT_EQ(h.max(), n - 1);
+}
+#endif  // ESSDDS_THREADS
+
+TEST(MetricRegistryTest, SameNameYieldsSameInstrument) {
+  MetricRegistry r;
+  // Holds on both settings: ON returns the named instrument, OFF returns
+  // the one shared stub.
+  EXPECT_EQ(&r.counter("x"), &r.counter("x"));
+  EXPECT_EQ(&r.gauge("g"), &r.gauge("g"));
+  EXPECT_EQ(&r.histogram("h"), &r.histogram("h"));
+}
+
+TEST(MetricRegistryTest, DistinctNamesYieldDistinctInstruments) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  MetricRegistry r;
+  EXPECT_NE(&r.counter("a"), &r.counter("b"));
+  EXPECT_NE(&r.histogram("a"), &r.histogram("b"));
+}
+
+TEST(MetricRegistryTest, ResetAllZeroesButKeepsReferencesValid) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  MetricRegistry r;
+  Counter& c = r.counter("ops");
+  Gauge& g = r.gauge("depth");
+  Histogram& h = r.histogram("lat");
+  c.Increment(3);
+  g.Set(11);
+  h.Record(100);
+  r.ResetAll();
+  // The registrations survive; only the values reset. Cached references
+  // keep recording into the same instruments.
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  c.Increment();
+  EXPECT_EQ(r.counter("ops").value(), 1u);
+  EXPECT_EQ(&r.counter("ops"), &c);
+}
+
+TEST(MetricRegistryTest, ToJsonListsEveryKindInOrder) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  MetricRegistry r;
+  r.counter("zeta").Increment(2);
+  r.counter("alpha").Increment();
+  r.gauge("load").Set(-4);
+  r.histogram("lat").Record(8);
+  const std::string json = r.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"zeta\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"load\":-4"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""))
+      << "keys must be lexicographically ordered";
+}
+
+TEST(MetricRegistryTest, OffBuildCollapsesToStubs) {
+  if (kMetricsEnabled) GTEST_SKIP() << "metrics compiled in";
+  MetricRegistry r;
+  r.counter("x").Increment(100);
+  EXPECT_EQ(r.counter("x").value(), 0u) << "stubs record nothing";
+  EXPECT_EQ(r.ToJson(), "{}");
+}
+
+}  // namespace
+}  // namespace essdds::obs

@@ -1,0 +1,156 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"  // kMetricsEnabled
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace essdds::obs {
+namespace {
+
+TraceEvent Ev(uint64_t time_us, uint64_t trace_id, HopKind kind,
+              uint8_t msg_type = 1) {
+  TraceEvent ev;
+  ev.time_us = time_us;
+  ev.trace_id = trace_id;
+  ev.request_id = trace_id * 10;
+  ev.key = 99;
+  ev.from = 0;
+  ev.to = 2;
+  ev.msg_type = msg_type;
+  ev.kind = kind;
+  return ev;
+}
+
+std::string_view TestTypeName(uint8_t t) {
+  return t == 1 ? "kInsert" : "kOther";
+}
+
+TEST(HopKindNameTest, CoversEveryKind) {
+  EXPECT_EQ(HopKindName(HopKind::kOpStart), "op-start");
+  EXPECT_EQ(HopKindName(HopKind::kSend), "send");
+  EXPECT_EQ(HopKindName(HopKind::kDeliver), "deliver");
+  EXPECT_EQ(HopKindName(HopKind::kDrop), "drop");
+  EXPECT_EQ(HopKindName(HopKind::kDuplicate), "duplicate");
+  EXPECT_EQ(HopKindName(HopKind::kPark), "park");
+  EXPECT_EQ(HopKindName(HopKind::kReplay), "replay");
+  EXPECT_EQ(HopKindName(HopKind::kRetry), "retry");
+  EXPECT_EQ(HopKindName(HopKind::kStale), "stale-reply");
+  EXPECT_EQ(HopKindName(HopKind::kOpDone), "op-done");
+}
+
+TEST(FormatTraceEventTest, RendersTypeNameAndFallsBackToRawNumber) {
+  // FormatTraceEvent is compiled on both settings (tests hold their own
+  // snapshots), so no skip here.
+  const TraceEvent ev = Ev(120, 3, HopKind::kSend);
+  const std::string with_name = FormatTraceEvent(ev, TestTypeName);
+  EXPECT_NE(with_name.find("send"), std::string::npos);
+  EXPECT_NE(with_name.find("kInsert"), std::string::npos);
+  EXPECT_NE(with_name.find("120"), std::string::npos);
+  const std::string raw = FormatTraceEvent(ev, nullptr);
+  EXPECT_NE(raw.find("send"), std::string::npos);
+}
+
+TEST(TraceRingTest, RecordsInOrder) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "tracing compiled out";
+  TraceRing ring(16);
+  ring.Record(Ev(10, 1, HopKind::kOpStart));
+  ring.Record(Ev(20, 1, HopKind::kSend));
+  ring.Record(Ev(30, 1, HopKind::kOpDone));
+  const std::vector<TraceEvent> all = ring.Snapshot();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].kind, HopKind::kOpStart);
+  EXPECT_EQ(all[1].kind, HopKind::kSend);
+  EXPECT_EQ(all[2].kind, HopKind::kOpDone);
+  EXPECT_EQ(all[0].time_us, 10u);
+  EXPECT_EQ(ring.overwritten(), 0u);
+}
+
+TEST(TraceRingTest, SnapshotFiltersByTraceId) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "tracing compiled out";
+  TraceRing ring(16);
+  ring.Record(Ev(1, 7, HopKind::kOpStart));
+  ring.Record(Ev(2, 8, HopKind::kOpStart));
+  ring.Record(Ev(3, 7, HopKind::kOpDone));
+  const std::vector<TraceEvent> only7 = ring.Snapshot(7);
+  ASSERT_EQ(only7.size(), 2u);
+  EXPECT_EQ(only7[0].kind, HopKind::kOpStart);
+  EXPECT_EQ(only7[1].kind, HopKind::kOpDone);
+  EXPECT_EQ(ring.Snapshot(0).size(), 3u) << "0 means everything";
+}
+
+TEST(TraceRingTest, OverwritesOldestWhenFull) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "tracing compiled out";
+  TraceRing ring(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ring.Record(Ev(i, 1, HopKind::kSend));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.overwritten(), 6u);
+  const std::vector<TraceEvent> tail = ring.Snapshot();
+  ASSERT_EQ(tail.size(), 4u);
+  // The four most recent events, still in recording order.
+  EXPECT_EQ(tail[0].time_us, 6u);
+  EXPECT_EQ(tail[3].time_us, 9u);
+}
+
+TEST(TraceRingTest, ClearEmptiesAndResetsOverwriteCount) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "tracing compiled out";
+  TraceRing ring(2);
+  ring.Record(Ev(1, 1, HopKind::kSend));
+  ring.Record(Ev(2, 1, HopKind::kSend));
+  ring.Record(Ev(3, 1, HopKind::kSend));
+  EXPECT_EQ(ring.overwritten(), 1u);
+  ring.Clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.overwritten(), 0u);
+  EXPECT_TRUE(ring.Snapshot().empty());
+  ring.Record(Ev(4, 1, HopKind::kSend));
+  EXPECT_EQ(ring.Snapshot().size(), 1u);
+}
+
+TEST(TraceRingTest, DumpTextContainsOneLinePerHop) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "tracing compiled out";
+  TraceRing ring(16);
+  ring.Record(Ev(100, 5, HopKind::kOpStart));
+  ring.Record(Ev(200, 5, HopKind::kRetry));
+  ring.Record(Ev(300, 6, HopKind::kOpStart));
+  const std::string dump = ring.DumpText(5, TestTypeName);
+  EXPECT_NE(dump.find("op-start"), std::string::npos);
+  EXPECT_NE(dump.find("retry"), std::string::npos);
+  EXPECT_NE(dump.find("kInsert"), std::string::npos);
+  // The other trace's hop is filtered out; its timestamp never appears.
+  EXPECT_EQ(dump.find("300"), std::string::npos);
+}
+
+TEST(TraceRingTest, ToJsonEmitsArrayOfHops) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "tracing compiled out";
+  TraceRing ring(16);
+  EXPECT_EQ(ring.ToJson(0, TestTypeName), "[]") << "empty ring, empty array";
+  ring.Record(Ev(42, 9, HopKind::kDeliver));
+  const std::string json = ring.ToJson(9, TestTypeName);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"hop\":\"deliver\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"t_us\":42"), std::string::npos);
+}
+
+TEST(TraceRingTest, OffBuildStubRecordsNothing) {
+  if (kMetricsEnabled) GTEST_SKIP() << "tracing compiled in";
+  TraceRing ring(16);
+  ring.Record(Ev(1, 1, HopKind::kSend));
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.Snapshot().empty());
+  EXPECT_EQ(ring.ToJson(0, nullptr), "[]");
+  EXPECT_NE(ring.DumpText(0, nullptr).find("compiled out"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace essdds::obs

@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/trace.h"
 #include "sdds/event_network.h"
 #include "sdds/lh_system.h"
 #include "util/bytes.h"
@@ -39,7 +40,29 @@ struct WorkloadResult {
   uint64_t retries = 0;
   uint64_t iams = 0;
   NetworkStats stats;
+  /// Snapshot of the run's trace ring (empty with metrics compiled out);
+  /// failure messages render its tail so a failing seed ships its own
+  /// causal history.
+  std::vector<obs::TraceEvent> trace;
 };
+
+/// Formats the last `n` recorded hops for a failure message. The assertion
+/// macros evaluate their streamed message only on failure, so passing seeds
+/// never pay for the formatting.
+std::string TraceTail(const std::vector<obs::TraceEvent>& trace,
+                      size_t n = 48) {
+  if (!obs::kMetricsEnabled) return "\n(trace ring compiled out)";
+  std::string out = "\ntrace ring tail (last " +
+                    std::to_string(std::min(n, trace.size())) + " of " +
+                    std::to_string(trace.size()) + " hops):\n";
+  const size_t start = trace.size() > n ? trace.size() - n : 0;
+  for (size_t i = start; i < trace.size(); ++i) {
+    out += "  " + obs::FormatTraceEvent(trace[i], [](uint8_t t) {
+      return MsgTypeToString(static_cast<MsgType>(t));
+    }) + "\n";
+  }
+  return out;
+}
 
 constexpr size_t kDefaultOps = 120;
 
@@ -115,17 +138,18 @@ WorkloadResult RunWorkload(LhOptions options, uint64_t seed,
   out.retries = clients[0]->retry_count() + clients[1]->retry_count();
   out.iams = clients[0]->iam_count() + clients[1]->iam_count();
   out.stats = sys.network().stats();
+  out.trace = sys.network().trace().Snapshot();
 
   // Post-convergence self-consistency, regardless of mode or faults: the
   // merged bucket contents are exactly what a fresh client can read back.
   EXPECT_EQ(sys.TotalRecords(), out.contents.size())
-      << "replay: workload seed " << seed;
+      << "replay: workload seed " << seed << TraceTail(out.trace);
   LhClient* probe = sys.NewClient();
   for (const auto& [k, v] : out.contents) {
     auto r = probe->Lookup(k);
     EXPECT_TRUE(r.ok() && *r == v)
         << "key " << k << " unreadable after convergence; replay: workload "
-        << "seed " << seed;
+        << "seed " << seed << TraceTail(sys.network().trace().Snapshot());
   }
   return out;
 }
@@ -139,11 +163,11 @@ void ExpectSameResults(const WorkloadResult& sync, const WorkloadResult& ev,
     ASSERT_TRUE(sync.ops[i] == ev.ops[i])
         << "op " << i << " (kind '" << sync.ops[i].kind << "', key "
         << sync.ops[i].key << ") diverged under " << config
-        << "; replay: workload seed " << seed;
+        << "; replay: workload seed " << seed << TraceTail(ev.trace);
   }
   ASSERT_TRUE(sync.contents == ev.contents)
       << "final contents diverged under " << config
-      << "; replay: workload seed " << seed;
+      << "; replay: workload seed " << seed << TraceTail(ev.trace);
 }
 
 // Tentpole sweep: 200 seeds, fault-free event network. Every

@@ -23,6 +23,7 @@ Message SampleScanReply() {
   m.records.push_back({42, ToBytes("alpha")});
   m.records.push_back({43, {}});
   m.records.push_back({44, ToBytes("gamma")});
+  m.trace_id = 0xA5A5A5A5ull;
   return m;
 }
 
@@ -66,14 +67,28 @@ TEST(MessageWireTest, RejectsTrailingGarbage) {
   EXPECT_TRUE(Message::Decode(wire).status().IsCorruption());
 }
 
+TEST(MessageWireTest, LegacyEncodingWithoutTraceIdDecodes) {
+  // The trace id was appended to the wire layout as a compatible
+  // extension: an encoding that stops after new_level (the
+  // pre-observability format) must still decode, with trace_id = 0.
+  Message m = SampleScanReply();
+  Bytes wire = m.Encode();
+  wire.resize(wire.size() - 8);  // strip the trailing trace id
+  auto decoded = Message::Decode(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  Message expect = m;
+  expect.trace_id = 0;
+  EXPECT_EQ(*decoded, expect);
+}
+
 TEST(MessageWireTest, RejectsImplausibleRecordCountWithoutAllocating) {
   // A minimal valid message, then force the record count to 0xFFFFFFFF:
   // decode must fail closed instead of reserving 4 billion records.
   Message m;
   Bytes wire = m.Encode();
-  // Record count sits 12 bytes before the end (count + bucket_to_split +
-  // new_level trailer).
-  const size_t count_at = wire.size() - 16;
+  // Record count sits 24 bytes before the end (count + bucket_to_split +
+  // new_level + trace_id trailer).
+  const size_t count_at = wire.size() - 24;
   wire[count_at] = wire[count_at + 1] = wire[count_at + 2] =
       wire[count_at + 3] = 0xFF;
   EXPECT_TRUE(Message::Decode(wire).status().IsCorruption());
@@ -89,10 +104,22 @@ TEST(MessageFuzzTest, SurvivesRandomBytes) {
 }
 
 TEST(MessageFuzzTest, SurvivesTruncation) {
-  const Bytes wire = SampleScanReply().Encode();
-  test::TruncationSweep(wire, [](ByteSpan prefix, size_t len) {
+  const Message sample = SampleScanReply();
+  const Bytes wire = sample.Encode();
+  // Exactly one proper prefix is a valid message: cutting the trailing
+  // 8-byte trace id leaves the legacy layout, which decodes with
+  // trace_id = 0. Every other truncation must fail closed.
+  const size_t legacy_len = wire.size() - 8;
+  test::TruncationSweep(wire, [&](ByteSpan prefix, size_t len) {
     auto m = Message::Decode(prefix);
-    EXPECT_FALSE(m.ok()) << "truncation at " << len << " parsed";
+    if (len == legacy_len) {
+      ASSERT_TRUE(m.ok()) << "legacy layout stopped decoding";
+      Message expect = sample;
+      expect.trace_id = 0;
+      EXPECT_EQ(*m, expect);
+    } else {
+      EXPECT_FALSE(m.ok()) << "truncation at " << len << " parsed";
+    }
   });
 }
 

@@ -1,0 +1,105 @@
+#include "util/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace essdds {
+namespace {
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  {
+    JsonWriter w;
+    w.BeginObject().EndObject();
+    EXPECT_EQ(w.str(), "{}");
+  }
+  {
+    JsonWriter w;
+    w.BeginArray().EndArray();
+    EXPECT_EQ(w.str(), "[]");
+  }
+}
+
+TEST(JsonWriterTest, CommasBetweenObjectMembers) {
+  JsonWriter w;
+  w.BeginObject().KV("a", 1).KV("b", 2).KV("c", "x").EndObject();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":2,"c":"x"})");
+}
+
+TEST(JsonWriterTest, CommasBetweenArrayElements) {
+  JsonWriter w;
+  w.BeginArray().Value(1).Value("two").Value(true).EndArray();
+  EXPECT_EQ(w.str(), R"([1,"two",true])");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("modes")
+      .BeginArray()
+      .Value("serial")
+      .Value("pooled")
+      .EndArray()
+      .Key("stats")
+      .BeginObject()
+      .KV("hits", uint64_t{7})
+      .EndObject()
+      .EndObject();
+  EXPECT_EQ(w.str(), R"({"modes":["serial","pooled"],"stats":{"hits":7}})");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.BeginObject().KV("k", "quote\" slash\\ tab\t nl\n").EndObject();
+  EXPECT_EQ(w.str(), "{\"k\":\"quote\\\" slash\\\\ tab\\t nl\\n\"}");
+}
+
+TEST(JsonWriterTest, EscapesControlCharactersAsUnicode) {
+  JsonWriter w;
+  w.BeginArray().Value(std::string_view("\x01", 1)).EndArray();
+  EXPECT_EQ(w.str(), "[\"\\u0001\"]");
+}
+
+TEST(JsonWriterTest, IntegerExtremes) {
+  JsonWriter w;
+  w.BeginArray()
+      .Value(std::numeric_limits<uint64_t>::max())
+      .Value(std::numeric_limits<int64_t>::min())
+      .Value(-1)
+      .EndArray();
+  EXPECT_EQ(w.str(), "[18446744073709551615,-9223372036854775808,-1]");
+}
+
+TEST(JsonWriterTest, DoublesWithFixedDecimals) {
+  JsonWriter w;
+  w.BeginObject().KV("rate", 1234.5678, 2).EndObject();
+  EXPECT_EQ(w.str(), R"({"rate":1234.57})");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesEmitNull) {
+  JsonWriter w;
+  w.BeginArray()
+      .Value(std::numeric_limits<double>::infinity())
+      .Value(std::numeric_limits<double>::quiet_NaN())
+      .EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, RawSplicesPreRenderedFragments) {
+  JsonWriter inner;
+  inner.BeginObject().KV("n", 1).EndObject();
+  JsonWriter w;
+  w.BeginObject().Key("nested").Raw(inner.str()).KV("after", 2).EndObject();
+  EXPECT_EQ(w.str(), R"({"nested":{"n":1},"after":2})");
+}
+
+TEST(JsonWriterTest, BooleansRenderAsKeywords) {
+  JsonWriter w;
+  w.BeginObject().KV("on", true).KV("off", false).EndObject();
+  EXPECT_EQ(w.str(), R"({"on":true,"off":false})");
+}
+
+}  // namespace
+}  // namespace essdds

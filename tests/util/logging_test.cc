@@ -1,0 +1,46 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace essdds {
+namespace {
+
+// The env hook itself (ESSDDS_LOG_LEVEL read at the first log site) cannot
+// be re-triggered inside one process, so the parser it delegates to is
+// tested directly and the level switch via SetMinLogLevel.
+
+TEST(ParseLogLevelTest, AcceptsEveryDocumentedName) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+}
+
+TEST(ParseLogLevelTest, IsCaseInsensitive) {
+  EXPECT_EQ(ParseLogLevel("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("Info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("WARN"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("ErRoR"), LogLevel::kError);
+}
+
+TEST(ParseLogLevelTest, RejectsUnknownNames) {
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("2"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("fatal"), std::nullopt)
+      << "fatal is not a threshold users can select";
+}
+
+TEST(LogLevelTest, SetMinLogLevelRoundTrips) {
+  const LogLevel before = GetMinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetMinLogLevel(), LogLevel::kError);
+  SetMinLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetMinLogLevel(), LogLevel::kDebug);
+  SetMinLogLevel(before);
+  EXPECT_EQ(GetMinLogLevel(), before);
+}
+
+}  // namespace
+}  // namespace essdds
