@@ -3,7 +3,10 @@
 namespace essdds::core {
 
 CompiledQuery::CompiledQuery(SearchQuery query) : query_(std::move(query)) {
-  sites_ = query_.dispersal_sites > 1 ? query_.dispersal_sites : 1;
+  // Shared zero-site clamp (SearchQuery::effective_sites): 0 behaves as the
+  // undispersed encoding, matching against `chunks`. BatchMatcher applies
+  // the same clamp and asserts agreement.
+  sites_ = query_.effective_sites();
   if (query_.per_family) {
     compiled_.reserve(query_.family_series.size());
     for (const auto& list : query_.family_series) {
@@ -17,7 +20,7 @@ CompiledQuery::CompiledQuery(SearchQuery query) : query_(std::move(query)) {
 
 std::vector<CompiledQuery::Pattern> CompiledQuery::CompileSeriesList(
     const SearchQuery& q, const std::vector<QuerySeries>& list) {
-  const size_t sites = q.dispersal_sites > 1 ? q.dispersal_sites : 1;
+  const size_t sites = q.effective_sites();
   std::vector<Pattern> out;
   out.reserve(list.size() * sites);
   for (const QuerySeries& s : list) {

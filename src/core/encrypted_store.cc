@@ -6,7 +6,7 @@
 #include <set>
 #include <utility>
 
-#include "core/compiled_query.h"
+#include "core/batch_matcher.h"
 
 namespace essdds::core {
 
@@ -36,16 +36,16 @@ class MatchScanFilter : public sdds::ScanFilter {
       : pipeline_(pipeline) {}
 
   std::unique_ptr<Prepared> Prepare(ByteSpan arg) const override {
-    auto compiled = CompiledQuery::FromWire(arg);
-    if (!compiled.ok()) return nullptr;  // malformed query matches nothing
-    return std::make_unique<PreparedMatch>(pipeline_, *std::move(compiled));
+    auto query = SearchQuery::Deserialize(arg);
+    if (!query.ok()) return nullptr;  // malformed query matches nothing
+    return std::make_unique<PreparedMatch>(pipeline_, *std::move(query));
   }
 
  private:
   class PreparedMatch : public Prepared {
    public:
-    PreparedMatch(const IndexPipeline* pipeline, CompiledQuery compiled)
-        : pipeline_(pipeline), compiled_(std::move(compiled)) {}
+    PreparedMatch(const IndexPipeline* pipeline, SearchQuery query)
+        : pipeline_(pipeline), query_(std::move(query)), matcher_(&query_) {}
 
     bool Matches(uint64_t key, ByteSpan value) const override {
       uint64_t rid;
@@ -58,12 +58,37 @@ class MatchScanFilter : public sdds::ScanFilter {
       if (!pipeline_->DeserializeStreamInto(value, &scratch).ok()) {
         return false;
       }
-      return compiled_.Matches(family, site, scratch);
+      return matcher_.Matches(family, site, scratch);
+    }
+
+    /// Columnar batch path: streams the packed arena sequentially (the
+    /// shard's offset range) and runs the bit-parallel matcher per decoded
+    /// stream. Hit records are emitted in slice order — ascending key — so
+    /// the reply is byte-identical to the per-record Matches walk.
+    void MatchColumns(const sdds::ColumnSlice& slice, size_t begin,
+                      size_t end,
+                      std::vector<sdds::WireRecord>* out) const override {
+      static thread_local std::vector<uint64_t> scratch;
+      for (size_t i = begin; i < end; ++i) {
+        const uint64_t key = slice.keys[i];
+        uint64_t rid;
+        uint32_t family, site;
+        ParseIndexKey(key, pipeline_->params(), &rid, &family, &site);
+        const ByteSpan payload = slice.payload(i);
+        if (!pipeline_->DeserializeStreamInto(payload, &scratch).ok()) {
+          continue;  // undecodable record: no match, same as Matches()
+        }
+        if (matcher_.Matches(family, site, scratch)) {
+          out->push_back(
+              sdds::WireRecord{key, Bytes(payload.begin(), payload.end())});
+        }
+      }
     }
 
    private:
     const IndexPipeline* pipeline_;
-    CompiledQuery compiled_;
+    SearchQuery query_;       // owns the buffers matcher_ points into
+    BatchMatcher matcher_;
   };
 
   const IndexPipeline* pipeline_;
@@ -177,10 +202,10 @@ Result<EncryptedStore::SearchOutcome> EncryptedStore::SearchDetailed(
     std::string_view substring) {
   ESSDDS_ASSIGN_OR_RETURN(SearchQuery query, pipeline_->BuildQuery(substring));
   const Bytes wire = query.Serialize();
-  // The client-side confirmation reuses the same compiled form the sites
-  // run: the query's failure tables are built once per search, not per
+  // The client-side confirmation reuses the same bit-parallel matcher the
+  // sites run: the query's automata are compiled once per search, not per
   // candidate record.
-  const CompiledQuery compiled(std::move(query));
+  const BatchMatcher matcher(&query);
 
   // Parallel scan: every index bucket matches locally and ships back only
   // the candidate index records.
@@ -220,7 +245,7 @@ Result<EncryptedStore::SearchOutcome> EncryptedStore::SearchDetailed(
       ESSDDS_RETURN_IF_ERROR(
           pipeline_->DeserializeStreamInto(payload, &stream));
       std::set<int64_t> site_positions;
-      compiled.ForEachOccurrence(
+      matcher.ForEachOccurrence(
           family, site, stream, [&](uint32_t alignment, size_t c) {
             site_positions.insert(
                 ImpliedPosition(family_offset, c, symbols, alignment));
@@ -246,7 +271,7 @@ Result<EncryptedStore::SearchOutcome> EncryptedStore::SearchDetailed(
 
   // Cross-family combination.
   std::set<uint32_t> available_alignments;
-  for (const QuerySeries& s : compiled.query().SeriesFor(0)) {
+  for (const QuerySeries& s : matcher.query().SeriesFor(0)) {
     available_alignments.insert(s.alignment);
   }
   for (const auto& [rid, families] : confirmed) {

@@ -74,16 +74,25 @@ struct SearchQuery {
   Bytes Serialize() const;
   static Result<SearchQuery> Deserialize(ByteSpan data);
 
+  /// Dispersal-site count with the undispersed encoding normalized to 1.
+  /// Wire queries can never carry 0 (Deserialize rejects it), but a
+  /// hand-built query can; every consumer that branches between `chunks`
+  /// and `pieces` must use this clamp — branching on `dispersal_sites == 1`
+  /// directly would send the 0 case into an empty `pieces`.
+  uint32_t effective_sites() const {
+    return dispersal_sites > 1 ? dispersal_sites : 1;
+  }
+
   /// The pattern stream site (family f, dispersal d) should match for a
   /// given series.
   const std::vector<uint64_t>& PatternFor(const QuerySeries& s,
                                           uint32_t site) const {
-    return dispersal_sites == 1 ? s.chunks : s.pieces[site];
+    return effective_sites() == 1 ? s.chunks : s.pieces[site];
   }
 
   /// Chunk count of a series (uniform across dispersal sites).
   size_t SeriesLength(const QuerySeries& s) const {
-    return dispersal_sites == 1 ? s.chunks.size() : s.pieces[0].size();
+    return effective_sites() == 1 ? s.chunks.size() : s.pieces[0].size();
   }
 };
 

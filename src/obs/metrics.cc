@@ -2,6 +2,8 @@
 
 #if ESSDDS_METRICS
 
+#include <cmath>
+
 #include "util/json_writer.h"
 
 namespace essdds::obs {
@@ -11,8 +13,14 @@ uint64_t Histogram::Quantile(double q) const {
   if (n == 0) return 0;
   if (q <= 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
-  // Rank of the q-th sample, 1-based; q=0 maps to the first sample.
-  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+  // Rank of the q-th sample, 1-based: the smallest rank covering fraction q
+  // of the population, i.e. ceil(q*n). Truncation here would bias a whole
+  // rank low whenever q*n is integral-or-above (p50 of 4 samples must be
+  // the 2nd, not the 1st) — and the product is computed in floating point,
+  // so an exact integral target like 0.95*100 can surface as 94.999...;
+  // the epsilon keeps ceil from bumping such targets to the next rank.
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(n) - 1e-9));
   if (rank == 0) rank = 1;
   if (rank > n) rank = n;
   uint64_t cumulative = 0;

@@ -1,0 +1,131 @@
+#include "sdds/column_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace essdds::sdds {
+
+size_t ColumnStore::Find(uint64_t key) const {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return keys_.size();
+  return static_cast<size_t>(it - keys_.begin());
+}
+
+uint64_t ColumnStore::Append(ByteSpan payload) {
+  // Compact before growing past 2x the live volume; the threshold also
+  // charges the incoming payload so a store that alternates two payload
+  // sizes for one key cannot grow without bound.
+  if (waste_bytes_ > 0 &&
+      waste_bytes_ >= arena_.size() - waste_bytes_ + payload.size()) {
+    Compact();
+  }
+  const uint64_t offset = arena_.size();
+  arena_.insert(arena_.end(), payload.begin(), payload.end());
+  return offset;
+}
+
+void ColumnStore::Upsert(uint64_t key, ByteSpan payload) {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  const size_t i = static_cast<size_t>(it - keys_.begin());
+  if (it != keys_.end() && *it == key) {
+    if (lengths_[i] == payload.size()) {
+      // Same-size replace: overwrite in place, no arena growth.
+      if (!payload.empty()) {
+        std::memcpy(arena_.data() + offsets_[i], payload.data(),
+                    payload.size());
+      }
+      return;
+    }
+    // Append may compact; the entry still references the old payload then,
+    // so it survives compaction as live bytes and only becomes waste once
+    // the entry is repointed below — charge it after, not before.
+    const uint32_t old_length = lengths_[i];
+    const uint64_t offset = Append(payload);
+    offsets_[i] = offset;
+    lengths_[i] = static_cast<uint32_t>(payload.size());
+    waste_bytes_ += old_length;
+    return;
+  }
+  const uint64_t offset = Append(payload);
+  keys_.insert(keys_.begin() + static_cast<ptrdiff_t>(i), key);
+  offsets_.insert(offsets_.begin() + static_cast<ptrdiff_t>(i), offset);
+  lengths_.insert(lengths_.begin() + static_cast<ptrdiff_t>(i),
+                  static_cast<uint32_t>(payload.size()));
+}
+
+void ColumnStore::Erase(uint64_t key) {
+  const size_t i = Find(key);
+  if (i == keys_.size()) return;
+  waste_bytes_ += lengths_[i];
+  keys_.erase(keys_.begin() + static_cast<ptrdiff_t>(i));
+  offsets_.erase(offsets_.begin() + static_cast<ptrdiff_t>(i));
+  lengths_.erase(lengths_.begin() + static_cast<ptrdiff_t>(i));
+  // Deleting the last records of a bucket must release the arena too, or an
+  // emptied bucket would pin its peak payload volume.
+  if (keys_.empty()) {
+    arena_.clear();
+    waste_bytes_ = 0;
+  }
+}
+
+void ColumnStore::Clear() {
+  keys_.clear();
+  offsets_.clear();
+  lengths_.clear();
+  arena_.clear();
+  waste_bytes_ = 0;
+}
+
+void ColumnStore::RebuildFrom(const std::map<uint64_t, Bytes>& records) {
+  keys_.clear();
+  offsets_.clear();
+  lengths_.clear();
+  arena_.clear();
+  waste_bytes_ = 0;
+  keys_.reserve(records.size());
+  offsets_.reserve(records.size());
+  lengths_.reserve(records.size());
+  uint64_t total = 0;
+  for (const auto& [key, value] : records) total += value.size();
+  arena_.reserve(total);
+  for (const auto& [key, value] : records) {
+    keys_.push_back(key);
+    offsets_.push_back(arena_.size());
+    lengths_.push_back(static_cast<uint32_t>(value.size()));
+    arena_.insert(arena_.end(), value.begin(), value.end());
+  }
+}
+
+void ColumnStore::Compact() {
+  std::vector<uint8_t> packed;
+  uint64_t live = 0;
+  for (uint32_t len : lengths_) live += len;
+  packed.reserve(live);
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    const uint64_t offset = packed.size();
+    packed.insert(packed.end(), arena_.begin() + static_cast<ptrdiff_t>(offsets_[i]),
+                  arena_.begin() + static_cast<ptrdiff_t>(offsets_[i] + lengths_[i]));
+    offsets_[i] = offset;
+  }
+  arena_ = std::move(packed);
+  waste_bytes_ = 0;
+}
+
+bool ColumnStore::MirrorsMap(const std::map<uint64_t, Bytes>& records) const {
+  if (records.size() != keys_.size()) return false;
+  size_t i = 0;
+  for (const auto& [key, value] : records) {
+    if (keys_[i] != key || lengths_[i] != value.size()) return false;
+    if (!value.empty() &&
+        std::memcmp(arena_.data() + offsets_[i], value.data(),
+                    value.size()) != 0) {
+      return false;
+    }
+    ++i;
+  }
+  return true;
+}
+
+}  // namespace essdds::sdds

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
+#include "sdds/column_store.h"
 #include "sdds/message.h"
 #include "util/bytes.h"
 
@@ -149,6 +151,26 @@ class ScanFilter {
     /// True when the record is a hit. Called once per record of the bucket;
     /// implementations should avoid per-record allocation.
     virtual bool Matches(uint64_t key, ByteSpan value) const = 0;
+
+    /// Batch evaluation over a columnar bucket slice: appends a
+    /// WireRecord{key, payload} to `out` for every hit among records
+    /// [begin, end), in ascending index (= ascending key) order. This is
+    /// the hot scan path when a bucket carries a column store — one virtual
+    /// call per shard instead of one per record, and the payloads stream
+    /// out of a contiguous arena. The default walks Matches() per record;
+    /// filters with a batch engine (bit-parallel matchers) override it.
+    /// Must produce exactly the hits the per-record Matches() would — the
+    /// serial/pooled/sharded byte-identity bar depends on it.
+    virtual void MatchColumns(const ColumnSlice& slice, size_t begin,
+                              size_t end, std::vector<WireRecord>* out) const {
+      for (size_t i = begin; i < end; ++i) {
+        const ByteSpan payload = slice.payload(i);
+        if (Matches(slice.keys[i], payload)) {
+          out->push_back(
+              WireRecord{slice.keys[i], Bytes(payload.begin(), payload.end())});
+        }
+      }
+    }
   };
 
   virtual ~ScanFilter() = default;

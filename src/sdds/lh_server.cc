@@ -126,7 +126,7 @@ void LhBucketServer::HandleKeyOp(Message& msg, Network& net) {
       AboutToMutateRecords(net);
       auto [it, inserted] =
           records_.insert_or_assign(msg.key, std::move(msg.value));
-      (void)it;
+      columns_.Upsert(msg.key, it->second);
       UpdateRecordGauge(net);
       reply.type = MsgType::kInsertAck;
       reply.found = !inserted;  // true when an existing record was replaced
@@ -146,6 +146,7 @@ void LhBucketServer::HandleKeyOp(Message& msg, Network& net) {
       AboutToMutateRecords(net);
       reply.type = MsgType::kDeleteAck;
       reply.found = records_.erase(msg.key) > 0;
+      columns_.Erase(msg.key);
       UpdateRecordGauge(net);
       net.Send(std::move(reply));
       MaybeReportUnderflow(net, msg.trace_id);
@@ -188,6 +189,8 @@ void LhBucketServer::HandleScan(Message& msg, Network& net) {
   ScanTask task;
   task.bucket = bucket_number_;
   task.records = &records_;
+  task.columns = columns_.slice();
+  task.has_columns = true;
   task.filter = &runtime_->FilterById(msg.filter_id);
   task.arg = Bytes(msg.filter_arg.begin(), msg.filter_arg.end());
   task.live_generation = &mutation_generation_;
@@ -240,6 +243,9 @@ void LhBucketServer::HandleSplit(const Message& msg, Network& net) {
       ++it;
     }
   }
+  // Split carve-out removes a whole key range; per-record column erases
+  // would memmove the flat arrays once per moved record, so repack instead.
+  columns_.RebuildFrom(records_);
   UpdateRecordGauge(net);
   net.Send(std::move(move));
 
@@ -260,6 +266,7 @@ void LhBucketServer::HandleMoveRecords(Message& msg, Network& net) {
   for (WireRecord& r : msg.records) {
     records_[r.key] = std::move(r.value);
   }
+  columns_.RebuildFrom(records_);
   UpdateRecordGauge(net);
   if (loading_) {
     loading_ = false;
@@ -298,6 +305,7 @@ void LhBucketServer::HandleMerge(const Message& msg, Network& net) {
     move.records.push_back(WireRecord{key, std::move(value)});
   }
   records_.clear();
+  columns_.Clear();
   UpdateRecordGauge(net);
   // Dissolved from this moment: an op that reaches this bucket before the
   // coordinator retires it from the directory must chase the records to
@@ -350,6 +358,9 @@ void LhBucketServer::HandleMergeRecords(Message& msg, Network& net) {
       break;
     }
   }
+  // One repack after the whole transfer chain (main + unblocked stashed
+  // transfers) rather than per-record upserts.
+  columns_.RebuildFrom(records_);
   UpdateRecordGauge(net);
   // The level came down: a split or merge order stashed while this transfer
   // was in flight may be runnable now (it re-stashes if still early).

@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "sdds/column_store.h"
 #include "sdds/lh_options.h"
 #include "sdds/network.h"
 
@@ -36,6 +37,10 @@ class LhBucketServer : public Site {
   /// Direct (non-message) read used by tests and recovery tooling; a real
   /// deployment would expose this as a bulk-read RPC.
   const std::map<uint64_t, Bytes>& records() const { return records_; }
+
+  /// The columnar mirror of records_ that scans evaluate against (see
+  /// ColumnStore). Exposed for tests and the consistency audit.
+  const ColumnStore& columns() const { return columns_; }
 
   /// The site id this server was registered under (set by LhSystem).
   void set_site(SiteId site) { site_ = site; }
@@ -111,6 +116,12 @@ class LhBucketServer : public Site {
   /// the pending transfer lands.
   std::vector<Message> stashed_control_;
   std::map<uint64_t, Bytes> records_;
+  /// Columnar projection of records_ (payloads packed into a contiguous
+  /// arena, keys/offsets flat, ascending key order). Mutated in lockstep
+  /// with the map — single-record ops incrementally, bulk transfer paths
+  /// via rebuild — and handed to scan tasks so matching streams the arena
+  /// instead of chasing map nodes.
+  ColumnStore columns_;
   /// Bumped by AboutToMutateRecords on every records_ change; deferred scan
   /// tasks carry a pointer to it (see ScanTask::live_generation).
   uint64_t mutation_generation_ = 0;

@@ -34,6 +34,11 @@ void ExecuteScanTask(ScanTask& task) {
   }
   task.evaluated = true;
   if (prepared == nullptr) return;  // malformed argument: empty reply
+  if (task.has_columns) {
+    prepared->MatchColumns(task.columns, 0, task.columns.count,
+                           &task.reply.records);
+    return;
+  }
   for (const auto& [key, value] : *task.records) {
     if (prepared->Matches(key, value)) {
       task.reply.records.push_back(WireRecord{key, value});
@@ -71,6 +76,13 @@ void ScanWorkerPool::StartWorkers() {
 }
 
 void ScanWorkerPool::EvaluateShard(Shard& shard) {
+  if (shard.task->has_columns) {
+    // Columnar shard: one batch call over the index range; the filter walks
+    // the packed arena itself.
+    shard.prepared->MatchColumns(shard.task->columns, shard.col_begin,
+                                 shard.col_end, &shard.hits);
+    return;
+  }
   // Hoist the members into locals: the opaque Matches() call and the
   // push_back would otherwise force a reload of end/prepared from the
   // Shard on every record, costing a measurable fraction of the record
@@ -180,20 +192,42 @@ void ScanWorkerPool::Run(std::vector<ScanTask>& tasks,
       task.evaluated = true;
       continue;
     }
-    const size_t n = task.records->size();
+    const size_t n =
+        task.has_columns ? task.columns.count : task.records->size();
     size_t parts = 1;
     if (n > min_records) {
       parts = std::min(threads_, (n + min_records - 1) / min_records);
     }
     if (parts == 1) {
-      // Unsharded task (possibly an empty bucket): one whole-map shard, no
-      // key-span probing — begin()/rbegin() are not dereferenceable here.
+      // Unsharded task (possibly an empty bucket): one whole-bucket shard,
+      // no key-span probing — begin()/rbegin() are not dereferenceable
+      // here.
       Shard shard;
       shard.task = &task;
-      shard.begin = task.records->begin();
-      shard.end = task.records->end();
+      if (task.has_columns) {
+        shard.col_end = n;
+      } else {
+        shard.begin = task.records->begin();
+        shard.end = task.records->end();
+      }
       shard.prepared = prepared;
       shards.push_back(std::move(shard));
+      planned.push_back(&task);
+      continue;
+    }
+    if (task.has_columns) {
+      // Columnar carve: equal record counts by index, no key-space math —
+      // exact balance for any key distribution (parts <= n, so every shard
+      // holds at least one record). Ranges are contiguous and ascending, so
+      // the splice below reassembles the reply in ascending key order.
+      for (size_t s = 0; s < parts; ++s) {
+        Shard shard;
+        shard.task = &task;
+        shard.col_begin = n * s / parts;
+        shard.col_end = n * (s + 1) / parts;
+        shard.prepared = prepared;
+        shards.push_back(std::move(shard));
+      }
       planned.push_back(&task);
       continue;
     }
@@ -205,7 +239,11 @@ void ScanWorkerPool::Run(std::vector<ScanTask>& tasks,
     // O(parts log n). Under hashed keys (the default) the intervals hold
     // near-equal record counts; clustered raw keys may imbalance the shards,
     // which costs parallelism, never correctness: the ranges concatenate to
-    // the whole map in ascending key order regardless.
+    // the whole map in ascending key order regardless. Degenerate spans
+    // (tightly clustered keys, extremes at 0/UINT64_MAX) can land several
+    // boundaries on the same record — such empty ranges are dropped rather
+    // than scheduled, so every emitted shard holds at least one record and
+    // no record is ever covered twice.
     const uint64_t lo = task.records->begin()->first;
     const uint64_t hi = task.records->rbegin()->first;
     const uint64_t span = hi - lo;
@@ -223,6 +261,7 @@ void ScanWorkerPool::Run(std::vector<ScanTask>& tasks,
         it = task.records->lower_bound(boundary);
         shard.end = it;
       }
+      if (shard.begin == shard.end) continue;  // boundary collision: empty
       shard.prepared = prepared;
       shards.push_back(std::move(shard));
     }

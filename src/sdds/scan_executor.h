@@ -35,6 +35,14 @@ namespace essdds::sdds {
 struct ScanTask {
   uint64_t bucket = 0;
   const std::map<uint64_t, Bytes>* records = nullptr;
+  /// Columnar view of the same records (bucket servers maintain a
+  /// ColumnStore beside the map). When `has_columns` is set, evaluation
+  /// runs the filter's batch MatchColumns path over the packed arena —
+  /// shards become contiguous index ranges instead of map-iterator ranges —
+  /// and `records` is untouched. The slice borrows the bucket's buffers
+  /// under the same pre-mutation-resolution contract as `records`.
+  ColumnSlice columns;
+  bool has_columns = false;
   const ScanFilter* filter = nullptr;
   Bytes arg;      // owned copy of the scan argument (workers never touch
                   // the originating message)
@@ -128,12 +136,16 @@ class ScanWorkerPool {
 
  private:
 #if ESSDDS_THREADS
-  /// One contiguous key-range slice of a task's record map, with its own
-  /// hit vector so workers never contend on the reply.
+  /// One contiguous slice of a task's records, with its own hit vector so
+  /// workers never contend on the reply. Columnar tasks carve index ranges
+  /// [col_begin, col_end) into the packed arena; map-backed tasks carve
+  /// key-range iterator pairs.
   struct Shard {
     ScanTask* task = nullptr;
     std::map<uint64_t, Bytes>::const_iterator begin;
     std::map<uint64_t, Bytes>::const_iterator end;
+    size_t col_begin = 0;
+    size_t col_end = 0;
     const ScanFilter::Prepared* prepared = nullptr;
     std::vector<WireRecord> hits;
   };

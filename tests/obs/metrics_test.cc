@@ -110,6 +110,74 @@ TEST(HistogramTest, QuantilesOfKnownDistribution) {
   EXPECT_LE(s.p99, s.max);
 }
 
+TEST(HistogramTest, QuantileRankIsCeilBased) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  // The q-th quantile is the sample at rank ceil(q*n) — the smallest rank
+  // covering fraction q of the population. Samples sit at exact bucket
+  // upper bounds (2^b - 1) so every pinned expectation below is a precise
+  // value, not a bucket approximation. Truncation instead of ceil would
+  // return the rank below whenever q*n is integral or the floating-point
+  // product dips under it (0.95*100 evaluates below 95).
+  {
+    Histogram h;  // n = 1
+    h.Record(3);
+    EXPECT_EQ(h.Quantile(0.0), 3u);
+    EXPECT_EQ(h.Quantile(0.5), 3u);
+    EXPECT_EQ(h.Quantile(0.95), 3u);
+    EXPECT_EQ(h.Quantile(1.0), 3u);
+  }
+  {
+    Histogram h;  // n = 2: p50 is the 1st sample (ceil(1.0) = 1)
+    h.Record(1);
+    h.Record(3);
+    EXPECT_EQ(h.Quantile(0.5), 1u);
+    EXPECT_EQ(h.Quantile(0.51), 3u);  // ceil(1.02) = 2
+    EXPECT_EQ(h.Quantile(0.95), 3u);
+    EXPECT_EQ(h.Quantile(1.0), 3u);
+  }
+  {
+    Histogram h;  // n = 3: p50 is the 2nd sample (ceil(1.5) = 2), which
+    h.Record(1);  // truncation would report as the 1st
+    h.Record(3);
+    h.Record(7);
+    EXPECT_EQ(h.Quantile(0.5), 3u);
+    EXPECT_EQ(h.Quantile(0.34), 3u);  // ceil(1.02) = 2
+    EXPECT_EQ(h.Quantile(0.33), 1u);  // ceil(0.99) = 1
+    EXPECT_EQ(h.Quantile(0.95), 7u);
+  }
+  {
+    Histogram h;  // n = 4: p50 exactly the 2nd, p95/p99 the 4th
+    h.Record(1);
+    h.Record(3);
+    h.Record(7);
+    h.Record(15);
+    EXPECT_EQ(h.Quantile(0.25), 1u);
+    EXPECT_EQ(h.Quantile(0.5), 3u);
+    EXPECT_EQ(h.Quantile(0.75), 7u);
+    EXPECT_EQ(h.Quantile(0.95), 15u);  // ceil(3.8) = 4; floor gave the 3rd
+    EXPECT_EQ(h.Quantile(0.99), 15u);
+  }
+  {
+    Histogram h;  // n = 100: rank 95 must clear the 94-sample plateau even
+    // though 0.95 * 100 computes fractionally below 95.
+    for (int i = 0; i < 94; ++i) h.Record(1);
+    for (int i = 0; i < 6; ++i) h.Record(3);
+    EXPECT_EQ(h.Quantile(0.5), 1u);
+    EXPECT_EQ(h.Quantile(0.94), 1u);
+    EXPECT_EQ(h.Quantile(0.95), 3u);
+    EXPECT_EQ(h.Quantile(0.99), 3u);
+  }
+  {
+    Histogram h;  // n = 100: p99 boundary — rank 99 is the first of the
+    for (int i = 0; i < 98; ++i) h.Record(1);  // two 3s
+    h.Record(3);
+    h.Record(3);
+    EXPECT_EQ(h.Quantile(0.98), 1u);
+    EXPECT_EQ(h.Quantile(0.99), 3u);
+    EXPECT_EQ(h.Quantile(1.0), 3u);
+  }
+}
+
 TEST(HistogramTest, MergeFromFoldsCountsSumsAndMax) {
   if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
   Histogram a, b;

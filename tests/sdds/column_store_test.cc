@@ -1,0 +1,193 @@
+// ColumnStore battery: the columnar mirror must track a std::map through
+// arbitrary upsert/erase sequences byte for byte (the MirrorsMap audit),
+// keep its arena bounded by compaction, and stay in lockstep with every
+// bucket's record map across the full LH* lifecycle — splits, merges, bulk
+// transfers — which is what the scan path's byte-identity rests on.
+
+#include "sdds/column_store.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sdds/lh_system.h"
+#include "util/random.h"
+
+namespace essdds::sdds {
+namespace {
+
+Bytes Val(uint64_t k) { return ToBytes("value-" + std::to_string(k)); }
+
+Bytes RandomPayload(Rng& rng, size_t max_len) {
+  Bytes b(rng.Uniform(max_len + 1));
+  for (auto& x : b) x = static_cast<uint8_t>(rng.Uniform(256));
+  return b;
+}
+
+TEST(ColumnStoreTest, EmptyStoreMirrorsEmptyMap) {
+  ColumnStore store;
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.MirrorsMap({}));
+  const ColumnSlice s = store.slice();
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(ColumnStoreTest, UpsertKeepsAscendingKeyOrder) {
+  ColumnStore store;
+  for (uint64_t k : {7u, 3u, 9u, 1u, 5u}) store.Upsert(k, Val(k));
+  ASSERT_EQ(store.size(), 5u);
+  for (size_t i = 1; i < store.size(); ++i) {
+    EXPECT_LT(store.key(i - 1), store.key(i));
+  }
+  const ColumnSlice s = store.slice();
+  for (size_t i = 0; i < s.count; ++i) {
+    const ByteSpan p = s.payload(i);
+    const Bytes expected = Val(s.keys[i]);
+    ASSERT_EQ(p.size(), expected.size());
+    EXPECT_TRUE(std::equal(p.begin(), p.end(), expected.begin()));
+  }
+}
+
+TEST(ColumnStoreTest, SameSizeReplaceGrowsNoWaste) {
+  ColumnStore store;
+  store.Upsert(1, ToBytes("aaaa"));
+  store.Upsert(1, ToBytes("bbbb"));
+  EXPECT_EQ(store.waste_bytes(), 0u);
+  const ByteSpan p = store.payload(0);
+  EXPECT_EQ(std::string(p.begin(), p.end()), "bbbb");
+}
+
+TEST(ColumnStoreTest, ResizeReplaceAccountsWasteAndCompacts) {
+  ColumnStore store;
+  store.Upsert(1, ToBytes("short"));
+  store.Upsert(1, ToBytes("rather-longer-payload"));
+  // The 5 old bytes are dead until compaction reclaims them.
+  std::map<uint64_t, Bytes> expected{{1, ToBytes("rather-longer-payload")}};
+  EXPECT_TRUE(store.MirrorsMap(expected));
+  // Alternate two sizes: compaction must keep the arena within 2x the live
+  // volume instead of growing without bound.
+  for (int i = 0; i < 1000; ++i) {
+    store.Upsert(1, i % 2 ? ToBytes("short") : ToBytes("rather-longer-payload"));
+  }
+  EXPECT_LE(store.waste_bytes(), 2 * ToBytes("rather-longer-payload").size());
+}
+
+TEST(ColumnStoreTest, EraseMissingKeyIsNoop) {
+  ColumnStore store;
+  store.Upsert(2, Val(2));
+  store.Erase(99);
+  EXPECT_TRUE(store.MirrorsMap({{2, Val(2)}}));
+}
+
+TEST(ColumnStoreTest, ErasingLastRecordReleasesArena) {
+  ColumnStore store;
+  store.Upsert(1, Val(1));
+  store.Upsert(2, Val(2));
+  store.Erase(1);
+  store.Erase(2);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.waste_bytes(), 0u);
+  EXPECT_TRUE(store.MirrorsMap({}));
+}
+
+TEST(ColumnStoreTest, EmptyPayloadsRoundTrip) {
+  ColumnStore store;
+  store.Upsert(1, Bytes{});
+  store.Upsert(2, Val(2));
+  store.Upsert(3, Bytes{});
+  std::map<uint64_t, Bytes> expected{{1, {}}, {2, Val(2)}, {3, {}}};
+  EXPECT_TRUE(store.MirrorsMap(expected));
+  EXPECT_EQ(store.slice().payload(0).size(), 0u);
+}
+
+TEST(ColumnStoreTest, RebuildFromMatchesMap) {
+  Rng rng(31);
+  std::map<uint64_t, Bytes> records;
+  for (int i = 0; i < 200; ++i) {
+    records[rng.Uniform(1000)] = RandomPayload(rng, 40);
+  }
+  ColumnStore store;
+  store.Upsert(12345, Val(1));  // stale content the rebuild must drop
+  store.RebuildFrom(records);
+  EXPECT_TRUE(store.MirrorsMap(records));
+  EXPECT_EQ(store.waste_bytes(), 0u);
+}
+
+TEST(ColumnStoreTest, MirrorsMapDetectsDivergence) {
+  ColumnStore store;
+  store.Upsert(1, Val(1));
+  EXPECT_FALSE(store.MirrorsMap({}));                       // extra record
+  EXPECT_FALSE(store.MirrorsMap({{2, Val(1)}}));            // wrong key
+  EXPECT_FALSE(store.MirrorsMap({{1, ToBytes("other!!")}}));  // wrong bytes
+  EXPECT_FALSE(store.MirrorsMap({{1, Val(1)}, {2, Val(2)}}));  // missing
+}
+
+TEST(ColumnStoreTest, RandomOpSequenceMirrorsMap) {
+  // Property: after any interleaving of upserts (random sizes, including
+  // same-key replacements that churn the arena) and erases, the store holds
+  // exactly the map's content in key order.
+  Rng rng(32);
+  for (int trial = 0; trial < 20; ++trial) {
+    ColumnStore store;
+    std::map<uint64_t, Bytes> model;
+    for (int op = 0; op < 500; ++op) {
+      const uint64_t key = rng.Uniform(64);  // small space: frequent replaces
+      if (rng.Bernoulli(0.3) && !model.empty()) {
+        store.Erase(key);
+        model.erase(key);
+      } else {
+        Bytes payload = RandomPayload(rng, 64);
+        store.Upsert(key, payload);
+        model[key] = std::move(payload);
+      }
+    }
+    ASSERT_TRUE(store.MirrorsMap(model)) << "trial " << trial;
+  }
+}
+
+TEST(ColumnStoreTest, BucketsMirrorMapsThroughSplits) {
+  // End-to-end lockstep audit, growth direction: inserts drive the file
+  // through many splits (bulk kMoveRecords transfers + carve-outs); every
+  // live bucket's column store must mirror its record map afterwards.
+  LhSystem sys(LhOptions{.bucket_capacity = 8});
+  LhClient* c = sys.NewClient();
+  Rng rng(33);
+  std::set<uint64_t> keys;
+  for (int i = 0; i < 600; ++i) keys.insert(rng.Next());
+  for (uint64_t k : keys) c->Insert(k, Val(k));
+  ASSERT_GT(sys.bucket_count(), 8u);
+  for (uint64_t b = 0; b < sys.bucket_count(); ++b) {
+    const LhBucketServer& server = sys.bucket(b);
+    EXPECT_TRUE(server.columns().MirrorsMap(server.records()))
+        << "bucket " << b;
+  }
+}
+
+TEST(ColumnStoreTest, BucketsMirrorMapsThroughMergesAndChurn) {
+  // Shrink direction: deletes trigger merges (kMergeRecords transfers,
+  // dissolved buckets), interleaved with fresh inserts and replacements.
+  LhSystem sys(LhOptions{.bucket_capacity = 8, .merge_threshold = 0.4});
+  LhClient* c = sys.NewClient();
+  Rng rng(34);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 400; ++i) keys.push_back(rng.Next());
+  for (uint64_t k : keys) c->Insert(k, Val(k));
+  // Delete most, re-insert some with different payloads.
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i % 4 != 0) c->Delete(keys[i]);
+  }
+  for (size_t i = 0; i < keys.size(); i += 8) {
+    c->Insert(keys[i], ToBytes("replacement-" + std::to_string(i)));
+  }
+  for (uint64_t b = 0; b < sys.bucket_count(); ++b) {
+    const LhBucketServer& server = sys.bucket(b);
+    EXPECT_TRUE(server.columns().MirrorsMap(server.records()))
+        << "bucket " << b;
+  }
+}
+
+}  // namespace
+}  // namespace essdds::sdds

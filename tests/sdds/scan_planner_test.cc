@@ -1,0 +1,215 @@
+// Shard-planner battery: the interval carve must survive degenerate key
+// distributions — keys pinned at 0 and UINT64_MAX, tight clusters, heavy
+// skew, consecutive keys, single records — without crashing, double-
+// covering, or dropping records; and the columnar carve (equal index
+// ranges over the packed arena) must splice back byte-identically to
+// serial evaluation on every one of them. Extremes land several interval
+// boundaries on the same record; the planner drops the resulting empty
+// ranges rather than scheduling them.
+
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sdds/column_store.h"
+#include "sdds/lh_options.h"
+#include "sdds/scan_executor.h"
+#include "util/bytes.h"
+#include "util/random.h"
+
+namespace essdds::sdds {
+namespace {
+
+Bytes Val(uint64_t k) { return ToBytes("value-" + std::to_string(k)); }
+
+std::unique_ptr<ScanFilter> SelectiveFilter() {
+  return MakeScanFilter([](uint64_t key, ByteSpan value, ByteSpan arg) {
+    if (arg.empty()) return true;
+    return !value.empty() && key % 3 == static_cast<uint64_t>(arg[0]) % 3;
+  });
+}
+
+/// The distributions the key-space interval math is most likely to get
+/// wrong. Each returns the record map; the sweep runs every (distribution,
+/// thread count, shard threshold, columnar on/off) combination against the
+/// serial ground truth.
+std::vector<std::pair<std::string, std::map<uint64_t, Bytes>>>
+ExtremeDistributions() {
+  constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  std::vector<std::pair<std::string, std::map<uint64_t, Bytes>>> out;
+
+  auto add = [&](std::string name, std::vector<uint64_t> keys) {
+    std::map<uint64_t, Bytes> records;
+    for (uint64_t k : keys) records[k] = Val(k);
+    out.emplace_back(std::move(name), std::move(records));
+  };
+
+  add("empty", {});
+  add("single_zero", {0});
+  add("single_max", {kMax});
+  add("both_extremes", {0, kMax});
+  // Full-span with all interior boundaries collapsing onto one record.
+  add("extremes_and_midpoint", {0, kMax / 2, kMax});
+  {
+    std::vector<uint64_t> keys;  // tight cluster far from the origin
+    for (uint64_t k = 0; k < 100; ++k) keys.push_back(1'000'000 + k);
+    add("tight_cluster", std::move(keys));
+  }
+  {
+    std::vector<uint64_t> keys;  // consecutive from zero: span == n - 1
+    for (uint64_t k = 0; k < 64; ++k) keys.push_back(k);
+    add("consecutive", std::move(keys));
+  }
+  {
+    // One outlier at kMax drags the span: every interior boundary lands
+    // past the cluster, so all but the first and last ranges are empty.
+    std::vector<uint64_t> keys;
+    for (uint64_t k = 0; k < 50; ++k) keys.push_back(k);
+    keys.push_back(kMax);
+    add("cluster_plus_max_outlier", std::move(keys));
+  }
+  {
+    std::vector<uint64_t> keys;  // two clusters hugging both ends
+    for (uint64_t k = 0; k < 40; ++k) {
+      keys.push_back(k);
+      keys.push_back(kMax - k);
+    }
+    add("bimodal_extremes", std::move(keys));
+  }
+  {
+    Rng rng(51);  // uniform hashed keys: the well-behaved baseline
+    std::vector<uint64_t> keys;
+    for (int i = 0; i < 200; ++i) keys.push_back(rng.Next());
+    add("uniform", std::move(keys));
+  }
+  return out;
+}
+
+ScanTask MakeTask(const std::map<uint64_t, Bytes>& records,
+                  const ColumnStore* columns, const ScanFilter& filter,
+                  Bytes arg) {
+  ScanTask task;
+  task.bucket = 0;
+  task.records = &records;
+  if (columns != nullptr) {
+    task.columns = columns->slice();
+    task.has_columns = true;
+  }
+  task.filter = &filter;
+  task.arg = std::move(arg);
+  task.reply.type = MsgType::kScanReply;
+  return task;
+}
+
+void ExpectSameHits(const std::vector<WireRecord>& actual,
+                    const std::vector<WireRecord>& expected,
+                    const std::string& label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].key, expected[i].key) << label << " hit " << i;
+    EXPECT_EQ(actual[i].value, expected[i].value) << label << " hit " << i;
+  }
+}
+
+TEST(ScanPlannerTest, ExtremeKeyDistributionsMatchSerial) {
+  const auto distributions = ExtremeDistributions();
+  const std::unique_ptr<ScanFilter> filter = SelectiveFilter();
+  const Bytes arg = {uint8_t{1}};
+  for (const auto& [name, records] : distributions) {
+    ColumnStore columns;
+    columns.RebuildFrom(records);
+    // Serial ground truth (map walk, threads = 1 pool).
+    std::vector<WireRecord> expected;
+    {
+      ScanTask task = MakeTask(records, nullptr, *filter, arg);
+      ExecuteScanTask(task);
+      expected = std::move(task.reply.records);
+    }
+    for (const size_t threads : {2u, 4u, 8u, 16u}) {
+      for (const size_t shard_min : {0u, 1u, 2u, 7u, 1000u}) {
+        ScanWorkerPool pool(threads);
+        const std::string label = name + " threads=" +
+                                  std::to_string(threads) + " shard_min=" +
+                                  std::to_string(shard_min);
+        {
+          std::vector<ScanTask> tasks;
+          tasks.push_back(MakeTask(records, nullptr, *filter, arg));
+          pool.Run(tasks, shard_min);
+          ExpectSameHits(tasks[0].reply.records, expected, label + " map");
+        }
+        {
+          std::vector<ScanTask> tasks;
+          tasks.push_back(MakeTask(records, &columns, *filter, arg));
+          pool.Run(tasks, shard_min);
+          ExpectSameHits(tasks[0].reply.records, expected,
+                         label + " columnar");
+        }
+      }
+    }
+  }
+}
+
+TEST(ScanPlannerTest, MatchAllKeepsEveryRecordExactlyOnce) {
+  // With a pass-everything filter the reply must be the whole map, in key
+  // order, regardless of how boundary collisions carved the shards — a
+  // dropped or double-covered range shows up immediately here.
+  const auto distributions = ExtremeDistributions();
+  const std::unique_ptr<ScanFilter> filter = SelectiveFilter();
+  for (const auto& [name, records] : distributions) {
+    ColumnStore columns;
+    columns.RebuildFrom(records);
+    ScanWorkerPool pool(8);
+    for (const bool columnar : {false, true}) {
+      std::vector<ScanTask> tasks;
+      tasks.push_back(
+          MakeTask(records, columnar ? &columns : nullptr, *filter, {}));
+      pool.Run(tasks, 1);
+      const auto& hits = tasks[0].reply.records;
+      ASSERT_EQ(hits.size(), records.size())
+          << name << (columnar ? " columnar" : " map");
+      size_t i = 0;
+      for (const auto& [key, value] : records) {
+        EXPECT_EQ(hits[i].key, key) << name << " index " << i;
+        EXPECT_EQ(hits[i].value, value) << name << " index " << i;
+        ++i;
+      }
+    }
+  }
+}
+
+TEST(ScanPlannerTest, MixedBatchesOfMapAndColumnarTasks) {
+  // One drain can legitimately carry both kinds of task (unit tests and
+  // benches build bare map tasks; bucket servers attach columns): the
+  // planner must shard each by its own geometry.
+  const auto distributions = ExtremeDistributions();
+  const std::unique_ptr<ScanFilter> filter = SelectiveFilter();
+  const Bytes arg = {uint8_t{2}};
+  std::vector<ColumnStore> stores(distributions.size());
+  std::vector<std::vector<WireRecord>> expected;
+  for (size_t d = 0; d < distributions.size(); ++d) {
+    stores[d].RebuildFrom(distributions[d].second);
+    ScanTask task = MakeTask(distributions[d].second, nullptr, *filter, arg);
+    ExecuteScanTask(task);
+    expected.push_back(std::move(task.reply.records));
+  }
+  ScanWorkerPool pool(4);
+  std::vector<ScanTask> tasks;
+  for (size_t d = 0; d < distributions.size(); ++d) {
+    tasks.push_back(MakeTask(distributions[d].second,
+                             d % 2 == 0 ? &stores[d] : nullptr, *filter,
+                             arg));
+  }
+  pool.Run(tasks, 2);
+  for (size_t d = 0; d < tasks.size(); ++d) {
+    ExpectSameHits(tasks[d].reply.records, expected[d],
+                   distributions[d].first);
+  }
+}
+
+}  // namespace
+}  // namespace essdds::sdds
