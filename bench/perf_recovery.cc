@@ -1,0 +1,165 @@
+// Durability benchmark: (1) the append-before-ack logging overhead — insert
+// throughput of a RAM-only LhSystem against one writing encrypted bucket
+// logs; (2) restart recovery — wall-clock to rebuild the full file from its
+// logs, for a raw append-only history and for a checkpoint-compacted one
+// (small floor, so each log is mostly a single snapshot frame). Emits one
+// JSON object so CI can track the numbers.
+//
+// Scale with ESSDDS_RECORDS=<n> (default 20,000 — logging overhead is
+// per-record, recovery time is linear in the replayed history).
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sdds/lh_system.h"
+#include "util/json_writer.h"
+#include "util/random.h"
+
+namespace essdds::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+Bytes Value(uint64_t key) {
+  return ToBytes("recovery-bench-payload-" + std::to_string(key));
+}
+
+sdds::LhOptions MakeOptions(const std::string& data_dir,
+                            size_t checkpoint_min) {
+  sdds::LhOptions o;
+  o.bucket_capacity = 128;
+  o.data_dir = data_dir;
+  o.log_checkpoint_min_bytes = checkpoint_min;
+  return o;
+}
+
+struct LoadNumbers {
+  double inserts_per_sec = 0;
+  size_t buckets = 0;
+  uintmax_t log_bytes = 0;  // on-disk footprint after the load
+};
+
+/// Inserts the workload into a fresh LhSystem (RAM-only when `data_dir` is
+/// empty) and reports throughput plus the resulting on-disk footprint.
+LoadNumbers RunLoad(size_t records, const std::string& data_dir,
+                    size_t checkpoint_min) {
+  Rng rng(20060401);
+  std::vector<uint64_t> keys;
+  keys.reserve(records);
+  for (size_t i = 0; i < records; ++i) keys.push_back(rng.Next());
+
+  sdds::LhSystem sys(MakeOptions(data_dir, checkpoint_min));
+  sdds::LhClient* client = sys.NewClient();
+  const auto start = Clock::now();
+  for (uint64_t k : keys) client->Insert(k, Value(k));
+  const double elapsed = SecondsSince(start);
+
+  LoadNumbers out;
+  out.inserts_per_sec = static_cast<double>(records) / elapsed;
+  out.buckets = sys.bucket_count();
+  if (!data_dir.empty()) {
+    for (const auto& entry : std::filesystem::directory_iterator(data_dir)) {
+      out.log_bytes += entry.file_size();
+    }
+  }
+  return out;
+}
+
+struct RecoveryNumbers {
+  double recovery_sec = 0;
+  double records_per_sec = 0;
+  size_t buckets = 0;
+  uint64_t records = 0;
+};
+
+/// Rebuilds an LhSystem over an existing data directory — the restart path —
+/// and reports how long the constructor's replay took.
+RecoveryNumbers RunRecovery(const std::string& data_dir,
+                            size_t checkpoint_min) {
+  const auto start = Clock::now();
+  sdds::LhSystem sys(MakeOptions(data_dir, checkpoint_min));
+  RecoveryNumbers out;
+  out.recovery_sec = SecondsSince(start);
+  out.buckets = sys.recovered_bucket_count();
+  out.records = sys.TotalRecords();
+  out.records_per_sec = static_cast<double>(out.records) / out.recovery_sec;
+  return out;
+}
+
+int Main() {
+  const size_t records = CorpusSize(/*default_size=*/20'000);
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "essdds_perf_recovery")
+          .string();
+  std::filesystem::remove_all(base);
+
+  PrintHeader("Durable persistence: logging overhead and restart recovery (" +
+              std::to_string(records) + " records)");
+
+  const LoadNumbers ram = RunLoad(records, "", 64 * 1024);
+  std::printf("RAM-only load:        %12.0f inserts/s (%zu buckets)\n",
+              ram.inserts_per_sec, ram.buckets);
+
+  // Raw history: a floor far above the workload, so no log ever compacts.
+  const std::string raw_dir = base + "/raw";
+  std::filesystem::create_directories(raw_dir);
+  const size_t raw_floor = size_t{1} << 30;
+  const LoadNumbers raw = RunLoad(records, raw_dir, raw_floor);
+  std::printf("Logged load (raw):    %12.0f inserts/s (%.2fx overhead, "
+              "%ju log bytes)\n",
+              raw.inserts_per_sec, ram.inserts_per_sec / raw.inserts_per_sec,
+              raw.log_bytes);
+
+  // Compacted history: the default floor lets busy buckets checkpoint.
+  const std::string ckpt_dir = base + "/compacted";
+  std::filesystem::create_directories(ckpt_dir);
+  const size_t ckpt_floor = 4 * 1024;
+  const LoadNumbers ckpt = RunLoad(records, ckpt_dir, ckpt_floor);
+  std::printf("Logged load (ckpt):   %12.0f inserts/s (%.2fx overhead, "
+              "%ju log bytes)\n",
+              ckpt.inserts_per_sec, ram.inserts_per_sec / ckpt.inserts_per_sec,
+              ckpt.log_bytes);
+
+  const RecoveryNumbers raw_rec = RunRecovery(raw_dir, raw_floor);
+  std::printf("Recovery (raw):       %12.3f ms, %.0f records/s "
+              "(%zu buckets, %llu records)\n",
+              raw_rec.recovery_sec * 1e3, raw_rec.records_per_sec,
+              raw_rec.buckets, static_cast<unsigned long long>(raw_rec.records));
+
+  const RecoveryNumbers ckpt_rec = RunRecovery(ckpt_dir, ckpt_floor);
+  std::printf("Recovery (ckpt):      %12.3f ms, %.0f records/s "
+              "(%zu buckets, %llu records)\n",
+              ckpt_rec.recovery_sec * 1e3, ckpt_rec.records_per_sec,
+              ckpt_rec.buckets,
+              static_cast<unsigned long long>(ckpt_rec.records));
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("records").Value(static_cast<uint64_t>(records));
+  w.Key("ram_inserts_per_sec").Value(ram.inserts_per_sec);
+  w.Key("logged_inserts_per_sec_raw").Value(raw.inserts_per_sec);
+  w.Key("logged_inserts_per_sec_compacted").Value(ckpt.inserts_per_sec);
+  w.Key("log_bytes_raw").Value(static_cast<uint64_t>(raw.log_bytes));
+  w.Key("log_bytes_compacted").Value(static_cast<uint64_t>(ckpt.log_bytes));
+  w.Key("recovery_sec_raw").Value(raw_rec.recovery_sec);
+  w.Key("recovery_sec_compacted").Value(ckpt_rec.recovery_sec);
+  w.Key("recovered_records").Value(raw_rec.records);
+  w.EndObject();
+  std::printf("\n%s\n", w.str().c_str());
+
+  std::filesystem::remove_all(base);
+  return 0;
+}
+
+}  // namespace
+}  // namespace essdds::bench
+
+int main() { return essdds::bench::Main(); }

@@ -20,6 +20,15 @@
 //   --shard-min=N      bucket record count above which index scans shard the
 //                      bucket across the worker pool (needs scan threads > 1)
 //
+// Durability (src/persist; no-ops when built with -DESSDDS_PERSIST=OFF):
+//
+//   --data-dir=DIR     keep encrypted-at-rest bucket logs for both LH* files
+//                      under DIR (record_file/ and index_file/ subtrees).
+//                      Every acknowledged mutation is logged before its ack;
+//                      restarting the shell with the same DIR replays the
+//                      logs and skips the synthetic corpus load.
+//   --no-persist       ignore --data-dir and run RAM-only
+//
 // Observability (src/obs; no-ops when built with -DESSDDS_METRICS=OFF):
 //
 //   --metrics          print the full metrics JSON (traffic stats + metric
@@ -174,6 +183,8 @@ int main(int argc, char** argv) {
   size_t scan_threads = 0;
   size_t shard_min = essdds::sdds::LhOptions{}.scan_shard_min_records;
   NetConfig net;
+  std::string data_dir;
+  bool no_persist = false;
   bool metrics_at_exit = false;
   std::string metrics_file;  // empty = stdout
   bool trace_at_exit = false;
@@ -184,6 +195,10 @@ int main(int argc, char** argv) {
     if (arg.rfind("--shard-min=", 0) == 0) {
       shard_min = static_cast<size_t>(
           std::strtoull(arg.c_str() + sizeof("--shard-min=") - 1, nullptr, 10));
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
+      data_dir = arg.substr(sizeof("--data-dir=") - 1);
+    } else if (arg == "--no-persist") {
+      no_persist = true;
     } else if (arg == "--metrics") {
       metrics_at_exit = true;
     } else if (arg.rfind("--metrics=", 0) == 0) {
@@ -232,6 +247,13 @@ int main(int argc, char** argv) {
   }
   // Distinct seeds so the two files do not replay each other's schedule.
   options.index_file.event_net.seed = net.event.seed * 2 + 1;
+  if (!data_dir.empty() && !no_persist) {
+    // Separate subtrees: both files number their buckets from 0.
+    options.record_file.data_dir = data_dir + "/record_file";
+    options.index_file.data_dir = data_dir + "/index_file";
+    options.record_file.persist_master = ToBytes("shell persist master");
+    options.index_file.persist_master = ToBytes("shell persist master");
+  }
 
   auto store = essdds::core::EncryptedStore::Create(
       options, ToBytes("shell master key"), training);
@@ -239,15 +261,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
     return 1;
   }
-  for (const auto& r : corpus) {
-    auto st = (*store)->Insert(r.rid, r.name);
-    if (!st.ok()) {
-      report_failure("load: " + st.ToString());
-      return 1;
+  const size_t recovered = (*store)->record_file().recovered_bucket_count();
+  if (recovered > 0) {
+    // The data directory replayed into the buckets — the corpus is already
+    // there (or whatever state the previous run acked last).
+    std::printf("recovered %llu records from %zu bucket(s) (%s); "
+                "type 'help' for commands\n",
+                static_cast<unsigned long long>((*store)->record_count()),
+                recovered, net.ReplayFlags().c_str());
+  } else {
+    for (const auto& r : corpus) {
+      auto st = (*store)->Insert(r.rid, r.name);
+      if (!st.ok()) {
+        report_failure("load: " + st.ToString());
+        return 1;
+      }
     }
+    std::printf("loaded %zu records (%s); type 'help' for commands\n", n,
+                net.ReplayFlags().c_str());
   }
-  std::printf("loaded %zu records (%s); type 'help' for commands\n", n,
-              net.ReplayFlags().c_str());
 
   std::string line;
   while (std::getline(std::cin, line)) {

@@ -36,6 +36,14 @@ class KeyChain {
     return SeedFrom(DeriveKey(master_, "essdds/dispersal", 8));
   }
 
+  /// At-rest AES-128-CTR key for bucket `bucket`'s persistent log. Derived
+  /// per bucket so one leaked log file key reveals nothing about any other
+  /// bucket's image.
+  Bytes PersistKey(uint64_t bucket) const {
+    return DeriveKey(master_,
+                     "essdds/persist/bucket/" + std::to_string(bucket), 16);
+  }
+
   /// Seed for any auxiliary randomized choice bound to this deployment.
   uint64_t AuxSeed(std::string_view label) const {
     return SeedFrom(DeriveKey(master_, "essdds/aux/" + std::string(label), 8));

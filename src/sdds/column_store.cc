@@ -17,6 +17,15 @@ uint64_t ColumnStore::Append(ByteSpan payload) {
   // Compact before growing past 2x the live volume; the threshold also
   // charges the incoming payload so a store that alternates two payload
   // sizes for one key cannot grow without bound.
+  //
+  // The unsigned subtraction cannot underflow: every mutation preserves
+  // waste_bytes_ + (live payload bytes) == arena_.size() — in particular
+  // the replace path in Upsert charges the superseded payload only AFTER
+  // this append repoints the entry — so arena_.size() - waste_bytes_ is the
+  // live volume, >= 0. The boundary waste_bytes_ == arena_.size() (an
+  // all-dead arena under live zero-length entries) evaluates the threshold
+  // as waste >= payload.size() and compacts; unit tests pin it.
+  ESSDDS_DCHECK(waste_bytes_ <= arena_.size());
   if (waste_bytes_ > 0 &&
       waste_bytes_ >= arena_.size() - waste_bytes_ + payload.size()) {
     Compact();

@@ -89,8 +89,13 @@ class ColumnStore {
   }
 
   /// Arena bytes occupied by dead payloads (replaced or erased records);
-  /// reset by compaction and rebuilds. Exposed for tests.
+  /// reset by compaction and rebuilds. Exposed for tests. Invariant:
+  /// waste_bytes() + (sum of live payload lengths) == arena_bytes().
   uint64_t waste_bytes() const { return waste_bytes_; }
+
+  /// Total arena size, live + waste. Exposed for the compaction-boundary
+  /// tests (growth-bound and all-dead-arena assertions).
+  uint64_t arena_bytes() const { return arena_.size(); }
 
   /// True when this store holds exactly the content of `records`, byte for
   /// byte, in ascending key order. Test/audit hook.

@@ -98,7 +98,10 @@ Message LhClient::RoundTrip(MsgType type, uint64_t key, Bytes value) {
   const uint64_t op_start_us = net_->now_us();
   net_->TraceHop(obs::HopKind::kOpStart, req);
   const uint64_t timeout = runtime_->options().request_timeout_us;
-  uint64_t deadline = net_->now_us() + timeout;
+  const uint64_t start_us = net_->now_us();
+  // Saturating: a deadline must never wrap into the past.
+  uint64_t deadline =
+      timeout > UINT64_MAX - start_us ? UINT64_MAX : start_us + timeout;
   net_->Send(std::move(req));
 
   uint32_t attempts = 0;
@@ -140,9 +143,17 @@ Message LhClient::RoundTrip(MsgType type, uint64_t key, Bytes value) {
     again.to = runtime_->SiteOfBucket(AddressFor(key));
     net_->TraceHop(obs::HopKind::kRetry, again);
     // Bounded exponential backoff: double the patience each attempt, up to
-    // 2^6 timeouts.
-    deadline =
-        net_->now_us() + (timeout << std::min<uint32_t>(attempts, 6));
+    // 2^6 timeouts. Both the shift and the deadline addition saturate — a
+    // huge configured timeout must pin the deadline at the far future, not
+    // wrap uint64_t into the past and turn backoff into a hot retry loop.
+    const uint32_t shift = std::min<uint32_t>(attempts, 6);
+    uint64_t backoff = timeout;
+    if (shift > 0) {
+      backoff = timeout > (UINT64_MAX >> shift) ? UINT64_MAX
+                                                : timeout << shift;
+    }
+    const uint64_t now = net_->now_us();
+    deadline = backoff > UINT64_MAX - now ? UINT64_MAX : now + backoff;
     net_->Send(std::move(again));
   }
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sdds/column_store.h"
@@ -118,6 +119,28 @@ struct LhOptions {
   /// diagnostic). Bounded exponential backoff doubles the timeout each
   /// attempt up to 2^6.
   uint32_t max_request_retries = 16;
+
+  /// Directory for durable encrypted-at-rest bucket logs (src/persist). When
+  /// set, every record-map mutation is appended to the owning bucket's log
+  /// before it is acknowledged, and a new LhSystem over the same directory
+  /// replays the logs back into its buckets (records, levels, extent, and
+  /// the ColumnStore mirrors) before serving. Empty keeps every bucket
+  /// RAM-only (the pre-persistence behaviour); ignored with a warning when
+  /// the build has -DESSDDS_PERSIST=OFF.
+  std::string data_dir = {};
+
+  /// Master secret the per-bucket at-rest log keys derive from
+  /// (crypto::KeyChain::PersistKey). Empty selects a fixed development
+  /// master so an unconfigured shell still round-trips; a real deployment
+  /// must supply its own. Recovery needs the same master that wrote the
+  /// logs — a mismatch replays as corrupt (flagged, recovered empty).
+  Bytes persist_master = {};
+
+  /// Checkpoint compaction floor: a bucket log is rewritten as a single
+  /// snapshot frame only once it exceeds this size AND has at least doubled
+  /// since its last checkpoint. Small values force frequent compaction
+  /// (tests); 0 checkpoints on every doubling.
+  size_t log_checkpoint_min_bytes = 64 * 1024;
 };
 
 /// The key mixer used when LhOptions::hash_keys is set (splitmix64

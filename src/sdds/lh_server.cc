@@ -47,7 +47,21 @@ uint64_t LhBucketServer::RouteFor(uint64_t key) const {
   return a_prime;
 }
 
+void LhBucketServer::RestoreRecovered(std::map<uint64_t, Bytes> records) {
+  records_ = std::move(records);
+  columns_.RebuildFrom(records_);
+  // A recovered bucket owns its records already; nothing is in flight
+  // toward it, so it serves immediately.
+  loading_ = false;
+}
+
 void LhBucketServer::OnMessage(Message& msg, Network& net) {
+  if (halted_) {
+    // The durable log tore mid-append: this site is crashed. A crashed
+    // process neither acks nor forwards — peers see silence until a restart
+    // replays the log.
+    return;
+  }
   if (loading_ && msg.type != MsgType::kMoveRecords) {
     // The split that created this bucket hasn't delivered its records yet:
     // serving now would answer from an empty map, and a racing merge would
@@ -123,6 +137,14 @@ void LhBucketServer::HandleKeyOp(Message& msg, Network& net) {
 
   switch (msg.type) {
     case MsgType::kInsert: {
+      // Durability before acknowledgement: the record reaches the log
+      // before the map, the ack, or the overflow report. A torn append
+      // halts the site with the insert unacknowledged — the client retries
+      // against the restarted site.
+      if (log_ != nullptr && !log_->AppendPut(msg.key, msg.value)) {
+        halted_ = true;
+        return;
+      }
       AboutToMutateRecords(net);
       auto [it, inserted] =
           records_.insert_or_assign(msg.key, std::move(msg.value));
@@ -132,6 +154,7 @@ void LhBucketServer::HandleKeyOp(Message& msg, Network& net) {
       reply.found = !inserted;  // true when an existing record was replaced
       net.Send(std::move(reply));
       MaybeReportOverflow(net, msg.trace_id);
+      if (log_ != nullptr) log_->MaybeCheckpoint(level_, retired_, records_);
       return;
     }
     case MsgType::kLookup: {
@@ -143,6 +166,10 @@ void LhBucketServer::HandleKeyOp(Message& msg, Network& net) {
       return;
     }
     case MsgType::kDelete: {
+      if (log_ != nullptr && !log_->AppendErase(msg.key)) {
+        halted_ = true;
+        return;
+      }
       AboutToMutateRecords(net);
       reply.type = MsgType::kDeleteAck;
       reply.found = records_.erase(msg.key) > 0;
@@ -150,6 +177,7 @@ void LhBucketServer::HandleKeyOp(Message& msg, Network& net) {
       UpdateRecordGauge(net);
       net.Send(std::move(reply));
       MaybeReportUnderflow(net, msg.trace_id);
+      if (log_ != nullptr) log_->MaybeCheckpoint(level_, retired_, records_);
       return;
     }
     default:
@@ -226,6 +254,20 @@ void LhBucketServer::HandleSplit(const Message& msg, Network& net) {
     return;
   }
   const uint64_t new_bucket = msg.key;
+  // Compute the carve-out first so the log record (explicit key list + the
+  // stepped-up level) lands before any state changes: replay never needs to
+  // re-run the hash, and a tear here leaves the pre-split bucket intact.
+  const uint64_t mask = (uint64_t{1} << msg.new_level) - 1;
+  std::vector<uint64_t> moved_keys;
+  for (const auto& [key, value] : records_) {
+    if ((LhKeyImage(key, options_) & mask) == new_bucket) {
+      moved_keys.push_back(key);
+    }
+  }
+  if (log_ != nullptr && !log_->AppendEraseBulk(msg.new_level, moved_keys)) {
+    halted_ = true;
+    return;
+  }
   level_ = msg.new_level;
   AboutToMutateRecords(net);
 
@@ -234,19 +276,17 @@ void LhBucketServer::HandleSplit(const Message& msg, Network& net) {
   move.from = site_;
   move.to = runtime_->SiteOfBucket(new_bucket);
   move.trace_id = msg.trace_id;
-  const uint64_t mask = (uint64_t{1} << level_) - 1;
-  for (auto it = records_.begin(); it != records_.end();) {
-    if ((LhKeyImage(it->first, options_) & mask) == new_bucket) {
-      move.records.push_back(WireRecord{it->first, std::move(it->second)});
-      it = records_.erase(it);
-    } else {
-      ++it;
-    }
+  move.records.reserve(moved_keys.size());
+  for (uint64_t key : moved_keys) {
+    auto it = records_.find(key);
+    move.records.push_back(WireRecord{key, std::move(it->second)});
+    records_.erase(it);
   }
   // Split carve-out removes a whole key range; per-record column erases
   // would memmove the flat arrays once per moved record, so repack instead.
   columns_.RebuildFrom(records_);
   UpdateRecordGauge(net);
+  if (log_ != nullptr) log_->MaybeCheckpoint(level_, retired_, records_);
   net.Send(std::move(move));
 
   Message done;
@@ -261,13 +301,19 @@ void LhBucketServer::HandleSplit(const Message& msg, Network& net) {
 void LhBucketServer::HandleMoveRecords(Message& msg, Network& net) {
   // Bulk load during a split: records arrive pre-addressed, no overflow
   // report (a subsequent regular insert re-checks capacity). The message is
-  // ours to cannibalize — adopt the values instead of deep-copying them.
+  // ours to cannibalize — adopt the values instead of deep-copying them
+  // (the log append below only reads them).
+  if (log_ != nullptr && !log_->AppendBulkPut(level_, msg.records)) {
+    halted_ = true;
+    return;
+  }
   AboutToMutateRecords(net);
   for (WireRecord& r : msg.records) {
     records_[r.key] = std::move(r.value);
   }
   columns_.RebuildFrom(records_);
   UpdateRecordGauge(net);
+  if (log_ != nullptr) log_->MaybeCheckpoint(level_, retired_, records_);
   if (loading_) {
     loading_ = false;
     // Replay whatever raced the bulk load, in arrival order. Replays may
@@ -292,7 +338,13 @@ void LhBucketServer::HandleMerge(const Message& msg, Network& net) {
     return;
   }
   // This bucket dissolves: every record returns to the parent it split off
-  // from, and the parent's level steps back down.
+  // from, and the parent's level steps back down. The dissolution reaches
+  // the log first: a replayed kClear marks the bucket retired, so recovery
+  // never resurrects records the parent now owns.
+  if (log_ != nullptr && !log_->AppendClear()) {
+    halted_ = true;
+    return;
+  }
   AboutToMutateRecords(net);
   const uint64_t parent = msg.key;
   Message move;
@@ -337,6 +389,10 @@ void LhBucketServer::HandleMergeRecords(Message& msg, Network& net) {
   // One resolution covers the whole handler, including stashed transfers
   // applied below: no message delivery happens in between, so no new scan
   // task can be enqueued mid-application.
+  if (log_ != nullptr && !log_->AppendBulkPut(msg.new_level, msg.records)) {
+    halted_ = true;
+    return;
+  }
   AboutToMutateRecords(net);
   level_ = msg.new_level;
   for (WireRecord& r : msg.records) {
@@ -350,6 +406,11 @@ void LhBucketServer::HandleMergeRecords(Message& msg, Network& net) {
       if (it->new_level + 1 != level_) continue;
       Message next = std::move(*it);
       stashed_merge_records_.erase(it);
+      if (log_ != nullptr &&
+          !log_->AppendBulkPut(next.new_level, next.records)) {
+        halted_ = true;
+        return;
+      }
       level_ = next.new_level;
       for (WireRecord& r : next.records) {
         records_[r.key] = std::move(r.value);
@@ -362,6 +423,7 @@ void LhBucketServer::HandleMergeRecords(Message& msg, Network& net) {
   // transfers) rather than per-record upserts.
   columns_.RebuildFrom(records_);
   UpdateRecordGauge(net);
+  if (log_ != nullptr) log_->MaybeCheckpoint(level_, retired_, records_);
   // The level came down: a split or merge order stashed while this transfer
   // was in flight may be runnable now (it re-stashes if still early).
   if (!stashed_control_.empty()) {

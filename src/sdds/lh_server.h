@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "persist/bucket_log.h"
 #include "sdds/column_store.h"
 #include "sdds/lh_options.h"
 #include "sdds/network.h"
@@ -59,6 +60,25 @@ class LhBucketServer : public Site {
   /// True while this bucket awaits its kMoveRecords transfer (split target
   /// whose bulk load is still in flight).
   bool loading() const { return loading_; }
+
+  /// Attaches (or detaches, with nullptr) this bucket's durable log. With a
+  /// log attached every record-map mutation appends before it is
+  /// acknowledged; an append failure halts the site (see halted()). Owned
+  /// by the system's PersistManager, never by the server.
+  void AttachLog(persist::BucketLog* log) { log_ = log; }
+  persist::BucketLog* log() { return log_; }
+
+  /// True once a log append tore: the site is crashed. It acknowledges
+  /// nothing and silently drops every subsequent message — exactly what a
+  /// killed process looks like to its peers — until a restart recovers it
+  /// from the log.
+  bool halted() const { return halted_; }
+
+  /// Adopts recovered state (restart path, called by the hosting system
+  /// before any traffic): installs the replayed record map, rebuilds the
+  /// lockstep ColumnStore, and clears the loading state — a recovered
+  /// bucket is not awaiting any transfer.
+  void RestoreRecovered(std::map<uint64_t, Bytes> records);
 
   /// Number of record-map mutations this bucket has performed. Deferred
   /// scan tasks snapshot this at enqueue and assert it unchanged at
@@ -126,6 +146,10 @@ class LhBucketServer : public Site {
   /// tasks carry a pointer to it (see ScanTask::live_generation).
   uint64_t mutation_generation_ = 0;
   obs::Gauge* record_gauge_ = nullptr;  // bucket.N.records, resolved lazily
+  /// Durable log (nullable: RAM-only bucket). Appends happen before acks.
+  persist::BucketLog* log_ = nullptr;
+  /// Set when a log append fails: the site is dead (see halted()).
+  bool halted_ = false;
 };
 
 /// The LH* split coordinator: receives overflow notifications and drives the
@@ -144,6 +168,18 @@ class LhCoordinator : public Site {
   FileImage Image() const { return FileImage{level_, static_cast<uint32_t>(split_pointer_)}; }
 
   void set_site(SiteId site) { site_ = site; }
+
+  /// Restart path: re-derives the coordinator state from a recovered file
+  /// of `extent` buckets. Linear hashing fixes (i, n) from the extent
+  /// alone: extent = 2^i + n with n < 2^i.
+  void RestoreExtent(uint64_t extent) {
+    ESSDDS_CHECK(extent >= 1);
+    uint32_t i = 0;
+    while ((uint64_t{2} << i) <= extent) ++i;
+    level_ = i;
+    split_pointer_ = extent - (uint64_t{1} << i);
+    extent_ = extent;
+  }
 
  private:
   /// `trace_id` of the overflow/underflow report that triggered the

@@ -18,6 +18,36 @@ LhSystem::LhSystem(LhOptions options)
   network_->set_scan_shard_min_records(options_.scan_shard_min_records);
   coordinator_site_ = network_->Register(&coordinator_);
   coordinator_.set_site(coordinator_site_);
+
+  if (!options_.data_dir.empty()) {
+    if (persist::kPersistEnabled) {
+      persist_ = std::make_unique<persist::PersistManager>(
+          persist::PersistManager::Options{options_.data_dir,
+                                           options_.persist_master,
+                                           options_.log_checkpoint_min_bytes},
+          &network_->metrics());
+      std::vector<persist::PersistManager::RecoveredBucket> recovered =
+          persist_->Recover();
+      if (!recovered.empty()) {
+        // Restart over an existing file: re-create every live bucket at its
+        // replayed level, install its records (and ColumnStore mirror), and
+        // re-derive the coordinator's (i, n) from the extent.
+        recovering_ = true;
+        for (size_t b = 0; b < recovered.size(); ++b) {
+          CreateBucket(b, recovered[b].level);
+          servers_[b]->RestoreRecovered(std::move(recovered[b].records));
+        }
+        recovering_ = false;
+        recovered_bucket_count_ = recovered.size();
+        coordinator_.RestoreExtent(recovered.size());
+        return;
+      }
+    } else {
+      ESSDDS_LOG(kWarning)
+          << "LhOptions::data_dir is set but this build has persistence "
+             "compiled out (-DESSDDS_PERSIST=OFF); buckets stay RAM-only";
+    }
+  }
   CreateBucket(0, 0);
 }
 
@@ -65,6 +95,14 @@ SiteId LhSystem::CreateBucket(uint64_t bucket, uint32_t level) {
       << "bucket creation out of order: " << bucket;
   servers_.push_back(
       std::make_unique<LhBucketServer>(this, options_, bucket, level));
+  if (persist_ != nullptr) {
+    // Recovery adopts the bucket's existing log; normal creation (the root
+    // at construction, split targets later) starts a fresh one — truncating
+    // any stale file left by a retired bucket whose number is being reused,
+    // under a bumped epoch so keystreams never repeat.
+    servers_.back()->AttachLog(
+        persist_->OpenBucketLog(bucket, level, /*fresh=*/!recovering_));
+  }
   const SiteId site = network_->Register(servers_.back().get());
   servers_.back()->set_site(site);
   return site;
@@ -75,6 +113,11 @@ void LhSystem::RetireLastBucket() {
   ESSDDS_CHECK(servers_.back()->record_count() == 0)
       << "retiring a non-empty bucket";
   servers_.back()->Retire();
+  // The retired server must not touch the log again: the bucket number may
+  // be reused by a later split, which replaces the log object (the retired
+  // server's pointer would dangle). Its kClear dissolution record is
+  // already on disk by this point.
+  servers_.back()->AttachLog(nullptr);
   retired_servers_.push_back(std::move(servers_.back()));
   servers_.pop_back();
 }

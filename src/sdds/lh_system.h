@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "persist/persist_manager.h"
 #include "sdds/event_network.h"
 #include "sdds/lh_client.h"
 #include "sdds/lh_options.h"
@@ -67,6 +68,12 @@ class LhSystem : public LhRuntime {
   EventNetwork* event_network() { return event_network_; }
   size_t bucket_count() const { return servers_.size(); }
   const LhCoordinator& coordinator() const { return coordinator_; }
+  /// The durable-persistence manager when options().data_dir is set on a
+  /// persistence-enabled build; nullptr otherwise (RAM-only file).
+  persist::PersistManager* persist() { return persist_.get(); }
+  /// Number of buckets the constructor rebuilt from the data directory
+  /// (0 on a fresh directory or without persistence).
+  size_t recovered_bucket_count() const { return recovered_bucket_count_; }
   const LhBucketServer& bucket(uint64_t b) const;
   LhBucketServer& mutable_bucket(uint64_t b);
   uint64_t TotalRecords() const;
@@ -77,6 +84,13 @@ class LhSystem : public LhRuntime {
   LhOptions options_;
   std::unique_ptr<Network> network_;
   EventNetwork* event_network_ = nullptr;  // network_ downcast (kEvent only)
+  /// Durable log manager (only with data_dir + ESSDDS_PERSIST). Declared
+  /// before the servers so bucket logs outlive every server that appends.
+  std::unique_ptr<persist::PersistManager> persist_;
+  /// True while the constructor re-creates recovered buckets: CreateBucket
+  /// then adopts existing logs instead of truncating them.
+  bool recovering_ = false;
+  size_t recovered_bucket_count_ = 0;
   LhCoordinator coordinator_;
   SiteId coordinator_site_;
   std::vector<std::unique_ptr<LhBucketServer>> servers_;  // by bucket number

@@ -1,0 +1,23 @@
+#ifndef ESSDDS_UTIL_CRC32_H_
+#define ESSDDS_UTIL_CRC32_H_
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace essdds {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum
+/// guarding every persistent log frame: a torn or bit-flipped tail must be
+/// detected before its bytes are trusted. Not cryptographic — integrity
+/// against accidental corruption only; tamper resistance comes from the
+/// encryption layer above.
+uint32_t Crc32(ByteSpan data);
+
+/// Incremental form: feed `data` into a running checksum (`crc` is the
+/// value returned by a previous call, or 0 to start).
+uint32_t Crc32Update(uint32_t crc, ByteSpan data);
+
+}  // namespace essdds
+
+#endif  // ESSDDS_UTIL_CRC32_H_

@@ -31,14 +31,22 @@ void JsonWriter::Escape(std::string_view s) {
       case '\t':
         out_ += "\\t";
         break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+      default: {
+        // JSON strings must be valid UTF-8; callers feed this raw bytes
+        // (record keys, trace labels), so anything outside printable ASCII
+        // is escaped per byte as \u00xx. Passing 0x80-0xFF through raw
+        // would emit invalid UTF-8 — broken JSON for any standard parser.
+        // The formatted byte must be unsigned: a negative char sign-extends
+        // through %04x into "￿ff80"-style garbage.
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (u < 0x20 || u >= 0x7f) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
           out_ += buf;
         } else {
           out_.push_back(c);
         }
+      }
     }
   }
   out_.push_back('"');

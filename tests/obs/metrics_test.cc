@@ -292,6 +292,27 @@ TEST(MetricRegistryTest, ToJsonListsEveryKindInOrder) {
       << "keys must be lexicographically ordered";
 }
 
+TEST(MetricRegistryTest, BinaryInstrumentNamesExportAsValidAsciiJson) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  // Instrument names derived from raw record keys can carry arbitrary
+  // bytes (bucket gauges interpolate key material in some deployments);
+  // the JSON export must escape them per byte rather than emit invalid
+  // UTF-8 that breaks every standard parser.
+  MetricRegistry r;
+  std::string name = "bucket.";
+  name.push_back(static_cast<char>(0x80));
+  name.push_back(static_cast<char>(0xFF));
+  name += ".records";
+  r.counter(name).Increment(3);
+  const std::string json = r.ToJson();
+  for (const unsigned char c : json) {
+    ASSERT_LT(c, 0x80) << "non-ASCII byte leaked into metrics JSON";
+  }
+  EXPECT_NE(json.find("\\u0080"), std::string::npos);
+  EXPECT_NE(json.find("\\u00ff"), std::string::npos);
+  EXPECT_NE(json.find(":3"), std::string::npos);
+}
+
 TEST(MetricRegistryTest, OffBuildCollapsesToStubs) {
   if (kMetricsEnabled) GTEST_SKIP() << "metrics compiled in";
   MetricRegistry r;

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/bucket_log.h"
+#include "persist/persist_manager.h"
+#include "sdds/lh_server.h"
+#include "util/random.h"
+
+// Crash-point sweep: a scripted workload runs against one log-backed bucket
+// server while a fault hook tears the log's write stream at a seeded byte
+// offset — truncating mid-frame or flipping a bit — and the site halts
+// unacknowledged, exactly like a killed process. A restarted site must then
+// recover byte-identically to the last acked pre-crash state: the record
+// map, the ColumnStore mirror, and the scan results. The sweep spreads the
+// tear offsets across everything the log ever writes (header, frames, and —
+// in the small-floor configuration — checkpoint rewrites).
+
+namespace essdds::sdds {
+namespace {
+
+using persist::BucketLog;
+using persist::PersistManager;
+
+#if ESSDDS_PERSIST
+
+class AckSink : public Site {
+ public:
+  void OnMessage(Message& msg, Network& net) override {
+    (void)net;
+    received.push_back(std::move(msg));
+  }
+  std::vector<Message> received;
+};
+
+/// A single-bucket world: every address routes to bucket 0, the coordinator
+/// is a sink (capacity is huge, so no overflow fires anyway), and the one
+/// installed filter matches everything.
+class OneBucketRuntime : public LhRuntime {
+ public:
+  OneBucketRuntime() {
+    options_.bucket_capacity = size_t{1} << 20;
+    filter_ = MakeScanFilter(
+        [](uint64_t, ByteSpan, ByteSpan) { return true; });
+  }
+
+  SiteId SiteOfBucket(uint64_t) const override { return server_site; }
+  bool BucketExists(uint64_t bucket) const override { return bucket == 0; }
+  SiteId CoordinatorSite() const override { return sink_site; }
+  SiteId CreateBucket(uint64_t, uint32_t) override {
+    ADD_FAILURE() << "no splits in this harness";
+    return kInvalidSite;
+  }
+  const ScanFilter& FilterById(uint64_t) const override { return *filter_; }
+  const LhOptions& options() const override { return options_; }
+  void RetireLastBucket() override {}
+
+  SiteId server_site = kInvalidSite;
+  SiteId sink_site = kInvalidSite;
+
+ private:
+  LhOptions options_;
+  std::unique_ptr<ScanFilter> filter_;
+};
+
+struct Op {
+  MsgType type = MsgType::kInsert;
+  uint64_t key = 0;
+  Bytes value;
+};
+
+/// The scripted workload, generated once: a deterministic mix of fresh
+/// inserts, overwrites, deletes of live keys, and deletes of absent keys.
+std::vector<Op> BuildScript(uint64_t seed, size_t ops) {
+  Rng rng(seed);
+  std::vector<Op> script;
+  std::vector<uint64_t> live;
+  for (size_t i = 0; i < ops; ++i) {
+    Op op;
+    const uint64_t roll = rng.Uniform(10);
+    if (roll < 5 || live.empty()) {
+      op.type = MsgType::kInsert;
+      op.key = rng.Next();
+      live.push_back(op.key);
+    } else if (roll < 7) {
+      op.type = MsgType::kInsert;  // overwrite
+      op.key = live[rng.Uniform(live.size())];
+    } else if (roll < 9) {
+      op.type = MsgType::kDelete;
+      const size_t at = rng.Uniform(live.size());
+      op.key = live[at];
+      live.erase(live.begin() + static_cast<long>(at));
+    } else {
+      op.type = MsgType::kDelete;  // absent key
+      op.key = rng.Next() | 1;
+    }
+    if (op.type == MsgType::kInsert) {
+      op.value = ToBytes("record-" + std::to_string(op.key) + "-");
+      const size_t pad = rng.Uniform(32);
+      op.value.insert(op.value.end(), pad, static_cast<uint8_t>(rng.Next()));
+    }
+    script.push_back(std::move(op));
+  }
+  return script;
+}
+
+struct RunOutcome {
+  std::map<uint64_t, Bytes> acked;  // state as of the last acknowledged op
+  bool halted = false;
+  uint64_t cumulative_bytes = 0;  // total bytes the log ever wrote
+};
+
+/// Runs the script against a fresh log-backed bucket in `dir`, optionally
+/// arming the tear. Tracks the acked state: an op counts only when its ack
+/// came back; once the site halts, nothing further applies.
+RunOutcome RunWorkload(const std::string& dir, const std::vector<Op>& script,
+                       size_t checkpoint_min, const BucketLog::TearSpec* tear) {
+  PersistManager pm({.dir = dir, .checkpoint_min_bytes = checkpoint_min},
+                    nullptr);
+  SimNetwork net;
+  OneBucketRuntime rt;
+  AckSink sink;
+  rt.sink_site = net.Register(&sink);
+  LhBucketServer server(&rt, rt.options(), /*bucket_number=*/0, /*level=*/0);
+  rt.server_site = net.Register(&server);
+  server.set_site(rt.server_site);
+  BucketLog* log = pm.OpenBucketLog(0, 0, /*fresh=*/true);
+  EXPECT_NE(log, nullptr);
+  server.AttachLog(log);
+  if (tear != nullptr) log->ArmTear(*tear);
+
+  RunOutcome out;
+  uint64_t request_id = 1;
+  for (const Op& op : script) {
+    Message m;
+    m.type = op.type;
+    m.from = rt.sink_site;
+    m.reply_to = rt.sink_site;
+    m.to = rt.server_site;
+    m.request_id = request_id++;
+    m.key = op.key;
+    m.value = op.value;
+    const size_t acks_before = sink.received.size();
+    net.Send(std::move(m));
+    if (sink.received.size() == acks_before) {
+      // No ack: the append tore and the site crashed. Everything from here
+      // on is dropped silently.
+      EXPECT_TRUE(server.halted());
+      out.halted = true;
+      break;
+    }
+    if (op.type == MsgType::kInsert) {
+      out.acked[op.key] = op.value;
+    } else {
+      out.acked.erase(op.key);
+    }
+  }
+  // Consistency of the harness itself: an un-torn run acks everything.
+  if (tear == nullptr) {
+    EXPECT_FALSE(out.halted);
+  }
+  out.cumulative_bytes = log->cumulative_bytes_written();
+  return out;
+}
+
+/// Restarts over `dir` and asserts the recovered bucket matches `want`
+/// byte-for-byte: record map, ColumnStore mirror, and scan results.
+void VerifyRecovery(const std::string& dir,
+                    const std::map<uint64_t, Bytes>& want,
+                    const std::string& label) {
+  PersistManager pm({.dir = dir}, nullptr);
+  std::vector<PersistManager::RecoveredBucket> live = pm.Recover();
+  std::map<uint64_t, Bytes> recovered;
+  if (live.empty()) {
+    // Only legal when nothing was ever acked (the tear hit the file header
+    // before the first append succeeded).
+    EXPECT_TRUE(want.empty()) << label << ": acked records vanished";
+  } else {
+    ASSERT_EQ(live.size(), 1u) << label;
+    recovered = std::move(live[0].records);
+  }
+  EXPECT_EQ(recovered, want) << label << ": record map differs";
+
+  // Restore a server from the replayed state and check the lockstep mirror
+  // plus what a scan actually returns.
+  SimNetwork net;
+  OneBucketRuntime rt;
+  AckSink sink;
+  rt.sink_site = net.Register(&sink);
+  LhBucketServer server(&rt, rt.options(), 0, live.empty() ? 0 : live[0].level);
+  rt.server_site = net.Register(&server);
+  server.set_site(rt.server_site);
+  server.RestoreRecovered(recovered);
+  EXPECT_TRUE(server.columns().MirrorsMap(server.records()))
+      << label << ": ColumnStore out of lockstep after recovery";
+
+  Message scan;
+  scan.type = MsgType::kScan;
+  scan.from = rt.sink_site;
+  scan.reply_to = rt.sink_site;
+  scan.to = rt.server_site;
+  scan.request_id = 1;
+  scan.filter_id = 0;
+  scan.assumed_level = server.level();
+  net.Send(std::move(scan));
+  ASSERT_EQ(sink.received.size(), 1u) << label;
+  const Message& reply = sink.received[0];
+  ASSERT_EQ(reply.type, MsgType::kScanReply) << label;
+  ASSERT_EQ(reply.records.size(), want.size()) << label << ": scan hit count";
+  auto it = want.begin();
+  for (size_t i = 0; i < reply.records.size(); ++i, ++it) {
+    EXPECT_EQ(reply.records[i].key, it->first) << label << " hit " << i;
+    EXPECT_EQ(reply.records[i].value, it->second) << label << " hit " << i;
+  }
+}
+
+class CrashPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = (std::filesystem::path(::testing::TempDir()) /
+             ("essdds_crash_" +
+              std::string(::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name())))
+                .string();
+    std::filesystem::remove_all(base_);
+  }
+  void TearDown() override { std::filesystem::remove_all(base_); }
+
+  std::string Dir(const std::string& name) {
+    const std::string d = base_ + "/" + name;
+    std::filesystem::create_directories(d);
+    return d;
+  }
+
+  /// One sweep: `points` tears spread across the full write stream of the
+  /// dry run, alternating truncate and bit-flip, each verified to recover
+  /// exactly the acked prefix.
+  void Sweep(size_t checkpoint_min, size_t points, uint64_t seed) {
+    const std::vector<Op> script = BuildScript(seed, /*ops=*/140);
+    const RunOutcome dry =
+        RunWorkload(Dir("dry"), script, checkpoint_min, nullptr);
+    ASSERT_GT(dry.cumulative_bytes, 0u);
+
+    Rng jitter(seed ^ 0x9E3779B97F4A7C15ull);
+    size_t halted_runs = 0;
+    for (size_t i = 0; i < points; ++i) {
+      BucketLog::TearSpec spec;
+      spec.at_cumulative_byte =
+          dry.cumulative_bytes * i / points + jitter.Uniform(7);
+      spec.corrupt = (i % 2) == 1;
+      const std::string label =
+          "tear@" + std::to_string(spec.at_cumulative_byte) +
+          (spec.corrupt ? "/corrupt" : "/truncate") + " ckpt_min=" +
+          std::to_string(checkpoint_min);
+      const std::string dir = Dir("pt" + std::to_string(i));
+      const RunOutcome torn = RunWorkload(dir, script, checkpoint_min, &spec);
+      if (torn.halted) ++halted_runs;
+      VerifyRecovery(dir, torn.acked, label);
+      std::filesystem::remove_all(dir);
+    }
+    // The sweep must actually hit the write stream, not fly past it.
+    EXPECT_GT(halted_runs, points * 3 / 4)
+        << "tear offsets mostly missed the write stream";
+  }
+
+  std::string base_;
+};
+
+TEST_F(CrashPointTest, SweepWithoutCheckpoints) {
+  // 64 KiB floor: this workload never checkpoints, so every tear lands in
+  // the header or a plain appended frame.
+  Sweep(/*checkpoint_min=*/64 * 1024, /*points=*/30, /*seed=*/11);
+}
+
+TEST_F(CrashPointTest, SweepThroughCheckpointRewrites) {
+  // A tiny floor makes the log rewrite itself continually: many tears land
+  // inside a checkpoint's tmp-file write, which must leave the old log
+  // intact (the rename never happens).
+  Sweep(/*checkpoint_min=*/192, /*points=*/30, /*seed=*/13);
+}
+
+TEST_F(CrashPointTest, TearDuringCheckpointKeepsOldLogIntact) {
+  const std::vector<Op> script = BuildScript(/*seed=*/17, /*ops=*/60);
+  const std::string dry_dir = Dir("dry");
+  PersistManager pm({.dir = dry_dir, .checkpoint_min_bytes = 192}, nullptr);
+  BucketLog* log = pm.OpenBucketLog(0, 0, /*fresh=*/true);
+  ASSERT_NE(log, nullptr);
+
+  // Build up some acked state, then force a checkpoint whose write tears.
+  std::map<uint64_t, Bytes> state;
+  for (uint64_t k = 0; k < 12; ++k) {
+    state[k] = ToBytes("stable-" + std::to_string(k));
+    ASSERT_TRUE(log->AppendPut(k, ByteSpan(state[k])));
+  }
+  log->ArmTear({.at_cumulative_byte = log->cumulative_bytes_written() + 40,
+                .corrupt = false});
+  EXPECT_FALSE(log->Checkpoint(0, false, state));
+  EXPECT_TRUE(log->crashed());
+
+  // The old log (with every acked frame) is what recovery sees; the torn
+  // .tmp is swept.
+  VerifyRecovery(dry_dir, state, "tear inside checkpoint tmp write");
+  EXPECT_FALSE(std::filesystem::exists(pm.LogPath(0) + ".tmp"));
+}
+
+#endif  // ESSDDS_PERSIST
+
+}  // namespace
+}  // namespace essdds::sdds

@@ -166,6 +166,72 @@ TEST(ColumnStoreTest, BucketsMirrorMapsThroughSplits) {
   }
 }
 
+TEST(ColumnStoreTest, AllDeadArenaBoundaryStaysConsistent) {
+  // Shrinking every record to a zero-length payload drives the store to the
+  // waste_bytes == arena_bytes boundary: the arena is 100% dead bytes while
+  // live (empty) entries still exist. The compaction threshold must treat
+  // the live volume as 0 here — not underflow — and the next append must
+  // compact the dead bytes away.
+  ColumnStore store;
+  std::map<uint64_t, Bytes> m;
+  store.Upsert(1, ToBytes("xxxx"));
+  store.Upsert(2, ToBytes("yyyy"));
+  m[1] = {};
+  m[2] = {};
+  store.Upsert(1, {});
+  store.Upsert(2, {});
+  EXPECT_EQ(store.waste_bytes(), store.arena_bytes()) << "not at the boundary";
+  EXPECT_TRUE(store.MirrorsMap(m));
+
+  // An append at the boundary sees threshold waste >= 0 + payload and
+  // compacts; nothing is live, so the arena collapses to just the new bytes.
+  store.Upsert(3, ToBytes("zz"));
+  m[3] = ToBytes("zz");
+  EXPECT_EQ(store.waste_bytes(), 0u);
+  EXPECT_EQ(store.arena_bytes(), 2u);
+  EXPECT_TRUE(store.MirrorsMap(m));
+}
+
+TEST(ColumnStoreTest, WastePlusLiveAlwaysEqualsArena) {
+  // The accounting invariant the compaction threshold's unsigned arithmetic
+  // rests on: waste + (sum of live payload lengths) == arena size, after
+  // every mutation — including zero-length payloads, same-size in-place
+  // replaces, and erases.
+  Rng rng(55);
+  ColumnStore store;
+  std::map<uint64_t, Bytes> m;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t key = rng.Uniform(64);
+    if (!m.empty() && rng.Bernoulli(0.3)) {
+      store.Erase(key);
+      m.erase(key);
+    } else {
+      Bytes payload = RandomPayload(rng, 24);  // empty ~1/25 of the time
+      store.Upsert(key, ByteSpan(payload));
+      m[key] = std::move(payload);
+    }
+    uint64_t live = 0;
+    for (const auto& [k, v] : m) live += v.size();
+    ASSERT_EQ(store.waste_bytes() + live, store.arena_bytes())
+        << "invariant broken after op " << i;
+  }
+  EXPECT_TRUE(store.MirrorsMap(m));
+}
+
+TEST(ColumnStoreTest, AlternatingReplaceSizesStayBounded) {
+  // One key flip-flopping between two payload sizes must not grow the arena
+  // without bound: the compaction threshold charges the incoming payload,
+  // so the arena stays within 2x live volume + one payload.
+  ColumnStore store;
+  const Bytes big(100, 0xAA);
+  const Bytes small(50, 0xBB);
+  for (int i = 0; i < 500; ++i) {
+    store.Upsert(7, ByteSpan(i % 2 == 0 ? big : small));
+    ASSERT_LE(store.arena_bytes(), 2 * 100u + 100u) << "iteration " << i;
+  }
+  EXPECT_EQ(store.size(), 1u);
+}
+
 TEST(ColumnStoreTest, BucketsMirrorMapsThroughMergesAndChurn) {
   // Shrink direction: deletes trigger merges (kMergeRecords transfers,
   // dissolved buckets), interleaved with fresh inserts and replacements.

@@ -304,5 +304,48 @@ TEST(EventNetworkSystemTest, StatsToStringReportsFaultCounters) {
   EXPECT_NE(s.find("retried=1"), std::string::npos);
 }
 
+TEST(EventNetworkSystemTest, HugeTimeoutBackoffSaturatesInsteadOfWrapping) {
+  // Regression: with request_timeout_us in the top bit range, the backoff
+  // shift (timeout << attempts) wrapped uint64_t, planting the retry
+  // deadline in the past — every pump became another retransmission until
+  // the retry cap aborted the run. The shift and the deadline addition must
+  // saturate instead.
+  LhOptions o = EventOptions(909);
+  o.request_timeout_us = (uint64_t{1} << 63) + 5;
+  LhSystem sys(o);
+  EventNetwork* net = sys.event_network();
+  LhClient* c = sys.NewClient();
+  c->Insert(4, ToBytes("durable"));
+  sys.network().PumpUntilIdle();
+
+  net->ScriptDrop(MsgType::kLookupReply, 1);
+  auto r = c->Lookup(4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, ToBytes("durable"));
+  EXPECT_EQ(c->retry_count(), 1u) << "saturated backoff must not hot-loop";
+}
+
+TEST(EventNetworkSystemTest, BackoffCapShiftSaturatesNearMaxTimeout) {
+  // The cap shift is 6: a timeout just past UINT64_MAX >> 6 overflows
+  // exactly at the capped attempt. Drop six consecutive replies so the
+  // backoff walks the full shift ladder; the sixth doubling must pin the
+  // deadline at the far future, not wrap it to now.
+  LhOptions o = EventOptions(910);
+  o.request_timeout_us = (UINT64_MAX >> 6) + 1;
+  LhSystem sys(o);
+  EventNetwork* net = sys.event_network();
+  LhClient* c = sys.NewClient();
+  c->Insert(5, ToBytes("still-here"));
+  sys.network().PumpUntilIdle();
+
+  for (uint64_t occurrence = 1; occurrence <= 6; ++occurrence) {
+    net->ScriptDrop(MsgType::kLookupReply, occurrence);
+  }
+  auto r = c->Lookup(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, ToBytes("still-here"));
+  EXPECT_EQ(c->retry_count(), 6u);
+}
+
 }  // namespace
 }  // namespace essdds::sdds

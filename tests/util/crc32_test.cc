@@ -1,0 +1,47 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/bytes.h"
+
+namespace essdds {
+namespace {
+
+ByteSpan Span(const std::string& s) {
+  return ByteSpan(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // The IEEE 802.3 check value: CRC-32 of the ASCII digits "123456789".
+  EXPECT_EQ(Crc32(Span("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(Span("")), 0x00000000u);
+  EXPECT_EQ(Crc32(Span("a")), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32(Span("abc")), 0x352441C2u);
+  EXPECT_EQ(Crc32(Span("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "payload bytes fed to the CRC in uneven pieces";
+  const uint32_t whole = Crc32(Span(data));
+  for (size_t cut = 0; cut <= data.size(); ++cut) {
+    uint32_t crc = Crc32Update(0, Span(data.substr(0, cut)));
+    crc = Crc32Update(crc, Span(data.substr(cut)));
+    EXPECT_EQ(crc, whole) << "split at " << cut;
+  }
+}
+
+TEST(Crc32Test, SingleBitFlipChangesChecksum) {
+  Bytes data(64, 0x5A);
+  const uint32_t base = Crc32(ByteSpan(data));
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(Crc32(ByteSpan(data)), base) << "flip at byte " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+}  // namespace
+}  // namespace essdds

@@ -101,5 +101,30 @@ TEST(JsonWriterTest, BooleansRenderAsKeywords) {
   EXPECT_EQ(w.str(), R"({"on":true,"off":false})");
 }
 
+TEST(JsonWriterTest, HighBytesEscapePerByteNotRaw) {
+  // Bytes 0x80-0xFF are not valid UTF-8 on their own; passed through raw
+  // they would make the whole document unparseable. DEL (0x7f) is escaped
+  // too. A negative char must not sign-extend through the formatter.
+  JsonWriter w;
+  w.BeginArray().Value(std::string_view("\x7f\x80\xab\xff", 4)).EndArray();
+  EXPECT_EQ(w.str(), "[\"\\u007f\\u0080\\u00ab\\u00ff\"]");
+}
+
+TEST(JsonWriterTest, EveryByteValueYieldsAsciiOnlyOutput) {
+  // Keys derived from raw record bytes can carry anything; whatever goes
+  // in, the rendered JSON must be pure printable ASCII (hence valid UTF-8
+  // for any standard parser).
+  std::string all;
+  for (int b = 0; b < 256; ++b) all.push_back(static_cast<char>(b));
+  JsonWriter w;
+  w.BeginObject().Key(all).Value(uint64_t{1}).EndObject();
+  for (const unsigned char c : w.str()) {
+    ASSERT_GE(c, 0x20);
+    ASSERT_LT(c, 0x7f);
+  }
+  EXPECT_NE(w.str().find("\\u0080"), std::string::npos);
+  EXPECT_NE(w.str().find("\\u00ff"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace essdds
