@@ -27,6 +27,9 @@
 //                      Every acknowledged mutation is logged before its ack;
 //                      restarting the shell with the same DIR replays the
 //                      logs and skips the synthetic corpus load.
+//   --fsync            fsync log appends, header writes, and checkpoint
+//                      renames: durability extends from process crashes to
+//                      OS crashes and power loss, at per-ack fsync cost
 //   --no-persist       ignore --data-dir and run RAM-only
 //
 // Observability (src/obs; no-ops when built with -DESSDDS_METRICS=OFF):
@@ -184,6 +187,7 @@ int main(int argc, char** argv) {
   size_t shard_min = essdds::sdds::LhOptions{}.scan_shard_min_records;
   NetConfig net;
   std::string data_dir;
+  bool fsync_logs = false;
   bool no_persist = false;
   bool metrics_at_exit = false;
   std::string metrics_file;  // empty = stdout
@@ -197,6 +201,8 @@ int main(int argc, char** argv) {
           std::strtoull(arg.c_str() + sizeof("--shard-min=") - 1, nullptr, 10));
     } else if (arg.rfind("--data-dir=", 0) == 0) {
       data_dir = arg.substr(sizeof("--data-dir=") - 1);
+    } else if (arg == "--fsync") {
+      fsync_logs = true;
     } else if (arg == "--no-persist") {
       no_persist = true;
     } else if (arg == "--metrics") {
@@ -253,6 +259,8 @@ int main(int argc, char** argv) {
     options.index_file.data_dir = data_dir + "/index_file";
     options.record_file.persist_master = ToBytes("shell persist master");
     options.index_file.persist_master = ToBytes("shell persist master");
+    options.record_file.persist_fsync = fsync_logs;
+    options.index_file.persist_fsync = fsync_logs;
   }
 
   auto store = essdds::core::EncryptedStore::Create(

@@ -5,10 +5,18 @@
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <random>
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define ESSDDS_HAVE_FSYNC 1
+#endif
+
 #include "crypto/aes.h"
+#include "crypto/hmac.h"
 #include "util/crc32.h"
 #include "util/logging.h"
 
@@ -17,9 +25,9 @@ namespace essdds::persist {
 namespace {
 
 constexpr uint8_t kMagic[4] = {'E', 'S', 'L', 'G'};
-constexpr uint32_t kVersion = 1;
-// magic(4) version(4) bucket(8) epoch(4) create_level(4) crc(4)
-constexpr size_t kHeaderSize = 28;
+constexpr uint32_t kVersion = 2;
+// magic(4) version(4) bucket(8) epoch(4) create_level(4) salt(8) crc(4)
+constexpr size_t kHeaderSize = 36;
 // body_len(4) + crc(4) around every frame body.
 constexpr size_t kFrameOverhead = 8;
 
@@ -47,7 +55,8 @@ bool CtrCrypt(ByteSpan key, uint32_t epoch, uint64_t frame, uint8_t* data,
   return true;
 }
 
-Bytes BuildHeader(uint64_t bucket, uint32_t epoch, uint32_t create_level) {
+Bytes BuildHeader(uint64_t bucket, uint32_t epoch, uint32_t create_level,
+                  uint64_t salt) {
   Bytes head;
   head.reserve(kHeaderSize);
   head.insert(head.end(), kMagic, kMagic + 4);
@@ -55,8 +64,76 @@ Bytes BuildHeader(uint64_t bucket, uint32_t epoch, uint32_t create_level) {
   AppendBigEndian64(bucket, head);
   AppendBigEndian32(epoch, head);
   AppendBigEndian32(create_level, head);
+  AppendBigEndian64(salt, head);
   AppendBigEndian32(Crc32(ByteSpan(head.data(), head.size())), head);
   return head;
+}
+
+/// Fresh random salt for a new file incarnation. Because the CTR key is
+/// derived from (bucket key, salt), two incarnations can only share
+/// keystream if their salts collide — so an unreadable prior header (whose
+/// true epoch we cannot recover) no longer risks (key, epoch, frame) reuse.
+uint64_t NewSalt() {
+  std::random_device rd;
+  return (static_cast<uint64_t>(rd()) << 32) | static_cast<uint64_t>(rd());
+}
+
+/// Per-incarnation CTR key: HMAC(bucket key, BE64(salt)) truncated to the
+/// bucket key's length.
+Bytes DeriveFileKey(ByteSpan key, uint64_t salt) {
+  uint8_t msg[8];
+  StoreBigEndian64(salt, msg);
+  const auto digest = crypto::HmacSha256(key, ByteSpan(msg, sizeof msg));
+  const size_t take = std::min(key.size(), digest.size());
+  return Bytes(digest.begin(), digest.begin() + take);
+}
+
+/// Flushes file contents through the OS to stable storage. No-op (returns
+/// true) on platforms without fsync.
+bool SyncFile(std::FILE* f) {
+#ifdef ESSDDS_HAVE_FSYNC
+  return ::fsync(::fileno(f)) == 0;
+#else
+  (void)f;
+  return true;
+#endif
+}
+
+/// Fsyncs the directory containing `path`, making a rename within it
+/// durable. No-op on platforms without fsync.
+bool SyncDirOf(const std::string& path) {
+#ifdef ESSDDS_HAVE_FSYNC
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return true;
+#endif
+}
+
+/// Moves a corrupt image aside as `<path>.corrupt` (or `.corrupt.N` when
+/// earlier casualties exist) instead of letting the rewrite destroy it. A
+/// corrupt tail can be a config error — e.g. a wrong persist_master makes
+/// every frame decrypt as garbage — and the original ciphertext is the only
+/// thing a restored key can still recover.
+void PreserveCorruptImage(const std::string& path) {
+  std::string side = path + ".corrupt";
+  for (int n = 1; std::filesystem::exists(side) && n < 100; ++n) {
+    side = path + ".corrupt." + std::to_string(n);
+  }
+  std::error_code ec;
+  std::filesystem::rename(path, side, ec);
+  if (ec) {
+    ESSDDS_LOG(kError) << "persist: failed to preserve corrupt image " << path
+                       << " as " << side << ": " << ec.message();
+  } else {
+    ESSDDS_LOG(kWarning) << "persist: preserved corrupt image as " << side;
+  }
 }
 
 /// Wraps an already-encrypted body into the on-disk frame layout.
@@ -194,25 +271,39 @@ std::unique_ptr<BucketLog> BucketLog::Open(std::string path, uint64_t bucket,
                                            uint32_t create_level, ByteSpan key,
                                            bool fresh,
                                            size_t checkpoint_min_bytes,
-                                           PersistMetrics* metrics) {
+                                           PersistMetrics* metrics,
+                                           bool fsync) {
   std::unique_ptr<BucketLog> log(new BucketLog());
   log->path_ = std::move(path);
   log->bucket_ = bucket;
   log->create_level_ = create_level;
-  log->key_.assign(key.begin(), key.end());
   log->checkpoint_min_bytes_ = checkpoint_min_bytes;
   log->metrics_ = metrics;
+  log->fsync_ = fsync;
+  // Every open is a new incarnation with its own salt and derived CTR key,
+  // so nothing this incarnation writes can share keystream with any prior
+  // image — even one whose header (and thus epoch) is unreadable.
+  log->salt_ = NewSalt();
+  log->file_key_ = DeriveFileKey(key, log->salt_);
 
   Bytes image;
   const bool have_existing = ReadWholeFile(log->path_, &image);
   ReplayResult existing;
   if (have_existing) existing = ReplayBytes(image, key);
 
+  // A corrupt tail means frames past the valid prefix exist but cannot be
+  // decrypted or parsed — possibly a recoverable config error rather than
+  // media damage. Move the original aside before any rewrite destroys it.
+  if (have_existing && existing.tail == ReplayResult::Tail::kCorrupt) {
+    PreserveCorruptImage(log->path_);
+  }
+
   if (!fresh && have_existing && existing.valid_bytes >= kHeaderSize) {
     // Adopt the prior image: replay gave us its state; rewrite the file as
-    // one checkpoint under a fresh epoch. The rewrite both repairs any torn
-    // tail and retires the old epoch's nonces — a truncated-away torn frame
-    // must never share a (key, nonce) pair with a later append.
+    // one checkpoint under the new incarnation's salt and key. The rewrite
+    // repairs any torn tail, and the fresh salt retires the old keystream —
+    // a truncated-away torn frame must never share a (key, nonce) pair with
+    // a later append.
     log->create_level_ = existing.level;
     log->epoch_ = existing.epoch;  // RewriteAsCheckpoint bumps to +1
     if (!log->RewriteAsCheckpoint(existing.level, existing.retired,
@@ -223,8 +314,8 @@ std::unique_ptr<BucketLog> BucketLog::Open(std::string path, uint64_t bucket,
   }
 
   // Fresh creation (first open, explicit reset, or an image too damaged to
-  // adopt). Continue past any readable prior epoch so nonces never repeat
-  // even when a bucket number is reused after retirement.
+  // adopt). The epoch continues past any readable prior one for hygiene, but
+  // keystream uniqueness rests on the per-incarnation salt, not the epoch.
   const uint32_t epoch = have_existing ? existing.epoch + 1 : 0;
   std::FILE* f = std::fopen(log->path_.c_str(), "wb");
   if (f == nullptr) {
@@ -234,7 +325,8 @@ std::unique_ptr<BucketLog> BucketLog::Open(std::string path, uint64_t bucket,
   log->file_ = f;
   log->epoch_ = epoch;
   log->next_frame_ = 0;
-  if (!log->WriteHeader(f, epoch) || std::fflush(f) != 0) {
+  if (!log->WriteHeader(f, epoch) || std::fflush(f) != 0 ||
+      (fsync && !SyncFile(f))) {
     log->crashed_ = true;
     return log;
   }
@@ -295,13 +387,13 @@ bool BucketLog::Checkpoint(uint32_t level, bool retired,
 
 bool BucketLog::AppendFrame(Bytes body) {
   if (crashed_ || file_ == nullptr) return false;
-  if (!CtrCrypt(key_, epoch_, next_frame_, body.data(), body.size())) {
+  if (!CtrCrypt(file_key_, epoch_, next_frame_, body.data(), body.size())) {
     crashed_ = true;
     return false;
   }
   const Bytes frame = BuildFrame(body);
   if (!WriteRaw(file_, frame.data(), frame.size())) return false;
-  if (std::fflush(file_) != 0) {
+  if (std::fflush(file_) != 0 || (fsync_ && !SyncFile(file_))) {
     crashed_ = true;
     return false;
   }
@@ -349,7 +441,7 @@ bool BucketLog::WriteRaw(std::FILE* f, const uint8_t* p, size_t n) {
 }
 
 bool BucketLog::WriteHeader(std::FILE* f, uint32_t epoch) {
-  const Bytes head = BuildHeader(bucket_, epoch, create_level_);
+  const Bytes head = BuildHeader(bucket_, epoch, create_level_, salt_);
   return WriteRaw(f, head.data(), head.size());
 }
 
@@ -360,7 +452,7 @@ bool BucketLog::RewriteAsCheckpoint(uint32_t level, bool retired,
   // log or the complete new one.
   const uint32_t new_epoch = epoch_ + 1;
   Bytes body = BuildCheckpointBody(level, retired, records);
-  if (!CtrCrypt(key_, new_epoch, 0, body.data(), body.size())) {
+  if (!CtrCrypt(file_key_, new_epoch, 0, body.data(), body.size())) {
     crashed_ = true;
     return false;
   }
@@ -375,6 +467,7 @@ bool BucketLog::RewriteAsCheckpoint(uint32_t level, bool retired,
   bool ok = WriteHeader(f, new_epoch);
   ok = ok && WriteRaw(f, frame.data(), frame.size());
   ok = ok && std::fflush(f) == 0;
+  ok = ok && (!fsync_ || SyncFile(f));
   std::fclose(f);
   if (!ok) {
     // Crashed mid-checkpoint: the old log is still intact on disk; the
@@ -390,6 +483,10 @@ bool BucketLog::RewriteAsCheckpoint(uint32_t level, bool retired,
   std::error_code ec;
   std::filesystem::rename(tmp, path_, ec);
   if (ec) {
+    crashed_ = true;
+    return false;
+  }
+  if (fsync_ && !SyncDirOf(path_)) {
     crashed_ = true;
     return false;
   }
@@ -429,7 +526,9 @@ ReplayResult BucketLog::ReplayBytes(ByteSpan file, ByteSpan key) {
   out.bucket = LoadBigEndian64(head.data() + 8);
   out.epoch = LoadBigEndian32(head.data() + 16);
   out.level = LoadBigEndian32(head.data() + 20);
+  const uint64_t salt = LoadBigEndian64(head.data() + 24);
   out.valid_bytes = kHeaderSize;
+  const Bytes file_key = DeriveFileKey(key, salt);
 
   size_t pos = kHeaderSize;
   while (pos < file.size()) {
@@ -453,7 +552,7 @@ ReplayResult BucketLog::ReplayBytes(ByteSpan file, ByteSpan key) {
       break;
     }
     Bytes body(len_and_ct.begin() + 4, len_and_ct.end());
-    if (!CtrCrypt(key, out.epoch, out.replayed_records, body.data(),
+    if (!CtrCrypt(file_key, out.epoch, out.replayed_records, body.data(),
                   body.size()) ||
         !ApplyBody(body, &out)) {
       out.tail = ReplayResult::Tail::kCorrupt;

@@ -76,22 +76,39 @@ struct PersistMetrics {
 
 /// One bucket's durable, encrypted-at-rest append-only record log.
 ///
-/// File layout: a 28-byte plaintext header
-///   "ESLG" | version u32 | bucket u64 | epoch u32 | create_level u32 | crc u32
+/// File layout: a 36-byte plaintext header
+///   "ESLG" | version u32 | bucket u64 | epoch u32 | create_level u32 |
+///   salt u64 | crc u32
 /// followed by frames
 ///   body_len u32 | ciphertext[body_len] | crc u32 (over len || ciphertext)
 /// where the ciphertext is the AES-128-CTR encryption of a WireWriter body
-/// (LogRecordType u8 + fields) under the bucket's derived key with nonce
-/// BE32(epoch) || BE64(frame_index). The epoch increments on every
-/// checkpoint rewrite and every fresh re-creation of the file, and the
-/// frame index restarts at 0 with each epoch, so a (key, nonce) pair is
-/// never reused and no plaintext payload byte ever reaches the disk image.
+/// (LogRecordType u8 + fields) under the file key with nonce
+/// BE32(epoch) || BE64(frame_index). The file key is derived from the
+/// bucket's key and the header's salt (HMAC-SHA-256, truncated); the salt
+/// is drawn fresh from the OS entropy pool at every Open, so two
+/// incarnations of the same bucket number never share a keystream even
+/// when the prior incarnation's header (and thus its epoch) is unreadable.
+/// Within one incarnation the epoch increments on every checkpoint rewrite
+/// and the frame index restarts at 0 with each epoch, so a (key, nonce)
+/// pair is never reused and no plaintext payload byte ever reaches the
+/// disk image.
 ///
 /// Durability contract: callers append BEFORE acknowledging the mutation
 /// (append-before-ack); every append is flushed to the OS before returning.
 /// A false return means the log tore mid-write (the crash-point fault hook
 /// below, or a real I/O failure) — the site must treat itself as crashed:
-/// drop the request unacknowledged and stop serving.
+/// drop the request unacknowledged and stop serving. By default the flush
+/// stops at the OS page cache: a process crash (SIGKILL) loses nothing,
+/// but an OS crash or power loss can lose acked appends or an un-synced
+/// checkpoint rename. Opening with fsync=true closes that gap — every
+/// append fsyncs, and a checkpoint fsyncs the new image and its directory
+/// around the rename — at a heavy per-append cost.
+///
+/// Corrupt images are never destroyed: when Open finds a file whose tail
+/// (or whole body — e.g. every frame, under a mis-configured master key)
+/// fails CRC/decrypt/parse, the original file is preserved as
+/// `<path>.corrupt[.N]` before the adopt-rewrite or fresh truncation
+/// touches it, so restoring the correct key later can still recover it.
 ///
 /// Checkpoint compaction: when the file exceeds checkpoint_min_bytes AND
 /// has at least doubled since the last checkpoint, the log is rewritten as
@@ -116,13 +133,15 @@ class BucketLog {
   /// split path, where a bucket number may be reused after a merge retired
   /// it. With fresh=false an existing file is adopted: its torn tail (if
   /// any) is truncated away and appends continue after the last valid
-  /// frame. `key` is the bucket's 16-byte derived AES key. Returns nullptr
+  /// frame. `key` is the bucket's 16-byte derived AES key. `fsync` selects
+  /// the power-loss-safe sync policy (see class comment). Returns nullptr
   /// only when the file cannot be created at all.
   static std::unique_ptr<BucketLog> Open(std::string path, uint64_t bucket,
                                          uint32_t create_level, ByteSpan key,
                                          bool fresh,
                                          size_t checkpoint_min_bytes,
-                                         PersistMetrics* metrics);
+                                         PersistMetrics* metrics,
+                                         bool fsync = false);
 
   ~BucketLog();
 
@@ -211,7 +230,11 @@ class BucketLog {
   std::string path_;
   uint64_t bucket_ = 0;
   uint32_t create_level_ = 0;
-  Bytes key_;
+  /// Per-incarnation key actually used for the CTR keystream: derived from
+  /// the bucket key and salt_ (written in the header) at Open.
+  Bytes file_key_;
+  uint64_t salt_ = 0;
+  bool fsync_ = false;
   std::FILE* file_ = nullptr;
   uint32_t epoch_ = 0;
   uint64_t next_frame_ = 0;
@@ -236,7 +259,7 @@ class BucketLog {
 
   static std::unique_ptr<BucketLog> Open(std::string, uint64_t, uint32_t,
                                          ByteSpan, bool, size_t,
-                                         PersistMetrics*) {
+                                         PersistMetrics*, bool = false) {
     return nullptr;
   }
 

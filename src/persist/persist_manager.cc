@@ -2,6 +2,7 @@
 
 #if ESSDDS_PERSIST
 
+#include <bit>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -60,6 +61,7 @@ PersistManager::PersistManager(Options options, obs::MetricRegistry* registry)
     recovered_buckets_ = &registry->counter("persist.recovered_buckets");
     torn_tails_ = &registry->counter("persist.torn_tails");
     corrupt_tails_ = &registry->counter("persist.corrupt_tails");
+    repaired_transfers_ = &registry->counter("persist.repaired_transfers");
     recovery_us_ = &registry->histogram("persist.recovery_us");
   }
 }
@@ -115,6 +117,47 @@ std::vector<PersistManager::RecoveredBucket> PersistManager::Recover() {
     }
   }
 
+  // Repair rule for an interrupted split/merge record transfer. Transfers
+  // are two-phase — the receiving bucket's log gets the bulk-put before the
+  // sending bucket logs its erase/clear — so a crash between the two phases
+  // leaves the moved records in BOTH logs, never in neither. Every such
+  // window shows the same signature on the TOP live bucket N and its parent
+  // P (N with its top set bit cleared): P is still at its pre-transfer
+  // level, strictly below N's. A healthy top bucket always has
+  // P.level == N.level (the split that created N levelled both, and any
+  // later split would have created a higher top), so the signature is
+  // unambiguous: drop N and let P's copy win. At most one transfer can be
+  // in flight (the coordinator serializes restructurings), but the loop is
+  // harmless. The dropped bucket's stale file is left in place — a repeat
+  // recovery repairs it identically, and bucket-number reuse replaces it
+  // via a fresh open.
+  while (true) {
+    // The top LIVE bucket may sit below merge-retired entries.
+    auto top_it = replayed.end();
+    for (auto it = replayed.rbegin(); it != replayed.rend(); ++it) {
+      if (!it->second.retired && it->second.valid_bytes > 0) {
+        top_it = std::prev(it.base());
+        break;
+      }
+    }
+    if (top_it == replayed.end() || top_it->first == 0) break;
+    const uint64_t top = top_it->first;
+    const auto parent_it = replayed.find(top - std::bit_floor(top));
+    if (parent_it == replayed.end() || parent_it->second.retired ||
+        parent_it->second.valid_bytes == 0 ||
+        parent_it->second.level >= top_it->second.level) {
+      break;
+    }
+    ESSDDS_LOG(kWarning) << "persist: bucket " << top
+                         << " is an interrupted transfer remnant (parent "
+                         << parent_it->first << " at level "
+                         << parent_it->second.level << " < "
+                         << top_it->second.level
+                         << "); dropping in favour of the parent's copy";
+    if (repaired_transfers_ != nullptr) repaired_transfers_->Increment();
+    replayed.erase(top_it);
+  }
+
   // Live buckets must be a contiguous prefix: merges retire from the top,
   // so every retired (or unreadable, hence empty-retired-like) bucket sits
   // above every live one. A live bucket above a gap would mean a bucket's
@@ -147,7 +190,8 @@ BucketLog* PersistManager::OpenBucketLog(uint64_t bucket, uint32_t create_level,
   std::unique_ptr<BucketLog> log =
       BucketLog::Open(LogPath(bucket), bucket, create_level,
                       keys_.PersistKey(bucket), fresh,
-                      options_.checkpoint_min_bytes, &metrics_);
+                      options_.checkpoint_min_bytes, &metrics_,
+                      options_.fsync);
   if (log == nullptr) return nullptr;
   BucketLog* raw = log.get();
   logs_[bucket] = std::move(log);

@@ -32,6 +32,10 @@ class PersistManager {
     /// supply its own.
     Bytes master = {};
     size_t checkpoint_min_bytes = 64 * 1024;
+    /// When true every append (and checkpoint rename) is fsynced to stable
+    /// storage, extending the durability contract to OS crash / power loss
+    /// at a heavy per-op cost. Off by default: process-crash durability.
+    bool fsync = false;
   };
 
   /// One live bucket's replayed state, in bucket order.
@@ -50,8 +54,11 @@ class PersistManager {
   /// (non-retired) buckets in bucket order — empty on a fresh directory.
   /// Live buckets must be contiguous from 0 (retired buckets, if any, sit
   /// above them — merges retire from the top); a gap means acked data was
-  /// lost and is a CHECK failure. Records recovery metrics (wall-clock µs
-  /// histogram, replayed-record and torn/corrupt-tail counters).
+  /// lost and is a CHECK failure. Repairs at most one interrupted split or
+  /// merge record transfer (see the repair rule in the implementation) by
+  /// dropping the top bucket whose parent still holds its records. Records
+  /// recovery metrics (wall-clock µs histogram, replayed-record,
+  /// torn/corrupt-tail, and repaired-transfer counters).
   std::vector<RecoveredBucket> Recover();
 
   /// Opens bucket `bucket`'s log (creating or adopting per `fresh`; see
@@ -76,6 +83,7 @@ class PersistManager {
   obs::Counter* recovered_buckets_ = nullptr;
   obs::Counter* torn_tails_ = nullptr;
   obs::Counter* corrupt_tails_ = nullptr;
+  obs::Counter* repaired_transfers_ = nullptr;
   obs::Histogram* recovery_us_ = nullptr;
   std::map<uint64_t, std::unique_ptr<BucketLog>> logs_;
 

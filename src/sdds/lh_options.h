@@ -11,6 +11,10 @@
 #include "sdds/message.h"
 #include "util/bytes.h"
 
+namespace essdds::persist {
+class BucketLog;
+}  // namespace essdds::persist
+
 namespace essdds::sdds {
 
 /// Which multicomputer simulation carries an LH* file's traffic.
@@ -141,6 +145,12 @@ struct LhOptions {
   /// since its last checkpoint. Small values force frequent compaction
   /// (tests); 0 checkpoints on every doubling.
   size_t log_checkpoint_min_bytes = 64 * 1024;
+
+  /// Fsync every log append and checkpoint rename, extending the at-rest
+  /// durability contract from process crashes to OS crashes and power loss.
+  /// Off by default — appends then flush only to the OS page cache (fast,
+  /// and sufficient for the simulated-site process-crash model).
+  bool persist_fsync = false;
 };
 
 /// The key mixer used when LhOptions::hash_keys is set (splitmix64
@@ -243,6 +253,16 @@ class LhRuntime {
   /// in-flight references stay valid, and stale addresses fold onto the
   /// parent chain in SiteOfBucket.
   virtual void RetireLastBucket() = 0;
+
+  /// The persistence log attached to logical bucket `bucket`, or nullptr
+  /// when the bucket (or the whole system) runs RAM-only. Split/merge
+  /// record transfers use this to write the receiving bucket's bulk-put
+  /// durably BEFORE the sender logs its erase/clear — a crash between the
+  /// two phases then leaves the moved records in both logs (repaired at
+  /// recovery) instead of neither (silent loss).
+  virtual persist::BucketLog* LogOfBucket(uint64_t /*bucket*/) {
+    return nullptr;
+  }
 };
 
 }  // namespace essdds::sdds

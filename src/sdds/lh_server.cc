@@ -254,9 +254,10 @@ void LhBucketServer::HandleSplit(const Message& msg, Network& net) {
     return;
   }
   const uint64_t new_bucket = msg.key;
-  // Compute the carve-out first so the log record (explicit key list + the
-  // stepped-up level) lands before any state changes: replay never needs to
-  // re-run the hash, and a tear here leaves the pre-split bucket intact.
+  // Compute the carve-out first so the log records (explicit key list + the
+  // stepped-up level) land before the record map shrinks: replay never needs
+  // to re-run the hash. A tear in either log write halts the site with the
+  // pre-split state still the durable truth.
   const uint64_t mask = (uint64_t{1} << msg.new_level) - 1;
   std::vector<uint64_t> moved_keys;
   for (const auto& [key, value] : records_) {
@@ -264,11 +265,8 @@ void LhBucketServer::HandleSplit(const Message& msg, Network& net) {
       moved_keys.push_back(key);
     }
   }
-  if (log_ != nullptr && !log_->AppendEraseBulk(msg.new_level, moved_keys)) {
-    halted_ = true;
-    return;
-  }
-  level_ = msg.new_level;
+  // Deferred scans must resolve against the pre-split content before any
+  // value is moved out of the record map below.
   AboutToMutateRecords(net);
 
   Message move;
@@ -278,10 +276,30 @@ void LhBucketServer::HandleSplit(const Message& msg, Network& net) {
   move.trace_id = msg.trace_id;
   move.records.reserve(moved_keys.size());
   for (uint64_t key : moved_keys) {
-    auto it = records_.find(key);
-    move.records.push_back(WireRecord{key, std::move(it->second)});
-    records_.erase(it);
+    move.records.push_back(WireRecord{key, std::move(records_[key])});
   }
+  // Two-phase durable transfer: the receiving bucket's log gets the
+  // bulk-put BEFORE this bucket logs the erase. A crash between the two
+  // leaves the moved records in BOTH logs — the new bucket's copy is
+  // dropped by the recovery repair rule (its parent's level still predates
+  // the split) — never in neither, which would be silent loss of acked
+  // records.
+  if (log_ != nullptr) {
+    persist::BucketLog* peer = runtime_->LogOfBucket(new_bucket);
+    if (peer != nullptr) {
+      if (!peer->AppendBulkPut(msg.new_level, move.records)) {
+        halted_ = true;
+        return;
+      }
+      move.records_durable = true;
+    }
+    if (!log_->AppendEraseBulk(msg.new_level, moved_keys)) {
+      halted_ = true;
+      return;
+    }
+  }
+  level_ = msg.new_level;
+  for (uint64_t key : moved_keys) records_.erase(key);
   // Split carve-out removes a whole key range; per-record column erases
   // would memmove the flat arrays once per moved record, so repack instead.
   columns_.RebuildFrom(records_);
@@ -302,8 +320,11 @@ void LhBucketServer::HandleMoveRecords(Message& msg, Network& net) {
   // Bulk load during a split: records arrive pre-addressed, no overflow
   // report (a subsequent regular insert re-checks capacity). The message is
   // ours to cannibalize — adopt the values instead of deep-copying them
-  // (the log append below only reads them).
-  if (log_ != nullptr && !log_->AppendBulkPut(level_, msg.records)) {
+  // (the log append below only reads them). When the sender already wrote
+  // the bulk-put into this bucket's log (two-phase transfer), appending it
+  // again would only store a redundant duplicate frame.
+  if (!msg.records_durable && log_ != nullptr &&
+      !log_->AppendBulkPut(level_, msg.records)) {
     halted_ = true;
     return;
   }
@@ -338,13 +359,14 @@ void LhBucketServer::HandleMerge(const Message& msg, Network& net) {
     return;
   }
   // This bucket dissolves: every record returns to the parent it split off
-  // from, and the parent's level steps back down. The dissolution reaches
-  // the log first: a replayed kClear marks the bucket retired, so recovery
-  // never resurrects records the parent now owns.
-  if (log_ != nullptr && !log_->AppendClear()) {
-    halted_ = true;
-    return;
-  }
+  // from, and the parent's level steps back down. Deferred scans resolve
+  // first (the move below empties the values), then the transfer goes to
+  // the logs two-phase: the parent's bulk-put lands BEFORE this bucket's
+  // kClear. A crash between the two leaves the records in both logs — the
+  // still-live victim is dropped by the recovery repair rule (the parent's
+  // stepped-down level gives the interruption away) — never in neither. A
+  // replayed kClear marks the bucket retired, so recovery never resurrects
+  // records the parent now owns.
   AboutToMutateRecords(net);
   const uint64_t parent = msg.key;
   Message move;
@@ -355,6 +377,20 @@ void LhBucketServer::HandleMerge(const Message& msg, Network& net) {
   move.trace_id = msg.trace_id;
   for (auto& [key, value] : records_) {
     move.records.push_back(WireRecord{key, std::move(value)});
+  }
+  if (log_ != nullptr) {
+    persist::BucketLog* peer = runtime_->LogOfBucket(parent);
+    if (peer != nullptr) {
+      if (!peer->AppendBulkPut(msg.new_level, move.records)) {
+        halted_ = true;
+        return;
+      }
+      move.records_durable = true;
+    }
+    if (!log_->AppendClear()) {
+      halted_ = true;
+      return;
+    }
   }
   records_.clear();
   columns_.Clear();
@@ -388,8 +424,10 @@ void LhBucketServer::HandleMergeRecords(Message& msg, Network& net) {
   }
   // One resolution covers the whole handler, including stashed transfers
   // applied below: no message delivery happens in between, so no new scan
-  // task can be enqueued mid-application.
-  if (log_ != nullptr && !log_->AppendBulkPut(msg.new_level, msg.records)) {
+  // task can be enqueued mid-application. A transfer the dissolving bucket
+  // already wrote into this log (two-phase) is not appended again.
+  if (!msg.records_durable && log_ != nullptr &&
+      !log_->AppendBulkPut(msg.new_level, msg.records)) {
     halted_ = true;
     return;
   }
@@ -406,7 +444,7 @@ void LhBucketServer::HandleMergeRecords(Message& msg, Network& net) {
       if (it->new_level + 1 != level_) continue;
       Message next = std::move(*it);
       stashed_merge_records_.erase(it);
-      if (log_ != nullptr &&
+      if (!next.records_durable && log_ != nullptr &&
           !log_->AppendBulkPut(next.new_level, next.records)) {
         halted_ = true;
         return;

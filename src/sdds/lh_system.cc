@@ -24,7 +24,8 @@ LhSystem::LhSystem(LhOptions options)
       persist_ = std::make_unique<persist::PersistManager>(
           persist::PersistManager::Options{options_.data_dir,
                                            options_.persist_master,
-                                           options_.log_checkpoint_min_bytes},
+                                           options_.log_checkpoint_min_bytes,
+                                           options_.persist_fsync},
           &network_->metrics());
       std::vector<persist::PersistManager::RecoveredBucket> recovered =
           persist_->Recover();
@@ -120,6 +121,10 @@ void LhSystem::RetireLastBucket() {
   servers_.back()->AttachLog(nullptr);
   retired_servers_.push_back(std::move(servers_.back()));
   servers_.pop_back();
+}
+
+persist::BucketLog* LhSystem::LogOfBucket(uint64_t bucket) {
+  return persist_ == nullptr ? nullptr : persist_->log(bucket);
 }
 
 const ScanFilter& LhSystem::FilterById(uint64_t filter_id) const {

@@ -58,6 +58,7 @@ class LhSystem : public LhRuntime {
   const ScanFilter& FilterById(uint64_t filter_id) const override;
   const LhOptions& options() const override { return options_; }
   void RetireLastBucket() override;
+  persist::BucketLog* LogOfBucket(uint64_t bucket) override;
 
   // --- introspection for tests, benches and recovery tooling ---
   Network& network() { return *network_; }

@@ -124,6 +124,12 @@ struct Message {
   // --- split protocol ---
   uint64_t bucket_to_split = 0;
   uint32_t new_level = 0;
+  /// In-process flag on kMoveRecords/kMergeRecords: the sender already wrote
+  /// the bulk-put into the RECEIVER's log (two-phase transfer; see
+  /// LhRuntime::LogOfBucket), so the receiver must not append it again.
+  /// Deliberately NOT on the wire: Encode/Decode drop it, and a receiver that
+  /// misses it merely re-appends an idempotent duplicate frame.
+  bool records_durable = false;
 
   /// Simulated serialized size in bytes (header + active payload).
   /// Cheaper than Encode().size(): counts only the fields `type` activates,

@@ -7,6 +7,43 @@
 
 namespace essdds {
 
+namespace {
+
+/// Length of the well-formed UTF-8 sequence starting at s[i], or 0 when the
+/// bytes there are not valid UTF-8 (truncated sequence, stray continuation
+/// byte, overlong encoding, surrogate code point, or a value past U+10FFFF).
+/// Follows the RFC 3629 table: the admissible range of the first
+/// continuation byte depends on the lead byte, everything after is 80-BF.
+size_t Utf8SequenceLength(std::string_view s, size_t i) {
+  const auto byte = [&s](size_t at) {
+    return static_cast<unsigned char>(s[at]);
+  };
+  const unsigned char lead = byte(i);
+  size_t len;
+  unsigned char first_lo = 0x80, first_hi = 0xbf;
+  if (lead >= 0xc2 && lead <= 0xdf) {
+    len = 2;
+  } else if (lead >= 0xe0 && lead <= 0xef) {
+    len = 3;
+    if (lead == 0xe0) first_lo = 0xa0;        // reject overlong
+    if (lead == 0xed) first_hi = 0x9f;        // reject surrogates
+  } else if (lead >= 0xf0 && lead <= 0xf4) {
+    len = 4;
+    if (lead == 0xf0) first_lo = 0x90;        // reject overlong
+    if (lead == 0xf4) first_hi = 0x8f;        // reject > U+10FFFF
+  } else {
+    return 0;  // ASCII is handled by the caller; C0/C1 and F5+ are invalid
+  }
+  if (s.size() - i < len) return 0;
+  if (byte(i + 1) < first_lo || byte(i + 1) > first_hi) return 0;
+  for (size_t k = 2; k < len; ++k) {
+    if (byte(i + k) < 0x80 || byte(i + k) > 0xbf) return 0;
+  }
+  return len;
+}
+
+}  // namespace
+
 void JsonWriter::BeforeValue() {
   if (needs_comma_.back()) out_.push_back(',');
   needs_comma_.back() = true;
@@ -14,40 +51,58 @@ void JsonWriter::BeforeValue() {
 
 void JsonWriter::Escape(std::string_view s) {
   out_.push_back('"');
-  for (char c : s) {
+  for (size_t i = 0; i < s.size();) {
+    const char c = s[i];
     switch (c) {
       case '"':
         out_ += "\\\"";
-        break;
+        ++i;
+        continue;
       case '\\':
         out_ += "\\\\";
-        break;
+        ++i;
+        continue;
       case '\n':
         out_ += "\\n";
-        break;
+        ++i;
+        continue;
       case '\r':
         out_ += "\\r";
-        break;
+        ++i;
+        continue;
       case '\t':
         out_ += "\\t";
+        ++i;
+        continue;
+      default:
         break;
-      default: {
-        // JSON strings must be valid UTF-8; callers feed this raw bytes
-        // (record keys, trace labels), so anything outside printable ASCII
-        // is escaped per byte as \u00xx. Passing 0x80-0xFF through raw
-        // would emit invalid UTF-8 — broken JSON for any standard parser.
-        // The formatted byte must be unsigned: a negative char sign-extends
-        // through %04x into "￿ff80"-style garbage.
-        const unsigned char u = static_cast<unsigned char>(c);
-        if (u < 0x20 || u >= 0x7f) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", u);
-          out_ += buf;
-        } else {
-          out_.push_back(c);
-        }
+    }
+    // JSON strings must be valid UTF-8; callers feed this raw bytes
+    // (record keys, trace labels, instrument names). Well-formed multi-byte
+    // sequences pass through untouched — a UTF-8 name must round-trip as
+    // itself, not as per-byte U+0080-U+00FF mojibake. Only bytes that are
+    // NOT part of a valid sequence (and DEL/controls) escape as \u00xx,
+    // keeping the document parseable for any input. The formatted byte must
+    // be unsigned: a negative char sign-extends through %04x into
+    // "￿ff80"-style garbage.
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u >= 0x20 && u < 0x7f) {
+      out_.push_back(c);
+      ++i;
+      continue;
+    }
+    if (u >= 0x80) {
+      const size_t len = Utf8SequenceLength(s, i);
+      if (len > 0) {
+        out_ += s.substr(i, len);
+        i += len;
+        continue;
       }
     }
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "\\u%04x", u);
+    out_ += buf;
+    ++i;
   }
   out_.push_back('"');
 }

@@ -9,6 +9,7 @@
 #include "persist/bucket_log.h"
 #include "persist/persist_manager.h"
 #include "sdds/lh_server.h"
+#include "sdds/lh_system.h"
 #include "util/random.h"
 
 // Crash-point sweep: a scripted workload runs against one log-backed bucket
@@ -282,6 +283,222 @@ TEST_F(CrashPointTest, SweepThroughCheckpointRewrites) {
   // inside a checkpoint's tmp-file write, which must leave the old log
   // intact (the rename never happens).
   Sweep(/*checkpoint_min=*/192, /*points=*/30, /*seed=*/13);
+}
+
+// ---- Multi-bucket sweep: crashes inside split and merge record transfers.
+//
+// The single-bucket harness above never restructures, so it cannot reach
+// the transfer windows: the instants between the two-phase log writes of a
+// split carve-out or a merge dissolution. Here a full LhSystem grows (many
+// splits), shrinks (merges), and regrows (bucket-number reuse) while a tear
+// is armed on ONE chosen bucket's log; the moment it fires counts as a
+// whole-process SIGKILL and the workload stops. A fresh system over the
+// directory must then recover every acknowledged record exactly once —
+// transfers interrupted between the receiver's bulk-put and the sender's
+// erase/clear leave the records in both logs, and the recovery repair rule
+// must collapse the duplicate, never lose the data.
+
+constexpr uint64_t kNoTearBucket = ~uint64_t{0};
+
+/// LhSystem that arms a tear on one bucket's log the moment that log exists
+/// — which for split-created buckets is inside the restructuring itself, so
+/// low offsets land in the critical peer bulk-put write.
+class TearingSystem : public LhSystem {
+ public:
+  TearingSystem(LhOptions options, uint64_t tear_bucket,
+                const BucketLog::TearSpec* spec)
+      : LhSystem(std::move(options)), tear_bucket_(tear_bucket) {
+    if (spec != nullptr) {
+      spec_ = *spec;
+      arming_ = true;
+      if (tear_bucket_ == 0) Arm(0);
+    }
+  }
+
+  SiteId CreateBucket(uint64_t bucket, uint32_t level) override {
+    const SiteId site = LhSystem::CreateBucket(bucket, level);
+    if (arming_ && bucket == tear_bucket_) Arm(bucket);
+    return site;
+  }
+
+  /// True once the armed tear killed its log — the simulated SIGKILL.
+  bool TearFired() const {
+    return armed_log_ != nullptr && armed_log_->crashed();
+  }
+
+ private:
+  void Arm(uint64_t bucket) {
+    BucketLog* log = persist()->log(bucket);
+    // Bucket-number reuse replaces the log object; re-arm the incarnation
+    // actually receiving writes (the old one never fired, or we'd have
+    // stopped already).
+    if (log == nullptr || log == armed_log_) return;
+    log->ArmTear(spec_);
+    armed_log_ = log;
+  }
+
+  uint64_t tear_bucket_ = kNoTearBucket;
+  BucketLog::TearSpec spec_;
+  bool arming_ = false;
+  BucketLog* armed_log_ = nullptr;
+};
+
+LhOptions SystemOptions(const std::string& dir) {
+  LhOptions o;
+  o.bucket_capacity = 8;
+  o.merge_threshold = 0.4;
+  o.data_dir = dir;
+  return o;
+}
+
+/// Deterministic grow/shrink/regrow script: phase one splits the file out
+/// to many buckets, phase two merges most of them away, phase three splits
+/// again over reused bucket numbers.
+std::vector<Op> GrowShrinkScript() {
+  Rng rng(77);
+  std::vector<Op> script;
+  auto insert = [&](uint64_t k) {
+    Op op;
+    op.type = MsgType::kInsert;
+    op.key = k;
+    op.value = ToBytes("sys-" + std::to_string(k) + "-");
+    const size_t pad = rng.Uniform(24);
+    op.value.insert(op.value.end(), pad, static_cast<uint8_t>(rng.Next()));
+    script.push_back(std::move(op));
+  };
+  for (uint64_t k = 1; k <= 120; ++k) insert(k);
+  for (uint64_t k = 1; k <= 96; ++k) {
+    Op op;
+    op.type = MsgType::kDelete;
+    op.key = k;
+    script.push_back(op);
+  }
+  for (uint64_t k = 200; k < 240; ++k) insert(k);
+  return script;
+}
+
+struct SysOutcome {
+  std::map<uint64_t, Bytes> acked;
+  bool crashed = false;
+};
+
+/// Runs the script against a log-backed LhSystem, driving raw key ops from
+/// an ack sink (forwarding routes them from bucket 0). Stops at the first
+/// missing ack or the instant the armed tear fires: every site of the
+/// simulated multicomputer lives in this one process, so the tear is a
+/// whole-process crash, not a single-site outage.
+SysOutcome RunSystemWorkload(const std::string& dir,
+                             const std::vector<Op>& script,
+                             uint64_t tear_bucket,
+                             const BucketLog::TearSpec* spec,
+                             std::map<uint64_t, uint64_t>* log_bytes_out) {
+  TearingSystem sys(SystemOptions(dir), tear_bucket, spec);
+  AckSink sink;
+  const SiteId sink_site = sys.network().Register(&sink);
+
+  SysOutcome out;
+  uint64_t request_id = 1;
+  for (const Op& op : script) {
+    Message m;
+    m.type = op.type;
+    m.from = sink_site;
+    m.reply_to = sink_site;
+    m.to = sys.bucket(0).site();
+    m.request_id = request_id++;
+    m.key = op.key;
+    m.value = op.value;
+    const size_t acks_before = sink.received.size();
+    sys.network().Send(std::move(m));
+    if (sink.received.size() == acks_before) {
+      out.crashed = true;
+      break;
+    }
+    if (op.type == MsgType::kInsert) {
+      out.acked[op.key] = op.value;
+    } else {
+      out.acked.erase(op.key);
+    }
+    if (sys.TearFired()) {
+      // The op itself was acked (append-before-ack ran before the
+      // restructuring), but the split/merge it triggered died partway.
+      out.crashed = true;
+      break;
+    }
+  }
+  if (log_bytes_out != nullptr) {
+    for (uint64_t b = 0;; ++b) {
+      BucketLog* log = sys.persist()->log(b);
+      if (log == nullptr) break;
+      (*log_bytes_out)[b] = log->cumulative_bytes_written();
+    }
+  }
+  return out;
+}
+
+/// Restarts a fresh system over `dir` and checks the acked state came back
+/// exactly once: per-bucket mirrors, the merged record map, the total count
+/// (a duplicated transfer would inflate it), and real client lookups (which
+/// exercise recovered levels, extent, and routing).
+void VerifySystemRecovery(const std::string& dir,
+                          const std::map<uint64_t, Bytes>& want,
+                          const std::string& label) {
+  LhSystem sys(SystemOptions(dir));
+  std::map<uint64_t, Bytes> got;
+  uint64_t total = 0;
+  for (uint64_t b = 0; b < sys.bucket_count(); ++b) {
+    const LhBucketServer& srv = sys.bucket(b);
+    EXPECT_TRUE(srv.columns().MirrorsMap(srv.records()))
+        << label << ": bucket " << b << " mirror out of lockstep";
+    total += srv.records().size();
+    for (const auto& [k, v] : srv.records()) got[k] = v;
+  }
+  EXPECT_EQ(total, want.size())
+      << label << ": acked records lost, duplicated, or phantom";
+  EXPECT_EQ(got, want) << label << ": recovered state differs";
+
+  LhClient* c = sys.NewClient();
+  for (const auto& [k, v] : want) {
+    Result<Bytes> r = c->Lookup(k);
+    ASSERT_TRUE(r.ok()) << label << ": acked key " << k << " unservable";
+    EXPECT_EQ(*r, v) << label << ": key " << k;
+  }
+}
+
+TEST_F(CrashPointTest, MultiBucketSplitMergeSweep) {
+  const std::vector<Op> script = GrowShrinkScript();
+  std::map<uint64_t, uint64_t> dry_bytes;
+  const SysOutcome dry =
+      RunSystemWorkload(Dir("dry"), script, kNoTearBucket, nullptr, &dry_bytes);
+  ASSERT_FALSE(dry.crashed);
+  ASSERT_GE(dry_bytes.size(), 4u) << "workload never split";
+
+  // Sweep tear offsets across every bucket's write stream. Bucket 0 (the
+  // longest-lived log, target of the final merges) gets the densest sweep;
+  // split-created buckets get points clustered where their transfers live.
+  size_t crashed_runs = 0;
+  size_t point = 0;
+  Rng jitter(0x5eed);
+  for (const auto& [bucket, bytes] : dry_bytes) {
+    const size_t points_here = bucket == 0 ? 10 : 4;
+    for (size_t i = 0; i < points_here; ++i, ++point) {
+      BucketLog::TearSpec spec;
+      spec.at_cumulative_byte = bytes * i / points_here + jitter.Uniform(5);
+      spec.corrupt = (point % 2) == 1;
+      const std::string label =
+          "bucket " + std::to_string(bucket) + " tear@" +
+          std::to_string(spec.at_cumulative_byte) +
+          (spec.corrupt ? "/corrupt" : "/truncate");
+      const std::string dir = Dir("pt" + std::to_string(point));
+      const SysOutcome torn =
+          RunSystemWorkload(dir, script, bucket, &spec, nullptr);
+      if (torn.crashed) ++crashed_runs;
+      VerifySystemRecovery(dir, torn.acked, label);
+      std::filesystem::remove_all(dir);
+    }
+  }
+  EXPECT_GE(point, 50u) << "sweep thinner than the durability bar requires";
+  EXPECT_GT(crashed_runs, point / 2)
+      << "tear offsets mostly missed the write streams";
 }
 
 TEST_F(CrashPointTest, TearDuringCheckpointKeepsOldLogIntact) {

@@ -41,7 +41,8 @@ class RecoveryFuzzTest : public ::testing::Test {
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
   /// Builds a healthy log image exercising every record type, returning its
-  /// bytes and the frame-boundary offsets (28, end-of-frame-1, ...).
+  /// bytes and the frame-boundary offsets (36-byte header,
+  /// end-of-frame-1, ...).
   Bytes BuildImage(std::vector<uint64_t>* boundaries) {
     const std::string path = dir_ + "/bucket-0.log";
     auto log = BucketLog::Open(path, 0, 0, ByteSpan(key_), /*fresh=*/true,
@@ -117,7 +118,7 @@ TEST_F(RecoveryFuzzTest, EveryTruncationRecoversConsistently) {
     for (uint64_t b : boundaries) {
       if (b <= len) floor = b;
     }
-    if (len < 28) {
+    if (len < 36) {
       // Header itself torn: flagged, nothing recovered.
       EXPECT_NE(r.tail, ReplayResult::Tail::kClean) << "cut " << len;
       EXPECT_EQ(r.valid_bytes, 0u) << "cut " << len;
@@ -175,7 +176,7 @@ TEST_F(RecoveryFuzzTest, TornWriteImagesFromFaultHookReplaySafely) {
   // Cross-check the fault hook against the fuzz harness: images produced by
   // armed tears (both modes, several offsets) replay without crashing and
   // always flag their tails.
-  for (uint64_t offset : {29u, 40u, 57u, 80u, 111u}) {
+  for (uint64_t offset : {37u, 48u, 65u, 88u, 119u}) {
     for (bool corrupt : {false, true}) {
       const std::string name =
           dir_ + "/torn-" + std::to_string(offset) + (corrupt ? "c" : "t");

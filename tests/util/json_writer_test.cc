@@ -101,19 +101,48 @@ TEST(JsonWriterTest, BooleansRenderAsKeywords) {
   EXPECT_EQ(w.str(), R"({"on":true,"off":false})");
 }
 
-TEST(JsonWriterTest, HighBytesEscapePerByteNotRaw) {
-  // Bytes 0x80-0xFF are not valid UTF-8 on their own; passed through raw
-  // they would make the whole document unparseable. DEL (0x7f) is escaped
-  // too. A negative char must not sign-extend through the formatter.
+TEST(JsonWriterTest, InvalidHighBytesEscapePerByteNotRaw) {
+  // Bytes 0x80-0xFF outside a well-formed UTF-8 sequence are invalid;
+  // passed through raw they would make the whole document unparseable.
+  // DEL (0x7f) is escaped too. A negative char must not sign-extend
+  // through the formatter.
   JsonWriter w;
   w.BeginArray().Value(std::string_view("\x7f\x80\xab\xff", 4)).EndArray();
   EXPECT_EQ(w.str(), "[\"\\u007f\\u0080\\u00ab\\u00ff\"]");
 }
 
-TEST(JsonWriterTest, EveryByteValueYieldsAsciiOnlyOutput) {
-  // Keys derived from raw record bytes can carry anything; whatever goes
-  // in, the rendered JSON must be pure printable ASCII (hence valid UTF-8
-  // for any standard parser).
+TEST(JsonWriterTest, WellFormedUtf8PassesThroughVerbatim) {
+  // A legitimate multi-byte name must round-trip as itself — NOT as one
+  // \u00xx escape per byte, which a parser would decode into Latin-1
+  // mojibake. 2-, 3-, and 4-byte sequences, mixed with ASCII.
+  const std::string name = "Dvo\xc5\x99\xc3\xa1k \xe6\x97\xa5\xe6\x9c\xac \xf0\x9f\x94\x91";
+  JsonWriter w;
+  w.BeginObject().Key(name).Value(uint64_t{1}).EndObject();
+  EXPECT_EQ(w.str(), "{\"" + name + "\":1}");
+}
+
+TEST(JsonWriterTest, MalformedUtf8SequencesEscapeOnlyTheBadBytes) {
+  JsonWriter w;
+  w.BeginArray()
+      .Value(std::string_view("\xc3", 1))           // truncated 2-byte lead
+      .Value(std::string_view("\xe0\x80\xa0", 3))   // overlong 3-byte
+      .Value(std::string_view("\xed\xa0\x80", 3))   // UTF-16 surrogate
+      .Value(std::string_view("\xf5\x80\x80\x80", 4))  // past U+10FFFF
+      .Value(std::string_view("a\xc3\xa9\xffz", 5))    // valid é, stray 0xff
+      .EndArray();
+  EXPECT_EQ(w.str(),
+            "[\"\\u00c3\","
+            "\"\\u00e0\\u0080\\u00a0\","
+            "\"\\u00ed\\u00a0\\u0080\","
+            "\"\\u00f5\\u0080\\u0080\\u0080\","
+            "\"a\xc3\xa9\\u00ffz\"]");
+}
+
+TEST(JsonWriterTest, EveryByteValueYieldsParseableOutput) {
+  // Keys derived from raw record bytes can carry anything. The ascending
+  // 0x00..0xFF ramp contains no well-formed multi-byte sequence (every
+  // potential lead byte is followed by a non-continuation byte), so every
+  // high byte must come out escaped and the result is pure ASCII.
   std::string all;
   for (int b = 0; b < 256; ++b) all.push_back(static_cast<char>(b));
   JsonWriter w;
