@@ -118,9 +118,25 @@ Result<std::unique_ptr<EncryptedStore>> EncryptedStore::Create(
       IndexPipeline::Create(options.params, master_key, training_corpus));
   ESSDDS_ASSIGN_OR_RETURN(crypto::RecordCipher cipher,
                           crypto::RecordCipher::Create(master_key));
-  return std::unique_ptr<EncryptedStore>(
+  auto store = std::unique_ptr<EncryptedStore>(
       new EncryptedStore(options, std::make_unique<IndexPipeline>(std::move(pipeline)),
                          std::move(cipher)));
+  ESSDDS_RETURN_IF_ERROR(store->InitSequence(options.record_file.data_dir));
+  return store;
+}
+
+Status EncryptedStore::InitSequence(const std::string& data_dir) {
+  // A directory holding records but no counter file predates the counter:
+  // its insert-sequence high-water mark is unknown, so restart far above
+  // anything the old in-RAM counter could have reached.
+  const uint64_t floor = record_file_.recovered_bucket_count() > 0
+                             ? persist::SequenceFile::kLegacyFloor
+                             : 0;
+  ESSDDS_ASSIGN_OR_RETURN(persist::SequenceFile sf,
+                          persist::SequenceFile::Open(data_dir, floor));
+  insert_sequence_ =
+      std::make_unique<persist::SequenceFile>(std::move(sf));
+  return Status::OK();
 }
 
 Status EncryptedStore::Insert(uint64_t rid, std::string_view content) {
@@ -130,7 +146,7 @@ Status EncryptedStore::Insert(uint64_t rid, std::string_view content) {
   }
   // Strongly encrypted record copy.
   Bytes sealed = record_cipher_.Seal(
-      rid, insert_sequence_++,
+      rid, insert_sequence_->Next(),
       ByteSpan(reinterpret_cast<const uint8_t*>(content.data()),
                content.size()));
   record_client_->Insert(rid, std::move(sealed));

@@ -10,6 +10,7 @@
 #include "core/pipeline.h"
 #include "core/scheme_params.h"
 #include "crypto/record_cipher.h"
+#include "persist/sequence_file.h"
 #include "sdds/lh_system.h"
 #include "util/result.h"
 
@@ -95,6 +96,11 @@ class EncryptedStore {
                  std::unique_ptr<IndexPipeline> pipeline,
                  crypto::RecordCipher record_cipher);
 
+  /// Binds the insert-sequence counter to the record file's data_dir so a
+  /// restarted store can never repeat a (rid, sequence) record-cipher nonce
+  /// input (see persist::SequenceFile).
+  Status InitSequence(const std::string& data_dir);
+
   std::unique_ptr<IndexPipeline> pipeline_;
   crypto::RecordCipher record_cipher_;
   sdds::LhSystem record_file_;
@@ -102,7 +108,7 @@ class EncryptedStore {
   sdds::LhClient* record_client_ = nullptr;
   sdds::LhClient* index_client_ = nullptr;
   uint64_t match_filter_id_ = 0;
-  uint64_t insert_sequence_ = 0;
+  std::unique_ptr<persist::SequenceFile> insert_sequence_;
 };
 
 }  // namespace essdds::core

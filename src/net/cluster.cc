@@ -1,0 +1,95 @@
+#include "net/cluster.h"
+
+#include <bit>
+
+#include "util/logging.h"
+
+namespace essdds::net {
+
+uint32_t BucketCreationLevel(uint64_t bucket) {
+  // Top set bit position + 1 == std::bit_width. Bucket 0 is the root,
+  // created at level 0 before any split.
+  return bucket == 0 ? 0 : static_cast<uint32_t>(std::bit_width(bucket));
+}
+
+std::string Endpoint::ToString() const {
+  if (kind == Kind::kUnix) return "uds:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Result<Endpoint> Endpoint::Parse(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("uds:", 0) == 0) {
+    ep.kind = Kind::kUnix;
+    ep.path = spec.substr(4);
+    if (ep.path.empty()) {
+      return Status::InvalidArgument("endpoint '" + spec + "': empty path");
+    }
+    // sockaddr_un.sun_path is ~108 bytes; reject early with a clear message
+    // instead of a truncated bind.
+    if (ep.path.size() >= 100) {
+      return Status::InvalidArgument("endpoint '" + spec +
+                                     "': unix socket path too long");
+    }
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= rest.size()) {
+      return Status::InvalidArgument("endpoint '" + spec +
+                                     "': want tcp:host:port");
+    }
+    ep.kind = Kind::kTcp;
+    ep.host = rest.substr(0, colon);
+    uint64_t port = 0;
+    for (const char c : rest.substr(colon + 1)) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("endpoint '" + spec + "': bad port");
+      }
+      port = port * 10 + static_cast<uint64_t>(c - '0');
+      if (port > 65535) {
+        return Status::InvalidArgument("endpoint '" + spec +
+                                       "': port out of range");
+      }
+    }
+    if (port == 0) {
+      return Status::InvalidArgument("endpoint '" + spec + "': port 0");
+    }
+    ep.port = static_cast<uint16_t>(port);
+    return ep;
+  }
+  return Status::InvalidArgument("endpoint '" + spec +
+                                 "': want uds:<path> or tcp:<host>:<port>");
+}
+
+size_t ClusterMap::HostOfSite(sdds::SiteId site) const {
+  ESSDDS_CHECK(!IsClientSite(site))
+      << "client sites are reached via their own connections";
+  if (site == kCoordinatorSite) return 0;
+  return HostOfBucket(BucketOfSite(site));
+}
+
+Result<ClusterMap> ClusterMap::Parse(const std::string& spec) {
+  ClusterMap map;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string piece = spec.substr(start, comma - start);
+    if (piece.empty()) {
+      return Status::InvalidArgument("cluster spec '" + spec +
+                                     "': empty endpoint");
+    }
+    ESSDDS_ASSIGN_OR_RETURN(Endpoint ep, Endpoint::Parse(piece));
+    map.hosts.push_back(std::move(ep));
+    start = comma + 1;
+  }
+  if (map.hosts.empty()) {
+    return Status::InvalidArgument("cluster spec: no endpoints");
+  }
+  return map;
+}
+
+}  // namespace essdds::net

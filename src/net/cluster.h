@@ -1,0 +1,82 @@
+#ifndef ESSDDS_NET_CLUSTER_H_
+#define ESSDDS_NET_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sdds/message.h"
+#include "util/result.h"
+
+namespace essdds::net {
+
+/// Global site-id scheme of a socket cluster. The simulated networks hand
+/// out dense ids at registration order; a cluster instead fixes ids by role
+/// so every process computes the same mapping with no registry:
+///   site 0                = the split coordinator (lives on host 0)
+///   site 1 + b            = logical bucket b
+///   site kClientSiteBase+ = clients (each process picks a distinct id)
+inline constexpr sdds::SiteId kCoordinatorSite = 0;
+inline constexpr sdds::SiteId kClientSiteBase = 0x40000000u;
+/// Hello marker for a server-to-server connection from host h (never a
+/// message destination; only identifies the dialing peer).
+inline constexpr sdds::SiteId kHostSiteBase = 0x20000000u;
+
+inline sdds::SiteId SiteOfBucket(uint64_t bucket) {
+  return static_cast<sdds::SiteId>(1 + bucket);
+}
+inline uint64_t BucketOfSite(sdds::SiteId site) { return site - 1; }
+inline bool IsClientSite(sdds::SiteId site) {
+  return site >= kClientSiteBase && site != sdds::kInvalidSite;
+}
+inline bool IsBucketSite(sdds::SiteId site) {
+  return site > kCoordinatorSite && site < kHostSiteBase;
+}
+
+/// The level a bucket is created at. Linear hashing creates bucket
+/// b = parent + 2^l as the target of the parent's level-l split, so the
+/// creation level is the position of b's top set bit plus one — a pure
+/// function of the bucket number. Remote hosts use it to materialize a
+/// bucket lazily when its first frame arrives, without a metadata exchange.
+/// (Only valid while bucket numbers are never reused, i.e. without merges —
+/// which the socket transport does not support yet.)
+uint32_t BucketCreationLevel(uint64_t bucket);
+
+/// One listen address: "uds:/path/to.sock" or "tcp:host:port".
+struct Endpoint {
+  enum class Kind : uint8_t { kTcp = 0, kUnix = 1 };
+  Kind kind = Kind::kUnix;
+  std::string host;    // kTcp
+  uint16_t port = 0;   // kTcp
+  std::string path;    // kUnix
+
+  std::string ToString() const;
+  static Result<Endpoint> Parse(const std::string& spec);
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// The static membership of a socket cluster: an ordered host list, shared
+/// verbatim by every server and client (comma-separated endpoint specs on
+/// the command line). Host 0 additionally runs the split coordinator.
+/// Logical buckets are placed round-robin — bucket b lives on host b mod N —
+/// so the file keeps spreading over all hosts as it splits, and every
+/// process derives the placement locally.
+struct ClusterMap {
+  std::vector<Endpoint> hosts;
+
+  size_t HostOfBucket(uint64_t bucket) const {
+    return static_cast<size_t>(bucket % hosts.size());
+  }
+
+  /// The host a server site lives on; aborts on client sites (clients are
+  /// reached through their own connections, never dialed).
+  size_t HostOfSite(sdds::SiteId site) const;
+
+  /// Parses "ep0,ep1,..." (at least one endpoint).
+  static Result<ClusterMap> Parse(const std::string& spec);
+};
+
+}  // namespace essdds::net
+
+#endif  // ESSDDS_NET_CLUSTER_H_

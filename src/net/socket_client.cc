@@ -1,0 +1,391 @@
+#include "net/socket_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace essdds::net {
+
+using sdds::FileImage;
+using sdds::Message;
+using sdds::MsgType;
+
+namespace {
+
+uint64_t MonotonicNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  return b > UINT64_MAX - a ? UINT64_MAX : a + b;
+}
+
+}  // namespace
+
+SocketClient::SocketClient(Options options)
+    : options_(std::move(options)),
+      site_(kClientSiteBase + options_.client_id),
+      start_ns_(MonotonicNs()) {
+  ESSDDS_CHECK(!options_.cluster.hosts.empty());
+  ESSDDS_CHECK(IsClientSite(site_));
+}
+
+SocketClient::~SocketClient() = default;
+
+uint64_t SocketClient::now_us() const {
+  return (MonotonicNs() - start_ns_) / 1000;
+}
+
+Status SocketClient::Connect() {
+  conns_.resize(options_.cluster.hosts.size());
+  for (size_t h = 0; h < options_.cluster.hosts.size(); ++h) {
+    ESSDDS_ASSIGN_OR_RETURN(
+        const int fd,
+        DialBlocking(options_.cluster.hosts[h], options_.connect_timeout_ms));
+    conns_[h] = std::make_unique<Conn>(fd);
+    conns_[h]->EnqueueFrame(
+        EncodeFrame(FrameKind::kHello, EncodeHello(site_)));
+  }
+  return Status::OK();
+}
+
+uint64_t SocketClient::AddressFor(uint64_t key) const {
+  const uint64_t key_image = sdds::LhKeyImage(key, options_.lh);
+  uint64_t a = key_image & ((uint64_t{1} << image_.level) - 1);
+  if (a < image_.split_pointer) {
+    a = key_image & ((uint64_t{1} << (image_.level + 1)) - 1);
+  }
+  return a;
+}
+
+void SocketClient::ApplyIam(const Message& reply) {
+  if (!reply.has_iam) return;
+  ++iam_count_;
+  FileImage candidate;
+  candidate.level = reply.iam_level >= 1 ? reply.iam_level - 1 : 0;
+  candidate.split_pointer = static_cast<uint32_t>(reply.iam_address) + 1;
+  if (candidate.split_pointer >= (uint32_t{1} << candidate.level)) {
+    candidate.split_pointer = 0;
+    ++candidate.level;
+  }
+  if (candidate.BucketCount() > image_.BucketCount()) {
+    image_ = candidate;
+  }
+}
+
+Conn* SocketClient::HostConn(size_t host) {
+  std::unique_ptr<Conn>& slot = conns_[host];
+  if (slot != nullptr && !slot->dead()) return slot.get();
+  // Redial (non-blocking): a restarted server picks the stream back up; a
+  // dead one errors the connection again and the op keeps retrying until
+  // its budget runs out.
+  slot.reset();
+  Result<int> fd = DialStart(options_.cluster.hosts[host]);
+  if (!fd.ok()) return nullptr;
+  slot = std::make_unique<Conn>(*fd);
+  slot->EnqueueFrame(EncodeFrame(FrameKind::kHello, EncodeHello(site_)));
+  return slot.get();
+}
+
+void SocketClient::SendToBucket(uint64_t address, const Message& msg) {
+  Conn* conn = HostConn(options_.cluster.HostOfBucket(address));
+  if (conn == nullptr) return;  // redial failed; timeout path owns recovery
+  conn->EnqueueFrame(EncodeFrame(FrameKind::kMessage, msg.Encode()));
+}
+
+uint64_t SocketClient::BackoffDeadline(uint32_t attempts) const {
+  // Same bounded exponential backoff as LhClient::RoundTrip: double the
+  // patience per attempt up to 2^6, everything saturating.
+  const uint64_t timeout = options_.lh.request_timeout_us;
+  const uint32_t shift = std::min<uint32_t>(attempts, 6);
+  uint64_t backoff = timeout;
+  if (shift > 0) {
+    backoff = timeout > (UINT64_MAX >> shift) ? UINT64_MAX : timeout << shift;
+  }
+  return SaturatingAdd(now_us(), backoff);
+}
+
+void SocketClient::SendOp(uint64_t id, const PendingOp& op) {
+  Message req;
+  req.type = op.type;
+  req.from = site_;
+  req.reply_to = site_;
+  req.request_id = id;
+  req.key = op.key;
+  req.value = op.value;
+  const uint64_t address = AddressFor(op.key);
+  req.to = net::SiteOfBucket(address);
+  SendToBucket(address, req);
+}
+
+Result<uint64_t> SocketClient::SubmitKeyOp(MsgType type, uint64_t key,
+                                           Bytes value) {
+  ESSDDS_CHECK(scan_ == nullptr) << "key op submitted during a scan";
+  // Window cap: pump until a slot frees (completions may also fail ops,
+  // which frees their slots too).
+  while (pending_.size() >= options_.max_inflight) {
+    (void)PumpOnce(10);
+    CheckTimeouts();
+  }
+  const uint64_t id = next_request_id_++;
+  PendingOp op;
+  op.type = type;
+  op.key = key;
+  op.value = std::move(value);
+  op.attempts = 0;
+  op.deadline_us = SaturatingAdd(now_us(), options_.lh.request_timeout_us);
+  SendOp(id, op);
+  pending_.emplace(id, std::move(op));
+  // Opportunistically drain arrived replies so a deep pipeline keeps the
+  // socket moving without waiting for Await.
+  (void)PumpOnce(0);
+  return id;
+}
+
+Result<uint64_t> SocketClient::SubmitInsert(uint64_t key, Bytes value) {
+  return SubmitKeyOp(MsgType::kInsert, key, std::move(value));
+}
+Result<uint64_t> SocketClient::SubmitLookup(uint64_t key) {
+  return SubmitKeyOp(MsgType::kLookup, key, {});
+}
+Result<uint64_t> SocketClient::SubmitDelete(uint64_t key) {
+  return SubmitKeyOp(MsgType::kDelete, key, {});
+}
+
+void SocketClient::HandleReply(Message msg) {
+  if (scan_ != nullptr && msg.type == MsgType::kScanReply &&
+      msg.request_id == scan_->request_id) {
+    // One reply per bucket (reply.key); duplicates are idempotent.
+    scan_->replies.emplace(msg.key, std::move(msg));
+    return;
+  }
+  auto it = pending_.find(msg.request_id);
+  if (it == pending_.end()) {
+    // Late original of a retried request (the servers are idempotent), or
+    // a reply to a completed op.
+    ++stale_reply_count_;
+    return;
+  }
+  ApplyIam(msg);
+  OpResult result;
+  result.type = msg.type;
+  result.found = msg.found;
+  result.value = std::move(msg.value);
+  pending_.erase(it);
+  done_.emplace(msg.request_id, std::move(result));
+}
+
+bool SocketClient::PumpOnce(int timeout_ms) {
+  std::vector<PollEntry> entries;
+  std::vector<size_t> hosts;
+  for (size_t h = 0; h < conns_.size(); ++h) {
+    if (conns_[h] == nullptr || conns_[h]->dead()) continue;
+    PollEntry e;
+    e.fd = conns_[h]->fd();
+    e.want_read = true;
+    e.want_write = conns_[h]->wants_write();
+    entries.push_back(e);
+    hosts.push_back(h);
+  }
+  if (entries.empty()) return false;
+  poller_.Wait(entries, timeout_ms);
+  bool progress = false;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    Conn* conn = conns_[hosts[i]].get();
+    const PollEntry& e = entries[i];
+    if (e.readable || e.error) {
+      (void)conn->ReadReady();
+      for (;;) {
+        Frame frame;
+        Result<bool> next = conn->NextFrame(&frame);
+        if (!next.ok()) {
+          ESSDDS_LOG(kWarning) << "server stream corrupt, dropping: "
+                               << next.status().ToString();
+          conns_[hosts[i]].reset();
+          break;
+        }
+        if (!*next) break;
+        progress = true;
+        if (frame.kind != FrameKind::kMessage) continue;  // ignore control
+        Result<Message> msg = Message::Decode(
+            ByteSpan(frame.payload.data(), frame.payload.size()));
+        if (!msg.ok()) {
+          ESSDDS_LOG(kWarning) << "undecodable reply: "
+                               << msg.status().ToString();
+          continue;
+        }
+        HandleReply(std::move(*msg));
+      }
+    } else if (e.writable && conn->wants_write()) {
+      if (conn->Flush()) progress = true;
+    }
+  }
+  return progress;
+}
+
+void SocketClient::CheckTimeouts() {
+  const uint64_t now = now_us();
+  std::vector<uint64_t> failed;
+  for (auto& [id, op] : pending_) {
+    if (op.deadline_us > now) continue;
+    if (op.attempts >= options_.lh.max_request_retries) {
+      failed.push_back(id);
+      continue;
+    }
+    ++op.attempts;
+    ++retry_count_;
+    op.deadline_us = BackoffDeadline(op.attempts);
+    SendOp(id, op);
+  }
+  for (uint64_t id : failed) {
+    auto it = pending_.find(id);
+    done_.emplace(
+        id, Status::Unavailable(
+                "request " + std::to_string(id) + " (" +
+                std::string(MsgTypeToString(it->second.type)) + " key " +
+                std::to_string(it->second.key) + ") unanswered after " +
+                std::to_string(it->second.attempts + 1) + " attempts"));
+    pending_.erase(it);
+  }
+}
+
+Result<SocketClient::OpResult> SocketClient::Await(uint64_t token) {
+  for (;;) {
+    auto it = done_.find(token);
+    if (it != done_.end()) {
+      Result<OpResult> result = std::move(it->second);
+      done_.erase(it);
+      return result;
+    }
+    ESSDDS_CHECK(pending_.count(token) != 0)
+        << "awaiting unknown op " << token;
+    (void)PumpOnce(10);
+    CheckTimeouts();
+  }
+}
+
+Status SocketClient::AwaitAll() {
+  Status first = Status::OK();
+  while (!pending_.empty()) {
+    (void)PumpOnce(10);
+    CheckTimeouts();
+  }
+  for (auto& [id, result] : done_) {
+    if (first.ok() && !result.ok()) first = result.status();
+  }
+  done_.clear();
+  return first;
+}
+
+Result<bool> SocketClient::Insert(uint64_t key, Bytes value) {
+  ESSDDS_ASSIGN_OR_RETURN(const uint64_t token,
+                          SubmitInsert(key, std::move(value)));
+  ESSDDS_ASSIGN_OR_RETURN(OpResult r, Await(token));
+  ESSDDS_CHECK(r.type == MsgType::kInsertAck);
+  return r.found;
+}
+
+Result<Bytes> SocketClient::Lookup(uint64_t key) {
+  ESSDDS_ASSIGN_OR_RETURN(const uint64_t token, SubmitLookup(key));
+  ESSDDS_ASSIGN_OR_RETURN(OpResult r, Await(token));
+  ESSDDS_CHECK(r.type == MsgType::kLookupReply);
+  if (!r.found) {
+    return Status::NotFound("no record with key " + std::to_string(key));
+  }
+  return std::move(r.value);
+}
+
+Status SocketClient::Delete(uint64_t key) {
+  ESSDDS_ASSIGN_OR_RETURN(const uint64_t token, SubmitDelete(key));
+  ESSDDS_ASSIGN_OR_RETURN(OpResult r, Await(token));
+  ESSDDS_CHECK(r.type == MsgType::kDeleteAck);
+  if (!r.found) {
+    return Status::NotFound("no record with key " + std::to_string(key));
+  }
+  return Status::OK();
+}
+
+Result<SocketClient::ScanResult> SocketClient::Scan(uint64_t filter_id,
+                                                    Bytes filter_arg) {
+  if (!pending_.empty()) {
+    return Status::FailedPrecondition(
+        "scan requires an empty pipeline; call AwaitAll first");
+  }
+  scan_ = std::make_unique<ScanState>();
+  scan_->request_id = next_request_id_++;
+
+  // Fan out over the image; buckets forward to children the image missed
+  // (HandleScan), and each reply's piggybacked level tells us exactly which
+  // children to await.
+  const uint64_t extent = image_.BucketCount();
+  for (uint64_t a = 0; a < extent; ++a) {
+    Message req;
+    req.type = MsgType::kScan;
+    req.from = site_;
+    req.reply_to = site_;
+    req.request_id = scan_->request_id;
+    req.filter_id = filter_id;
+    req.filter_arg = filter_arg;
+    req.assumed_level = image_.AssumedLevel(a);
+    req.to = net::SiteOfBucket(a);
+    scan_->expected.emplace(a, req.assumed_level);
+    SendToBucket(a, req);
+  }
+
+  // Scans have no retransmission layer (mirroring the simulators, where
+  // scan traffic is never fault-eligible); one overall deadline bounds the
+  // wait so a dead server is an error, not a hang.
+  const uint64_t deadline =
+      SaturatingAdd(now_us(), options_.lh.request_timeout_us);
+  for (;;) {
+    // Expand: a reply from bucket b at level l proves b forwarded to child
+    // b + 2^l' for every l' in [assumed_b, l) — all of which exist (no
+    // merges: a bucket at level l has split at every level since its
+    // creation). Await exactly those.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [bucket, assumed] : scan_->expected) {
+        if (scan_->expanded.count(bucket) != 0) continue;
+        auto rit = scan_->replies.find(bucket);
+        if (rit == scan_->replies.end()) continue;
+        scan_->expanded.insert(bucket);
+        const uint32_t level = rit->second.new_level;
+        for (uint32_t l = assumed; l < level; ++l) {
+          const uint64_t child = bucket + (uint64_t{1} << l);
+          scan_->expected.emplace(child, l + 1);
+        }
+        changed = true;
+        break;  // expected mutated; restart the walk
+      }
+    }
+    if (scan_->expanded.size() == scan_->expected.size()) break;
+    if (now_us() > deadline) {
+      const size_t missing = scan_->expected.size() - scan_->expanded.size();
+      scan_.reset();
+      return Status::Unavailable("scan timed out with " +
+                                 std::to_string(missing) +
+                                 " bucket(s) unanswered");
+    }
+    (void)PumpOnce(10);
+  }
+
+  ScanResult result;
+  result.buckets_answered = scan_->replies.size();
+  // Ascending bucket order (std::map iteration), hits within a bucket
+  // already ascending — byte-identical to LhClient::Scan's ordering.
+  for (auto& [bucket, reply] : scan_->replies) {
+    for (sdds::WireRecord& r : reply.records) {
+      result.hits.push_back(std::move(r));
+    }
+  }
+  scan_.reset();
+  return result;
+}
+
+}  // namespace essdds::net

@@ -1,0 +1,158 @@
+#ifndef ESSDDS_NET_SOCKET_CLIENT_H_
+#define ESSDDS_NET_SOCKET_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "net/cluster.h"
+#include "net/socket_transport.h"
+#include "sdds/lh_options.h"
+#include "util/result.h"
+
+namespace essdds::net {
+
+/// An LH* client over real sockets. Speaks the same wire Messages and keeps
+/// the same client state as sdds::LhClient — a possibly stale file image
+/// repaired by piggybacked IAMs, timeout/bounded-exponential-backoff
+/// retransmission with stable request ids, stale-reply discard — but runs
+/// against real monotonic time and, unlike LhClient's one-op-at-a-time
+/// RoundTrip, pipelines: Submit*() returns an op token immediately and up
+/// to max_inflight key operations ride the connections concurrently, keyed
+/// by the request-id machinery. Await()/AwaitAll() drive the I/O loop.
+///
+/// Where LhClient aborts after max_request_retries (simulation bug = fatal),
+/// a socket cluster legitimately loses servers: an op whose retries exhaust
+/// completes with Status::Unavailable and the client stays usable.
+///
+/// Single-threaded: all calls from one thread.
+class SocketClient {
+ public:
+  struct Options {
+    ClusterMap cluster;
+    /// Distinguishes this client from every other connected to the same
+    /// cluster (its global site id is kClientSiteBase + client_id).
+    uint32_t client_id = 0;
+    /// hash_keys must match the servers; request_timeout_us /
+    /// max_request_retries drive retransmission in real microseconds.
+    sdds::LhOptions lh;
+    int connect_timeout_ms = 5000;
+    /// Submit*() blocks (pumping I/O) once this many ops are in flight.
+    size_t max_inflight = 1024;
+  };
+
+  /// Completion of one key operation.
+  struct OpResult {
+    sdds::MsgType type = sdds::MsgType::kInsertAck;
+    /// Insert: an existing record was replaced. Lookup/delete: key existed.
+    bool found = false;
+    Bytes value;  // lookup hit payload
+  };
+
+  struct ScanResult {
+    std::vector<sdds::WireRecord> hits;  // ascending (bucket, key)
+    size_t buckets_answered = 0;
+  };
+
+  explicit SocketClient(Options options);
+  ~SocketClient();
+
+  /// Dials every cluster host and registers this client's site id with a
+  /// hello on each connection (any server a forward lands on can then
+  /// answer directly).
+  Status Connect();
+
+  // --- pipelined interface ---
+  Result<uint64_t> SubmitInsert(uint64_t key, Bytes value);
+  Result<uint64_t> SubmitLookup(uint64_t key);
+  Result<uint64_t> SubmitDelete(uint64_t key);
+  /// Pumps I/O until op `token` completes; fails with Unavailable when its
+  /// retries exhausted (e.g. the serving bucket's process died).
+  Result<OpResult> Await(uint64_t token);
+  /// Drains the whole pipeline. Returns the first failure (after all ops
+  /// finished either way).
+  Status AwaitAll();
+  size_t inflight() const { return pending_.size(); }
+
+  // --- blocking convenience (submit + await) ---
+  /// True when an existing record was replaced.
+  Result<bool> Insert(uint64_t key, Bytes value);
+  Result<Bytes> Lookup(uint64_t key);  // NotFound when absent
+  Status Delete(uint64_t key);         // NotFound when absent
+
+  /// Parallel scan. Requires an empty pipeline (call AwaitAll first).
+  /// Termination over sockets cannot use the simulators' quiescence
+  /// barrier; instead every kScanReply carries the serving bucket's level
+  /// (Message::new_level), from which the client derives exactly which
+  /// children were forwarded to and awaits them — the reply set is complete
+  /// when every derived bucket has answered. Bounded by one request
+  /// timeout; a dead server surfaces as Unavailable, never a hang.
+  Result<ScanResult> Scan(uint64_t filter_id, Bytes filter_arg);
+
+  const sdds::FileImage& image() const { return image_; }
+  sdds::SiteId site() const { return site_; }
+  uint64_t retry_count() const { return retry_count_; }
+  uint64_t stale_reply_count() const { return stale_reply_count_; }
+  uint64_t iam_count() const { return iam_count_; }
+
+  /// Monotonic client clock, microseconds since construction.
+  uint64_t now_us() const;
+
+ private:
+  struct PendingOp {
+    sdds::MsgType type = sdds::MsgType::kInsert;
+    uint64_t key = 0;
+    Bytes value;  // retransmission copy
+    uint64_t deadline_us = 0;
+    uint32_t attempts = 0;
+  };
+
+  uint64_t AddressFor(uint64_t key) const;
+  void ApplyIam(const sdds::Message& reply);
+  /// (Re)sends one pending op, re-addressed under the current image.
+  void SendOp(uint64_t id, const PendingOp& op);
+  /// Frames `msg` onto the connection serving bucket `address`, redialing a
+  /// dead connection once per call.
+  void SendToBucket(uint64_t address, const sdds::Message& msg);
+  Conn* HostConn(size_t host);
+  Result<uint64_t> SubmitKeyOp(sdds::MsgType type, uint64_t key, Bytes value);
+  /// One poll turn over all connections; decodes and dispatches replies.
+  bool PumpOnce(int timeout_ms);
+  /// Retransmits timed-out ops; fails those whose retries exhausted.
+  void CheckTimeouts();
+  void HandleReply(sdds::Message msg);
+  uint64_t BackoffDeadline(uint32_t attempts) const;
+
+  Options options_;
+  sdds::SiteId site_;
+  sdds::FileImage image_;
+  uint64_t start_ns_ = 0;
+  uint64_t next_request_id_ = 1;
+  uint64_t retry_count_ = 0;
+  uint64_t stale_reply_count_ = 0;
+  uint64_t iam_count_ = 0;
+
+  std::vector<std::unique_ptr<Conn>> conns_;  // by host index
+  Poller poller_;
+
+  std::map<uint64_t, PendingOp> pending_;
+  /// Completed ops awaiting their Await(); value is the result or the
+  /// failure (retries exhausted).
+  std::map<uint64_t, Result<OpResult>> done_;
+
+  // Active scan state (one at a time; empty pipeline enforced).
+  struct ScanState {
+    uint64_t request_id = 0;
+    /// bucket -> assumed level it was (or will be) scanned under.
+    std::map<uint64_t, uint32_t> expected;
+    std::map<uint64_t, sdds::Message> replies;
+    std::set<uint64_t> expanded;
+  };
+  std::unique_ptr<ScanState> scan_;
+};
+
+}  // namespace essdds::net
+
+#endif  // ESSDDS_NET_SOCKET_CLIENT_H_

@@ -1,0 +1,241 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace essdds::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+/// Fills a sockaddr for `ep`. Returns the address length.
+Result<socklen_t> FillAddr(const Endpoint& ep, sockaddr_storage* storage) {
+  std::memset(storage, 0, sizeof(*storage));
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    auto* sun = reinterpret_cast<sockaddr_un*>(storage);
+    sun->sun_family = AF_UNIX;
+    if (ep.path.size() >= sizeof(sun->sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " + ep.path);
+    }
+    std::memcpy(sun->sun_path, ep.path.data(), ep.path.size());
+    return static_cast<socklen_t>(sizeof(sockaddr_un));
+  }
+  auto* sin = reinterpret_cast<sockaddr_in*>(storage);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(ep.port);
+  // Numeric address or a resolvable name; servers commonly listen on
+  // 127.0.0.1 or 0.0.0.0.
+  if (inet_pton(AF_INET, ep.host.c_str(), &sin->sin_addr) != 1) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (getaddrinfo(ep.host.c_str(), nullptr, &hints, &res) != 0 ||
+        res == nullptr) {
+      return Status::InvalidArgument("cannot resolve host: " + ep.host);
+    }
+    sin->sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+    freeaddrinfo(res);
+  }
+  return static_cast<socklen_t>(sizeof(sockaddr_in));
+}
+
+int NewSocket(const Endpoint& ep) {
+  return ::socket(ep.kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET,
+                  SOCK_STREAM, 0);
+}
+
+void TuneTcp(const Endpoint& ep, int fd) {
+  if (ep.kind != Endpoint::Kind::kTcp) return;
+  // The transport writes whole frames and pipelines aggressively; Nagle
+  // would serialize the pipeline at one frame per RTT.
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Result<int> ListenOn(const Endpoint& ep) {
+  const int fd = NewSocket(ep);
+  if (fd < 0) return Errno("socket");
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    // A server that died without cleanup leaves the socket file behind;
+    // bind would fail with EADDRINUSE forever.
+    ::unlink(ep.path.c_str());
+  } else {
+    int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  sockaddr_storage addr;
+  auto len = FillAddr(ep, &addr);
+  if (!len.ok()) {
+    ::close(fd);
+    return len.status();
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), *len) < 0) {
+    Status s = Errno("bind " + ep.ToString());
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 128) < 0) {
+    Status s = Errno("listen " + ep.ToString());
+    ::close(fd);
+    return s;
+  }
+  if (Status s = SetNonBlocking(fd); !s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<int> DialStart(const Endpoint& ep) {
+  const int fd = NewSocket(ep);
+  if (fd < 0) return Errno("socket");
+  if (Status s = SetNonBlocking(fd); !s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  TuneTcp(ep, fd);
+  sockaddr_storage addr;
+  auto len = FillAddr(ep, &addr);
+  if (!len.ok()) {
+    ::close(fd);
+    return len.status();
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), *len) < 0 &&
+      errno != EINPROGRESS && errno != EAGAIN) {
+    Status s = Errno("connect " + ep.ToString());
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<int> DialBlocking(const Endpoint& ep, int timeout_ms) {
+  ESSDDS_ASSIGN_OR_RETURN(const int fd, DialStart(ep));
+  pollfd pfd{fd, POLLOUT, 0};
+  const int n = ::poll(&pfd, 1, timeout_ms);
+  if (n <= 0) {
+    ::close(fd);
+    return Status::Unavailable("connect " + ep.ToString() +
+                               (n == 0 ? ": timed out" : ": poll failed"));
+  }
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 ||
+      err != 0) {
+    ::close(fd);
+    return Status::Unavailable("connect " + ep.ToString() + ": " +
+                               std::strerror(err != 0 ? err : errno));
+  }
+  return fd;
+}
+
+int Poller::Wait(std::vector<PollEntry>& entries, int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(entries.size());
+  for (const PollEntry& e : entries) {
+    short events = 0;
+    if (e.want_read) events |= POLLIN;
+    if (e.want_write) events |= POLLOUT;
+    fds.push_back(pollfd{e.fd, events, 0});
+  }
+  const int n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                       timeout_ms);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    entries[i].readable = (fds[i].revents & POLLIN) != 0;
+    entries[i].writable = (fds[i].revents & POLLOUT) != 0;
+    entries[i].error =
+        (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+  }
+  return n < 0 ? 0 : n;
+}
+
+Conn::~Conn() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Conn::ReadReady() {
+  if (dead_) return false;
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.Append(
+          ByteSpan(reinterpret_cast<const uint8_t*>(buf),
+                   static_cast<size_t>(n)));
+      if (n < static_cast<ssize_t>(sizeof(buf))) return true;
+      continue;  // buffer filled: more may be pending
+    }
+    if (n == 0) {  // orderly EOF
+      dead_ = true;
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    dead_ = true;  // ECONNRESET and friends
+    return false;
+  }
+}
+
+Result<bool> Conn::NextFrame(Frame* out) { return decoder_.Next(out); }
+
+void Conn::EnqueueFrame(Bytes frame) {
+  if (dead_) return;
+  queued_bytes_ += frame.size();
+  write_queue_.push_back(std::move(frame));
+  (void)Flush();
+}
+
+bool Conn::Flush() {
+  if (dead_) return false;
+  while (!write_queue_.empty()) {
+    const Bytes& front = write_queue_.front();
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE
+    // here, not as a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd_, front.data() + write_offset_,
+                             front.size() - write_offset_, MSG_NOSIGNAL);
+    if (n > 0) {
+      write_offset_ += static_cast<size_t>(n);
+      queued_bytes_ -= static_cast<size_t>(n);
+      if (write_offset_ == front.size()) {
+        write_queue_.pop_front();
+        write_offset_ = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    dead_ = true;  // EPIPE/ECONNRESET: peer is gone
+    return false;
+  }
+  return true;
+}
+
+}  // namespace essdds::net

@@ -1,0 +1,126 @@
+#include "persist/sequence_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "util/wire.h"
+
+namespace essdds::persist {
+
+namespace {
+
+constexpr uint32_t kSequenceMagic = 0x45535351;  // "ESSQ"
+constexpr uint8_t kSequenceVersion = 1;
+constexpr size_t kFileSize = 4 + 1 + 8 + 4;
+constexpr const char* kFileName = "insert-sequence";
+
+Bytes EncodeState(uint64_t ceiling) {
+  WireWriter w;
+  w.WriteU32(kSequenceMagic);
+  w.WriteU8(kSequenceVersion);
+  w.WriteU64(ceiling);
+  Bytes body = std::move(w).TakeBuffer();
+  WireWriter full;
+  full.WriteBytes(ByteSpan(body.data(), body.size()));
+  full.WriteU32(Crc32(ByteSpan(body.data(), body.size())));
+  return std::move(full).TakeBuffer();
+}
+
+Result<uint64_t> DecodeState(ByteSpan data) {
+  if (data.size() != kFileSize) {
+    return Status::Corruption("sequence file has wrong size " +
+                              std::to_string(data.size()));
+  }
+  WireReader r(data);
+  ESSDDS_ASSIGN_OR_RETURN(const uint32_t magic, r.ReadU32());
+  if (magic != kSequenceMagic) {
+    return Status::Corruption("sequence file magic mismatch");
+  }
+  ESSDDS_ASSIGN_OR_RETURN(const uint8_t version, r.ReadU8());
+  if (version != kSequenceVersion) {
+    return Status::Corruption("sequence file version " +
+                              std::to_string(version) + " unsupported");
+  }
+  ESSDDS_ASSIGN_OR_RETURN(const uint64_t ceiling, r.ReadU64());
+  ESSDDS_ASSIGN_OR_RETURN(const uint32_t crc, r.ReadU32());
+  if (crc != Crc32(data.subspan(0, kFileSize - 4))) {
+    return Status::Corruption("sequence file checksum mismatch");
+  }
+  return ceiling;
+}
+
+}  // namespace
+
+Result<SequenceFile> SequenceFile::Open(const std::string& dir,
+                                        uint64_t floor) {
+  if (!kPersistEnabled || dir.empty()) {
+    // RAM-only: monotone within the process, nothing survives it (same
+    // contract the rest of the store has without persistence).
+    return SequenceFile({}, floor, UINT64_MAX);
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = (std::filesystem::path(dir) / kFileName).string();
+
+  uint64_t next = floor;
+  if (std::filesystem::exists(path, ec)) {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::Internal("open " + path + ": " + std::strerror(errno));
+    }
+    uint8_t buf[kFileSize + 1];
+    const size_t got = std::fread(buf, 1, sizeof(buf), f);
+    std::fclose(f);
+    ESSDDS_ASSIGN_OR_RETURN(const uint64_t ceiling,
+                            DecodeState(ByteSpan(buf, got)));
+    next = ceiling;  // the file is authoritative; floor is first-run only
+  }
+
+  SequenceFile sf(path, next, 0);
+  // Reserve the first batch up front so the very first Next() is already
+  // covered by a durable ceiling.
+  ESSDDS_RETURN_IF_ERROR(sf.Persist(next + kBatch));
+  return sf;
+}
+
+uint64_t SequenceFile::Next() {
+  if (next_ >= ceiling_) {
+    // Reservation exhausted: push the durable ceiling a batch ahead. A
+    // failure here must not hand out a value above the persisted ceiling —
+    // that value could repeat after restart — so it is fatal.
+    Status s = Persist(next_ + kBatch);
+    ESSDDS_CHECK(s.ok()) << "cannot extend sequence reservation: "
+                         << s.ToString();
+  }
+  return next_++;
+}
+
+Status SequenceFile::Persist(uint64_t ceiling) {
+  if (path_.empty()) return Status::OK();
+  const Bytes data = EncodeState(ceiling);
+  const std::string tmp = path_ + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("open " + tmp + ": " + std::strerror(errno));
+  }
+  const size_t wrote = std::fwrite(data.data(), 1, data.size(), f);
+  if (std::fclose(f) != 0 || wrote != data.size()) {
+    std::remove(tmp.c_str());
+    return Status::Internal("write " + tmp + " failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename " + tmp + ": " + ec.message());
+  }
+  ceiling_ = ceiling;
+  return Status::OK();
+}
+
+}  // namespace essdds::persist

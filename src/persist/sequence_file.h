@@ -1,0 +1,66 @@
+#ifndef ESSDDS_PERSIST_SEQUENCE_FILE_H_
+#define ESSDDS_PERSIST_SEQUENCE_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "persist/bucket_log.h"
+#include "util/result.h"
+
+namespace essdds::persist {
+
+/// A durable monotone counter: hands out strictly increasing u64 values and
+/// guarantees that no value is ever handed out twice across process
+/// restarts of the same data directory. EncryptedStore uses one per record
+/// file so the record cipher's (rid, sequence) nonce input can never repeat
+/// after a crash or restart — repeating one would reuse an AES-CTR
+/// keystream across two different plaintexts for the same rid.
+///
+/// The guarantee comes from batched reservation: the file stores a CEILING,
+/// not the last value used. Next() hands out values below the persisted
+/// ceiling and rewrites the file (atomically, tmp + rename) one batch ahead
+/// whenever the reservation runs out. A crash forfeits at most one batch of
+/// unused values; it can never revisit a handed-out one.
+///
+/// On-disk format of `<dir>/insert-sequence` (17 bytes, little-endian):
+///     magic "ESSQ" (u32) | version u8 | ceiling u64 | crc32 of bytes 0..13
+///
+/// With persistence compiled out (-DESSDDS_PERSIST=OFF) Open never touches
+/// disk and the counter is RAM-only, matching the rest of src/persist.
+class SequenceFile {
+ public:
+  static constexpr uint64_t kBatch = 65536;
+  /// Floor for data directories written before the counter existed: their
+  /// true high-water mark is unknown, so restart jumps far above anything an
+  /// in-RAM u64 counter could plausibly have reached.
+  static constexpr uint64_t kLegacyFloor = uint64_t{1} << 48;
+
+  /// Loads `<dir>/insert-sequence`, creating it when absent. A present file
+  /// is authoritative; `floor` is the first value only when the file does
+  /// not exist (pass kLegacyFloor when the directory holds pre-counter
+  /// data, 0 for a fresh one). Corrupt or truncated files are an error —
+  /// silently restarting from 0 is exactly the bug this class exists to
+  /// prevent.
+  static Result<SequenceFile> Open(const std::string& dir, uint64_t floor);
+
+  /// Next value, strictly increasing, persisted-never-repeating.
+  uint64_t Next();
+
+  uint64_t ceiling() const { return ceiling_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SequenceFile(std::string path, uint64_t next, uint64_t ceiling)
+      : path_(std::move(path)), next_(next), ceiling_(ceiling) {}
+
+  /// Rewrites the file with a new ceiling (tmp + rename).
+  Status Persist(uint64_t ceiling);
+
+  std::string path_;   // empty = RAM-only (persist off or no dir)
+  uint64_t next_ = 0;
+  uint64_t ceiling_ = 0;
+};
+
+}  // namespace essdds::persist
+
+#endif  // ESSDDS_PERSIST_SEQUENCE_FILE_H_

@@ -229,6 +229,10 @@ void LhBucketServer::HandleScan(Message& msg, Network& net) {
   task.reply.request_id = msg.request_id;
   task.reply.trace_id = msg.trace_id;
   task.reply.key = bucket_number_;  // lets the client attribute hits to buckets
+  // Piggyback this bucket's level, snapshotted at forward time: a client
+  // without a quiescence barrier (sockets) derives from it exactly which
+  // children the scan was propagated to and awaits those replies too.
+  task.reply.new_level = level_;
   if (net.deferred_scan_mode()) {
     // Parallel scan mode: evaluation runs off the messaging path once the
     // initiator drains the batch; the reply is sent then.

@@ -1,0 +1,114 @@
+// Regression: EncryptedStore's record-cipher nonce input is (rid,
+// insert_sequence). Before the counter was made durable
+// (persist::SequenceFile), a restarted store began again at sequence 0, so
+// the first overwrite of a rid after a restart repeated the (rid, 0) nonce
+// of that rid's original insert — an AES-CTR keystream reuse across two
+// different plaintexts. The sealed layout is nonce(12) || ct || tag, so the
+// reuse is directly observable in the stored blobs.
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/encrypted_store.h"
+#include "crypto/record_cipher.h"
+#include "persist/bucket_log.h"
+
+namespace essdds::core {
+namespace {
+
+Bytes Master() { return ToBytes("restart test master"); }
+
+std::unique_ptr<EncryptedStore> MakeStore(const std::string& data_dir) {
+  EncryptedStore::Options opts;
+  opts.params = SchemeParams{};
+  opts.record_file.bucket_capacity = 8;
+  opts.record_file.data_dir = data_dir;
+  opts.index_file.bucket_capacity = 32;
+  auto store = EncryptedStore::Create(opts, Master(), {});
+  EXPECT_TRUE(store.ok()) << store.status();
+  return *std::move(store);
+}
+
+// The sealed record-store blob for `rid` (empty when absent).
+Bytes SealedFor(EncryptedStore& store, uint64_t rid) {
+  for (uint64_t b = 0; b < store.record_file().bucket_count(); ++b) {
+    for (const auto& [key, value] : store.record_file().bucket(b).records()) {
+      if (key == rid) return value;
+    }
+  }
+  return {};
+}
+
+Bytes NonceOf(const Bytes& sealed) {
+  EXPECT_GE(sealed.size(), crypto::RecordCipher::kNonceSize);
+  return Bytes(sealed.begin(),
+               sealed.begin() + crypto::RecordCipher::kNonceSize);
+}
+
+TEST(StoreRestartTest, OverwriteAfterRestartNeverRepeatsNonce) {
+  if (!persist::kPersistEnabled) {
+    GTEST_SKIP() << "needs -DESSDDS_PERSIST=ON";
+  }
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "store-restart").string();
+  std::filesystem::remove_all(dir);
+
+  Bytes first_nonce;
+  {
+    auto store = MakeStore(dir);
+    // rid 7 is this store's very first insert: sequence 0 under the old
+    // in-RAM counter.
+    ASSERT_TRUE(store->Insert(7, "ORIGINAL CONTENT AAAA").ok());
+    first_nonce = NonceOf(SealedFor(*store, 7));
+  }
+
+  {
+    // Restart over the same directory; the record file replays rid 7.
+    auto store = MakeStore(dir);
+    auto got = store->Get(7);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, "ORIGINAL CONTENT AAAA");
+
+    // First insert of the restarted process = the old counter's sequence 0
+    // again. The overwrite of rid 7 must still draw a fresh nonce.
+    ASSERT_TRUE(store->Insert(7, "REPLACED CONTENT BBBB").ok());
+    const Bytes second_nonce = NonceOf(SealedFor(*store, 7));
+    EXPECT_NE(second_nonce, first_nonce)
+        << "record cipher repeated a (rid, sequence) nonce after restart";
+
+    auto replaced = store->Get(7);
+    ASSERT_TRUE(replaced.ok());
+    EXPECT_EQ(*replaced, "REPLACED CONTENT BBBB");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StoreRestartTest, SequencesStayUniqueAcrossManyRestarts) {
+  if (!persist::kPersistEnabled) {
+    GTEST_SKIP() << "needs -DESSDDS_PERSIST=ON";
+  }
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "store-restart-many")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  // Overwrite the same rid once per process lifetime; every sealed blob
+  // must carry a distinct nonce (distinct sequence).
+  std::vector<Bytes> nonces;
+  for (int run = 0; run < 4; ++run) {
+    auto store = MakeStore(dir);
+    ASSERT_TRUE(store->Insert(42, "content run " + std::to_string(run)).ok());
+    nonces.push_back(NonceOf(SealedFor(*store, 42)));
+  }
+  for (size_t i = 0; i < nonces.size(); ++i) {
+    for (size_t j = i + 1; j < nonces.size(); ++j) {
+      EXPECT_NE(nonces[i], nonces[j]) << "runs " << i << " and " << j;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace essdds::core

@@ -1,0 +1,173 @@
+#include "net/socket_transport.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "net/cluster.h"
+
+namespace essdds::net {
+namespace {
+
+TEST(Endpoint, ParsesUnix) {
+  auto ep = Endpoint::Parse("uds:/tmp/essdds test.sock");
+  ASSERT_TRUE(ep.ok());
+  EXPECT_EQ(ep->kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(ep->path, "/tmp/essdds test.sock");
+  EXPECT_EQ(ep->ToString(), "uds:/tmp/essdds test.sock");
+}
+
+TEST(Endpoint, ParsesTcp) {
+  auto ep = Endpoint::Parse("tcp:127.0.0.1:9042");
+  ASSERT_TRUE(ep.ok());
+  EXPECT_EQ(ep->kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(ep->host, "127.0.0.1");
+  EXPECT_EQ(ep->port, 9042);
+  EXPECT_EQ(ep->ToString(), "tcp:127.0.0.1:9042");
+}
+
+TEST(Endpoint, RejectsJunk) {
+  EXPECT_FALSE(Endpoint::Parse("").ok());
+  EXPECT_FALSE(Endpoint::Parse("http://x").ok());
+  EXPECT_FALSE(Endpoint::Parse("uds:").ok());
+  EXPECT_FALSE(Endpoint::Parse("tcp:hostonly").ok());
+  EXPECT_FALSE(Endpoint::Parse("tcp:h:99999").ok());
+  EXPECT_FALSE(Endpoint::Parse("tcp:h:0").ok());
+  EXPECT_FALSE(Endpoint::Parse("tcp::123").ok());
+  // sockaddr_un's sun_path bound.
+  EXPECT_FALSE(Endpoint::Parse("uds:/" + std::string(120, 'x')).ok());
+}
+
+TEST(ClusterMap, ParsesOrderedHostList) {
+  auto map = ClusterMap::Parse("uds:/tmp/a.sock,tcp:localhost:1234,uds:/b");
+  ASSERT_TRUE(map.ok());
+  ASSERT_EQ(map->hosts.size(), 3u);
+  EXPECT_EQ(map->hosts[0].path, "/tmp/a.sock");
+  EXPECT_EQ(map->hosts[1].port, 1234);
+  EXPECT_EQ(map->HostOfBucket(0), 0u);
+  EXPECT_EQ(map->HostOfBucket(4), 1u);
+  EXPECT_EQ(map->HostOfSite(kCoordinatorSite), 0u);
+  EXPECT_EQ(map->HostOfSite(SiteOfBucket(5)), 2u);
+}
+
+TEST(ClusterMap, RejectsEmptyPieces) {
+  EXPECT_FALSE(ClusterMap::Parse("").ok());
+  EXPECT_FALSE(ClusterMap::Parse("uds:/a,,uds:/b").ok());
+  EXPECT_FALSE(ClusterMap::Parse("uds:/a,").ok());
+}
+
+TEST(BucketCreation, LevelIsTopBitPosition) {
+  EXPECT_EQ(BucketCreationLevel(0), 0u);
+  EXPECT_EQ(BucketCreationLevel(1), 1u);
+  EXPECT_EQ(BucketCreationLevel(2), 2u);
+  EXPECT_EQ(BucketCreationLevel(3), 2u);
+  EXPECT_EQ(BucketCreationLevel(4), 3u);
+  EXPECT_EQ(BucketCreationLevel(7), 3u);
+  EXPECT_EQ(BucketCreationLevel(8), 4u);
+  EXPECT_EQ(BucketCreationLevel(uint64_t{1} << 40), 41u);
+}
+
+class UdsRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("essdds-transport-" + std::to_string(::getpid()) + ".sock"))
+                .string();
+    ep_.kind = Endpoint::Kind::kUnix;
+    ep_.path = path_;
+  }
+  void TearDown() override { ::unlink(path_.c_str()); }
+
+  std::string path_;
+  Endpoint ep_;
+};
+
+TEST_F(UdsRoundTrip, FramesCrossAListenAcceptPair) {
+  auto listen_fd = ListenOn(ep_);
+  ASSERT_TRUE(listen_fd.ok()) << listen_fd.status().ToString();
+
+  auto client_fd = DialBlocking(ep_, /*timeout_ms=*/2000);
+  ASSERT_TRUE(client_fd.ok()) << client_fd.status().ToString();
+  Conn client(*client_fd);
+
+  int server_fd = -1;
+  for (int spin = 0; spin < 200 && server_fd < 0; ++spin) {
+    server_fd = ::accept(*listen_fd, nullptr, nullptr);
+    if (server_fd < 0) ::usleep(5000);
+  }
+  ASSERT_GE(server_fd, 0);
+  ASSERT_TRUE(SetNonBlocking(server_fd).ok());
+  Conn server(server_fd);
+
+  // Client -> server: a hello and a big payload (several socket buffers).
+  client.EnqueueFrame(EncodeFrame(FrameKind::kHello, EncodeHello(99)));
+  Bytes big(512 * 1024);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<uint8_t>(i);
+  client.EnqueueFrame(EncodeFrame(FrameKind::kMessage, ByteSpan(big)));
+
+  std::vector<Frame> got;
+  std::vector<PollEntry> entries(2);
+  Poller poller;
+  for (int spin = 0; spin < 2000 && got.size() < 2; ++spin) {
+    entries[0] = {.fd = client.fd(), .want_write = client.wants_write()};
+    entries[1] = {.fd = server.fd(), .want_read = true};
+    poller.Wait(entries, 10);
+    if (entries[0].writable) {
+      ASSERT_TRUE(client.Flush());
+    }
+    if (entries[1].readable) {
+      server.ReadReady();
+      for (;;) {
+        Frame frame;
+        auto r = server.NextFrame(&frame);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        if (!*r) break;
+        got.push_back(std::move(frame));
+      }
+    }
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].kind, FrameKind::kHello);
+  auto hello = DecodeHello(ByteSpan(got[0].payload));
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(*hello, 99u);
+  EXPECT_EQ(got[1].payload, big);
+  ::close(*listen_fd);
+}
+
+TEST_F(UdsRoundTrip, PeerCloseTurnsConnDead) {
+  auto listen_fd = ListenOn(ep_);
+  ASSERT_TRUE(listen_fd.ok());
+  auto client_fd = DialBlocking(ep_, 2000);
+  ASSERT_TRUE(client_fd.ok());
+  int server_fd = -1;
+  for (int spin = 0; spin < 200 && server_fd < 0; ++spin) {
+    server_fd = ::accept(*listen_fd, nullptr, nullptr);
+    if (server_fd < 0) ::usleep(5000);
+  }
+  ASSERT_GE(server_fd, 0);
+  ::close(server_fd);
+
+  Conn client(*client_fd);
+  // EOF surfaces through ReadReady; the Conn marks itself dead.
+  for (int spin = 0; spin < 200 && !client.dead(); ++spin) {
+    client.ReadReady();
+    ::usleep(1000);
+  }
+  EXPECT_TRUE(client.dead());
+  ::close(*listen_fd);
+}
+
+TEST(Dial, RefusedConnectionFailsCleanly) {
+  Endpoint ep;
+  ep.kind = Endpoint::Kind::kUnix;
+  ep.path = "/tmp/essdds-no-such-socket-xyz.sock";
+  EXPECT_FALSE(DialBlocking(ep, 500).ok());
+}
+
+}  // namespace
+}  // namespace essdds::net
