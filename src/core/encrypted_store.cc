@@ -121,11 +121,12 @@ Result<std::unique_ptr<EncryptedStore>> EncryptedStore::Create(
   auto store = std::unique_ptr<EncryptedStore>(
       new EncryptedStore(options, std::make_unique<IndexPipeline>(std::move(pipeline)),
                          std::move(cipher)));
-  ESSDDS_RETURN_IF_ERROR(store->InitSequence(options.record_file.data_dir));
+  ESSDDS_RETURN_IF_ERROR(store->InitSequence(options.record_file.data_dir,
+                                             options.record_file.persist_fsync));
   return store;
 }
 
-Status EncryptedStore::InitSequence(const std::string& data_dir) {
+Status EncryptedStore::InitSequence(const std::string& data_dir, bool fsync) {
   // A directory holding records but no counter file predates the counter:
   // its insert-sequence high-water mark is unknown, so restart far above
   // anything the old in-RAM counter could have reached.
@@ -133,7 +134,7 @@ Status EncryptedStore::InitSequence(const std::string& data_dir) {
                              ? persist::SequenceFile::kLegacyFloor
                              : 0;
   ESSDDS_ASSIGN_OR_RETURN(persist::SequenceFile sf,
-                          persist::SequenceFile::Open(data_dir, floor));
+                          persist::SequenceFile::Open(data_dir, floor, fsync));
   insert_sequence_ =
       std::make_unique<persist::SequenceFile>(std::move(sf));
   return Status::OK();

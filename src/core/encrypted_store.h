@@ -98,8 +98,9 @@ class EncryptedStore {
 
   /// Binds the insert-sequence counter to the record file's data_dir so a
   /// restarted store can never repeat a (rid, sequence) record-cipher nonce
-  /// input (see persist::SequenceFile).
-  Status InitSequence(const std::string& data_dir);
+  /// input (see persist::SequenceFile). `fsync` follows the record file's
+  /// persist_fsync: with it, the no-repeat guarantee also covers power loss.
+  Status InitSequence(const std::string& data_dir, bool fsync);
 
   std::unique_ptr<IndexPipeline> pipeline_;
   crypto::RecordCipher record_cipher_;

@@ -136,11 +136,7 @@ void SocketNetwork::RouteIncoming(Message msg) {
   } else if (msg.type == MsgType::kMoveRecords && IsBucketSite(msg.to)) {
     NoteExtentAtLeast(BucketOfSite(msg.to) + 1);
   }
-  if (local_sites_.count(msg.to) == 0 && HostedHere(msg.to) &&
-      IsBucketSite(msg.to) && materialize_) {
-    Site* site = materialize_(BucketOfSite(msg.to));
-    if (site != nullptr) RegisterAs(msg.to, site);
-  }
+  MaterializeIfNeeded(msg.to);
   if (local_sites_.count(msg.to) != 0) {
     local_inbox_.push_back(std::move(msg));
     return;
@@ -155,11 +151,24 @@ void SocketNetwork::RouteIncoming(Message msg) {
   ++stats_.dropped_messages;
 }
 
+void SocketNetwork::MaterializeIfNeeded(SiteId to) {
+  if (local_sites_.count(to) == 0 && HostedHere(to) && IsBucketSite(to) &&
+      materialize_) {
+    Site* site = materialize_(BucketOfSite(to));
+    if (site != nullptr) RegisterAs(to, site);
+  }
+}
+
 bool SocketNetwork::DrainInbox() {
   bool any = false;
   while (!local_inbox_.empty()) {
     Message msg = std::move(local_inbox_.front());
     local_inbox_.pop_front();
+    // Local hops reach hosted-but-unregistered buckets too: when a splitting
+    // bucket and its new child share a host, the parent's kMoveRecords is
+    // the child's first-ever message and must create it, exactly as a
+    // network frame would in RouteIncoming.
+    MaterializeIfNeeded(msg.to);
     auto it = local_sites_.find(msg.to);
     if (it == local_sites_.end()) {
       ++stats_.dropped_messages;

@@ -113,6 +113,11 @@ class SocketNetwork final : public sdds::Network {
   /// Routes a decoded incoming Message: local delivery via the inbox, or
   /// (transit, which healthy routing never produces) back through Send.
   void RouteIncoming(sdds::Message msg);
+  /// Lazily creates a hosted-but-unregistered bucket site (see
+  /// set_materialize). Applied to both network frames and locally
+  /// originated messages — a co-hosted split child's first message can be
+  /// its parent's local kMoveRecords.
+  void MaterializeIfNeeded(sdds::SiteId to);
   /// Delivers every queued local message; returns whether any was.
   bool DrainInbox();
   void HandleFrame(size_t conn_index, Frame frame);

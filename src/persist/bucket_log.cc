@@ -9,14 +9,9 @@
 #include <utility>
 #include <vector>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <fcntl.h>
-#include <unistd.h>
-#define ESSDDS_HAVE_FSYNC 1
-#endif
-
 #include "crypto/aes.h"
 #include "crypto/hmac.h"
+#include "persist/sync_util.h"
 #include "util/crc32.h"
 #include "util/logging.h"
 
@@ -86,34 +81,6 @@ Bytes DeriveFileKey(ByteSpan key, uint64_t salt) {
   const auto digest = crypto::HmacSha256(key, ByteSpan(msg, sizeof msg));
   const size_t take = std::min(key.size(), digest.size());
   return Bytes(digest.begin(), digest.begin() + take);
-}
-
-/// Flushes file contents through the OS to stable storage. No-op (returns
-/// true) on platforms without fsync.
-bool SyncFile(std::FILE* f) {
-#ifdef ESSDDS_HAVE_FSYNC
-  return ::fsync(::fileno(f)) == 0;
-#else
-  (void)f;
-  return true;
-#endif
-}
-
-/// Fsyncs the directory containing `path`, making a rename within it
-/// durable. No-op on platforms without fsync.
-bool SyncDirOf(const std::string& path) {
-#ifdef ESSDDS_HAVE_FSYNC
-  std::filesystem::path dir = std::filesystem::path(path).parent_path();
-  if (dir.empty()) dir = ".";
-  const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd < 0) return false;
-  const bool ok = ::fsync(fd) == 0;
-  ::close(fd);
-  return ok;
-#else
-  (void)path;
-  return true;
-#endif
 }
 
 /// Moves a corrupt image aside as `<path>.corrupt` (or `.corrupt.N` when

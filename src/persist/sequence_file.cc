@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <system_error>
 
+#include "persist/sync_util.h"
 #include "util/crc32.h"
 #include "util/logging.h"
 #include "util/wire.h"
@@ -57,11 +58,11 @@ Result<uint64_t> DecodeState(ByteSpan data) {
 }  // namespace
 
 Result<SequenceFile> SequenceFile::Open(const std::string& dir,
-                                        uint64_t floor) {
+                                        uint64_t floor, bool fsync) {
   if (!kPersistEnabled || dir.empty()) {
     // RAM-only: monotone within the process, nothing survives it (same
     // contract the rest of the store has without persistence).
-    return SequenceFile({}, floor, UINT64_MAX);
+    return SequenceFile({}, floor, UINT64_MAX, false);
   }
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
@@ -81,7 +82,7 @@ Result<SequenceFile> SequenceFile::Open(const std::string& dir,
     next = ceiling;  // the file is authoritative; floor is first-run only
   }
 
-  SequenceFile sf(path, next, 0);
+  SequenceFile sf(path, next, 0, fsync);
   // Reserve the first batch up front so the very first Next() is already
   // covered by a durable ceiling.
   ESSDDS_RETURN_IF_ERROR(sf.Persist(next + kBatch));
@@ -109,7 +110,14 @@ Status SequenceFile::Persist(uint64_t ceiling) {
     return Status::Internal("open " + tmp + ": " + std::strerror(errno));
   }
   const size_t wrote = std::fwrite(data.data(), 1, data.size(), f);
-  if (std::fclose(f) != 0 || wrote != data.size()) {
+  // With fsync_, the new ceiling must be on stable storage BEFORE Next()
+  // can hand out values above the old one: sync the tmp's bytes before the
+  // rename exposes them, and the directory after, so a power cut can only
+  // ever resurrect the old (lower-ceiling, still valid) file — never
+  // re-issue a sequence handed out under the new one.
+  const bool synced =
+      std::fflush(f) == 0 && (!fsync_ || SyncFile(f));
+  if (std::fclose(f) != 0 || wrote != data.size() || !synced) {
     std::remove(tmp.c_str());
     return Status::Internal("write " + tmp + " failed");
   }
@@ -118,6 +126,9 @@ Status SequenceFile::Persist(uint64_t ceiling) {
   if (ec) {
     std::remove(tmp.c_str());
     return Status::Internal("rename " + tmp + ": " + ec.message());
+  }
+  if (fsync_ && !SyncDirOf(path_)) {
+    return Status::Internal("sync dir of " + path_ + " failed");
   }
   ceiling_ = ceiling;
   return Status::OK();

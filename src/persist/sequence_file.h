@@ -20,9 +20,14 @@ namespace essdds::persist {
 /// not the last value used. Next() hands out values below the persisted
 /// ceiling and rewrites the file (atomically, tmp + rename) one batch ahead
 /// whenever the reservation runs out. A crash forfeits at most one batch of
-/// unused values; it can never revisit a handed-out one.
+/// unused values; it can never revisit a handed-out one. With `fsync`
+/// false, "persisted" means written through the OS page cache — durable
+/// against process crash only; pass fsync=true (the persist_fsync setting)
+/// to sync the rewrite and its directory before any value above the old
+/// ceiling is handed out, extending the no-repeat guarantee to system
+/// crash and power loss.
 ///
-/// On-disk format of `<dir>/insert-sequence` (17 bytes, little-endian):
+/// On-disk format of `<dir>/insert-sequence` (17 bytes, big-endian):
 ///     magic "ESSQ" (u32) | version u8 | ceiling u64 | crc32 of bytes 0..13
 ///
 /// With persistence compiled out (-DESSDDS_PERSIST=OFF) Open never touches
@@ -41,7 +46,8 @@ class SequenceFile {
   /// data, 0 for a fresh one). Corrupt or truncated files are an error —
   /// silently restarting from 0 is exactly the bug this class exists to
   /// prevent.
-  static Result<SequenceFile> Open(const std::string& dir, uint64_t floor);
+  static Result<SequenceFile> Open(const std::string& dir, uint64_t floor,
+                                   bool fsync = false);
 
   /// Next value, strictly increasing, persisted-never-repeating.
   uint64_t Next();
@@ -50,15 +56,18 @@ class SequenceFile {
   const std::string& path() const { return path_; }
 
  private:
-  SequenceFile(std::string path, uint64_t next, uint64_t ceiling)
-      : path_(std::move(path)), next_(next), ceiling_(ceiling) {}
+  SequenceFile(std::string path, uint64_t next, uint64_t ceiling, bool fsync)
+      : path_(std::move(path)), next_(next), ceiling_(ceiling),
+        fsync_(fsync) {}
 
-  /// Rewrites the file with a new ceiling (tmp + rename).
+  /// Rewrites the file with a new ceiling (tmp + rename; with fsync_ the
+  /// tmp is synced before the rename and the directory after it).
   Status Persist(uint64_t ceiling);
 
   std::string path_;   // empty = RAM-only (persist off or no dir)
   uint64_t next_ = 0;
   uint64_t ceiling_ = 0;
+  bool fsync_ = false;
 };
 
 }  // namespace essdds::persist

@@ -1,0 +1,37 @@
+#include "persist/sync_util.h"
+
+#include <filesystem>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define ESSDDS_HAVE_FSYNC 1
+#endif
+
+namespace essdds::persist {
+
+bool SyncFile(std::FILE* f) {
+#ifdef ESSDDS_HAVE_FSYNC
+  return ::fsync(::fileno(f)) == 0;
+#else
+  (void)f;
+  return true;
+#endif
+}
+
+bool SyncDirOf(const std::string& path) {
+#ifdef ESSDDS_HAVE_FSYNC
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return true;
+#endif
+}
+
+}  // namespace essdds::persist

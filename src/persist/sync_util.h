@@ -1,0 +1,19 @@
+#ifndef ESSDDS_PERSIST_SYNC_UTIL_H_
+#define ESSDDS_PERSIST_SYNC_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace essdds::persist {
+
+/// Flushes file contents through the OS to stable storage. No-op (returns
+/// true) on platforms without fsync.
+bool SyncFile(std::FILE* f);
+
+/// Fsyncs the directory containing `path`, making a rename within it
+/// durable. No-op on platforms without fsync.
+bool SyncDirOf(const std::string& path);
+
+}  // namespace essdds::persist
+
+#endif  // ESSDDS_PERSIST_SYNC_UTIL_H_

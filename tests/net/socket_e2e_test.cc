@@ -53,6 +53,9 @@ class SocketE2eTest : public ::testing::Test {
  protected:
   static constexpr size_t kHosts = 3;
 
+  /// Cluster size; overridden by the power-of-two fixture below.
+  virtual size_t host_count() const { return kHosts; }
+
   void SetUp() override {
     dir_ = (std::filesystem::path(::testing::TempDir()) /
             ("e2e-" + std::to_string(::getpid()) + "-" +
@@ -60,7 +63,7 @@ class SocketE2eTest : public ::testing::Test {
                .string();
     std::filesystem::create_directories(dir_);
     std::string spec;
-    for (size_t h = 0; h < kHosts; ++h) {
+    for (size_t h = 0; h < host_count(); ++h) {
       if (h) spec += ",";
       spec += "uds:" + dir_ + "/h" + std::to_string(h) + ".sock";
     }
@@ -97,7 +100,7 @@ class SocketE2eTest : public ::testing::Test {
   }
 
   void SpawnCluster() {
-    for (size_t h = 0; h < kHosts; ++h) SpawnServer(h);
+    for (size_t h = 0; h < host_count(); ++h) SpawnServer(h);
   }
 
   std::unique_ptr<SocketClient> NewClient(uint64_t timeout_us,
@@ -303,6 +306,72 @@ TEST_F(SocketE2eTest, KilledServerYieldsUnavailableNotAHang) {
     served_after = prober->Lookup(key_of(i)).ok();
   }
   EXPECT_TRUE(served_after);
+}
+
+/// A power-of-two cluster: with round-robin placement (bucket % hosts),
+/// whenever the host count divides 2^level, a splitting bucket b and its
+/// child b + 2^level land on the SAME host (already at 2 hosts: bucket 1
+/// splits to bucket 3, both on host 1, a non-coordinator). The parent's
+/// kMoveRecords to the child is then a purely local hop — it never crosses
+/// the network — so local delivery must materialize the child exactly as a
+/// network frame would, or every moved record is silently dropped while the
+/// coordinator still sees kSplitDone. The 3-host cluster above never
+/// co-locates parent and child, so only this fixture covers that path.
+class SocketE2ePow2Test : public SocketE2eTest {
+ protected:
+  size_t host_count() const override { return 2; }
+};
+
+TEST_F(SocketE2ePow2Test, CoLocatedSplitChildReceivesMovedRecords) {
+  SpawnCluster();
+  // Tighter budget than the 3-host tests: a dropped local hop is permanent
+  // (no retry can recover it), so exhaust the exponential backoff in ~30s
+  // instead of minutes when this regresses.
+  auto client = NewClient(/*timeout_us=*/1'000'000, /*retries=*/5);
+
+  sdds::LhSystem baseline(ServerOptions());
+  InstallFilters(baseline);
+  sdds::LhClient* ref = baseline.NewClient();
+
+  // Capacity 8, 300 keys: splits run well past bucket 3, so several
+  // same-host parent->child record moves happen on both hosts.
+  const uint64_t kOps = 300;
+  auto key_of = [](uint64_t i) { return i * 97 + 3; };
+  for (uint64_t i = 0; i < kOps; ++i) {
+    const std::string v = ValueFor(key_of(i));
+    ASSERT_TRUE(
+        client->SubmitInsert(key_of(i), Bytes(v.begin(), v.end())).ok());
+    ref->Insert(key_of(i), Bytes(v.begin(), v.end()));
+  }
+  ASSERT_TRUE(client->AwaitAll().ok());
+
+  // Every inserted record must still be readable — records moved on a
+  // local-only split hop are exactly the ones a drop would lose.
+  for (uint64_t i = 0; i < kOps; ++i) {
+    auto got = client->Lookup(key_of(i));
+    ASSERT_TRUE(got.ok()) << "key " << key_of(i) << " lost: "
+                          << got.status().ToString();
+    EXPECT_EQ(std::string(got->begin(), got->end()), ValueFor(key_of(i)));
+  }
+
+  // Match-all scan agrees with the simulator baseline record-for-record.
+  auto all = client->Scan(0, {});
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  auto ref_all = ref->Scan(0, {});
+  auto sorted_hits = [](std::vector<sdds::WireRecord> hits) {
+    std::sort(hits.begin(), hits.end(),
+              [](const auto& a, const auto& b) { return a.key < b.key; });
+    return hits;
+  };
+  const auto got_all = sorted_hits(std::move(all->hits));
+  const auto want_all = sorted_hits(std::move(ref_all.hits));
+  ASSERT_EQ(got_all.size(), want_all.size());
+  for (size_t i = 0; i < got_all.size(); ++i) {
+    EXPECT_EQ(got_all[i].key, want_all[i].key);
+    EXPECT_EQ(got_all[i].value, want_all[i].value);
+  }
+  // The workload really split deep enough to co-locate parent and child.
+  EXPECT_GT(client->image().BucketCount(), 3u);
 }
 
 }  // namespace

@@ -50,6 +50,21 @@ TEST_F(SequenceFileTest, ReopenNeverRepeatsAValue) {
   }
 }
 
+TEST_F(SequenceFileTest, FsyncModePersistsAndExtends) {
+  // fsync=true routes every ceiling rewrite through fsync (tmp file before
+  // the rename, directory after). Power loss itself cannot be simulated in
+  // a unit test; this covers the synced code path end to end: initial
+  // reservation, crossing a batch boundary, and restart monotonicity.
+  auto sf = SequenceFile::Open(dir_, 0, /*fsync=*/true);
+  ASSERT_TRUE(sf.ok()) << sf.status().ToString();
+  uint64_t last = 0;
+  for (uint64_t i = 0; i < SequenceFile::kBatch + 5; ++i) last = sf->Next();
+  EXPECT_GE(sf->ceiling(), last);
+  auto again = SequenceFile::Open(dir_, 0, /*fsync=*/true);
+  ASSERT_TRUE(again.ok());
+  EXPECT_GT(again->Next(), last);
+}
+
 TEST_F(SequenceFileTest, BatchExhaustionExtendsReservation) {
   auto sf = SequenceFile::Open(dir_, 0);
   ASSERT_TRUE(sf.ok());
