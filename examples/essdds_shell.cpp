@@ -20,6 +20,15 @@
 //   --shard-min=N      bucket record count above which index scans shard the
 //                      bucket across the worker pool (needs scan threads > 1)
 //
+// High availability (DESIGN.md §16; recovery needs --net=event):
+//
+//   --parity=K:M       group every K consecutive data buckets of both LH*
+//                      files with M Reed-Solomon parity buckets. A bucket
+//                      whose site dies (the `kill` command simulates it) is
+//                      detected by client retries, probed and declared by
+//                      the coordinator, and rebuilt bit-for-bit from the
+//                      K+M-1 survivors — up to M simultaneous kills.
+//
 // Durability (src/persist; no-ops when built with -DESSDDS_PERSIST=OFF):
 //
 //   --data-dir=DIR     keep encrypted-at-rest bucket logs for both LH* files
@@ -56,6 +65,7 @@
 
 #include "core/encrypted_store.h"
 #include "obs/trace.h"
+#include "sdds/event_network.h"
 #include "util/json_writer.h"
 #include "workload/phonebook.h"
 
@@ -71,6 +81,9 @@ void PrintHelp() {
       "  get <rid>              fetch + decrypt one record\n"
       "  insert <rid> <name>    add or replace a record\n"
       "  delete <rid>           remove a record\n"
+      "  kill <bucket>          kill the record-file bucket's site (needs\n"
+      "                         --parity and --net=event); the next op that\n"
+      "                         touches it drives declare + reconstruction\n"
       "  stats                  file extents, records, traffic counters\n"
       "  metrics                full metrics JSON (both LH* files)\n"
       "  trace <id|last|all>    causal hop dump from the trace rings\n"
@@ -184,6 +197,8 @@ bool ParseNetFlag(const std::string& arg, NetConfig* net) {
 int main(int argc, char** argv) {
   size_t n = 2000;
   size_t scan_threads = 0;
+  size_t parity_k = 0;
+  size_t parity_m = 0;
   size_t shard_min = essdds::sdds::LhOptions{}.scan_shard_min_records;
   NetConfig net;
   std::string data_dir;
@@ -199,6 +214,18 @@ int main(int argc, char** argv) {
     if (arg.rfind("--shard-min=", 0) == 0) {
       shard_min = static_cast<size_t>(
           std::strtoull(arg.c_str() + sizeof("--shard-min=") - 1, nullptr, 10));
+    } else if (arg.rfind("--parity=", 0) == 0) {
+      unsigned k = 0, m = 0;
+      if (std::sscanf(arg.c_str() + sizeof("--parity=") - 1, "%u:%u", &k,
+                      &m) != 2 ||
+          k == 0 || m == 0 || k + m > 256) {
+        std::fprintf(stderr,
+                     "--parity wants K:M (group size : parity count, "
+                     "1 <= K, 1 <= M, K+M <= 256)\n");
+        return 2;
+      }
+      parity_k = k;
+      parity_m = m;
     } else if (arg.rfind("--data-dir=", 0) == 0) {
       data_dir = arg.substr(sizeof("--data-dir=") - 1);
     } else if (arg == "--fsync") {
@@ -250,6 +277,8 @@ int main(int argc, char** argv) {
        {&options.record_file, &options.index_file}) {
     file->network_mode = net.mode;
     file->event_net = net.event;
+    file->parity_group_size = parity_k;
+    file->parity_count = parity_m;
   }
   // Distinct seeds so the two files do not replay each other's schedule.
   options.index_file.event_net.seed = net.event.seed * 2 + 1;
@@ -353,6 +382,30 @@ int main(int argc, char** argv) {
         std::printf("%s\n", content.status().ToString().c_str());
       } else {
         report_failure(content.status().ToString());
+      }
+    } else if (cmd == "kill") {
+      uint64_t bucket = 0;
+      if (!(in >> bucket)) {
+        std::printf("kill wants a record-file bucket number\n");
+        continue;
+      }
+      essdds::sdds::LhSystem& rf = (*store)->record_file();
+      if (rf.event_network() == nullptr) {
+        std::printf("kill needs --net=event (site death is only observable "
+                    "on the asynchronous network)\n");
+      } else if (rf.options().parity_group_size == 0) {
+        std::printf("kill needs --parity=K:M; without parity headroom the "
+                    "bucket would be unrecoverable\n");
+      } else if (bucket >= rf.bucket_count()) {
+        std::printf("no bucket %llu (record-file extent is %zu)\n",
+                    static_cast<unsigned long long>(bucket),
+                    rf.bucket_count());
+      } else {
+        rf.event_network()->KillSite(rf.bucket(bucket).site());
+        std::printf("killed record-file bucket %llu's site; the next op "
+                    "touching it reports, declares, and reconstructs "
+                    "(watch recovery.* in `metrics`)\n",
+                    static_cast<unsigned long long>(bucket));
       }
     } else if (cmd == "insert") {
       uint64_t rid = 0;

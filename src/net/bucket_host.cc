@@ -1,6 +1,7 @@
 #include "net/bucket_host.h"
 
 #include <filesystem>
+#include <fstream>
 #include <utility>
 
 #include "util/logging.h"
@@ -70,6 +71,28 @@ Status BucketHost::Start() {
     net_->RegisterAs(net::SiteOfBucket(0), root);
   }
   return Status::OK();
+}
+
+bool BucketHost::RunOnce(int timeout_ms) {
+  const bool progress = net_->RunOnce(timeout_ms);
+  MaybeDumpMetrics();
+  return progress;
+}
+
+void BucketHost::MaybeDumpMetrics() {
+  if (config_.metrics_path.empty()) return;
+  const uint64_t now = net_->now_us();
+  if (now < next_metrics_dump_us_) return;
+  next_metrics_dump_us_ = now + 200'000;
+  // Write-then-rename so a reader never sees a half-written file.
+  const std::string tmp = config_.metrics_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;
+    out << net_->metrics().ToJson();
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, config_.metrics_path, ec);
 }
 
 uint64_t BucketHost::InstallFilter(std::unique_ptr<sdds::ScanFilter> filter) {

@@ -43,6 +43,12 @@ class BucketHost : public sdds::LhRuntime {
     /// Per-host durable log directory (src/persist); empty = RAM-only.
     /// Must be fresh (see class comment).
     std::string data_dir;
+    /// When set, this host periodically (every ~200ms of loop time) writes
+    /// its MetricRegistry as JSON to this path, atomically (tmp + rename).
+    /// On host 0 that exposes the coordinator's counters — e.g.
+    /// coord.dead_site_reports from clients whose retries exhausted — to
+    /// operators and tests without a wire protocol for metrics.
+    std::string metrics_path;
   };
 
   explicit BucketHost(Config config);
@@ -52,8 +58,9 @@ class BucketHost : public sdds::LhRuntime {
   /// the coordinator when they live here.
   Status Start();
 
-  /// One event-loop turn (see SocketNetwork::RunOnce).
-  bool RunOnce(int timeout_ms) { return net_->RunOnce(timeout_ms); }
+  /// One event-loop turn (see SocketNetwork::RunOnce), plus the periodic
+  /// metrics dump when Config::metrics_path is set.
+  bool RunOnce(int timeout_ms);
 
   SocketNetwork& network() { return *net_; }
 
@@ -83,6 +90,7 @@ class BucketHost : public sdds::LhRuntime {
   /// log attached when persistence is on) and registers it.
   sdds::Site* Materialize(uint64_t bucket);
   void NoteExtentAtLeast(uint64_t extent);
+  void MaybeDumpMetrics();
 
   Config config_;
   std::unique_ptr<SocketNetwork> net_;
@@ -91,6 +99,7 @@ class BucketHost : public sdds::LhRuntime {
   std::unique_ptr<sdds::LhCoordinator> coordinator_;  // host 0 only
   std::vector<std::unique_ptr<sdds::ScanFilter>> filters_;
   uint64_t known_extent_ = 1;
+  uint64_t next_metrics_dump_us_ = 0;
 };
 
 }  // namespace essdds::net

@@ -244,6 +244,19 @@ void SocketClient::CheckTimeouts() {
   }
   for (uint64_t id : failed) {
     auto it = pending_.find(id);
+    // An exhausted op is how a dead host surfaces; report the record key we
+    // could not get served to the coordinator (same report LhClient raises
+    // mid-retry). The coordinator counts it — coord.dead_site_reports —
+    // and, when parity groups are configured, probes the key's forwarding
+    // chain. Best-effort: the report needs no reply and host 0 may itself
+    // be the dead one.
+    Message report;
+    report.type = MsgType::kDeadSite;
+    report.from = site_;
+    report.reply_to = site_;
+    report.to = kCoordinatorSite;
+    report.key = it->second.key;
+    SendToBucket(0, report);
     done_.emplace(
         id, Status::Unavailable(
                 "request " + std::to_string(id) + " (" +

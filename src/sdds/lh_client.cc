@@ -91,7 +91,11 @@ Message LhClient::RoundTrip(MsgType type, uint64_t key, Bytes value) {
   const bool async = net_->asynchronous();
   Message resend;
   if (async) resend = req;  // retransmission copy (payload included)
-  req.to = runtime_->SiteOfBucket(AddressFor(key));
+  const uint64_t address = AddressFor(key);
+  // The computed address rides along so a recovery proxy standing in for a
+  // dead site can route degraded-mode requests without the client's image.
+  req.bucket_to_split = address;
+  req.to = runtime_->SiteOfBucket(address);
 
   // Latency span: first send to accepted reply, in virtual microseconds —
   // retries, forwards, and parked deliveries all land inside it.
@@ -140,8 +144,26 @@ Message LhClient::RoundTrip(MsgType type, uint64_t key, Bytes value) {
     net_->NoteRetry();
     retries_counter_->Increment();
     Message again = resend;
-    again.to = runtime_->SiteOfBucket(AddressFor(key));
+    const uint64_t retry_address = AddressFor(key);
+    again.bucket_to_split = retry_address;
+    again.to = runtime_->SiteOfBucket(retry_address);
     net_->TraceHop(obs::HopKind::kRetry, again);
+    // High-availability mode: a bucket that keeps timing out may be hosted
+    // on a dead site. Report the RECORD KEY we cannot get served — the
+    // coordinator probes every bucket on the key's forwarding chain (this
+    // client's address may be stale and the dead hop anywhere on it) and
+    // declares only probes that stay unanswered; a merely slow site answers
+    // the ping and nothing happens.
+    if (runtime_->options().parity_group_size > 0 &&
+        attempts >= runtime_->options().report_dead_after_retries) {
+      Message report;
+      report.type = MsgType::kDeadSite;
+      report.from = site_;
+      report.to = runtime_->CoordinatorSite();
+      report.key = key;
+      report.trace_id = again.trace_id;
+      net_->Send(std::move(report));
+    }
     // Bounded exponential backoff: double the patience each attempt, up to
     // 2^6 timeouts. Both the shift and the deadline addition saturate — a
     // huge configured timeout must pin the deadline at the far future, not
@@ -202,6 +224,7 @@ LhClient::ScanResult LhClient::Scan(uint64_t filter_id, Bytes filter_arg) {
     req.reply_to = site_;
     req.request_id = id;
     req.trace_id = trace_id;
+    req.key = a;  // addressed bucket, for degraded-mode proxy routing
     req.filter_id = filter_id;
     req.filter_arg = filter_arg;
     req.assumed_level = image_.AssumedLevel(a);

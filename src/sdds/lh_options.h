@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "sdds/column_store.h"
 #include "sdds/message.h"
 #include "util/bytes.h"
+#include "util/logging.h"
 
 namespace essdds::persist {
 class BucketLog;
@@ -57,6 +59,29 @@ struct EventNetworkOptions {
   /// and are never dropped or duplicated by these knobs.
   double drop_prob = 0.0;
   double duplicate_prob = 0.0;
+
+  /// Make protocol-internal traffic fault-eligible too. When set, the
+  /// restructuring and parity messages (splits, merges, bulk moves, parity
+  /// updates, reconstruction control) are carried over the network's
+  /// reliable link layer — per-link sequence numbers, receiver acks,
+  /// timeout-driven retransmission, exactly-once in-order delivery — and
+  /// protocol_drop_prob / protocol_duplicate_prob apply to each frame (and
+  /// its acks). Off (the default) keeps the legacy contract: protocol
+  /// frames are scheduled directly and never dropped.
+  bool protocol_faults = false;
+  double protocol_drop_prob = 0.0;
+  double protocol_duplicate_prob = 0.0;
+
+  /// Reliable-layer retransmission timer: an unacked frame is resent every
+  /// ack_timeout_us of virtual time. Must comfortably exceed 2x the max
+  /// latency or every frame is spuriously resent once.
+  uint32_t ack_timeout_us = 8000;
+
+  /// Retransmissions per frame before the network aborts the run (a frame
+  /// to a LIVE site failing this many independent Bernoulli drops means the
+  /// configuration is broken, not unlucky; frames to killed sites park
+  /// instead of retrying). p=0.2^64 is never.
+  uint32_t max_frame_retransmits = 64;
 
   friend bool operator==(const EventNetworkOptions&,
                          const EventNetworkOptions&) = default;
@@ -151,6 +176,44 @@ struct LhOptions {
   /// Off by default — appends then flush only to the OS page cache (fast,
   /// and sufficient for the simulated-site process-crash model).
   bool persist_fsync = false;
+
+  // --- high availability: LH*RS-style parity groups (DESIGN.md §16) ---
+
+  /// Parity group size k: every k consecutive data buckets form a group
+  /// whose record state is Reed-Solomon coded (RsCode) onto parity_count
+  /// parity buckets, kept in sync by kParityUpdate deltas emitted at every
+  /// record-map mutation. 0 (the default) disables parity entirely — no
+  /// parity sites, no update traffic, byte-identical to the pre-HA system.
+  size_t parity_group_size = 0;
+
+  /// Parity buckets m per group: the group survives any m simultaneous
+  /// site losses (records reconstructed bit-for-bit from the survivors).
+  /// Read only when parity_group_size > 0. Requires k + m <= 256.
+  size_t parity_count = 1;
+
+  /// Client-side failure detection: after this many unanswered
+  /// retransmissions of one request the client reports the addressed
+  /// bucket to the coordinator (kDeadSite) — and keeps retrying; the
+  /// coordinator verifies with a ping probe before declaring the site dead.
+  /// Only active when parity is enabled on an event network.
+  uint32_t report_dead_after_retries = 2;
+
+  /// Coordinator probe patience: a pinged bucket that stays silent for this
+  /// much virtual time is re-pinged; after ping_attempts unanswered pings
+  /// it is declared dead and reconstruction starts.
+  uint64_t ping_timeout_us = 200'000;
+
+  /// Pings sent (ping_timeout_us apart) before a silent bucket is declared
+  /// dead. More attempts make false declaration — which costs one erasure
+  /// of parity headroom for nothing — robust against latency tails and
+  /// protocol-fault retransmission delays.
+  uint32_t ping_attempts = 3;
+
+  /// Virtual-time delay between declaring a site dead and asking the parity
+  /// proxy to rebuild it. A positive hold widens the degraded-mode window
+  /// (lookups and scans decode-on-the-fly at the proxy) — used by tests and
+  /// the recovery bench to measure degraded reads; 0 rebuilds immediately.
+  uint64_t recovery_hold_us = 0;
 };
 
 /// The key mixer used when LhOptions::hash_keys is set (splitmix64
@@ -219,6 +282,22 @@ class ScanFilter {
 std::unique_ptr<ScanFilter> MakeScanFilter(
     std::function<bool(uint64_t key, ByteSpan value, ByteSpan arg)> predicate);
 
+/// State of a data bucket reconstructed from parity + surviving group
+/// members, handed from the recovery proxy to the hosting system to install
+/// on a spare server (LhRuntime::RebuildBucket).
+struct RebuiltBucket {
+  uint32_t level = 0;
+  /// The bucket died while awaiting its kMoveRecords bulk load; the rebuilt
+  /// server starts parked the same way (the transfer redelivers to it).
+  bool loading = false;
+  /// Parity updates the bucket had emitted; the rebuilt server continues
+  /// the per-member sequence from here.
+  uint64_t parity_seq = 0;
+  /// rank -> record. The rebuilt server adopts these ranks verbatim so the
+  /// group's parity rows keep addressing the same record slots.
+  std::map<uint64_t, WireRecord> rank_records;
+};
+
 /// Services that bucket servers and the coordinator obtain from the hosting
 /// LhSystem: logical-bucket-to-site routing, bucket creation during splits,
 /// and the registry of installed scan filters. Implemented by LhSystem.
@@ -263,6 +342,43 @@ class LhRuntime {
   virtual persist::BucketLog* LogOfBucket(uint64_t /*bucket*/) {
     return nullptr;
   }
+
+  // --- high availability (parity groups, DESIGN.md §16). Defaults keep
+  // runtimes without parity support (single-bucket hosts, tests) compiling;
+  // LhSystem overrides all of them when parity_group_size > 0. ---
+
+  /// Parity sites of the group containing data bucket `bucket`, in parity
+  /// row order. Empty when parity is disabled.
+  virtual std::vector<SiteId> ParitySitesOfBucket(uint64_t /*bucket*/) const {
+    return {};
+  }
+
+  /// True when `site` has been killed in the simulation (fail-stop). The
+  /// recovery proxy uses this to fold not-yet-declared dead group members
+  /// into a gather instead of waiting on them forever.
+  virtual bool SiteIsDead(SiteId /*site*/) const { return false; }
+
+  /// Declares data bucket `bucket` dead (coordinator only): reroutes its
+  /// address onto the group's recovery proxy — the first live parity site —
+  /// and starts the proxy's reconstruction gather. Returns the proxy site.
+  virtual SiteId MarkBucketDead(uint64_t /*bucket*/) {
+    ESSDDS_CHECK(false) << "runtime has no parity support";
+    return kInvalidSite;
+  }
+
+  /// Installs reconstructed bucket state on a fresh spare server, restores
+  /// routing (dead-bucket entry dropped, network redirected so parked
+  /// frames redeliver), and re-attaches persistence. Proxy only, after its
+  /// decode converged.
+  virtual void RebuildBucket(uint64_t /*bucket*/, RebuiltBucket /*state*/) {
+    ESSDDS_CHECK(false) << "runtime has no parity support";
+  }
+
+  /// True when no frame sent by any site that ever served `bucket` is still
+  /// in flight. The proxy's decode waits on this for dead members: a dead
+  /// site's already-sent parity updates still deliver (fail-stop with
+  /// drained output), and the decode must reflect all of them.
+  virtual bool MemberTrafficDrained(uint64_t /*bucket*/) const { return true; }
 };
 
 }  // namespace essdds::sdds

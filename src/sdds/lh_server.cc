@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "sdds/parity_server.h"
 #include "sdds/scan_executor.h"
 
 namespace essdds::sdds {
@@ -18,6 +19,22 @@ uint64_t ParentBucket(uint64_t bucket) {
   return bucket & ~top;
 }
 
+/// Messages a reconstruction freeze parks: everything that would change
+/// the record map (and thereby emit parity) while the gather snapshots it.
+bool MutatesRecords(MsgType t) {
+  switch (t) {
+    case MsgType::kInsert:
+    case MsgType::kDelete:
+    case MsgType::kSplit:
+    case MsgType::kMerge:
+    case MsgType::kMoveRecords:
+    case MsgType::kMergeRecords:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 LhBucketServer::LhBucketServer(LhRuntime* runtime, const LhOptions& options,
@@ -28,7 +45,8 @@ LhBucketServer::LhBucketServer(LhRuntime* runtime, const LhOptions& options,
       level_(level),
       // Every bucket but the root is born of a split: it owns nothing until
       // its kMoveRecords bulk load lands, and must not serve before then.
-      loading_(bucket_number != 0) {
+      loading_(bucket_number != 0),
+      parity_level_emitted_(level) {
   ESSDDS_CHECK(runtime != nullptr);
 }
 
@@ -53,6 +71,20 @@ void LhBucketServer::RestoreRecovered(std::map<uint64_t, Bytes> records) {
   // A recovered bucket owns its records already; nothing is in flight
   // toward it, so it serves immediately.
   loading_ = false;
+  if (ParityEnabled()) {
+    // Restart path: the parity rows are re-encoded in-process from this
+    // state (LhSystem::SeedParityFromData), so the rank table restarts
+    // fresh and sequential and the update sequence restarts with it.
+    rank_of_.clear();
+    free_ranks_.clear();
+    next_rank_ = 0;
+    for (const auto& [key, value] : records_) {
+      (void)value;
+      rank_of_[key] = next_rank_++;
+    }
+    parity_seq_ = 0;
+    parity_level_emitted_ = level_;
+  }
 }
 
 void LhBucketServer::OnMessage(Message& msg, Network& net) {
@@ -60,6 +92,24 @@ void LhBucketServer::OnMessage(Message& msg, Network& net) {
     // The durable log tore mid-append: this site is crashed. A crashed
     // process neither acks nor forwards — peers see silence until a restart
     // replays the log.
+    return;
+  }
+  // Liveness probes and reconstruction control bypass every parking state:
+  // a frozen or still-loading bucket is alive and must say so, and the
+  // recovery proxy's freeze/release must always get through.
+  if (msg.type == MsgType::kPing) {
+    HandlePing(msg, net);
+    return;
+  }
+  if (msg.type == MsgType::kReconstructRequest) {
+    HandleReconstructRequest(msg, net);
+    return;
+  }
+  if (frozen_ && MutatesRecords(msg.type)) {
+    // A reconstruction gather snapshotted this bucket's rank buffers;
+    // mutating now would move the group's parity out from under the
+    // decode. Reads still serve. Replayed at the release.
+    frozen_parked_.push_back(std::move(msg));
     return;
   }
   if (loading_ && msg.type != MsgType::kMoveRecords) {
@@ -111,6 +161,7 @@ void LhBucketServer::HandleKeyOp(Message& msg, Network& net) {
     Message fwd = msg;
     fwd.from = site_;
     fwd.to = runtime_->SiteOfBucket(route);
+    fwd.bucket_to_split = route;  // addressed bucket, for degraded routing
     fwd.hops = msg.hops + 1;
     if (msg.hops == 0) {
       // Remember the first mis-addressed bucket; the serving bucket echoes
@@ -145,11 +196,14 @@ void LhBucketServer::HandleKeyOp(Message& msg, Network& net) {
         halted_ = true;
         return;
       }
+      std::vector<ParityOp> parity_ops;
+      if (ParityEnabled()) parity_ops.push_back(MakeUpsertOp(msg.key, msg.value));
       AboutToMutateRecords(net);
       auto [it, inserted] =
           records_.insert_or_assign(msg.key, std::move(msg.value));
       columns_.Upsert(msg.key, it->second);
       UpdateRecordGauge(net);
+      EmitParity(net, std::move(parity_ops), false, msg.trace_id);
       reply.type = MsgType::kInsertAck;
       reply.found = !inserted;  // true when an existing record was replaced
       net.Send(std::move(reply));
@@ -170,11 +224,16 @@ void LhBucketServer::HandleKeyOp(Message& msg, Network& net) {
         halted_ = true;
         return;
       }
+      std::vector<ParityOp> parity_ops;
+      if (ParityEnabled() && records_.count(msg.key)) {
+        parity_ops.push_back(MakeEraseOp(msg.key));
+      }
       AboutToMutateRecords(net);
       reply.type = MsgType::kDeleteAck;
       reply.found = records_.erase(msg.key) > 0;
       columns_.Erase(msg.key);
       UpdateRecordGauge(net);
+      EmitParity(net, std::move(parity_ops), false, msg.trace_id);
       net.Send(std::move(reply));
       MaybeReportUnderflow(net, msg.trace_id);
       if (log_ != nullptr) log_->MaybeCheckpoint(level_, retired_, records_);
@@ -193,6 +252,7 @@ void LhBucketServer::HandleScan(Message& msg, Network& net) {
     Message fwd = msg;
     fwd.from = site_;
     fwd.to = runtime_->SiteOfBucket(ParentBucket(bucket_number_));
+    fwd.key = ParentBucket(bucket_number_);
     fwd.hops = msg.hops + 1;
     net.Send(std::move(fwd));
     return;
@@ -209,6 +269,7 @@ void LhBucketServer::HandleScan(Message& msg, Network& net) {
     Message fwd = msg;
     fwd.from = site_;
     fwd.to = runtime_->SiteOfBucket(child);
+    fwd.key = child;  // intended bucket, for degraded-mode routing
     fwd.assumed_level = l + 1;
     fwd.hops = msg.hops + 1;
     net.Send(std::move(fwd));
@@ -277,6 +338,7 @@ void LhBucketServer::HandleSplit(const Message& msg, Network& net) {
   move.type = MsgType::kMoveRecords;
   move.from = site_;
   move.to = runtime_->SiteOfBucket(new_bucket);
+  move.key = new_bucket;  // lets a recovery proxy identify the target
   move.trace_id = msg.trace_id;
   move.records.reserve(moved_keys.size());
   for (uint64_t key : moved_keys) {
@@ -308,6 +370,18 @@ void LhBucketServer::HandleSplit(const Message& msg, Network& net) {
   // would memmove the flat arrays once per moved record, so repack instead.
   columns_.RebuildFrom(records_);
   UpdateRecordGauge(net);
+  if (ParityEnabled()) {
+    // One parity update for the whole carve-out, stamped with the stepped-up
+    // level (the values now live in the transfer message).
+    std::vector<ParityOp> parity_ops;
+    parity_ops.reserve(move.records.size());
+    for (const WireRecord& r : move.records) {
+      ParityOp op = MakeEraseOp(r.key);
+      op.delta = RankBuffer(r.key, r.value);
+      parity_ops.push_back(std::move(op));
+    }
+    EmitParity(net, std::move(parity_ops), false, msg.trace_id);
+  }
   if (log_ != nullptr) log_->MaybeCheckpoint(level_, retired_, records_);
   net.Send(std::move(move));
 
@@ -332,12 +406,23 @@ void LhBucketServer::HandleMoveRecords(Message& msg, Network& net) {
     halted_ = true;
     return;
   }
+  std::vector<ParityOp> parity_ops;
+  if (ParityEnabled()) {
+    parity_ops.reserve(msg.records.size());
+    for (const WireRecord& r : msg.records) {
+      parity_ops.push_back(MakeUpsertOp(r.key, r.value));
+    }
+  }
+  const bool was_loading = loading_;
   AboutToMutateRecords(net);
   for (WireRecord& r : msg.records) {
     records_[r.key] = std::move(r.value);
   }
   columns_.RebuildFrom(records_);
   UpdateRecordGauge(net);
+  // The loading transition must reach the parity sites even when the
+  // transfer is empty — their member state mirrors it for reconstruction.
+  EmitParity(net, std::move(parity_ops), was_loading, msg.trace_id);
   if (log_ != nullptr) log_->MaybeCheckpoint(level_, retired_, records_);
   if (loading_) {
     loading_ = false;
@@ -377,6 +462,7 @@ void LhBucketServer::HandleMerge(const Message& msg, Network& net) {
   move.type = MsgType::kMergeRecords;
   move.from = site_;
   move.to = runtime_->SiteOfBucket(parent);
+  move.key = parent;  // lets a recovery proxy identify the target
   move.new_level = msg.new_level;
   move.trace_id = msg.trace_id;
   for (auto& [key, value] : records_) {
@@ -399,6 +485,17 @@ void LhBucketServer::HandleMerge(const Message& msg, Network& net) {
   records_.clear();
   columns_.Clear();
   UpdateRecordGauge(net);
+  if (ParityEnabled()) {
+    // The dissolving bucket's whole rank range empties in one update.
+    std::vector<ParityOp> parity_ops;
+    parity_ops.reserve(move.records.size());
+    for (const WireRecord& r : move.records) {
+      ParityOp op = MakeEraseOp(r.key);
+      op.delta = RankBuffer(r.key, r.value);
+      parity_ops.push_back(std::move(op));
+    }
+    EmitParity(net, std::move(parity_ops), false, msg.trace_id);
+  }
   // Dissolved from this moment: an op that reaches this bucket before the
   // coordinator retires it from the directory must chase the records to
   // the parent, not read the empty map.
@@ -436,10 +533,20 @@ void LhBucketServer::HandleMergeRecords(Message& msg, Network& net) {
     return;
   }
   AboutToMutateRecords(net);
+  std::vector<ParityOp> parity_ops;
+  if (ParityEnabled()) {
+    parity_ops.reserve(msg.records.size());
+    for (const WireRecord& r : msg.records) {
+      parity_ops.push_back(MakeUpsertOp(r.key, r.value));
+    }
+  }
   level_ = msg.new_level;
   for (WireRecord& r : msg.records) {
     records_[r.key] = std::move(r.value);
   }
+  // One parity update per applied transfer: each carries its own stepped
+  // level, so the parity member mirror tracks the level sequence exactly.
+  EmitParity(net, std::move(parity_ops), false, msg.trace_id);
   // The step down may unblock a stashed transfer (and that one the next).
   for (bool applied = true; applied;) {
     applied = false;
@@ -453,10 +560,18 @@ void LhBucketServer::HandleMergeRecords(Message& msg, Network& net) {
         halted_ = true;
         return;
       }
+      std::vector<ParityOp> stashed_ops;
+      if (ParityEnabled()) {
+        stashed_ops.reserve(next.records.size());
+        for (const WireRecord& r : next.records) {
+          stashed_ops.push_back(MakeUpsertOp(r.key, r.value));
+        }
+      }
       level_ = next.new_level;
       for (WireRecord& r : next.records) {
         records_[r.key] = std::move(r.value);
       }
+      EmitParity(net, std::move(stashed_ops), false, msg.trace_id);
       applied = true;
       break;
     }
@@ -473,6 +588,164 @@ void LhBucketServer::HandleMergeRecords(Message& msg, Network& net) {
     stashed_control_.clear();
     for (Message& m : replay) OnMessage(m, net);
   }
+}
+
+LhBucketServer::ParityOp LhBucketServer::MakeUpsertOp(uint64_t key,
+                                                      ByteSpan value) {
+  ParityOp op;
+  op.op = 0;
+  op.record_key = key;
+  Bytes old_buf;
+  auto rank = rank_of_.find(key);
+  if (rank != rank_of_.end()) {
+    op.rank = rank->second;
+    auto rec = records_.find(key);
+    ESSDDS_CHECK(rec != records_.end());
+    old_buf = RankBuffer(key, rec->second);
+  } else if (!free_ranks_.empty()) {
+    op.rank = *free_ranks_.begin();
+    free_ranks_.erase(free_ranks_.begin());
+    rank_of_.emplace(key, op.rank);
+  } else {
+    op.rank = next_rank_++;
+    rank_of_.emplace(key, op.rank);
+  }
+  op.delta = XorBytes(old_buf, RankBuffer(key, value));
+  return op;
+}
+
+LhBucketServer::ParityOp LhBucketServer::MakeEraseOp(uint64_t key) {
+  ParityOp op;
+  op.op = 1;
+  op.record_key = key;
+  auto rank = rank_of_.find(key);
+  ESSDDS_CHECK(rank != rank_of_.end()) << "erase of unranked key " << key;
+  op.rank = rank->second;
+  // Bulk paths (split carve-out, merge clear) have already moved the value
+  // out of the map and override the delta themselves.
+  auto rec = records_.find(key);
+  if (rec != records_.end()) op.delta = RankBuffer(key, rec->second);
+  free_ranks_.insert(op.rank);
+  rank_of_.erase(rank);
+  return op;
+}
+
+void LhBucketServer::EmitParity(Network& net, std::vector<ParityOp> ops,
+                                bool clears_loading, uint64_t trace_id) {
+  if (!ParityEnabled()) return;
+  // A level step must reach the parity sites even without record deltas —
+  // their member mirror drives degraded-mode address verification.
+  if (ops.empty() && !clears_loading && level_ == parity_level_emitted_) {
+    return;
+  }
+  ++parity_seq_;
+  parity_level_emitted_ = level_;
+  std::vector<WireRecord> entries;
+  entries.reserve(ops.size());
+  for (ParityOp& op : ops) {
+    entries.push_back(WireRecord{
+        op.rank,
+        EncodeParityEntry(ParityEntry{op.op, op.record_key,
+                                      std::move(op.delta)})});
+  }
+  for (SiteId parity_site : runtime_->ParitySitesOfBucket(bucket_number_)) {
+    Message update;
+    update.type = MsgType::kParityUpdate;
+    update.from = site_;
+    update.to = parity_site;
+    update.key = bucket_number_;
+    update.bucket_to_split =
+        bucket_number_ / runtime_->options().parity_group_size;
+    update.request_id = parity_seq_;
+    update.new_level = level_;
+    update.filter_id = clears_loading ? 1 : 0;
+    update.records = entries;  // same unscaled deltas to every parity row
+    update.trace_id = trace_id;
+    net.Send(std::move(update));
+  }
+}
+
+void LhBucketServer::HandlePing(const Message& msg, Network& net) {
+  Message pong;
+  pong.type = MsgType::kPong;
+  pong.from = site_;
+  pong.to = msg.from;
+  pong.key = msg.key;
+  pong.request_id = msg.request_id;
+  pong.trace_id = msg.trace_id;
+  net.Send(std::move(pong));
+}
+
+void LhBucketServer::HandleReconstructRequest(const Message& msg,
+                                              Network& net) {
+  if (msg.filter_id == 0) {
+    auto floor = reconstruct_release_floor_.find(msg.from);
+    if (floor != reconstruct_release_floor_.end() &&
+        msg.request_id <= floor->second) {
+      // Stale replay of a freeze whose gather already released (it sat in
+      // a dead predecessor's letter queue until the rebuild redirect).
+      return;
+    }
+    // Freeze + slice: park mutations and hand the proxy this bucket's rank
+    // buffers plus the facts the decode needs (sequence cut, level,
+    // loading). Re-freezing on a restarted gather just answers again.
+    frozen_ = true;
+    Message slice;
+    slice.type = MsgType::kReconstructSlice;
+    slice.from = site_;
+    slice.to = msg.from;
+    slice.key = bucket_number_;
+    slice.request_id = msg.request_id;  // epoch echo
+    slice.filter_id = parity_seq_;
+    slice.new_level = level_;
+    slice.found = loading_;
+    slice.records.reserve(rank_of_.size());
+    for (const auto& [key, rank] : rank_of_) {
+      slice.records.push_back(WireRecord{rank, RankBuffer(key, records_.at(key))});
+    }
+    net.Send(std::move(slice));
+    return;
+  }
+  ESSDDS_CHECK(msg.filter_id == 2)
+      << "bucket server got reconstruct mode " << msg.filter_id;
+  // Record the floor even when not frozen: a rebuilt bucket may see the
+  // release before (or instead of) the freeze it answers for.
+  uint64_t& floor = reconstruct_release_floor_[msg.from];
+  floor = std::max(floor, msg.request_id);
+  if (!frozen_) return;
+  frozen_ = false;
+  // Replay whatever the freeze parked, in arrival order (replays may send
+  // and may re-park if the bucket is still loading).
+  std::vector<Message> replay = std::move(frozen_parked_);
+  frozen_parked_.clear();
+  for (Message& m : replay) OnMessage(m, net);
+}
+
+void LhBucketServer::RestoreRebuilt(RebuiltBucket state) {
+  records_.clear();
+  rank_of_.clear();
+  free_ranks_.clear();
+  next_rank_ = 0;
+  for (auto& [rank, record] : state.rank_records) {
+    records_[record.key] = std::move(record.value);
+    rank_of_[record.key] = rank;
+    next_rank_ = std::max(next_rank_, rank + 1);
+  }
+  // Re-derive the free list: every rank below the high-water mark that no
+  // record occupies is reusable, exactly as on the dead server.
+  std::set<uint64_t> used;
+  for (const auto& [key, rank] : rank_of_) {
+    (void)key;
+    used.insert(rank);
+  }
+  for (uint64_t r = 0; r < next_rank_; ++r) {
+    if (!used.count(r)) free_ranks_.insert(r);
+  }
+  columns_.RebuildFrom(records_);
+  level_ = state.level;
+  parity_level_emitted_ = state.level;
+  parity_seq_ = state.parity_seq;
+  loading_ = state.loading;
 }
 
 void LhBucketServer::AboutToMutateRecords(Network& net) {
@@ -526,7 +799,10 @@ void LhCoordinator::OnMessage(Message& msg, Network& net) {
       // Uncontrolled splitting: every collision report triggers one split of
       // the bucket at the split pointer (which is generally NOT the
       // overflowing bucket — that is the essence of linear hashing).
-      PerformSplit(net, msg.trace_id);
+      // Restructuring defers while a reconstruction runs — a split would
+      // move records between buckets mid-gather. The bucket reports again
+      // on its next insert.
+      if (recovering_ == 0) PerformSplit(net, msg.trace_id);
       return;
     case MsgType::kSplitDone:
       ESSDDS_CHECK(split_in_progress_);
@@ -539,7 +815,7 @@ void LhCoordinator::OnMessage(Message& msg, Network& net) {
       }
       return;
     case MsgType::kUnderflow:
-      PerformMerge(net, msg.trace_id);
+      if (recovering_ == 0) PerformMerge(net, msg.trace_id);
       return;
     case MsgType::kMergeDone:
       ESSDDS_CHECK(merge_in_progress_);
@@ -554,10 +830,151 @@ void LhCoordinator::OnMessage(Message& msg, Network& net) {
       --extent_;
       runtime_->RetireLastBucket();
       return;
+    case MsgType::kDeadSite:
+      HandleDeadSite(msg, net);
+      return;
+    case MsgType::kPong: {
+      // The probed site answered: alive, just slow. Forget the report.
+      auto it = dead_probes_.find(msg.key);
+      if (it != dead_probes_.end() && !it->second.declared) {
+        dead_probes_.erase(it);
+      }
+      return;
+    }
+    case MsgType::kRecoveryTick:
+      HandleRecoveryTick(msg, net);
+      return;
+    case MsgType::kRebuildDone: {
+      auto it = dead_probes_.find(msg.key);
+      ESSDDS_CHECK(it != dead_probes_.end() && it->second.declared);
+      if (obs::kMetricsEnabled) {
+        net.metrics()
+            .histogram("recovery.reconstruction_us")
+            .Record(net.now_us() - it->second.declared_at_us);
+      }
+      dead_probes_.erase(it);
+      ESSDDS_CHECK(recovering_ > 0);
+      --recovering_;
+      return;
+    }
     default:
       ESSDDS_CHECK(false) << "coordinator got unexpected message "
                           << MsgTypeToString(msg.type);
   }
+}
+
+void LhCoordinator::HandleDeadSite(const Message& msg, Network& net) {
+  if (obs::kMetricsEnabled) {
+    net.metrics().counter("coord.dead_site_reports").Increment();
+  }
+  if (runtime_->options().parity_group_size == 0) {
+    // No parity groups -> no headroom to reconstruct from; the report is
+    // telemetry only (the socket transport's clients send one per
+    // retry-exhausted op, making a SIGKILLed host visible in the
+    // coordinator's metrics even though v1 cannot recover it).
+    return;
+  }
+  // The client reports the RECORD KEY it cannot get served (its own
+  // computed address may be stale, and the hop that is actually dead can
+  // sit anywhere on the forwarding chain). Every hop a key-op can take —
+  // client address, intermediate forwards, authoritative bucket — is a
+  // prefix of the key's hash image, so probing the existing prefixes
+  // covers the whole chain.
+  const uint64_t image = LhKeyImage(msg.key, runtime_->options());
+  const uint64_t probed_mask_bits = level_ + 2;  // h_0 .. h_{i+1}
+  std::set<uint64_t> candidates;
+  for (uint64_t len = 0; len < probed_mask_bits; ++len) {
+    const uint64_t c = image & ((uint64_t{1} << len) - 1);
+    // BucketExists rather than the coordinator's extent: an in-flight
+    // split's target bucket serves (well, parks) traffic before the
+    // kSplitDone that steps the extent — and it can die like any other.
+    if (runtime_->BucketExists(c)) candidates.insert(c);
+  }
+  for (uint64_t bucket : candidates) {
+    if (dead_probes_.count(bucket)) continue;  // probe/recovery in flight
+    DeadProbe probe;
+    probe.generation = next_probe_generation_++;
+    Message ping;
+    ping.type = MsgType::kPing;
+    ping.from = site_;
+    ping.to = runtime_->SiteOfBucket(bucket);
+    ping.key = bucket;
+    ping.trace_id = msg.trace_id;
+    net.Send(std::move(ping));
+    Message tick;
+    tick.type = MsgType::kRecoveryTick;
+    tick.from = site_;
+    tick.to = site_;
+    tick.key = bucket;
+    tick.filter_id = 0;  // ping-timeout probe
+    tick.request_id = probe.generation;
+    net.ScheduleTimer(std::move(tick), runtime_->options().ping_timeout_us);
+    dead_probes_.emplace(bucket, probe);
+  }
+}
+
+void LhCoordinator::HandleRecoveryTick(const Message& msg, Network& net) {
+  const uint64_t bucket = msg.key;
+  if (msg.filter_id == 1) {
+    // Degraded-mode hold elapsed: order the rebuild.
+    SendRebuild(bucket, net);
+    return;
+  }
+  auto it = dead_probes_.find(bucket);
+  if (it == dead_probes_.end() || it->second.declared) return;
+  // A pong may have erased the probe this tick was armed for and a later
+  // report re-created one; declaring THAT probe here would cut its
+  // patience window short (and falsely kill a live site).
+  if (it->second.generation != msg.request_id) return;
+  ++it->second.attempts;
+  if (it->second.attempts < runtime_->options().ping_attempts) {
+    // Unanswered, but a slow or fault-delayed pong is still cheaper than a
+    // false declaration (that would burn parity headroom on a live site):
+    // ping again and keep waiting.
+    Message ping;
+    ping.type = MsgType::kPing;
+    ping.from = site_;
+    ping.to = runtime_->SiteOfBucket(bucket);
+    ping.key = bucket;
+    ping.trace_id = msg.trace_id;
+    net.Send(std::move(ping));
+    Message tick = msg;
+    net.ScheduleTimer(std::move(tick), runtime_->options().ping_timeout_us);
+    return;
+  }
+  // Every ping went unanswered for the whole patience window: declare the
+  // site dead and hand reconstruction to the group's parity proxy.
+  it->second.declared = true;
+  it->second.declared_at_us = net.now_us();
+  if (obs::kMetricsEnabled) {
+    net.metrics().counter("coord.dead_sites").Increment();
+  }
+  it->second.proxy = runtime_->MarkBucketDead(bucket);
+  ++recovering_;
+  const uint64_t hold = runtime_->options().recovery_hold_us;
+  if (hold == 0) {
+    SendRebuild(bucket, net);
+    return;
+  }
+  Message tick;
+  tick.type = MsgType::kRecoveryTick;
+  tick.from = site_;
+  tick.to = site_;
+  tick.key = bucket;
+  tick.filter_id = 1;
+  net.ScheduleTimer(std::move(tick), hold);
+}
+
+void LhCoordinator::SendRebuild(uint64_t bucket, Network& net) {
+  auto it = dead_probes_.find(bucket);
+  ESSDDS_CHECK(it != dead_probes_.end() && it->second.declared);
+  Message rebuild;
+  rebuild.type = MsgType::kRebuild;
+  rebuild.from = site_;
+  rebuild.to = it->second.proxy;
+  rebuild.key = bucket;
+  rebuild.bucket_to_split = bucket / runtime_->options().parity_group_size;
+  net.Send(std::move(rebuild));
 }
 
 void LhCoordinator::PerformMerge(Network& net, uint64_t trace_id) {

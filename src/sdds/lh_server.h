@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "persist/bucket_log.h"
@@ -80,6 +81,25 @@ class LhBucketServer : public Site {
   /// bucket is not awaiting any transfer.
   void RestoreRecovered(std::map<uint64_t, Bytes> records);
 
+  /// Adopts state reconstructed from parity (site-kill recovery): records
+  /// with their rank assignments (the group's parity rows keep addressing
+  /// the same slots), the parity update sequence to continue from, and the
+  /// loading flag (a bucket that died awaiting its bulk load resumes
+  /// waiting — the transfer redelivers).
+  void RestoreRebuilt(RebuiltBucket state);
+
+  /// Parity updates this bucket has emitted (its per-member sequence).
+  uint64_t parity_seq() const { return parity_seq_; }
+  /// Continues the sequence across bucket-number reuse: a bucket re-created
+  /// after a merge-retire starts where the retired one stopped (set by the
+  /// hosting system at creation, before any traffic).
+  void set_parity_seq(uint64_t seq) { parity_seq_ = seq; }
+  /// record key -> parity rank; exposed so the hosting system can re-encode
+  /// parity rows in-process (restart, parity-site rebuild).
+  const std::map<uint64_t, uint64_t>& rank_of() const { return rank_of_; }
+  /// True while a reconstruction gather has this bucket's mutations parked.
+  bool frozen() const { return frozen_; }
+
   /// Number of record-map mutations this bucket has performed. Deferred
   /// scan tasks snapshot this at enqueue and assert it unchanged at
   /// evaluation — the dangling-snapshot guard for the pointer they hold
@@ -114,6 +134,37 @@ class LhBucketServer : public Site {
   /// and the mutation generation steps so a missed call trips the
   /// snapshot assert instead of silently corrupting a scan.
   void AboutToMutateRecords(Network& net);
+
+  // --- parity group support (DESIGN.md §16) ---
+
+  bool ParityEnabled() const { return options_.parity_group_size > 0; }
+
+  /// One record mutation, expressed as the rank-buffer delta every parity
+  /// site of the group folds into its row.
+  struct ParityOp {
+    uint8_t op = 0;  // 0 upsert, 1 erase
+    uint64_t record_key = 0;
+    uint64_t rank = 0;
+    Bytes delta;
+  };
+
+  /// Builds the upsert op for writing `value` under `key` (allocating or
+  /// reusing the key's rank; the delta XORs the old buffer out and the new
+  /// one in). Must run BEFORE records_ changes.
+  ParityOp MakeUpsertOp(uint64_t key, ByteSpan value);
+  /// Builds the erase op for `key` and frees its rank. Must run while the
+  /// old value is still present in records_.
+  ParityOp MakeEraseOp(uint64_t key);
+
+  /// Ships one kParityUpdate (sequence-numbered) carrying `ops` to every
+  /// parity site of this bucket's group; no-op when parity is off or the
+  /// op list is empty — except that a loading-clearing update is sent even
+  /// empty (the parity members must observe the loading transition).
+  void EmitParity(Network& net, std::vector<ParityOp> ops, bool clears_loading,
+                  uint64_t trace_id);
+
+  void HandlePing(const Message& msg, Network& net);
+  void HandleReconstructRequest(const Message& msg, Network& net);
 
   LhRuntime* runtime_;
   LhOptions options_;
@@ -150,6 +201,29 @@ class LhBucketServer : public Site {
   persist::BucketLog* log_ = nullptr;
   /// Set when a log append fails: the site is dead (see halted()).
   bool halted_ = false;
+  /// Parity rank table: each record occupies a stable small-integer rank
+  /// (the row of the group's parity buffers it is coded into). Freed ranks
+  /// are reused smallest-first so the rank space stays dense.
+  std::map<uint64_t, uint64_t> rank_of_;  // record key -> rank
+  std::set<uint64_t> free_ranks_;
+  uint64_t next_rank_ = 0;
+  /// Sequence number of the last kParityUpdate this bucket emitted. Parity
+  /// sites apply updates strictly in this order; the hosting system
+  /// preserves it across bucket-number reuse and reconstruction.
+  uint64_t parity_seq_ = 0;
+  /// Level as of the last emitted update (a level step without record
+  /// deltas must still be announced — see EmitParity).
+  uint32_t parity_level_emitted_;
+  /// Set by a reconstruction gather (kReconstructRequest mode 0): every
+  /// mutating message parks in frozen_parked_ until the release (mode 2);
+  /// lookups, scans, and liveness probes still answer.
+  bool frozen_ = false;
+  std::vector<Message> frozen_parked_;
+  /// Highest reconstruction epoch each proxy site has released. A freeze
+  /// can replay out of a dead site's letter queue AFTER its gather already
+  /// released (the rebuilt successor inherits the queue); honouring it
+  /// would freeze the bucket with no release ever coming.
+  std::map<SiteId, uint64_t> reconstruct_release_floor_;
 };
 
 /// The LH* split coordinator: receives overflow notifications and drives the
@@ -189,6 +263,33 @@ class LhCoordinator : public Site {
   LhRuntime* runtime_;
   SiteId site_ = kInvalidSite;
   void PerformMerge(Network& net, uint64_t trace_id);
+
+  // --- dead-site detection and recovery (DESIGN.md §16) ---
+
+  /// Client report that bucket `key`'s site stopped answering: verify with
+  /// a ping probe before declaring the site dead (a slow site is not a
+  /// dead site), then hand reconstruction to the group's parity proxy.
+  void HandleDeadSite(const Message& msg, Network& net);
+  void HandleRecoveryTick(const Message& msg, Network& net);
+  void SendRebuild(uint64_t bucket, Network& net);
+
+  struct DeadProbe {
+    bool declared = false;
+    uint64_t declared_at_us = 0;
+    SiteId proxy = kInvalidSite;
+    // Probe generation: a pong can erase a probe and a later report
+    // re-create it; the timeout tick of the ERASED probe must not declare
+    // the new one (it hasn't had its patience window yet).
+    uint64_t generation = 0;
+    // Unanswered pings so far; declares at options.ping_attempts.
+    uint32_t attempts = 0;
+  };
+  std::map<uint64_t, DeadProbe> dead_probes_;  // by bucket number
+  uint64_t next_probe_generation_ = 1;
+  /// Buckets declared dead whose rebuild hasn't completed. Restructuring
+  /// (splits/merges) is deferred while any recovery runs; the next
+  /// overflow/underflow report after the rebuild picks it back up.
+  size_t recovering_ = 0;
 
   uint32_t level_ = 0;          // i
   uint64_t split_pointer_ = 0;  // n

@@ -13,6 +13,7 @@
 #include "sdds/lh_options.h"
 #include "sdds/lh_server.h"
 #include "sdds/network.h"
+#include "sdds/parity_server.h"
 
 namespace essdds::sdds {
 
@@ -60,6 +61,20 @@ class LhSystem : public LhRuntime {
   void RetireLastBucket() override;
   persist::BucketLog* LogOfBucket(uint64_t bucket) override;
 
+  // --- LhRuntime, high availability (DESIGN.md §16) ---
+  std::vector<SiteId> ParitySitesOfBucket(uint64_t bucket) const override;
+  bool SiteIsDead(SiteId site) const override;
+  SiteId MarkBucketDead(uint64_t bucket) override;
+  void RebuildBucket(uint64_t bucket, RebuiltBucket state) override;
+  bool MemberTrafficDrained(uint64_t bucket) const override;
+
+  /// In-process rebuild of one parity bucket (parity-site death): registers
+  /// a fresh ParityServer for (group, parity_index), re-encodes its row
+  /// from the live data buckets, and redirects the dead site's address to
+  /// it. Duplicate updates still in flight toward the old address are
+  /// absorbed by the sequence check. Requires the event network.
+  void RebuildParityBucket(uint64_t group, int parity_index);
+
   // --- introspection for tests, benches and recovery tooling ---
   Network& network() { return *network_; }
   const Network& network() const { return *network_; }
@@ -77,11 +92,31 @@ class LhSystem : public LhRuntime {
   size_t recovered_bucket_count() const { return recovered_bucket_count_; }
   const LhBucketServer& bucket(uint64_t b) const;
   LhBucketServer& mutable_bucket(uint64_t b);
+  /// The parity bucket `parity_index` of `group`; CHECK-fails when parity
+  /// is off or the group has no members yet.
+  const ParityServer& parity_bucket(uint64_t group, int parity_index) const;
+  /// Number of parity groups instantiated so far (0 with parity off).
+  size_t parity_group_count() const { return parity_servers_.size(); }
+  /// True while `bucket` is declared dead and its address is served by a
+  /// recovery proxy.
+  bool bucket_dead(uint64_t bucket) const {
+    return dead_buckets_.count(bucket) > 0;
+  }
   uint64_t TotalRecords() const;
   /// Fraction of used capacity: records / (buckets * capacity).
   double LoadFactor() const;
 
  private:
+  /// Creates the m parity buckets of `group` on first use.
+  void EnsureParityGroup(uint64_t group);
+  /// Restart path: re-encodes every group's parity rows from the recovered
+  /// data buckets (the parity sites themselves are RAM-only).
+  void SeedParityFromData();
+  /// Re-encodes one parity row from the live data buckets of `group`.
+  std::map<uint64_t, Bytes> EncodeParityRow(uint64_t group,
+                                            int parity_index) const;
+  std::vector<ParityServer::MemberSeed> MemberSeedsOf(uint64_t group) const;
+
   LhOptions options_;
   std::unique_ptr<Network> network_;
   EventNetwork* event_network_ = nullptr;  // network_ downcast (kEvent only)
@@ -100,6 +135,24 @@ class LhSystem : public LhRuntime {
   std::vector<std::unique_ptr<LhBucketServer>> retired_servers_;
   std::vector<std::unique_ptr<LhClient>> clients_;
   std::vector<std::unique_ptr<ScanFilter>> filters_;
+
+  // --- high availability (parity_group_size > 0) ---
+  /// group number -> its m parity buckets (created lazily with the group's
+  /// first data member).
+  std::map<uint64_t, std::vector<std::unique_ptr<ParityServer>>>
+      parity_servers_;
+  /// Parity update sequence of each retired bucket, so a number-reusing
+  /// re-creation continues the stream where its predecessor stopped.
+  std::map<uint64_t, uint64_t> last_parity_seq_;
+  /// Every site a bucket number was ever served from (creation + rebuilds):
+  /// the drain barrier must cover in-flight traffic from dead incarnations.
+  std::map<uint64_t, std::vector<SiteId>> site_history_;
+  /// Buckets declared dead, mapped to the proxy site serving their address
+  /// until the rebuild installs.
+  std::map<uint64_t, SiteId> dead_buckets_;
+  /// Replaced parity servers (parity-site rebuild): kept alive, like
+  /// retired_servers_, because network sites hold raw pointers.
+  std::vector<std::unique_ptr<ParityServer>> retired_parity_;
 };
 
 }  // namespace essdds::sdds

@@ -42,6 +42,20 @@ enum class MsgType : uint8_t {
   kMerge,
   kMergeRecords,
   kMergeDone,
+  // Parity / recovery protocol (LH*RS-style high availability). A data
+  // bucket streams batched rank deltas to the parity sites of its group;
+  // clients report suspected-dead buckets to the coordinator, which probes
+  // with ping/pong and then drives reconstruction through the group's
+  // parity proxy (slice gathering, decode, rebuild on a spare site).
+  kParityUpdate,       // data bucket -> parity site: batched rank deltas
+  kDeadSite,           // client -> coordinator: suspected-dead bucket
+  kPing,               // coordinator -> suspected bucket: liveness probe
+  kPong,               // bucket -> coordinator: probe answer
+  kReconstructRequest, // proxy -> group member: send your slice (may freeze)
+  kReconstructSlice,   // member -> proxy: rank-buffer slice + parity seq
+  kRebuild,            // coordinator -> parity proxy: install lost buckets
+  kRebuildDone,        // proxy -> coordinator: reconstruction complete
+  kRecoveryTick,       // self-addressed virtual timer (never crosses a link)
 };
 
 std::string_view MsgTypeToString(MsgType t);

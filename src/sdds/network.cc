@@ -20,6 +20,10 @@ std::string NetworkStats::ToString() const {
        << " duplicated=" << duplicated_messages
        << " retried=" << retried_messages;
   }
+  if (retransmitted_frames || link_acks) {
+    os << " retransmitted_frames=" << retransmitted_frames
+       << " link_acks=" << link_acks;
+  }
   // Per-type breakdown: one aligned row per type, in wire-enum order (the
   // map key order — stable across runs and platforms).
   for (const auto& [type, count] : per_type) {
@@ -38,6 +42,8 @@ std::string NetworkStats::ToJson() const {
   w.KV("dropped_messages", dropped_messages);
   w.KV("duplicated_messages", duplicated_messages);
   w.KV("retried_messages", retried_messages);
+  w.KV("retransmitted_frames", retransmitted_frames);
+  w.KV("link_acks", link_acks);
   w.Key("per_type").BeginObject();
   for (const auto& [type, count] : per_type) {
     w.KV(MsgTypeToString(type), count);

@@ -52,6 +52,12 @@ struct NetworkStats {
   uint64_t dropped_messages = 0;     // sends the network discarded (faults)
   uint64_t duplicated_messages = 0;  // extra fault copies (not in totals)
   uint64_t retried_messages = 0;     // client retransmissions (in totals)
+  // Reliable link layer (EventNetwork protocol_faults): frame resends and
+  // receiver acks. Neither is in the totals — a production transport hides
+  // both below the messaging API, and totals must stay comparable to a
+  // fault-free run.
+  uint64_t retransmitted_frames = 0;
+  uint64_t link_acks = 0;
   std::map<MsgType, uint64_t> per_type;
 
   /// Human-readable report: headline counters on the first line, then the
@@ -105,6 +111,17 @@ class Network {
 
   /// Virtual clock in microseconds; synchronous networks stay at 0.
   virtual uint64_t now_us() const { return 0; }
+
+  /// Schedules `msg` for direct, fault-free delivery to msg.to after
+  /// `delay_us` — a site-private timer (the recovery coordinator arms its
+  /// probe and rebuild timeouts with these). Only meaningful where time
+  /// advances; the synchronous base has no timeline to schedule on, and
+  /// nothing that runs on it (no kills, no recovery) ever arms one.
+  virtual void ScheduleTimer(Message msg, uint64_t delay_us) {
+    (void)msg;
+    (void)delay_us;
+    ESSDDS_CHECK(false) << "timers require an event network";
+  }
 
   /// True when delivery is scheduled rather than re-entrant — i.e. replies
   /// can be late, lost, or duplicated, and clients must keep retransmission

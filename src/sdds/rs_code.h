@@ -25,6 +25,15 @@ class RsCode {
   int k() const { return k_; }
   int m() const { return m_; }
 
+  /// Generator coefficient of parity row `j` (0-based) applied to data
+  /// member `i`. Because GF(2^8) addition is XOR, an incremental update of
+  /// one data buffer folds into parity j as
+  ///   parity_j ^= ParityCoeff(j, i) * (old ^ new)
+  /// — the identity LH*_RS parity buckets apply per record delta.
+  uint8_t ParityCoeff(int j, int i) const {
+    return static_cast<uint8_t>(generator_.At(k_ + j, i));
+  }
+
   /// Encodes k equal-length data buffers into m parity buffers.
   Result<std::vector<Bytes>> Encode(const std::vector<Bytes>& data) const;
 

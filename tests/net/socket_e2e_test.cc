@@ -11,6 +11,7 @@
 
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 
 #include "net/bucket_host.h"
 #include "net/socket_client.h"
+#include "obs/metrics.h"
 #include "sdds/lh_client.h"
 #include "sdds/lh_system.h"
 
@@ -62,6 +64,7 @@ class SocketE2eTest : public ::testing::Test {
              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
                .string();
     std::filesystem::create_directories(dir_);
+    metrics_path_ = dir_ + "/coord-metrics.json";
     std::string spec;
     for (size_t h = 0; h < host_count(); ++h) {
       if (h) spec += ",";
@@ -91,6 +94,9 @@ class SocketE2eTest : public ::testing::Test {
       config.cluster = cluster_;
       config.host_index = h;
       config.options = ServerOptions();
+      // Host 0 runs the coordinator; its periodic metrics dump is the only
+      // window this test has into another process's counters.
+      if (h == 0) config.metrics_path = metrics_path_;
       BucketHost host(config);
       InstallFilters(host);
       if (!host.Start().ok()) ::_exit(3);
@@ -129,7 +135,21 @@ class SocketE2eTest : public ::testing::Test {
            std::to_string(key % 10);
   }
 
+  /// Reads counter `name` out of the coordinator host's metrics JSON dump;
+  /// -1 when the file or the counter is not there (yet).
+  int64_t CoordinatorCounter(const std::string& name) const {
+    std::ifstream in(metrics_path_);
+    if (!in) return -1;
+    std::string json((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const std::string needle = "\"" + name + "\":";
+    const size_t pos = json.find(needle);
+    if (pos == std::string::npos) return -1;
+    return std::strtoll(json.c_str() + pos + needle.size(), nullptr, 10);
+  }
+
   std::string dir_;
+  std::string metrics_path_;
   ClusterMap cluster_;
   std::vector<pid_t> pids_;
 };
@@ -306,6 +326,21 @@ TEST_F(SocketE2eTest, KilledServerYieldsUnavailableNotAHang) {
     served_after = prober->Lookup(key_of(i)).ok();
   }
   EXPECT_TRUE(served_after);
+
+  // Every exhausted op reported its unservable key to the coordinator
+  // (kDeadSite); the coordinator's metrics dump on host 0 must show the
+  // reports. Poll: the dump is periodic and the report frame travels on a
+  // different connection than the probes.
+  if (essdds::obs::kMetricsEnabled) {
+    int64_t reports = -1;
+    for (int i = 0; i < 100; ++i) {
+      reports = CoordinatorCounter("coord.dead_site_reports");
+      if (reports > 0) break;
+      ::usleep(100'000);
+    }
+    EXPECT_GT(reports, 0)
+        << "coordinator metrics JSON never showed a dead-site report";
+  }
 }
 
 /// A power-of-two cluster: with round-robin placement (bucket % hosts),

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <optional>
 #include <tuple>
 #include <vector>
@@ -60,6 +61,87 @@ TEST_P(RsCodeParamTest, SurvivesEveryErasurePatternUpToM) {
   }
 }
 
+// Enumerate every size-c subset of {0..n-1}, invoking fn on each.
+void ForEachCombination(int n, int c,
+                        const std::function<void(const std::vector<int>&)>& fn) {
+  std::vector<int> pick(static_cast<size_t>(c));
+  for (int i = 0; i < c; ++i) pick[static_cast<size_t>(i)] = i;
+  for (;;) {
+    fn(pick);
+    int i = c - 1;
+    while (i >= 0 && pick[static_cast<size_t>(i)] == n - c + i) --i;
+    if (i < 0) return;
+    ++pick[static_cast<size_t>(i)];
+    for (int j = i + 1; j < c; ++j) {
+      pick[static_cast<size_t>(j)] = pick[static_cast<size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+// The MDS property, exhaustively: EVERY erasure pattern of size <= m decodes
+// back to the original data, for every (k, m) in the grid. The random trials
+// above give breadth cheaply; this gives certainty for the configs the
+// recovery layer actually runs (k=4 m=1, k=4 m=2) and a margin beyond.
+TEST_P(RsCodeParamTest, EveryErasurePatternUpToMDecodesExhaustively) {
+  auto [k, m] = GetParam();
+  auto code = RsCode::Create(k, m);
+  ASSERT_TRUE(code.ok());
+  auto data = RandomData(k, 48, 99);
+  auto parity = code->Encode(data);
+  ASSERT_TRUE(parity.ok());
+
+  const int total = k + m;
+  for (int erased = 0; erased <= m; ++erased) {
+    ForEachCombination(total, erased, [&](const std::vector<int>& pattern) {
+      std::vector<std::optional<Bytes>> pieces;
+      for (int i = 0; i < k; ++i) {
+        pieces.emplace_back(data[static_cast<size_t>(i)]);
+      }
+      for (int j = 0; j < m; ++j) {
+        pieces.emplace_back((*parity)[static_cast<size_t>(j)]);
+      }
+      for (int e : pattern) pieces[static_cast<size_t>(e)].reset();
+
+      auto decoded = code->Decode(pieces);
+      ASSERT_TRUE(decoded.ok()) << "k=" << k << " m=" << m
+                                << " erased=" << erased;
+      for (int i = 0; i < k; ++i) {
+        ASSERT_EQ((*decoded)[static_cast<size_t>(i)],
+                  data[static_cast<size_t>(i)])
+            << "k=" << k << " m=" << m << " slot " << i;
+      }
+    });
+  }
+}
+
+// The converse bound: every pattern of exactly m+1 erasures must be REJECTED
+// (never silently mis-decoded) — losing more than the parity headroom is
+// detected, which is what lets reconstruction CHECK instead of corrupt.
+TEST_P(RsCodeParamTest, EveryPatternBeyondMFailsExhaustively) {
+  auto [k, m] = GetParam();
+  auto code = RsCode::Create(k, m);
+  ASSERT_TRUE(code.ok());
+  const int total = k + m;
+  if (m + 1 > total) GTEST_SKIP() << "cannot erase more pieces than exist";
+  auto data = RandomData(k, 16, 5);
+  auto parity = code->Encode(data);
+  ASSERT_TRUE(parity.ok());
+
+  ForEachCombination(total, m + 1, [&](const std::vector<int>& pattern) {
+    std::vector<std::optional<Bytes>> pieces;
+    for (int i = 0; i < k; ++i) {
+      pieces.emplace_back(data[static_cast<size_t>(i)]);
+    }
+    for (int j = 0; j < m; ++j) {
+      pieces.emplace_back((*parity)[static_cast<size_t>(j)]);
+    }
+    for (int e : pattern) pieces[static_cast<size_t>(e)].reset();
+    EXPECT_FALSE(code->Decode(pieces).ok())
+        << "k=" << k << " m=" << m << " should reject " << (m + 1)
+        << " erasures";
+  });
+}
+
 TEST(RsCodeTest, FailsBeyondMErasures) {
   auto code = RsCode::Create(4, 2);
   auto data = RandomData(4, 32, 1);
@@ -77,6 +159,24 @@ TEST(RsCodeTest, RejectsBadParameters) {
   EXPECT_FALSE(RsCode::Create(0, 1).ok());
   EXPECT_FALSE(RsCode::Create(1, 0).ok());
   EXPECT_FALSE(RsCode::Create(200, 100).ok());
+  EXPECT_FALSE(RsCode::Create(-1, 2).ok());
+  EXPECT_FALSE(RsCode::Create(4, -1).ok());
+  EXPECT_FALSE(RsCode::Create(0, 0).ok());
+  // k + m must fit the GF(2^8) code length bound (k + m <= 256).
+  EXPECT_TRUE(RsCode::Create(255, 1).ok());
+  EXPECT_FALSE(RsCode::Create(256, 1).ok());
+}
+
+TEST(RsCodeTest, DecodeRejectsTooManySlots) {
+  auto code = RsCode::Create(3, 2);
+  auto data = RandomData(3, 8, 17);
+  auto parity = code->Encode(data);
+  ASSERT_TRUE(parity.ok());
+  std::vector<std::optional<Bytes>> pieces;
+  for (auto& d : data) pieces.emplace_back(d);
+  for (auto& p : *parity) pieces.emplace_back(p);
+  pieces.emplace_back(Bytes(8, 0));  // 6 slots for a 5-slot code
+  EXPECT_FALSE(code->Decode(pieces).ok());
 }
 
 TEST(RsCodeTest, EncodeValidatesBufferCount) {
