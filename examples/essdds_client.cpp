@@ -39,6 +39,7 @@ int Usage(const char* argv0) {
       "  --keep           skip the delete pass (leave records behind)\n"
       "  --timeout-us N   per-request timeout (default 200000)\n"
       "  --retries N      retransmissions before giving up (default 8)\n"
+      "  --slow-op-us N   log ops slower than N microseconds (default off)\n"
       "  --metrics PATH   write a workload/metrics JSON ('-' = stdout)\n",
       argv0);
   return 2;
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
   uint32_t client_id = 0;
   uint64_t timeout_us = 200'000;
   uint32_t retries = 8;
+  uint64_t slow_op_us = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -84,6 +86,8 @@ int main(int argc, char** argv) {
       timeout_us = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--retries") {
       retries = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--slow-op-us") {
+      slow_op_us = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--metrics") {
       metrics_path = next();
     } else {
@@ -105,6 +109,7 @@ int main(int argc, char** argv) {
   opts.max_inflight = depth == 0 ? 1 : depth;
   opts.lh.request_timeout_us = timeout_us;
   opts.lh.max_request_retries = retries;
+  opts.lh.slow_op_us = slow_op_us;
   essdds::net::SocketClient client(opts);
   if (essdds::Status s = client.Connect(); !s.ok()) {
     std::fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
@@ -193,6 +198,9 @@ int main(int argc, char** argv) {
   json.KV("retries", client.retry_count());
   json.KV("stale_replies", client.stale_reply_count());
   json.KV("iams", client.iam_count());
+  // The final op's trace id: paste into `essdds_admin trace <id>` to see
+  // the op's cross-host path (0 with metrics compiled out).
+  json.KV("last_trace_id", client.last_trace_id());
   json.EndObject();
   const std::string out = json.str();
   if (!metrics_path.empty() && metrics_path != "-") {

@@ -49,6 +49,10 @@
 //   --trace=ID         print the causal hop dump for trace id ID at exit
 //                      (the `metrics` and `trace` commands do the same
 //                      interactively)
+//   --cluster=SPEC     additionally attach to a LIVE socket cluster
+//                      (essdds_server processes; comma-separated endpoints,
+//                      host 0 first) for the `admin` commands — the shell's
+//                      own simulated store stays untouched
 //
 //   ./build/examples/essdds_shell 5000 8 --net=event --net-seed=7 --drop=0.05
 //
@@ -59,11 +63,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/encrypted_store.h"
+#include "net/admin.h"
 #include "obs/trace.h"
 #include "sdds/event_network.h"
 #include "util/json_writer.h"
@@ -87,6 +94,10 @@ void PrintHelp() {
       "  stats                  file extents, records, traffic counters\n"
       "  metrics                full metrics JSON (both LH* files)\n"
       "  trace <id|last|all>    causal hop dump from the trace rings\n"
+      "  admin metrics          scrape a live cluster (needs --cluster=SPEC):\n"
+      "                         merged per-host + cluster metrics JSON\n"
+      "  admin health           per-host health summaries of the cluster\n"
+      "  admin trace <id>       assembled cross-host trace from the cluster\n"
       "  params                 scheme parameters\n"
       "  help                   this text\n"
       "  quit\n");
@@ -157,6 +168,82 @@ struct NetConfig {
   }
 };
 
+/// The `admin` command family: lazily dials the --cluster endpoints on
+/// first use (a shell run that never types `admin` pays no connections)
+/// and serves metrics/health/trace scrapes against the live cluster.
+class AdminCommands {
+ public:
+  explicit AdminCommands(std::string cluster_spec)
+      : cluster_spec_(std::move(cluster_spec)) {}
+
+  void Run(std::istringstream& in) {
+    if (cluster_spec_.empty()) {
+      std::printf("admin needs --cluster=SPEC (comma-separated endpoints "
+                  "of a live essdds_server cluster)\n");
+      return;
+    }
+    std::string sub;
+    in >> sub;
+    essdds::net::AdminClient* admin = Client();
+    if (admin == nullptr) return;
+    if (sub == "metrics") {
+      auto metrics = admin->Metrics();
+      if (!metrics.ok()) {
+        std::printf("scrape failed: %s\n",
+                    metrics.status().ToString().c_str());
+        return;
+      }
+      std::printf("%s\n", metrics->ToJson().c_str());
+    } else if (sub == "health") {
+      auto health = admin->Health();
+      if (!health.ok()) {
+        std::printf("scrape failed: %s\n", health.status().ToString().c_str());
+        return;
+      }
+      for (const essdds::net::HostHealth& h : *health) {
+        std::printf("%s\n", h.json.c_str());
+      }
+    } else if (sub == "trace") {
+      uint64_t id = 0;
+      in >> id;
+      if (id == 0) {
+        std::printf("admin trace wants a nonzero trace id\n");
+        return;
+      }
+      auto trace = admin->AssembleTrace(id);
+      if (!trace.ok()) {
+        std::printf("scrape failed: %s\n", trace.status().ToString().c_str());
+        return;
+      }
+      std::fputs(essdds::net::FormatAssembledTrace(*trace).c_str(), stdout);
+    } else {
+      std::printf("admin commands: metrics | health | trace <id>\n");
+    }
+  }
+
+ private:
+  essdds::net::AdminClient* Client() {
+    if (client_ != nullptr) return client_.get();
+    auto cluster = essdds::net::ClusterMap::Parse(cluster_spec_);
+    if (!cluster.ok()) {
+      std::printf("bad --cluster: %s\n", cluster.status().ToString().c_str());
+      return nullptr;
+    }
+    essdds::net::AdminClient::Options opts;
+    opts.cluster = *cluster;
+    auto client = std::make_unique<essdds::net::AdminClient>(opts);
+    if (essdds::Status s = client->Connect(); !s.ok()) {
+      std::printf("cluster connect failed: %s\n", s.ToString().c_str());
+      return nullptr;
+    }
+    client_ = std::move(client);
+    return client_.get();
+  }
+
+  std::string cluster_spec_;
+  std::unique_ptr<essdds::net::AdminClient> client_;
+};
+
 bool ParseNetFlag(const std::string& arg, NetConfig* net) {
   auto value = [&](const char* prefix) -> const char* {
     const size_t len = std::string(prefix).size();
@@ -208,6 +295,7 @@ int main(int argc, char** argv) {
   std::string metrics_file;  // empty = stdout
   bool trace_at_exit = false;
   uint64_t trace_at_exit_id = 0;
+  std::string cluster_spec;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -241,6 +329,8 @@ int main(int argc, char** argv) {
       trace_at_exit = true;
       trace_at_exit_id = static_cast<uint64_t>(std::strtoull(
           arg.c_str() + sizeof("--trace=") - 1, nullptr, 10));
+    } else if (arg.rfind("--cluster=", 0) == 0) {
+      cluster_spec = arg.substr(sizeof("--cluster=") - 1);
     } else if (arg.rfind("--", 0) == 0) {
       if (!ParseNetFlag(arg, &net)) return 2;
     } else if (positional == 0) {
@@ -318,6 +408,8 @@ int main(int argc, char** argv) {
                 net.ReplayFlags().c_str());
   }
 
+  AdminCommands admin_commands(cluster_spec);
+
   std::string line;
   while (std::getline(std::cin, line)) {
     std::istringstream in(line);
@@ -338,6 +430,8 @@ int main(int argc, char** argv) {
                   (*store)->index_file().network().stats().ToString().c_str());
     } else if (cmd == "metrics") {
       std::printf("%s\n", MetricsJson(**store).c_str());
+    } else if (cmd == "admin") {
+      admin_commands.Run(in);
     } else if (cmd == "trace") {
       std::string which;
       in >> which;

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <utility>
 
+#include "obs/log.h"
+#include "util/json_writer.h"
 #include "util/logging.h"
 
 namespace essdds::net {
@@ -21,6 +23,7 @@ BucketHost::BucketHost(Config config) : config_(std::move(config)) {
   net_->set_on_extent([this](uint64_t extent) { NoteExtentAtLeast(extent); });
   net_->set_scan_threads(config_.options.scan_threads);
   net_->set_scan_shard_min_records(config_.options.scan_shard_min_records);
+  net_->set_admin_health([this] { return HealthJson(); });
 }
 
 Status BucketHost::Start() {
@@ -84,15 +87,83 @@ void BucketHost::MaybeDumpMetrics() {
   const uint64_t now = net_->now_us();
   if (now < next_metrics_dump_us_) return;
   next_metrics_dump_us_ = now + 200'000;
+  DumpMetricsNow();
+}
+
+void BucketHost::DumpMetricsNow() {
+  if (config_.metrics_path.empty()) return;
+  // A complete post-mortem: the flat NetworkStats next to the registry —
+  // a crash reader needs both, and the registry alone lacks the per-type
+  // traffic breakdown.
+  JsonWriter w;
+  w.BeginObject()
+      .KV("host_index", static_cast<uint64_t>(config_.host_index))
+      .KV("known_extent", known_extent_)
+      .KV("local_buckets", static_cast<uint64_t>(servers_.size()))
+      .Key("net")
+      .Raw(net_->stats().ToJson())
+      .Key("metrics")
+      .Raw(net_->metrics().ToJson())
+      .EndObject();
   // Write-then-rename so a reader never sees a half-written file.
   const std::string tmp = config_.metrics_path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return;
-    out << net_->metrics().ToJson();
+    out << w.str();
   }
   std::error_code ec;
   std::filesystem::rename(tmp, config_.metrics_path, ec);
+}
+
+std::string BucketHost::HealthJson() {
+  uint64_t records_total = 0;
+  uint64_t halted = 0;
+  JsonWriter w;
+  w.BeginObject()
+      .KV("host_index", static_cast<uint64_t>(config_.host_index))
+      .KV("now_us", net_->now_us())
+      .KV("known_extent", known_extent_)
+      .KV("coordinator", coordinator_ != nullptr);
+  if (coordinator_ != nullptr) {
+    w.KV("coord_level", coordinator_->level())
+        .KV("coord_split_pointer", coordinator_->split_pointer());
+  }
+  w.Key("buckets").BeginArray();
+  for (const auto& [bucket, server] : servers_) {
+    records_total += server->record_count();
+    if (server->halted()) ++halted;
+    w.BeginObject()
+        .KV("bucket", bucket)
+        .KV("records", static_cast<uint64_t>(server->record_count()))
+        .KV("level", server->level())
+        .KV("loading", server->loading())
+        .KV("frozen", server->frozen())
+        .KV("halted", server->halted())
+        .EndObject();
+  }
+  w.EndArray();
+  obs::MetricRegistry& reg = net_->metrics();
+  w.KV("records_total", records_total)
+      .KV("halted_buckets", halted)
+      .KV("connections", static_cast<uint64_t>(net_->connection_count()))
+      .KV("backpressure_bytes",
+          static_cast<uint64_t>(net_->total_queued_bytes()))
+      // Registry reads (0 under -DESSDDS_METRICS=OFF, and 0 on hosts that
+      // never saw the event — counter() creates on first touch).
+      .KV("dead_site_reports", reg.counter("coord.dead_site_reports").value())
+      .KV("dead_sites", reg.counter("coord.dead_sites").value())
+      .KV("rebuilt_buckets", reg.counter("recovery.rebuilt_buckets").value())
+      .KV("corrupt_frames", reg.counter("net.corrupt_frames").value())
+      .EndObject();
+  return w.str();
+}
+
+void BucketHost::OnBucketHalted(uint64_t bucket) {
+  obs::LogEvent("bucket_halted", LogLevel::kError)
+      .U64("host_index", config_.host_index)
+      .U64("bucket", bucket);
+  DumpMetricsNow();
 }
 
 uint64_t BucketHost::InstallFilter(std::unique_ptr<sdds::ScanFilter> filter) {

@@ -73,6 +73,19 @@ class BucketHost : public sdds::LhRuntime {
   size_t local_bucket_count() const { return servers_.size(); }
   const sdds::LhBucketServer* local_bucket(uint64_t b) const;
 
+  /// The health summary served on kAdminHealth pulls: a JSON object built
+  /// from live structures — per-bucket record counts and states, total
+  /// backpressure, connection count, coordinator/recovery counters. Works
+  /// fully under -DESSDDS_METRICS=OFF (health is operational state, not
+  /// instruments; only the counter fields read as 0 there).
+  std::string HealthJson();
+
+  /// Writes the post-mortem/metrics file immediately (when
+  /// Config::metrics_path is set): {host_index, known_extent, local_buckets,
+  /// net: NetworkStats, metrics: registry}. The periodic dump and the halt
+  /// path both land here.
+  void DumpMetricsNow();
+
   // --- sdds::LhRuntime ---
   sdds::SiteId SiteOfBucket(uint64_t bucket) const override;
   bool BucketExists(uint64_t bucket) const override {
@@ -84,6 +97,10 @@ class BucketHost : public sdds::LhRuntime {
   const sdds::LhOptions& options() const override { return config_.options; }
   void RetireLastBucket() override;
   persist::BucketLog* LogOfBucket(uint64_t bucket) override;
+  /// Append-failure halt: log a structured event and flush the metrics
+  /// file immediately — the SIGKILL-adjacent path must leave a complete
+  /// post-mortem, not wait for a periodic timer that may never fire again.
+  void OnBucketHalted(uint64_t bucket) override;
 
  private:
   /// Creates the LhBucketServer for locally hosted bucket `bucket` (fresh

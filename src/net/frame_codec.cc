@@ -74,7 +74,7 @@ Result<bool> FrameDecoder::Next(Frame* out) {
   }
   ESSDDS_ASSIGN_OR_RETURN(const uint8_t kind, r.ReadU8());
   if (kind < static_cast<uint8_t>(FrameKind::kMessage) ||
-      kind > static_cast<uint8_t>(FrameKind::kExtent)) {
+      kind > static_cast<uint8_t>(FrameKind::kAdminReply)) {
     corrupt_ = true;
     return Status::Corruption("frame: unknown kind " + std::to_string(kind));
   }

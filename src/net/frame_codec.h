@@ -22,6 +22,24 @@ enum class FrameKind : uint8_t {
   /// Coordinator host -> every other host: u64 file extent, so remote
   /// hosts' BucketExists stays fresh without a routing round-trip.
   kExtent = 3,
+
+  // --- admin side-channel (DESIGN.md §17). Pulls are sent by
+  // net::AdminClient on a dedicated connection (no kHello handshake);
+  // the serving host answers each with one kAdminReply on the same
+  // connection, so replies correlate by FIFO order. ---
+
+  /// Admin -> host: pull the host's full metric registry + NetworkStats.
+  /// Empty payload.
+  kAdminMetricsPull = 4,
+  /// Admin -> host: pull a slice of the host's trace ring. Payload =
+  /// u64 trace id filter (0 = everything still in the ring).
+  kAdminTracePull = 5,
+  /// Admin -> host: pull a health summary (per-bucket record gauges,
+  /// backpressure, halted buckets, recovery state). Empty payload.
+  kAdminHealth = 6,
+  /// Host -> admin: reply envelope (EncodeAdminReply): u8 original pull
+  /// kind | u32 host index | u64 host monotonic now_us | body.
+  kAdminReply = 7,
 };
 
 /// Frame header layout, fixed 13 bytes, big-endian like the Message wire:

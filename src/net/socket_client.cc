@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/log.h"
 #include "util/logging.h"
 
 namespace essdds::net {
@@ -33,6 +34,38 @@ SocketClient::SocketClient(Options options)
       start_ns_(MonotonicNs()) {
   ESSDDS_CHECK(!options_.cluster.hosts.empty());
   ESSDDS_CHECK(IsClientSite(site_));
+  insert_us_ = &registry_.histogram("client.insert_us");
+  lookup_us_ = &registry_.histogram("client.lookup_us");
+  delete_us_ = &registry_.histogram("client.delete_us");
+  scan_us_ = &registry_.histogram("client.scan_us");
+  retries_counter_ = &registry_.counter("client.retries");
+  stale_counter_ = &registry_.counter("client.stale_replies");
+  iam_counter_ = &registry_.counter("client.iams");
+  corrupt_counter_ = &registry_.counter("net.corrupt_frames");
+}
+
+uint64_t SocketClient::NextTraceId() {
+  if (!obs::kMetricsEnabled) return 0;
+  return (static_cast<uint64_t>(site_) << 32) | ++next_trace_seq_;
+}
+
+void SocketClient::Hop(obs::HopKind kind, const Message& msg) {
+  if (!obs::kMetricsEnabled) return;
+  trace_.Record({now_us(), msg.trace_id, msg.request_id, msg.key, msg.from,
+                 msg.to, static_cast<uint8_t>(msg.type), kind});
+}
+
+obs::Histogram& SocketClient::LatencyHistogramFor(MsgType type) {
+  switch (type) {
+    case MsgType::kInsert:
+      return *insert_us_;
+    case MsgType::kLookup:
+      return *lookup_us_;
+    case MsgType::kDelete:
+      return *delete_us_;
+    default:
+      return *scan_us_;
+  }
 }
 
 SocketClient::~SocketClient() = default;
@@ -66,6 +99,7 @@ uint64_t SocketClient::AddressFor(uint64_t key) const {
 void SocketClient::ApplyIam(const Message& reply) {
   if (!reply.has_iam) return;
   ++iam_count_;
+  iam_counter_->Increment();
   FileImage candidate;
   candidate.level = reply.iam_level >= 1 ? reply.iam_level - 1 : 0;
   candidate.split_pointer = static_cast<uint32_t>(reply.iam_address) + 1;
@@ -118,8 +152,10 @@ void SocketClient::SendOp(uint64_t id, const PendingOp& op) {
   req.request_id = id;
   req.key = op.key;
   req.value = op.value;
+  req.trace_id = op.trace_id;
   const uint64_t address = AddressFor(op.key);
   req.to = net::SiteOfBucket(address);
+  Hop(obs::HopKind::kSend, req);
   SendToBucket(address, req);
 }
 
@@ -138,7 +174,14 @@ Result<uint64_t> SocketClient::SubmitKeyOp(MsgType type, uint64_t key,
   op.key = key;
   op.value = std::move(value);
   op.attempts = 0;
+  op.trace_id = NextTraceId();
+  last_trace_id_ = op.trace_id;
+  op.start_us = now_us();
   op.deadline_us = SaturatingAdd(now_us(), options_.lh.request_timeout_us);
+  if (obs::kMetricsEnabled) {
+    trace_.Record({op.start_us, op.trace_id, id, key, site_, site_,
+                   static_cast<uint8_t>(type), obs::HopKind::kOpStart});
+  }
   SendOp(id, op);
   pending_.emplace(id, std::move(op));
   // Opportunistically drain arrived replies so a deep pipeline keeps the
@@ -169,13 +212,30 @@ void SocketClient::HandleReply(Message msg) {
     // Late original of a retried request (the servers are idempotent), or
     // a reply to a completed op.
     ++stale_reply_count_;
+    stale_counter_->Increment();
+    Hop(obs::HopKind::kStale, msg);
     return;
   }
   ApplyIam(msg);
+  const PendingOp& op = it->second;
+  const uint64_t elapsed_us = now_us() - op.start_us;
+  LatencyHistogramFor(op.type).Record(elapsed_us);
+  // The reply rode the wire with the op's trace id; close the span here.
+  Hop(obs::HopKind::kOpDone, msg);
+  const uint64_t slow = options_.lh.slow_op_us;
+  if (slow != 0 && elapsed_us >= slow) {
+    obs::LogEvent("slow_op")
+        .Str("op", sdds::MsgTypeToString(op.type))
+        .U64("key", op.key)
+        .U64("elapsed_us", elapsed_us)
+        .U64("trace_id", op.trace_id)
+        .U64("attempts", op.attempts);
+  }
   OpResult result;
   result.type = msg.type;
   result.found = msg.found;
   result.value = std::move(msg.value);
+  result.trace_id = op.trace_id;
   pending_.erase(it);
   done_.emplace(msg.request_id, std::move(result));
 }
@@ -206,6 +266,7 @@ bool SocketClient::PumpOnce(int timeout_ms) {
         if (!next.ok()) {
           ESSDDS_LOG(kWarning) << "server stream corrupt, dropping: "
                                << next.status().ToString();
+          corrupt_counter_->Increment();
           conns_[hosts[i]].reset();
           break;
         }
@@ -239,6 +300,11 @@ void SocketClient::CheckTimeouts() {
     }
     ++op.attempts;
     ++retry_count_;
+    retries_counter_->Increment();
+    if (obs::kMetricsEnabled) {
+      trace_.Record({now_us(), op.trace_id, id, op.key, site_, site_,
+                     static_cast<uint8_t>(op.type), obs::HopKind::kRetry});
+    }
     op.deadline_us = BackoffDeadline(op.attempts);
     SendOp(id, op);
   }
@@ -256,7 +322,16 @@ void SocketClient::CheckTimeouts() {
     report.reply_to = site_;
     report.to = kCoordinatorSite;
     report.key = it->second.key;
+    report.trace_id = it->second.trace_id;
     SendToBucket(0, report);
+    // An exhausted op is always worth a structured line (no slow_op_us
+    // gate): it is the client-visible symptom of a dead host.
+    obs::LogEvent("op_unavailable", LogLevel::kError)
+        .Str("op", MsgTypeToString(it->second.type))
+        .U64("key", it->second.key)
+        .U64("elapsed_us", now - it->second.start_us)
+        .U64("trace_id", it->second.trace_id)
+        .U64("attempts", it->second.attempts + 1);
     done_.emplace(
         id, Status::Unavailable(
                 "request " + std::to_string(id) + " (" +
@@ -331,6 +406,9 @@ Result<SocketClient::ScanResult> SocketClient::Scan(uint64_t filter_id,
   }
   scan_ = std::make_unique<ScanState>();
   scan_->request_id = next_request_id_++;
+  const uint64_t trace_id = NextTraceId();
+  last_trace_id_ = trace_id;
+  const uint64_t op_start_us = now_us();
 
   // Fan out over the image; buckets forward to children the image missed
   // (HandleScan), and each reply's piggybacked level tells us exactly which
@@ -342,10 +420,13 @@ Result<SocketClient::ScanResult> SocketClient::Scan(uint64_t filter_id,
     req.from = site_;
     req.reply_to = site_;
     req.request_id = scan_->request_id;
+    req.trace_id = trace_id;
     req.filter_id = filter_id;
     req.filter_arg = filter_arg;
     req.assumed_level = image_.AssumedLevel(a);
     req.to = net::SiteOfBucket(a);
+    if (a == 0) Hop(obs::HopKind::kOpStart, req);
+    Hop(obs::HopKind::kSend, req);
     scan_->expected.emplace(a, req.assumed_level);
     SendToBucket(a, req);
   }
@@ -396,6 +477,24 @@ Result<SocketClient::ScanResult> SocketClient::Scan(uint64_t filter_id,
     for (sdds::WireRecord& r : reply.records) {
       result.hits.push_back(std::move(r));
     }
+  }
+  const uint64_t scan_elapsed_us = now_us() - op_start_us;
+  scan_us_->Record(scan_elapsed_us);
+  if (obs::kMetricsEnabled) {
+    // No single accepting reply; close the trace with a summary hop
+    // (key = buckets answered), mirroring LhClient::Scan.
+    trace_.Record({now_us(), trace_id, scan_->request_id,
+                   result.buckets_answered, site_, site_,
+                   static_cast<uint8_t>(MsgType::kScanReply),
+                   obs::HopKind::kOpDone});
+  }
+  const uint64_t slow = options_.lh.slow_op_us;
+  if (slow != 0 && scan_elapsed_us >= slow) {
+    obs::LogEvent("slow_op")
+        .Str("op", "Scan")
+        .U64("elapsed_us", scan_elapsed_us)
+        .U64("trace_id", trace_id)
+        .U64("buckets_answered", result.buckets_answered);
   }
   scan_.reset();
   return result;

@@ -9,6 +9,8 @@
 
 #include "net/cluster.h"
 #include "net/socket_transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sdds/lh_options.h"
 #include "util/result.h"
 
@@ -49,6 +51,10 @@ class SocketClient {
     /// Insert: an existing record was replaced. Lookup/delete: key existed.
     bool found = false;
     Bytes value;  // lookup hit payload
+    /// The op's cluster-wide trace id (0 with metrics compiled out) — feed
+    /// it to AdminClient::AssembleTrace / `essdds_admin trace` to follow
+    /// the op across every host it touched.
+    uint64_t trace_id = 0;
   };
 
   struct ScanResult {
@@ -97,6 +103,18 @@ class SocketClient {
   uint64_t stale_reply_count() const { return stale_reply_count_; }
   uint64_t iam_count() const { return iam_count_; }
 
+  /// The client's own instruments (client.*_us latency histograms,
+  /// client.retries / client.stale_replies / client.iams counters,
+  /// net.corrupt_frames) — the client-side leg of the observability plane.
+  obs::MetricRegistry& metrics() { return registry_; }
+  /// The client's hop ring: kOpStart/kSend/kRetry/kStale/kOpDone hops of
+  /// every op, keyed by trace id. AdminClient::AssembleTrace accepts a
+  /// Snapshot of this ring as the client-side events of a cross-host trace.
+  const obs::TraceRing& trace() const { return trace_; }
+  /// Trace id of the most recently submitted operation (0 with metrics
+  /// compiled out).
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
   /// Monotonic client clock, microseconds since construction.
   uint64_t now_us() const;
 
@@ -107,6 +125,8 @@ class SocketClient {
     Bytes value;  // retransmission copy
     uint64_t deadline_us = 0;
     uint32_t attempts = 0;
+    uint64_t trace_id = 0;
+    uint64_t start_us = 0;  // submit time; latency span base
   };
 
   uint64_t AddressFor(uint64_t key) const;
@@ -124,6 +144,12 @@ class SocketClient {
   void CheckTimeouts();
   void HandleReply(sdds::Message msg);
   uint64_t BackoffDeadline(uint32_t attempts) const;
+  /// Allocates a cluster-unique trace id: the client's site id in the high
+  /// word, a local sequence in the low — two clients can never collide.
+  /// Always 0 with metrics compiled out (the wire's untraced sentinel).
+  uint64_t NextTraceId();
+  void Hop(obs::HopKind kind, const sdds::Message& msg);
+  obs::Histogram& LatencyHistogramFor(sdds::MsgType type);
 
   Options options_;
   sdds::SiteId site_;
@@ -133,6 +159,19 @@ class SocketClient {
   uint64_t retry_count_ = 0;
   uint64_t stale_reply_count_ = 0;
   uint64_t iam_count_ = 0;
+  uint64_t next_trace_seq_ = 0;
+  uint64_t last_trace_id_ = 0;
+
+  obs::MetricRegistry registry_;
+  obs::TraceRing trace_;
+  obs::Histogram* insert_us_ = nullptr;
+  obs::Histogram* lookup_us_ = nullptr;
+  obs::Histogram* delete_us_ = nullptr;
+  obs::Histogram* scan_us_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* stale_counter_ = nullptr;
+  obs::Counter* iam_counter_ = nullptr;
+  obs::Counter* corrupt_counter_ = nullptr;
 
   std::vector<std::unique_ptr<Conn>> conns_;  // by host index
   Poller poller_;

@@ -5,9 +5,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <utility>
 
+#include "net/admin.h"
 #include "util/logging.h"
+#include "util/wire.h"
 
 namespace essdds::net {
 
@@ -31,6 +34,22 @@ SocketNetwork::SocketNetwork(Options options)
     : options_(std::move(options)), start_ns_(MonotonicNs()) {
   ESSDDS_CHECK(!options_.cluster.hosts.empty());
   ESSDDS_CHECK(options_.host_index < options_.cluster.hosts.size());
+  corrupt_frames_ = &metrics().counter("net.corrupt_frames");
+  admin_pulls_ = &metrics().counter("net.admin_pulls");
+  backpressure_gauge_ = &metrics().gauge("net.backpressure_bytes");
+  recv_msg_bytes_ = &metrics().histogram("net.recv_msg_bytes");
+}
+
+obs::Counter& SocketNetwork::DeliveredCounter(MsgType type) {
+  const size_t idx = static_cast<size_t>(type);
+  if (idx >= delivered_by_type_.size()) {
+    delivered_by_type_.resize(idx + 1, nullptr);
+  }
+  if (delivered_by_type_[idx] == nullptr) {
+    delivered_by_type_[idx] = &metrics().counter(
+        "net.delivered." + std::string(sdds::MsgTypeToString(type)));
+  }
+  return *delivered_by_type_[idx];
 }
 
 SocketNetwork::~SocketNetwork() {
@@ -82,7 +101,10 @@ Conn* SocketNetwork::PeerConn(size_t host) {
   }
   conns_.push_back(Connection{std::make_unique<Conn>(*fd),
                               static_cast<SiteId>(
-                                  kHostSiteBase + options_.host_index)});
+                                  kHostSiteBase + options_.host_index),
+                              &metrics().gauge("net.conn.host." +
+                                               std::to_string(host) +
+                                               ".backpressure_bytes")});
   Conn* conn = conns_.back().conn.get();
   // Identify ourselves first so the peer can attribute the stream; frames
   // queue behind the in-progress connect and flush when it completes.
@@ -175,6 +197,11 @@ bool SocketNetwork::DrainInbox() {
       continue;
     }
     any = true;
+    // The delivery hop + per-type counter: the receive-side mirror of
+    // Account()'s send-side bookkeeping, recorded just before the handler
+    // runs so a traced op's ring shows send -> deliver pairs per link.
+    TraceHop(obs::HopKind::kDeliver, msg);
+    DeliveredCounter(msg.type).Increment();
     it->second->OnMessage(msg, *this);
   }
   return any;
@@ -194,6 +221,9 @@ void SocketNetwork::HandleFrame(size_t conn_index, Frame frame) {
       }
       Connection& c = conns_[conn_index];
       c.hello_site = *site;
+      c.bp_gauge = &metrics().gauge("net.conn." +
+                                    std::to_string(c.hello_site) +
+                                    ".backpressure_bytes");
       if (IsClientSite(c.hello_site)) {
         // Latest connection wins: a reconnecting client replaces its stale
         // registration.
@@ -212,6 +242,7 @@ void SocketNetwork::HandleFrame(size_t conn_index, Frame frame) {
       break;
     }
     case FrameKind::kMessage: {
+      recv_msg_bytes_->Record(frame.payload.size());
       Result<Message> msg = Message::Decode(
           ByteSpan(frame.payload.data(), frame.payload.size()));
       if (msg.ok()) {
@@ -222,10 +253,53 @@ void SocketNetwork::HandleFrame(size_t conn_index, Frame frame) {
                            << msg.status().ToString();
       break;
     }
+    case FrameKind::kAdminMetricsPull:
+    case FrameKind::kAdminTracePull:
+    case FrameKind::kAdminHealth: {
+      if (ServeAdminPull(conn_index, frame)) return;
+      ESSDDS_LOG(kWarning) << "malformed admin pull";
+      break;
+    }
+    case FrameKind::kAdminReply:
+      // Replies flow host -> admin only; one arriving here is garbage.
+      ESSDDS_LOG(kWarning) << "unexpected admin reply frame from a peer";
+      break;
   }
   // A peer that frames garbage is broken; keeping the stream would only
-  // yield more garbage.
+  // yield more garbage. Semantic garbage (a CRC-valid frame with an
+  // undecodable payload) counts as corruption like a failed CRC does.
+  corrupt_frames_->Increment();
   (void)::shutdown(conns_[conn_index].conn->fd(), SHUT_RDWR);
+}
+
+bool SocketNetwork::ServeAdminPull(size_t conn_index, const Frame& frame) {
+  admin_pulls_->Increment();
+  Bytes body;
+  switch (frame.kind) {
+    case FrameKind::kAdminMetricsPull:
+      body = EncodeMetricsBody(metrics(), stats());
+      break;
+    case FrameKind::kAdminTracePull: {
+      WireReader r(ByteSpan(frame.payload.data(), frame.payload.size()));
+      Result<uint64_t> id = r.ReadU64();
+      if (!id.ok() || !r.ExpectEnd().ok()) return false;
+      body = EncodeTraceBody(trace(), *id);
+      break;
+    }
+    case FrameKind::kAdminHealth: {
+      const std::string health = admin_health_ ? admin_health_() : "{}";
+      body.assign(health.begin(), health.end());
+      break;
+    }
+    default:
+      return false;
+  }
+  conns_[conn_index].conn->EnqueueFrame(EncodeFrame(
+      FrameKind::kAdminReply,
+      EncodeAdminReply(frame.kind,
+                       static_cast<uint32_t>(options_.host_index), now_us(),
+                       body)));
+  return true;
 }
 
 bool SocketNetwork::RunOnce(int timeout_ms) {
@@ -234,6 +308,7 @@ bool SocketNetwork::RunOnce(int timeout_ms) {
   std::vector<PollEntry> entries;
   entries.reserve(conns_.size() + 1);
   entries.push_back(PollEntry{listen_fd_, true, false});
+  size_t queued_total = 0;
   for (Connection& c : conns_) {
     PollEntry e;
     e.fd = c.conn->fd();
@@ -243,7 +318,12 @@ bool SocketNetwork::RunOnce(int timeout_ms) {
     e.want_read = c.conn->queued_bytes() < options_.max_conn_queued_bytes;
     e.want_write = c.conn->wants_write();
     entries.push_back(e);
+    queued_total += c.conn->queued_bytes();
+    if (c.bp_gauge != nullptr) {
+      c.bp_gauge->Set(static_cast<int64_t>(c.conn->queued_bytes()));
+    }
   }
+  backpressure_gauge_->Set(static_cast<int64_t>(queued_total));
   poller_.Wait(entries, progress ? 0 : timeout_ms);
 
   if (entries[0].readable) {
@@ -266,11 +346,15 @@ bool SocketNetwork::RunOnce(int timeout_ms) {
   for (size_t i = 0; i < polled; ++i) {
     const PollEntry& e = entries[i + 1];
     if (e.readable || e.error) {
+      const bool was_corrupt = conns_[i].conn->stream_corrupt();
       (void)conns_[i].conn->ReadReady();
       for (;;) {
         Frame frame;
         Result<bool> next = conns_[i].conn->NextFrame(&frame);
         if (!next.ok()) {
+          // Count each corrupt stream once (the decoder repeats the error
+          // every turn until the connection is reaped).
+          if (!was_corrupt) corrupt_frames_->Increment();
           ESSDDS_LOG(kWarning)
               << "dropping connection fd " << conns_[i].conn->fd() << ": "
               << next.status().ToString();
@@ -312,10 +396,19 @@ bool SocketNetwork::RunOnce(int timeout_ms) {
     for (auto it = peer_out_.begin(); it != peer_out_.end();) {
       it = it->second == conn ? peer_out_.erase(it) : std::next(it);
     }
+    // A reaped connection's queue is gone; zero its gauge so the scrape
+    // doesn't report phantom backpressure forever.
+    if (conns_[i].bp_gauge != nullptr) conns_[i].bp_gauge->Set(0);
     conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
     progress = true;
   }
   return progress;
+}
+
+size_t SocketNetwork::total_queued_bytes() const {
+  size_t total = 0;
+  for (const Connection& c : conns_) total += c.conn->queued_bytes();
+  return total;
 }
 
 void SocketNetwork::BroadcastExtent(uint64_t extent) {

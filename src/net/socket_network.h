@@ -71,6 +71,13 @@ class SocketNetwork final : public sdds::Network {
   using ExtentFn = std::function<void(uint64_t extent_at_least)>;
   void set_on_extent(ExtentFn fn) { on_extent_ = std::move(fn); }
 
+  /// Health-summary provider for the admin side channel: invoked (if set)
+  /// when a kAdminHealth pull arrives, returning a self-describing JSON
+  /// object (BucketHost builds it from live bucket/recovery state). Unset
+  /// hosts answer "{}".
+  using HealthFn = std::function<std::string()>;
+  void set_admin_health(HealthFn fn) { admin_health_ = std::move(fn); }
+
   /// Registers `site` under the globally fixed id `id` (cluster.h scheme).
   void RegisterAs(sdds::SiteId id, sdds::Site* site);
 
@@ -97,12 +104,20 @@ class SocketNetwork final : public sdds::Network {
   size_t connection_count() const { return conns_.size(); }
   uint64_t frames_received() const { return frames_received_; }
 
+  /// Bytes queued across every connection's write queue — the host-wide
+  /// backpressure signal, also exported as the net.backpressure_bytes gauge.
+  size_t total_queued_bytes() const;
+
  private:
   struct Connection {
     std::unique_ptr<Conn> conn;
     /// Site id from the peer's kHello (client site or kHostSiteBase marker);
     /// kInvalidSite until the hello arrives.
     sdds::SiteId hello_site = sdds::kInvalidSite;
+    /// Per-connection backpressure gauge, resolved once the connection is
+    /// identified (hello, or peer dial); nullptr until then. Stub under
+    /// -DESSDDS_METRICS=OFF like every instrument.
+    obs::Gauge* bp_gauge = nullptr;
   };
 
   bool HostedHere(sdds::SiteId site) const;
@@ -122,6 +137,12 @@ class SocketNetwork final : public sdds::Network {
   bool DrainInbox();
   void HandleFrame(size_t conn_index, Frame frame);
   void NoteExtentAtLeast(uint64_t extent);
+  /// Serves one admin pull frame (metrics/trace/health) with a kAdminReply
+  /// on the same connection. False when the pull payload was malformed —
+  /// the caller then drops the connection like any other garbage.
+  bool ServeAdminPull(size_t conn_index, const Frame& frame);
+  /// Cached per-message-type delivery counter (net.delivered.<Type>).
+  obs::Counter& DeliveredCounter(sdds::MsgType type);
 
   Options options_;
   int listen_fd_ = -1;
@@ -135,9 +156,18 @@ class SocketNetwork final : public sdds::Network {
   std::deque<sdds::Message> local_inbox_;
   MaterializeFn materialize_;
   ExtentFn on_extent_;
+  HealthFn admin_health_;
   uint64_t start_ns_ = 0;
   uint64_t frames_received_ = 0;
   Poller poller_;
+
+  // Hot-path instruments, resolved once at construction (stubs under
+  // -DESSDDS_METRICS=OFF; the name map is never touched per frame).
+  obs::Counter* corrupt_frames_ = nullptr;
+  obs::Counter* admin_pulls_ = nullptr;
+  obs::Gauge* backpressure_gauge_ = nullptr;
+  obs::Histogram* recv_msg_bytes_ = nullptr;
+  std::vector<obs::Counter*> delivered_by_type_;
 };
 
 }  // namespace essdds::net

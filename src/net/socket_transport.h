@@ -80,6 +80,10 @@ class Conn {
   bool Flush();
 
   bool wants_write() const { return !write_queue_.empty(); }
+  /// True once the frame stream turned corrupt (bad magic/kind/length/CRC).
+  /// Lets the event loop count each corrupt stream exactly once — NextFrame
+  /// keeps repeating the Corruption until the connection is reaped.
+  bool stream_corrupt() const { return decoder_.corrupt(); }
   /// Bytes queued but not yet written — the backpressure signal: the event
   /// loop stops reading from a peer whose write queue is over budget.
   size_t queued_bytes() const { return queued_bytes_; }

@@ -1,0 +1,119 @@
+#include "obs/log.h"
+
+#if ESSDDS_METRICS
+
+#include <cstdio>
+
+namespace essdds::obs {
+
+EventLog& EventLog::Global() {
+  static EventLog* log = new EventLog();  // leaked: outlives static dtors
+  return *log;
+}
+
+void EventLog::set_rate_limit_per_sec(double per_sec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  per_sec_ = per_sec;
+  tokens_ = per_sec > 0 ? per_sec : 0;
+  primed_ = false;
+}
+
+void EventLog::set_capture(std::string* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capture_ = sink;
+}
+
+uint64_t EventLog::emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
+
+uint64_t EventLog::suppressed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_total_;
+}
+
+bool EventLog::Admit(uint64_t* suppressed_since) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (per_sec_ <= 0) {
+    *suppressed_since = suppressed_since_;
+    suppressed_since_ = 0;
+    ++emitted_;
+    return true;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (!primed_) {
+    primed_ = true;
+    last_refill_ = now;
+    tokens_ = per_sec_;  // full burst at startup
+  } else {
+    const double elapsed =
+        std::chrono::duration<double>(now - last_refill_).count();
+    last_refill_ = now;
+    tokens_ += elapsed * per_sec_;
+    if (tokens_ > per_sec_) tokens_ = per_sec_;  // burst cap = 1s of budget
+  }
+  if (tokens_ < 1.0) {
+    ++suppressed_total_;
+    ++suppressed_since_;
+    return false;
+  }
+  tokens_ -= 1.0;
+  *suppressed_since = suppressed_since_;
+  suppressed_since_ = 0;
+  ++emitted_;
+  return true;
+}
+
+void EventLog::Write(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capture_ != nullptr) {
+    capture_->append(line);
+    capture_->push_back('\n');
+    return;
+  }
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+}
+
+LogEvent::LogEvent(std::string_view event, LogLevel level)
+    : enabled_(static_cast<int>(level) >=
+               static_cast<int>(GetMinLogLevel())) {
+  if (!enabled_) return;
+  w_.BeginObject().KV("event", event);
+}
+
+LogEvent::~LogEvent() {
+  if (!enabled_) return;
+  uint64_t suppressed_since = 0;
+  EventLog& log = EventLog::Global();
+  if (!log.Admit(&suppressed_since)) return;
+  if (suppressed_since > 0) w_.KV("suppressed", suppressed_since);
+  w_.EndObject();
+  log.Write(w_.str());
+}
+
+LogEvent& LogEvent::U64(std::string_view key, uint64_t v) {
+  if (enabled_) w_.KV(key, v);
+  return *this;
+}
+
+LogEvent& LogEvent::I64(std::string_view key, int64_t v) {
+  if (enabled_) w_.KV(key, v);
+  return *this;
+}
+
+LogEvent& LogEvent::Dbl(std::string_view key, double v) {
+  if (enabled_) w_.KV(key, v);
+  return *this;
+}
+
+LogEvent& LogEvent::Str(std::string_view key, std::string_view v) {
+  if (enabled_) w_.KV(key, v);
+  return *this;
+}
+
+}  // namespace essdds::obs
+
+#endif  // ESSDDS_METRICS

@@ -1,0 +1,123 @@
+#ifndef ESSDDS_OBS_LOG_H_
+#define ESSDDS_OBS_LOG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace essdds::obs {
+
+#if ESSDDS_METRICS
+
+/// Process-wide sink for structured (one-JSON-line) events: slow ops,
+/// bucket halts, recovery milestones. Distinct from ESSDDS_LOG, which emits
+/// free-form human text — these lines are machine-greppable and carry trace
+/// ids, so a slow-op line can be fed straight to `essdds_admin trace`.
+///
+/// Events are rate-limited by a token bucket (default 20 lines/sec): a hot
+/// failure path — every op slow because a site died — must not turn the log
+/// into the bottleneck. Dropped events are counted, and the count of drops
+/// since the last emitted line rides the next line as a "suppressed" field,
+/// so the reader knows the log is lossy and by how much.
+///
+/// Thread-safe; the emitting path takes one short mutex.
+class EventLog {
+ public:
+  static EventLog& Global();
+
+  /// Token-bucket refill rate. <= 0 disables limiting entirely.
+  void set_rate_limit_per_sec(double per_sec);
+
+  /// Test hook: while set, emitted lines append to *sink instead of stderr.
+  /// Pass nullptr to restore stderr. Caller owns the string and must keep
+  /// it alive until the hook is cleared.
+  void set_capture(std::string* sink);
+
+  uint64_t emitted() const;
+  uint64_t suppressed() const;
+
+ private:
+  friend class LogEvent;
+
+  /// Consumes one token. True → caller may emit, and *suppressed_since
+  /// holds the number of events dropped since the previous emitted line
+  /// (0 when none). False → the event is dropped and counted.
+  bool Admit(uint64_t* suppressed_since);
+  void Write(std::string_view line);
+
+  mutable std::mutex mu_;
+  double per_sec_ = 20.0;
+  double tokens_ = 20.0;
+  bool primed_ = false;
+  std::chrono::steady_clock::time_point last_refill_;
+  uint64_t emitted_ = 0;
+  uint64_t suppressed_total_ = 0;
+  uint64_t suppressed_since_ = 0;
+  std::string* capture_ = nullptr;
+};
+
+/// Builder for one structured event line. Fields accumulate through the
+/// chainable setters; the destructor emits the line (subject to level and
+/// rate-limit checks):
+///
+///   obs::LogEvent("slow_op")
+///       .Str("op", "insert").U64("key", k)
+///       .U64("elapsed_us", dt).U64("trace_id", tid);
+///
+/// → {"event":"slow_op","op":"insert","key":...,"elapsed_us":...,...}
+///
+/// Default level is kWarning so events are visible at the default min log
+/// level — every emitting site is already opt-in (slow_op_us = 0 disables
+/// slow-op events; halts are always worth a line).
+class LogEvent {
+ public:
+  explicit LogEvent(std::string_view event,
+                    LogLevel level = LogLevel::kWarning);
+  ~LogEvent();
+
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& U64(std::string_view key, uint64_t v);
+  LogEvent& I64(std::string_view key, int64_t v);
+  LogEvent& Dbl(std::string_view key, double v);
+  LogEvent& Str(std::string_view key, std::string_view v);
+
+ private:
+  bool enabled_;
+  JsonWriter w_;
+};
+
+#else  // !ESSDDS_METRICS — the whole sink inlines away
+
+class EventLog {
+ public:
+  static EventLog& Global() {
+    static EventLog log;
+    return log;
+  }
+  void set_rate_limit_per_sec(double) {}
+  void set_capture(std::string*) {}
+  uint64_t emitted() const { return 0; }
+  uint64_t suppressed() const { return 0; }
+};
+
+class LogEvent {
+ public:
+  explicit LogEvent(std::string_view, LogLevel = LogLevel::kWarning) {}
+  LogEvent& U64(std::string_view, uint64_t) { return *this; }
+  LogEvent& I64(std::string_view, int64_t) { return *this; }
+  LogEvent& Dbl(std::string_view, double) { return *this; }
+  LogEvent& Str(std::string_view, std::string_view) { return *this; }
+};
+
+#endif  // ESSDDS_METRICS
+
+}  // namespace essdds::obs
+
+#endif  // ESSDDS_OBS_LOG_H_

@@ -61,6 +61,32 @@ void Histogram::MergeFrom(const Histogram& other) {
   }
 }
 
+HistogramState Histogram::CaptureState() const {
+  HistogramState s;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  s.count = count();
+  s.sum = sum();
+  s.max = max();
+  return s;
+}
+
+void Histogram::MergeState(const HistogramState& state) {
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (state.buckets[b]) {
+      buckets_[b].fetch_add(state.buckets[b], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(state.count, std::memory_order_relaxed);
+  sum_.fetch_add(state.sum, std::memory_order_relaxed);
+  uint64_t v = state.max;
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
 void Histogram::Reset() {
   for (size_t b = 0; b < kBuckets; ++b) {
     buckets_[b].store(0, std::memory_order_relaxed);
@@ -127,6 +153,32 @@ std::string MetricRegistry::ToJson() const {
   w.EndObject();
   w.EndObject();
   return w.str();
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricRegistry::CounterValues()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricRegistry::GaugeValues()
+    const {
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramState>>
+MetricRegistry::HistogramStates() const {
+  std::vector<std::pair<std::string, HistogramState>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name, h->CaptureState());
+  }
+  return out;
 }
 
 }  // namespace essdds::obs

@@ -7,8 +7,28 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace essdds::obs {
+
+/// Snapshot of one histogram's internals: plain integers, no atomics, so it
+/// can be copied, shipped across a wire, and folded into another histogram.
+/// The admin plane (net::AdminClient) pulls these from every host of a
+/// socket cluster and merges them into one cluster-wide histogram via
+/// Histogram::MergeState. Defined outside the ESSDDS_METRICS gate: wire
+/// codecs must decode peer snapshots even in a build whose own instruments
+/// are stubs.
+struct HistogramState {
+  static constexpr size_t kBuckets = 65;
+  uint64_t buckets[kBuckets] = {};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+
+  friend bool operator==(const HistogramState&,
+                         const HistogramState&) = default;
+};
 
 /// True when the build carries the metrics/tracing layer. With
 /// -DESSDDS_METRICS=OFF every class in this header collapses to a stateless
@@ -100,6 +120,15 @@ class Histogram {
   /// approximate as the source buckets.
   void MergeFrom(const Histogram& other);
 
+  /// Copies the current contents into a plain snapshot (approximate under
+  /// concurrent writers, exact once they quiesce — same contract as the
+  /// other read-side methods).
+  HistogramState CaptureState() const;
+
+  /// Folds a snapshot's samples into this histogram — MergeFrom for state
+  /// that crossed a process boundary.
+  void MergeState(const HistogramState& state);
+
   void Reset();
 
  private:
@@ -150,6 +179,13 @@ class MetricRegistry {
   /// p50,p95,p99}}} with keys in lexicographic order.
   std::string ToJson() const;
 
+  /// Full-registry snapshots in lexicographic name order — what the admin
+  /// wire ships to a puller. Creation-free: a registry that never saw a
+  /// metric yields empty vectors.
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, int64_t>> GaugeValues() const;
+  std::vector<std::pair<std::string, HistogramState>> HistogramStates() const;
+
  private:
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
@@ -190,6 +226,8 @@ class Histogram {
   };
   Summary Summarize() const { return {}; }
   void MergeFrom(const Histogram&) {}
+  HistogramState CaptureState() const { return {}; }
+  void MergeState(const HistogramState&) {}
   void Reset() {}
 };
 
@@ -200,6 +238,15 @@ class MetricRegistry {
   Histogram& histogram(std::string_view) { return histogram_; }
   void ResetAll() {}
   std::string ToJson() const { return "{}"; }
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const {
+    return {};
+  }
+  std::vector<std::pair<std::string, int64_t>> GaugeValues() const {
+    return {};
+  }
+  std::vector<std::pair<std::string, HistogramState>> HistogramStates() const {
+    return {};
+  }
 
  private:
   // One shared stub per kind: references handed out are all the same

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/log.h"
+
 namespace essdds::sdds {
 
 LhClient::LhClient(LhRuntime* runtime, Network* net)
@@ -116,8 +118,20 @@ Message LhClient::RoundTrip(MsgType type, uint64_t key, Bytes value) {
       pending_.erase(it);
       outstanding_.erase(id);
       ApplyIam(reply);
-      LatencyHistogramFor(type).Record(net_->now_us() - op_start_us);
+      const uint64_t elapsed_us = net_->now_us() - op_start_us;
+      LatencyHistogramFor(type).Record(elapsed_us);
       net_->TraceHop(obs::HopKind::kOpDone, reply);
+      const uint64_t slow = runtime_->options().slow_op_us;
+      if (slow != 0 && elapsed_us >= slow) {
+        // Structured breadcrumb for ops past the budget: the trace id makes
+        // the op followable with `essdds_admin trace` / AssembleTrace.
+        obs::LogEvent("slow_op")
+            .Str("op", MsgTypeToString(type))
+            .U64("key", key)
+            .U64("elapsed_us", elapsed_us)
+            .U64("trace_id", last_trace_id_)
+            .U64("attempts", attempts);
+      }
       return reply;
     }
 
@@ -266,7 +280,16 @@ LhClient::ScanResult LhClient::Scan(uint64_t filter_id, Bytes filter_arg) {
     result.buckets_answered = buckets_seen.size();
     pending_.erase(it);
   }
-  scan_us_->Record(net_->now_us() - op_start_us);
+  const uint64_t scan_elapsed_us = net_->now_us() - op_start_us;
+  scan_us_->Record(scan_elapsed_us);
+  const uint64_t slow = runtime_->options().slow_op_us;
+  if (slow != 0 && scan_elapsed_us >= slow) {
+    obs::LogEvent("slow_op")
+        .Str("op", "Scan")
+        .U64("elapsed_us", scan_elapsed_us)
+        .U64("trace_id", trace_id)
+        .U64("buckets_answered", result.buckets_answered);
+  }
   // The scan has no single accepting reply; close the trace with a
   // summary hop (key = buckets answered).
   Message done;

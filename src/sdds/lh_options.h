@@ -214,6 +214,15 @@ struct LhOptions {
   /// (lookups and scans decode-on-the-fly at the proxy) — used by tests and
   /// the recovery bench to measure degraded reads; 0 rebuilds immediately.
   uint64_t recovery_hold_us = 0;
+
+  /// Slow-op structured logging threshold, in microseconds (virtual on the
+  /// simulated networks, wall-clock on the socket client). Any client
+  /// operation whose submit-to-completion latency meets or exceeds the
+  /// threshold emits one structured JSON line (obs::LogEvent "slow_op")
+  /// carrying its trace id, so the op can be fed straight to
+  /// AdminClient::AssembleTrace / `essdds_admin trace`. 0 (the default)
+  /// disables slow-op logging entirely.
+  uint64_t slow_op_us = 0;
 };
 
 /// The key mixer used when LhOptions::hash_keys is set (splitmix64
@@ -379,6 +388,13 @@ class LhRuntime {
   /// site's already-sent parity updates still deliver (fail-stop with
   /// drained output), and the decode must reflect all of them.
   virtual bool MemberTrafficDrained(uint64_t /*bucket*/) const { return true; }
+
+  /// Notification that a bucket server halted on an unrecoverable append
+  /// failure (persistence I/O error). Hosting runtimes that keep post-mortem
+  /// telemetry (net::BucketHost) override this to flush it immediately —
+  /// a halted bucket is exactly the state an operator will want a complete
+  /// metrics file for. Default: no-op.
+  virtual void OnBucketHalted(uint64_t /*bucket*/) {}
 };
 
 }  // namespace essdds::sdds

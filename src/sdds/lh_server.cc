@@ -193,7 +193,7 @@ void LhBucketServer::HandleKeyOp(Message& msg, Network& net) {
       // halts the site with the insert unacknowledged — the client retries
       // against the restarted site.
       if (log_ != nullptr && !log_->AppendPut(msg.key, msg.value)) {
-        halted_ = true;
+        Halt();
         return;
       }
       std::vector<ParityOp> parity_ops;
@@ -221,7 +221,7 @@ void LhBucketServer::HandleKeyOp(Message& msg, Network& net) {
     }
     case MsgType::kDelete: {
       if (log_ != nullptr && !log_->AppendErase(msg.key)) {
-        halted_ = true;
+        Halt();
         return;
       }
       std::vector<ParityOp> parity_ops;
@@ -354,13 +354,13 @@ void LhBucketServer::HandleSplit(const Message& msg, Network& net) {
     persist::BucketLog* peer = runtime_->LogOfBucket(new_bucket);
     if (peer != nullptr) {
       if (!peer->AppendBulkPut(msg.new_level, move.records)) {
-        halted_ = true;
+        Halt();
         return;
       }
       move.records_durable = true;
     }
     if (!log_->AppendEraseBulk(msg.new_level, moved_keys)) {
-      halted_ = true;
+      Halt();
       return;
     }
   }
@@ -403,7 +403,7 @@ void LhBucketServer::HandleMoveRecords(Message& msg, Network& net) {
   // again would only store a redundant duplicate frame.
   if (!msg.records_durable && log_ != nullptr &&
       !log_->AppendBulkPut(level_, msg.records)) {
-    halted_ = true;
+    Halt();
     return;
   }
   std::vector<ParityOp> parity_ops;
@@ -472,13 +472,13 @@ void LhBucketServer::HandleMerge(const Message& msg, Network& net) {
     persist::BucketLog* peer = runtime_->LogOfBucket(parent);
     if (peer != nullptr) {
       if (!peer->AppendBulkPut(msg.new_level, move.records)) {
-        halted_ = true;
+        Halt();
         return;
       }
       move.records_durable = true;
     }
     if (!log_->AppendClear()) {
-      halted_ = true;
+      Halt();
       return;
     }
   }
@@ -529,7 +529,7 @@ void LhBucketServer::HandleMergeRecords(Message& msg, Network& net) {
   // already wrote into this log (two-phase) is not appended again.
   if (!msg.records_durable && log_ != nullptr &&
       !log_->AppendBulkPut(msg.new_level, msg.records)) {
-    halted_ = true;
+    Halt();
     return;
   }
   AboutToMutateRecords(net);
@@ -557,7 +557,7 @@ void LhBucketServer::HandleMergeRecords(Message& msg, Network& net) {
       stashed_merge_records_.erase(it);
       if (!next.records_durable && log_ != nullptr &&
           !log_->AppendBulkPut(next.new_level, next.records)) {
-        halted_ = true;
+        Halt();
         return;
       }
       std::vector<ParityOp> stashed_ops;
@@ -894,6 +894,7 @@ void LhCoordinator::HandleDeadSite(const Message& msg, Network& net) {
     if (dead_probes_.count(bucket)) continue;  // probe/recovery in flight
     DeadProbe probe;
     probe.generation = next_probe_generation_++;
+    probe.reported_at_us = net.now_us();
     Message ping;
     ping.type = MsgType::kPing;
     ping.from = site_;
@@ -948,6 +949,11 @@ void LhCoordinator::HandleRecoveryTick(const Message& msg, Network& net) {
   it->second.declared_at_us = net.now_us();
   if (obs::kMetricsEnabled) {
     net.metrics().counter("coord.dead_sites").Increment();
+    // Phase timer (declare): first client report -> dead declaration. The
+    // freeze/decode/install phases are timed by the parity proxy.
+    net.metrics()
+        .histogram("recovery.declare_us")
+        .Record(it->second.declared_at_us - it->second.reported_at_us);
   }
   it->second.proxy = runtime_->MarkBucketDead(bucket);
   ++recovering_;

@@ -111,6 +111,13 @@ class LhBucketServer : public Site {
   /// go to next, or bucket_number_ when it belongs here.
   uint64_t RouteFor(uint64_t key) const;
 
+  /// Append-failure halt: marks the site crashed and notifies the hosting
+  /// runtime (OnBucketHalted) so it can flush post-mortem telemetry.
+  void Halt() {
+    halted_ = true;
+    runtime_->OnBucketHalted(bucket_number_);
+  }
+
   void HandleKeyOp(Message& msg, Network& net);
   void HandleScan(Message& msg, Network& net);
   void HandleSplit(const Message& msg, Network& net);
@@ -276,6 +283,9 @@ class LhCoordinator : public Site {
   struct DeadProbe {
     bool declared = false;
     uint64_t declared_at_us = 0;
+    /// When the first client report created this probe — the start of the
+    /// recovery.declare_us phase timer (report -> declaration).
+    uint64_t reported_at_us = 0;
     SiteId proxy = kInvalidSite;
     // Probe generation: a pong can erase a probe and a later report
     // re-create it; the timeout tick of the ERASED probe must not declare

@@ -459,6 +459,7 @@ void ParityServer::NoteDead(int member, Network& net) {
 
 void ParityServer::RestartGather(Network& net) {
   ++epoch_;
+  gather_started_us_ = net.now_us();
   slices_.clear();
   peer_pieces_.clear();
   peers_awaited_.clear();
@@ -552,6 +553,14 @@ void ParityServer::CheckGather(Network& net) {
 
 void ParityServer::DecodeDead(Network& net) {
   const auto start = std::chrono::steady_clock::now();
+  if (obs::kMetricsEnabled) {
+    // Phase timer (freeze): freeze broadcast -> every survivor sliced, the
+    // update stream drained to the cut, and peers aligned. Virtual time,
+    // like declare_us — it spans message round-trips, not local CPU.
+    net.metrics()
+        .histogram("recovery.freeze_us")
+        .Record(net.now_us() - gather_started_us_);
+  }
   // Rank universe: every rank any survivor, parity row, or dead member's
   // mirror mentions.
   std::set<uint64_t> ranks;
@@ -673,6 +682,7 @@ void ParityServer::DecodeDead(Network& net) {
 }
 
 void ParityServer::InstallRebuild(int member, Network& net) {
+  const auto install_start = std::chrono::steady_clock::now();
   ESSDDS_CHECK(decode_valid_);
   auto sh = shadow_.find(member);
   ESSDDS_CHECK(sh != shadow_.end());
@@ -738,6 +748,17 @@ void ParityServer::InstallRebuild(int member, Network& net) {
   done.to = runtime_->CoordinatorSite();
   done.key = bucket;
   net.Send(std::move(done));
+
+  if (obs::kMetricsEnabled) {
+    // Phase timer (install): shadow -> live bucket, parked ops chased,
+    // coordinator notified. Local CPU time, like decode_us.
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - install_start)
+                        .count();
+    net.metrics()
+        .histogram("recovery.install_us")
+        .Record(static_cast<uint64_t>(us));
+  }
 
   if (dead_members_.empty()) ReleaseAll(net);
 }

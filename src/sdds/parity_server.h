@@ -201,6 +201,9 @@ class ParityServer final : public Site {
 
   // --- proxy state ---
   bool gather_active_ = false;
+  /// Virtual time of the most recent gather (re)start — the base of the
+  /// recovery.freeze_us phase timer (freeze broadcast -> decode start).
+  uint64_t gather_started_us_ = 0;
   uint64_t epoch_ = 0;
   bool tick_armed_ = false;
   std::set<int> dead_members_;

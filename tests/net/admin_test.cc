@@ -1,0 +1,494 @@
+// The observability plane end to end: admin wire codecs (junk in ->
+// Corruption out), cross-host trace stitching rules, and a forked 3-process
+// cluster scraped live — merged metrics with per-host sections and cluster
+// quantiles, per-host health, and one pipelined op's trace id assembled
+// into a complete client -> coordinator host -> bucket host causal chain.
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/admin.h"
+#include "net/bucket_host.h"
+#include "net/socket_client.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace essdds::net {
+namespace {
+
+using obs::HopKind;
+using obs::TraceEvent;
+using sdds::MsgType;
+
+// --- wire codecs -----------------------------------------------------------
+
+TEST(AdminCodecTest, MetricsBodyRoundTrips) {
+  obs::MetricRegistry reg;
+  reg.counter("a.count").Increment(7);
+  reg.gauge("b.gauge").Set(-3);
+  reg.histogram("c.hist").Record(100);
+  reg.histogram("c.hist").Record(100'000);
+  sdds::NetworkStats stats;
+  stats.total_messages = 42;
+  stats.total_bytes = 4096;
+  stats.per_type[MsgType::kInsert] = 30;
+  stats.per_type[MsgType::kLookup] = 12;
+
+  const Bytes body = EncodeMetricsBody(reg, stats);
+  HostMetrics out;
+  ASSERT_TRUE(DecodeMetricsBody(ByteSpan(body.data(), body.size()), &out)
+                  .ok());
+  EXPECT_EQ(out.stats, stats);
+  if (obs::kMetricsEnabled) {
+    ASSERT_EQ(out.counters.size(), 1u);
+    EXPECT_EQ(out.counters[0].first, "a.count");
+    EXPECT_EQ(out.counters[0].second, 7u);
+    ASSERT_EQ(out.gauges.size(), 1u);
+    EXPECT_EQ(out.gauges[0].second, -3);
+    ASSERT_EQ(out.histograms.size(), 1u);
+    EXPECT_EQ(out.histograms[0].first, "c.hist");
+    EXPECT_EQ(out.histograms[0].second.count, 2u);
+    EXPECT_EQ(out.histograms[0].second.sum, 100'100u);
+    EXPECT_EQ(out.histograms[0].second.max, 100'000u);
+  } else {
+    // OFF builds still speak the wire; their own registry is just empty.
+    EXPECT_TRUE(out.counters.empty());
+    EXPECT_TRUE(out.histograms.empty());
+  }
+}
+
+TEST(AdminCodecTest, TruncatedMetricsBodyIsCorruption) {
+  obs::MetricRegistry reg;
+  reg.counter("a").Increment();
+  reg.histogram("h").Record(9);
+  const Bytes body = EncodeMetricsBody(reg, {});
+  // Every strict prefix must fail loudly, never misparse.
+  for (size_t len = 0; len < body.size(); ++len) {
+    HostMetrics out;
+    EXPECT_FALSE(DecodeMetricsBody(ByteSpan(body.data(), len), &out).ok())
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(AdminCodecTest, TraceBodyRoundTripsAndFilters) {
+  obs::TraceRing ring(64);
+  ring.Record({10, 111, 1, 5, 2, 3, 1, HopKind::kSend});
+  ring.Record({20, 222, 2, 6, 3, 4, 1, HopKind::kDeliver});
+  ring.Record({30, 111, 1, 5, 3, 2, 2, HopKind::kOpDone});
+
+  const Bytes body = EncodeTraceBody(ring, 111);
+  HostTrace out;
+  ASSERT_TRUE(DecodeTraceBody(ByteSpan(body.data(), body.size()), &out).ok());
+  if (obs::kMetricsEnabled) {
+    ASSERT_EQ(out.events.size(), 2u);
+    EXPECT_EQ(out.events[0].trace_id, 111u);
+    EXPECT_EQ(out.events[0].time_us, 10u);
+    EXPECT_EQ(out.events[0].kind, HopKind::kSend);
+    EXPECT_EQ(out.events[1].kind, HopKind::kOpDone);
+    EXPECT_EQ(out.events[1].msg_type, 2u);
+  } else {
+    EXPECT_TRUE(out.events.empty());
+  }
+
+  // Truncated trace bodies are Corruption too.
+  for (size_t len = 0; len < body.size(); ++len) {
+    HostTrace t;
+    EXPECT_FALSE(DecodeTraceBody(ByteSpan(body.data(), len), &t).ok());
+  }
+}
+
+TEST(AdminCodecTest, AdminReplyEnvelopeRoundTrips) {
+  const Bytes inner = {1, 2, 3, 4};
+  const Bytes payload =
+      EncodeAdminReply(FrameKind::kAdminHealth, 2, 999,
+                       ByteSpan(inner.data(), inner.size()));
+  auto reply = DecodeAdminReply(ByteSpan(payload.data(), payload.size()));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->orig, FrameKind::kAdminHealth);
+  EXPECT_EQ(reply->host_index, 2u);
+  EXPECT_EQ(reply->now_us, 999u);
+  EXPECT_EQ(reply->body, inner);
+
+  // An envelope claiming a non-pull original kind is garbage.
+  Bytes bad = payload;
+  bad[0] = 0x7f;
+  EXPECT_FALSE(DecodeAdminReply(ByteSpan(bad.data(), bad.size())).ok());
+}
+
+// --- trace stitching -------------------------------------------------------
+
+TraceEvent Ev(uint64_t t, uint64_t req, uint32_t from, uint32_t to,
+              uint8_t type, HopKind kind) {
+  TraceEvent ev;
+  ev.time_us = t;
+  ev.trace_id = 77;
+  ev.request_id = req;
+  ev.from = from;
+  ev.to = to;
+  ev.msg_type = type;
+  ev.kind = kind;
+  return ev;
+}
+
+TEST(StitchTraceTest, SendOrdersBeforeDeliverAcrossSources) {
+  // Source 1 (the deliverer) is listed FIRST and its local clock reads
+  // earlier than the sender's — only the send->deliver edge can order them.
+  std::vector<std::pair<int32_t, std::vector<TraceEvent>>> sources;
+  sources.push_back({1, {Ev(5, 9, 100, 200, 1, HopKind::kDeliver)}});
+  sources.push_back({-1,
+                     {Ev(50, 9, 100, 100, 1, HopKind::kOpStart),
+                      Ev(60, 9, 100, 200, 1, HopKind::kSend)}});
+  const AssembledTrace trace = StitchTrace(77, sources);
+  ASSERT_EQ(trace.hops.size(), 3u);
+  EXPECT_TRUE(trace.ordered);
+  EXPECT_EQ(trace.hops[0].ev.kind, HopKind::kOpStart);
+  EXPECT_EQ(trace.hops[1].ev.kind, HopKind::kSend);
+  EXPECT_EQ(trace.hops[2].ev.kind, HopKind::kDeliver);
+  EXPECT_EQ(trace.hops[2].host, 1);
+}
+
+TEST(StitchTraceTest, ProgramOrderWithinOneSourceIsPreserved) {
+  std::vector<std::pair<int32_t, std::vector<TraceEvent>>> sources;
+  sources.push_back({0,
+                     {Ev(30, 1, 1, 2, 1, HopKind::kDeliver),
+                      Ev(10, 1, 2, 3, 4, HopKind::kSend),
+                      Ev(20, 1, 2, 1, 2, HopKind::kSend)}});
+  const AssembledTrace trace = StitchTrace(77, sources);
+  ASSERT_EQ(trace.hops.size(), 3u);
+  // Ring order wins regardless of timestamps: one ring is one thread.
+  EXPECT_EQ(trace.hops[0].ev.kind, HopKind::kDeliver);
+  EXPECT_EQ(trace.hops[1].ev.time_us, 10u);
+  EXPECT_EQ(trace.hops[2].ev.time_us, 20u);
+}
+
+TEST(StitchTraceTest, RetriedSendsMatchDeliversByOrdinal) {
+  // Two sends of the SAME signature (a retransmission); two delivers on the
+  // server. k-th send -> k-th deliver: the first deliver may not be ordered
+  // after the second send.
+  std::vector<std::pair<int32_t, std::vector<TraceEvent>>> sources;
+  sources.push_back({0,
+                     {Ev(1, 9, 7, 8, 1, HopKind::kDeliver),
+                      Ev(2, 9, 7, 8, 1, HopKind::kDeliver)}});
+  sources.push_back({-1,
+                     {Ev(1, 9, 7, 8, 1, HopKind::kSend),
+                      Ev(2, 9, 7, 8, 1, HopKind::kSend)}});
+  const AssembledTrace trace = StitchTrace(77, sources);
+  ASSERT_EQ(trace.hops.size(), 4u);
+  EXPECT_TRUE(trace.ordered);
+  // First send precedes first deliver; second send precedes second deliver.
+  std::vector<std::pair<int32_t, HopKind>> got;
+  for (const ClusterHop& hop : trace.hops) got.push_back({hop.host, hop.ev.kind});
+  size_t first_send = 0, first_deliver = 0, second_send = 0, second_deliver = 0;
+  size_t sends = 0, delivers = 0;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].second == HopKind::kSend) {
+      (++sends == 1 ? first_send : second_send) = i;
+    } else {
+      (++delivers == 1 ? first_deliver : second_deliver) = i;
+    }
+  }
+  EXPECT_LT(first_send, first_deliver);
+  EXPECT_LT(second_send, second_deliver);
+}
+
+// --- live cluster ----------------------------------------------------------
+
+void InstallFilters(auto& target) {
+  target.InstallFilter(sdds::MakeScanFilter(
+      [](uint64_t, ByteSpan, ByteSpan) { return true; }));
+}
+
+sdds::LhOptions ServerOptions() {
+  sdds::LhOptions lh;
+  lh.bucket_capacity = 8;  // small: the workload drives many splits
+  return lh;
+}
+
+class AdminE2eTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kHosts = 3;
+
+  void SetUp() override {
+    dir_ = (std::filesystem::path(::testing::TempDir()) /
+            ("admin-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::create_directories(dir_);
+    std::string spec;
+    for (size_t h = 0; h < kHosts; ++h) {
+      if (h) spec += ",";
+      spec += "uds:" + dir_ + "/h" + std::to_string(h) + ".sock";
+    }
+    auto map = ClusterMap::Parse(spec);
+    ASSERT_TRUE(map.ok());
+    cluster_ = *map;
+    for (size_t h = 0; h < kHosts; ++h) {
+      const pid_t pid = ::fork();
+      ASSERT_GE(pid, 0);
+      if (pid == 0) {
+        BucketHost::Config config;
+        config.cluster = cluster_;
+        config.host_index = h;
+        config.options = ServerOptions();
+        BucketHost host(config);
+        InstallFilters(host);
+        if (!host.Start().ok()) ::_exit(3);
+        for (;;) host.RunOnce(50);
+      }
+      pids_.push_back(pid);
+    }
+  }
+
+  void TearDown() override {
+    for (pid_t pid : pids_) {
+      if (pid > 0) ::kill(pid, SIGKILL);
+    }
+    for (pid_t pid : pids_) {
+      if (pid > 0) ::waitpid(pid, nullptr, 0);
+    }
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::unique_ptr<SocketClient> NewClient(uint32_t client_id = 0) {
+    SocketClient::Options opts;
+    opts.cluster = cluster_;
+    opts.client_id = client_id;
+    opts.lh = ServerOptions();
+    opts.lh.request_timeout_us = 2'000'000;
+    opts.lh.max_request_retries = 8;
+    auto client = std::make_unique<SocketClient>(opts);
+    Status s = Status::OK();
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      s = client->Connect();
+      if (s.ok()) return client;
+      ::usleep(20'000);
+    }
+    ADD_FAILURE() << "connect failed: " << s.ToString();
+    return client;
+  }
+
+  std::unique_ptr<AdminClient> NewAdmin() {
+    AdminClient::Options opts;
+    opts.cluster = cluster_;
+    auto admin = std::make_unique<AdminClient>(opts);
+    Status s = Status::OK();
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      s = admin->Connect();
+      if (s.ok()) return admin;
+      ::usleep(20'000);
+    }
+    ADD_FAILURE() << "admin connect failed: " << s.ToString();
+    return admin;
+  }
+
+  /// Inserts `ops` records (pipelined) — enough splits to spread buckets
+  /// over every host.
+  void RunWorkload(SocketClient& client, uint64_t ops) {
+    for (uint64_t i = 0; i < ops; ++i) {
+      const std::string v = "record " + std::to_string(i);
+      ASSERT_TRUE(
+          client.SubmitInsert(i * 97 + 3, Bytes(v.begin(), v.end())).ok());
+    }
+    ASSERT_TRUE(client.AwaitAll().ok());
+  }
+
+  std::string dir_;
+  ClusterMap cluster_;
+  std::vector<pid_t> pids_;
+};
+
+TEST_F(AdminE2eTest, AdminScrapeMergesClusterView) {
+  auto client = NewClient();
+  RunWorkload(*client, 400);
+
+  auto admin = NewAdmin();
+  auto metrics = admin->Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  ASSERT_EQ(metrics->hosts.size(), kHosts);
+
+  // Every host section carries its own index and live NetworkStats; the
+  // cluster totals are the sum (each host accounts only its own sends).
+  uint64_t summed = 0;
+  std::set<uint32_t> indices;
+  for (const HostMetrics& host : metrics->hosts) {
+    indices.insert(host.host_index);
+    summed += host.stats.total_messages;
+  }
+  EXPECT_EQ(indices.size(), kHosts);
+  const sdds::NetworkStats merged = metrics->MergedStats();
+  EXPECT_EQ(merged.total_messages, summed);
+  EXPECT_GT(merged.total_messages, 0u);
+  EXPECT_GT(merged.total_bytes, 0u);
+
+  const std::string json = metrics->ToJson();
+  EXPECT_NE(json.find("\"hosts\""), std::string::npos);
+  EXPECT_NE(json.find("\"cluster\""), std::string::npos);
+
+  if (obs::kMetricsEnabled) {
+    // The registry view: insert deliveries counted, message-size histogram
+    // populated, and the merged JSON exposes cluster quantiles.
+    uint64_t inserts = 0;
+    uint64_t recv_count = 0;
+    for (const HostMetrics& host : metrics->hosts) {
+      for (const auto& [name, value] : host.counters) {
+        if (name == "net.delivered.Insert") inserts += value;
+      }
+      for (const auto& [name, state] : host.histograms) {
+        if (name == "net.recv_msg_bytes") recv_count += state.count;
+      }
+    }
+    EXPECT_GE(inserts, 400u);
+    EXPECT_GT(recv_count, 0u);
+    EXPECT_NE(json.find("net.recv_msg_bytes"), std::string::npos);
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p95\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  }
+}
+
+TEST_F(AdminE2eTest, HealthReportsEveryHostsBuckets) {
+  auto client = NewClient();
+  const uint64_t kOps = 200;
+  RunWorkload(*client, kOps);
+
+  auto admin = NewAdmin();
+  auto field = [](const std::string& json, const std::string& name) {
+    const std::string needle = "\"" + name + "\":";
+    const size_t pos = json.find(needle);
+    return pos == std::string::npos
+               ? int64_t{-1}
+               : std::strtoll(json.c_str() + pos + needle.size(), nullptr, 10);
+  };
+  // The workload's last acks can race the splits they triggered: records in
+  // transit between a splitting bucket and its child are invisible to a
+  // health scrape taken mid-move. Poll until the structure quiesces.
+  Result<std::vector<HostHealth>> health = admin->Health();
+  uint64_t records_total = 0;
+  for (int poll = 0; poll < 100; ++poll) {
+    ASSERT_TRUE(health.ok()) << health.status().ToString();
+    ASSERT_EQ(health->size(), kHosts);
+    records_total = 0;
+    for (const HostHealth& h : *health) {
+      const int64_t records = field(h.json, "records_total");
+      ASSERT_GE(records, 0) << h.json;
+      records_total += static_cast<uint64_t>(records);
+    }
+    if (records_total == kOps) break;
+    ::usleep(20'000);
+    health = admin->Health();
+  }
+  for (const HostHealth& h : *health) {
+    EXPECT_EQ(field(h.json, "host_index"), static_cast<int64_t>(h.host_index));
+    EXPECT_NE(h.json.find("\"buckets\""), std::string::npos);
+    EXPECT_EQ(field(h.json, "halted_buckets"), 0);
+  }
+  // Health is live structure, not instruments: the quiesced record count is
+  // exact in every build, METRICS=OFF included.
+  EXPECT_EQ(records_total, kOps);
+  // Only host 0 runs the coordinator.
+  EXPECT_NE((*health)[0].json.find("\"coordinator\":true"),
+            std::string::npos);
+}
+
+TEST_F(AdminE2eTest, OneOpsTraceAssemblesAcrossProcesses) {
+  if (!obs::kMetricsEnabled) {
+    GTEST_SKIP() << "tracing compiled out (-DESSDDS_METRICS=OFF)";
+  }
+  // Grow the file well past one bucket so records live on every host.
+  auto loader = NewClient();
+  RunWorkload(*loader, 400);
+
+  auto admin = NewAdmin();
+
+  // A FRESH client starts with a one-bucket image, so its first lookup goes
+  // to bucket 0 on host 0 — the coordinator host — which forwards toward
+  // the key's real bucket (LH* client addressing). For a key whose bucket
+  // lives on host 1 or 2, the op's trace id therefore appears in the
+  // client's ring, the coordinator host's ring, AND the serving bucket
+  // host's ring. Probe keys until one such cross-host chain shows up.
+  bool found_cross_host = false;
+  for (uint32_t attempt = 0; attempt < 12 && !found_cross_host; ++attempt) {
+    auto prober = NewClient(/*client_id=*/10 + attempt);
+    const uint64_t key = (attempt * 7 + 1) * 97 + 3;
+    auto value = prober->Lookup(key);
+    ASSERT_TRUE(value.ok()) << value.status().ToString();
+    const uint64_t trace_id = prober->last_trace_id();
+    ASSERT_NE(trace_id, 0u);
+
+    auto trace =
+        admin->AssembleTrace(trace_id, prober->trace().Snapshot(trace_id));
+    ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+    ASSERT_FALSE(trace->hops.empty());
+    EXPECT_TRUE(trace->ordered);
+
+    // The chain: the client's kOpStart opens it, its kOpDone comes after
+    // every delivery of the request chain, and every kDeliver is preceded
+    // by a matching kSend (per-connection FIFO makes the k-th ordinal
+    // pairing exact). kOpDone need not be the literal last element: a
+    // server may tag a trailing IAM send with the same trace id, and since
+    // the client records no hop for receiving an IAM, that send is
+    // genuinely concurrent with the op's close.
+    EXPECT_EQ(trace->hops.front().ev.kind, HopKind::kOpStart);
+    EXPECT_EQ(trace->hops.front().host, -1);
+    size_t op_done = trace->hops.size();
+    size_t last_deliver = 0;
+    for (size_t i = 0; i < trace->hops.size(); ++i) {
+      if (trace->hops[i].ev.kind == HopKind::kOpDone) {
+        EXPECT_EQ(op_done, trace->hops.size()) << "duplicate kOpDone";
+        EXPECT_EQ(trace->hops[i].host, -1);
+        op_done = i;
+      } else if (trace->hops[i].ev.kind == HopKind::kDeliver) {
+        last_deliver = i;
+      }
+    }
+    ASSERT_NE(op_done, trace->hops.size()) << "no kOpDone hop";
+    // A retried op is allowed to close before its retransmission finishes
+    // delivering (the duplicate's hops share the trace id and are only
+    // ordered against their own send); on the clean path the op's close
+    // must come after every delivery of the request chain.
+    if (prober->retry_count() == 0) {
+      EXPECT_GT(op_done, last_deliver)
+          << "op closed before the request chain finished delivering";
+    }
+    std::vector<TraceEvent> sends;
+    for (const ClusterHop& hop : trace->hops) {
+      if (hop.ev.kind == HopKind::kSend) {
+        sends.push_back(hop.ev);
+      } else if (hop.ev.kind == HopKind::kDeliver) {
+        bool matched = false;
+        for (size_t i = 0; i < sends.size() && !matched; ++i) {
+          matched = sends[i].request_id == hop.ev.request_id &&
+                    sends[i].from == hop.ev.from &&
+                    sends[i].to == hop.ev.to &&
+                    sends[i].msg_type == hop.ev.msg_type;
+          if (matched) sends.erase(sends.begin() + static_cast<long>(i));
+        }
+        EXPECT_TRUE(matched)
+            << "deliver without a preceding matching send in the timeline";
+      }
+    }
+
+    std::set<int32_t> hosts;
+    for (const ClusterHop& hop : trace->hops) hosts.insert(hop.host);
+    EXPECT_TRUE(hosts.count(-1)) << "client hops missing";
+    if (hosts.count(-1) && hosts.count(0) &&
+        (hosts.count(1) || hosts.count(2))) {
+      found_cross_host = true;  // client + coordinator host + bucket host
+    }
+  }
+  EXPECT_TRUE(found_cross_host)
+      << "no probed key produced a client -> coordinator host -> bucket "
+         "host forwarding chain";
+}
+
+}  // namespace
+}  // namespace essdds::net
